@@ -1,0 +1,94 @@
+// Ablation: the SHJ chain's "smaller posting lists first" ordering.
+//
+// DESIGN.md calls this decision out: the paper replays queries "optimized
+// to compute smaller posting lists first". This bench quantifies what the
+// probe-then-order optimizer saves in shipped posting entries and what it
+// costs in extra probe messages.
+//
+//   ./build/bench/ablation_join_order [scale]
+#include <cstdio>
+#include <memory>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "dht/builder.h"
+#include "piersearch/publisher.h"
+#include "piersearch/search_engine.h"
+#include "workload/trace.h"
+
+using namespace pierstack;
+
+int main(int argc, char** argv) {
+  double scale = argc >= 2 && atof(argv[1]) > 0 ? atof(argv[1]) : 1.0;
+  workload::WorkloadConfig wc;
+  wc.num_nodes = static_cast<size_t>(3000 * scale);
+  wc.num_distinct_files = static_cast<size_t>(4500 * scale);
+  wc.num_queries = 400;
+  wc.seed = 2004;
+  auto trace = workload::GenerateTrace(wc);
+
+  sim::Simulator simulator;
+  sim::Network network(&simulator,
+                       std::make_unique<sim::ConstantLatency>(
+                           20 * sim::kMillisecond),
+                       23);
+  dht::DhtDeployment dht(&network, 64, dht::DhtOptions{}, 27);
+  pier::PierMetrics metrics;
+  std::vector<std::unique_ptr<pier::PierNode>> piers;
+  for (size_t i = 0; i < dht.size(); ++i) {
+    piers.push_back(std::make_unique<pier::PierNode>(dht.node(i), &metrics));
+  }
+  piersearch::Publisher publisher(piers[0].get());
+  for (size_t node = 0; node < trace.node_files.size(); ++node) {
+    for (uint32_t f : trace.node_files[node]) {
+      publisher.PublishFile(trace.files[f].filename, 1 << 20,
+                            static_cast<uint32_t>(node), 6346,
+                            piersearch::PublishOptions{});
+    }
+  }
+  simulator.Run();
+
+  auto run = [&](bool ordered, Summary* shipped, Summary* msgs,
+                 Summary* latency) {
+    size_t replayed = 0;
+    for (const auto& q : trace.queries) {
+      if (q.terms.size() < 2 || q.matches.empty()) continue;
+      if (replayed >= 150) break;
+      piersearch::SearchEngine engine(piers[replayed % 64].get());
+      piersearch::SearchOptions so;
+      so.order_by_posting_size = ordered;
+      so.fetch_items = false;
+      so.max_results = SIZE_MAX;
+      uint64_t ship_before = metrics.posting_entries_shipped;
+      uint64_t msgs_before = metrics.join_stage_messages +
+                             metrics.probe_messages;
+      sim::SimTime start = simulator.now();
+      bool ok = false;
+      engine.Search(q.text, so, [&](Status s, auto) { ok = s.ok(); });
+      simulator.Run();
+      if (!ok) continue;
+      shipped->Add(double(metrics.posting_entries_shipped - ship_before));
+      msgs->Add(double(metrics.join_stage_messages + metrics.probe_messages -
+                       msgs_before));
+      latency->Add(double(simulator.now() - start) / sim::kMillisecond);
+      ++replayed;
+    }
+  };
+
+  Summary ship_no, msg_no, lat_no, ship_yes, msg_yes, lat_yes;
+  run(false, &ship_no, &msg_no, &lat_no);
+  run(true, &ship_yes, &msg_yes, &lat_yes);
+
+  TablePrinter table({"plan order", "avg entries shipped", "avg msgs",
+                      "avg latency (ms)"});
+  table.AddRow({"as given (T1..Tk)", FormatF(ship_no.mean(), 1),
+                FormatF(msg_no.mean(), 1), FormatF(lat_no.mean(), 0)});
+  table.AddRow({"smallest first (probed)", FormatF(ship_yes.mean(), 1),
+                FormatF(msg_yes.mean(), 1), FormatF(lat_yes.mean(), 0)});
+  table.Print();
+  std::printf(
+      "\ntrade-off: probing adds one round of size lookups but cuts the\n"
+      "shipped posting entries by %.1fx on this workload.\n",
+      ship_yes.mean() > 0 ? ship_no.mean() / ship_yes.mean() : 0.0);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The paper's stated future work (Section 4.3): "quantify the impact of
+// increasing the search horizon on the overall system load."
+//
+// Sweeps the flood TTL and reports, per query: messages spent, recall
+// achieved, and the share of queries left empty — the load/recall frontier
+// that motivates the hybrid design (deep flooding buys recall at an
+// accelerating message cost; the DHT fallback buys the same tail recall
+// for O(log N)).
+//
+//   ./build/bench/ablation_search_horizon [scale]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "model/equations.h"
+
+using namespace pierstack;
+using namespace pierstack::bench;
+
+int main(int argc, char** argv) {
+  double scale = ParseScaleArg(argc, argv);
+  TablePrinter table({"flood TTL", "msgs/query", "avg recall",
+                      "% queries empty", "msgs per recall point"});
+  double dht_cost = 0;
+  for (uint8_t ttl = 1; ttl <= 4; ++ttl) {
+    ReplayConfig config;
+    config.num_ultrapeers = 800;
+    config.num_leaves = 4000;
+    config.ultrapeer_degree = 8;
+    config.flood_ttl = ttl;
+    config.num_queries = 150;
+    config.Scale(scale);
+    auto setup = BuildReplaySetup(config);
+    dht_cost = model::DefaultDhtSearchCost(
+        static_cast<double>(config.num_ultrapeers));
+    setup->gnutella->metrics() = gnutella::GnutellaMetrics{};
+
+    struct PerQuery {
+      size_t found = 0;
+    };
+    std::vector<PerQuery> per_query(setup->trace.queries.size());
+    size_t launched = 0;
+    for (size_t q = 0; q < setup->trace.queries.size(); ++q) {
+      if (setup->trace.queries[q].total_results == 0) continue;
+      auto* counter = &per_query[q];
+      setup->gnutella->ultrapeer(q % config.num_ultrapeers)
+          ->StartQuery(setup->trace.queries[q].text,
+                       [counter](const std::vector<gnutella::QueryResult>& rs) {
+                         counter->found += rs.size();
+                       });
+      ++launched;
+    }
+    setup->simulator.Run();
+
+    Summary recall;
+    size_t empty = 0;
+    for (size_t q = 0; q < setup->trace.queries.size(); ++q) {
+      uint64_t truth = setup->trace.queries[q].total_results;
+      if (truth == 0) continue;
+      recall.Add(double(per_query[q].found) / double(truth));
+      empty += per_query[q].found == 0;
+    }
+    double msgs_per_query =
+        double(setup->gnutella->metrics().query_messages) / double(launched);
+    double marginal =
+        recall.mean() > 0 ? msgs_per_query / (recall.mean() * 100) : 0;
+    table.AddRow({FormatI(ttl), FormatF(msgs_per_query, 1),
+                  FormatPct(recall.mean()),
+                  FormatPct(double(empty) / double(launched)),
+                  FormatF(marginal, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nreading: each TTL step multiplies the per-query message cost but\n"
+      "adds less and less recall (Section 4.3's diminishing returns); a\n"
+      "DHT lookup costs ~log2(N) = %.0f messages regardless of rarity,\n"
+      "which is why the hybrid indexes the tail instead of flooding "
+      "deeper.\n",
+      dht_cost);
+  return 0;
+}

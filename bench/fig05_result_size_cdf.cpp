@@ -1,0 +1,52 @@
+// Figure 5: CDF of query result-set sizes — single vantage point vs the
+// union of 30 monitors (the paper's approximation of network ground truth).
+//
+// Paper anchors: 18% of single-node queries return nothing and 41% return
+// <= 10 results, vs 6% and 27% for the union of 30.
+//
+//   ./build/bench/fig05_result_size_cdf [scale]
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace pierstack;
+using namespace pierstack::bench;
+
+int main(int argc, char** argv) {
+  ReplayConfig config;
+  config.Scale(ParseScaleArg(argc, argv));
+  std::printf("fig05: %zu ultrapeers, %zu leaves, %zu queries x 30 monitors\n",
+              config.num_ultrapeers, config.num_leaves, config.num_queries);
+  auto setup = BuildReplaySetup(config);
+  auto stats = RunMonitorReplay(setup.get(), 30, config.num_queries, {30});
+
+  std::vector<double> single, union30;
+  for (const auto& s : stats) {
+    for (size_t n : s.monitor_counts) single.push_back(double(n));
+    union30.push_back(double(s.union_counts[0]));
+  }
+
+  TablePrinter table({"x (results)", "% queries <= x (1 node)",
+                      "% queries <= x (union-of-30)"});
+  for (double x : {0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                   500.0, 1000.0}) {
+    table.AddRow({FormatI((long long)x),
+                  FormatPct(FractionAtOrBelow(single, x)),
+                  FormatPct(FractionAtOrBelow(union30, x))});
+  }
+  table.Print();
+
+  std::printf("\nanchors (paper -> measured):\n");
+  std::printf("  single node, 0 results : 18%%  -> %s\n",
+              FormatPct(FractionAtOrBelow(single, 0)).c_str());
+  std::printf("  single node, <=10      : 41%%  -> %s\n",
+              FormatPct(FractionAtOrBelow(single, 10)).c_str());
+  std::printf("  union-of-30, 0 results : 6%%   -> %s\n",
+              FormatPct(FractionAtOrBelow(union30, 0)).c_str());
+  std::printf("  union-of-30, <=10      : 27%%  -> %s\n",
+              FormatPct(FractionAtOrBelow(union30, 10)).c_str());
+  return 0;
+}

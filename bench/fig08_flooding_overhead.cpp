@@ -1,0 +1,72 @@
+// Figure 8: Gnutella flooding overhead — ultrapeers visited vs query
+// messages sent, from a crawl of the ultrapeer topology.
+//
+// Paper anchors (100k-node network, mixed 6/32-degree ultrapeers): 48K
+// messages reach ~9,000 ultrapeers; the next 9,000 cost an extra ~94K —
+// diminishing returns from duplicate deliveries over redundant paths.
+//
+//   ./build/bench/fig08_flooding_overhead [scale]
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "gnutella/crawler.h"
+
+using namespace pierstack;
+using namespace pierstack::bench;
+
+int main(int argc, char** argv) {
+  double scale = ParseScaleArg(argc, argv);
+  size_t num_ups = static_cast<size_t>(20000 * scale);
+  sim::Simulator simulator;
+  sim::Network network(&simulator,
+                       std::make_unique<sim::UniformLatency>(
+                           10 * sim::kMillisecond, 100 * sim::kMillisecond),
+                       4);
+  gnutella::TopologyConfig tc;
+  tc.num_ultrapeers = num_ups;
+  tc.num_leaves = 0;  // topology analysis needs the ultrapeer mesh only
+  tc.protocol.ultrapeer_degree = 32;  // modern LimeWire ultrapeers
+  tc.seed = 2004;
+  gnutella::GnutellaNetwork net(&network, tc);
+  simulator.Run();
+  std::printf("fig08: crawling %zu ultrapeers (degree 32)...\n", num_ups);
+
+  gnutella::Crawler crawler(&network, /*parallelism=*/200);
+  gnutella::CrawlGraph graph;
+  std::vector<sim::HostId> seeds;
+  for (size_t i = 0; i < 30 && i < num_ups; ++i) {
+    seeds.push_back(net.ultrapeer(i)->host());
+  }
+  crawler.Start(seeds, [&](const gnutella::CrawlGraph& g) { graph = g; });
+  simulator.Run();
+  std::printf("crawl complete: %zu ultrapeers, %llu crawl messages\n\n",
+              graph.num_ultrapeers(),
+              (unsigned long long)graph.crawl_messages);
+
+  std::vector<sim::HostId> sources(seeds.begin(),
+                                   seeds.begin() + std::min<size_t>(10, seeds.size()));
+  auto steps = gnutella::FloodExpansionAveraged(graph, sources, 6);
+
+  TablePrinter table({"TTL", "ultrapeers visited", "messages (K)",
+                      "marginal msgs per new ultrapeer"});
+  uint64_t prev_reached = 1, prev_msgs = 0;
+  for (const auto& s : steps) {
+    double marginal =
+        s.ultrapeers_reached > prev_reached
+            ? double(s.messages - prev_msgs) /
+                  double(s.ultrapeers_reached - prev_reached)
+            : 0.0;
+    table.AddRow({FormatI(s.ttl), FormatI((long long)s.ultrapeers_reached),
+                  FormatF(s.messages / 1000.0, 1), FormatF(marginal, 2)});
+    prev_reached = s.ultrapeers_reached;
+    prev_msgs = s.messages;
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: the marginal message cost per newly visited\n"
+      "ultrapeer grows with the horizon (48K msgs -> 9K UPs, then +94K\n"
+      "-> +9K in the paper's 100k-node crawl).\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark) for the hot primitives: hashing,
+// RNG, Zipf sampling, tuple serialization, the symmetric hash join and
+// next-hop selection in both overlays.
+//
+//   ./build/bench/micro_core
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/rng.h"
+#include "common/tokenizer.h"
+#include "common/zipf.h"
+#include "dht/bamboo.h"
+#include "dht/chord.h"
+#include "gnutella/index.h"
+#include "pier/ops.h"
+
+using namespace pierstack;
+
+static void BM_Fnv1a64(benchmark::State& state) {
+  std::string s(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fnv1a64(s));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Fnv1a64)->Arg(8)->Arg(32)->Arg(256);
+
+static void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 0x12345;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+static void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+static void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<size_t>(state.range(0)), 1.0);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+static void BM_TokenizeFilename(benchmark::State& state) {
+  std::string name = "pink floyd dark side of the moon live 1973.mp3";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractUniqueKeywords(name));
+  }
+}
+BENCHMARK(BM_TokenizeFilename);
+
+static void BM_TupleSerialize(benchmark::State& state) {
+  pier::Tuple t({pier::Value(uint64_t{0xdeadbeef}),
+                 pier::Value(std::string("madonna like a prayer.mp3")),
+                 pier::Value(uint64_t{4 << 20}),
+                 pier::Value(uint64_t{12345}), pier::Value(uint64_t{6346})});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Serialize());
+  }
+}
+BENCHMARK(BM_TupleSerialize);
+
+static void BM_TupleDeserialize(benchmark::State& state) {
+  pier::Tuple t({pier::Value(uint64_t{0xdeadbeef}),
+                 pier::Value(std::string("madonna like a prayer.mp3")),
+                 pier::Value(uint64_t{4 << 20})});
+  auto bytes = t.Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pier::Tuple::Deserialize(bytes));
+  }
+}
+BENCHMARK(BM_TupleDeserialize);
+
+static void BM_ShjInsertProbe(benchmark::State& state) {
+  // Steady-state SHJ throughput with a `range`-sized resident side.
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    pier::SymmetricHashJoin shj(0, 0);
+    for (size_t i = 0; i < n; ++i) {
+      shj.InsertRight(pier::Tuple({pier::Value(uint64_t{i})}));
+    }
+    state.ResumeTiming();
+    for (size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          shj.InsertLeft(pier::Tuple({pier::Value(rng.NextBelow(n))})));
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_ShjInsertProbe)->Arg(1000)->Arg(10000);
+
+static void BM_ChordNextHop(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<dht::NodeInfo> members;
+  for (size_t i = 0; i < n; ++i) {
+    members.push_back({rng.Next(), static_cast<sim::HostId>(i)});
+  }
+  std::sort(members.begin(), members.end(),
+            [](auto& a, auto& b) { return a.id < b.id; });
+  dht::ChordRouting table(members[n / 2]);
+  table.BuildStatic(members);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.NextHop(rng.Next()));
+  }
+}
+BENCHMARK(BM_ChordNextHop)->Arg(1024)->Arg(16384);
+
+static void BM_BambooNextHop(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<dht::NodeInfo> members;
+  for (size_t i = 0; i < n; ++i) {
+    members.push_back({rng.Next(), static_cast<sim::HostId>(i)});
+  }
+  std::sort(members.begin(), members.end(),
+            [](auto& a, auto& b) { return a.id < b.id; });
+  dht::BambooRouting table(members[n / 2]);
+  table.BuildStatic(members);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.NextHop(rng.Next()));
+  }
+}
+BENCHMARK(BM_BambooNextHop)->Arg(1024)->Arg(16384);
+
+static void BM_KeywordIndexMatch(benchmark::State& state) {
+  gnutella::KeywordIndex index;
+  Rng rng(6);
+  for (size_t i = 0; i < 20000; ++i) {
+    gnutella::SharedFile f;
+    f.filename = "artist" + std::to_string(rng.NextBelow(500)) + " title" +
+                 std::to_string(i) + " common.mp3";
+    f.size_bytes = 1;
+    f.file_id = i;
+    index.Add(f, static_cast<sim::HostId>(i % 100));
+  }
+  std::vector<std::string> query{"artist42", "common"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Match(query));
+  }
+}
+BENCHMARK(BM_KeywordIndexMatch);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Section 6's stated purpose: "study the trade-off between query recall
+// and system overhead of the hybrid system" — Equations 1–5 evaluated
+// analytically over the trace.
+//
+// For each replica threshold: expected QDR (Equation 1 averaged over
+// queries), total publishing cost CP_all (Equation 5, CP per item =
+// (1 + keywords) tuples × log N routing messages), and the per-time-unit
+// search cost (Equation 3).
+//
+//   ./build/bench/model_cost_tradeoff [scale]
+#include <cstdio>
+
+#include "common/table.h"
+#include "model/equations.h"
+#include "workload/trace.h"
+
+using namespace pierstack;
+
+int main(int argc, char** argv) {
+  double scale = argc >= 2 && atof(argv[1]) > 0 ? atof(argv[1]) : 1.0;
+  workload::WorkloadConfig wc;
+  wc.num_nodes = static_cast<size_t>(20000 * scale);
+  wc.num_distinct_files = static_cast<size_t>(30000 * scale);
+  wc.num_queries = 700;
+  wc.seed = 2004;
+  auto trace = workload::GenerateTrace(wc);
+
+  model::SystemParams params;
+  params.num_nodes = static_cast<double>(wc.num_nodes);
+  params.horizon_nodes = params.num_nodes * 0.05;
+  model::CostParams costs;
+  costs.cs_dht = model::DefaultDhtSearchCost(params.num_nodes);
+
+  std::printf("model: N=%zu, horizon 5%%, CS_DHT=log2(N)=%.1f msgs\n",
+              wc.num_nodes, costs.cs_dht);
+  TablePrinter table({"replica threshold", "expected QDR",
+                      "publish msgs (CP_all, K)", "search msgs/query (CS)",
+                      "publish msgs per QDR point"});
+  double prev_qdr = 0, prev_publish = 0;
+  for (uint32_t thr = 0; thr <= 10; ++thr) {
+    // Expected QDR: Equation 1 averaged over each query's matched items.
+    double qdr_sum = 0;
+    size_t queries = 0;
+    for (const auto& q : trace.queries) {
+      if (q.matches.empty()) continue;
+      ++queries;
+      double found = 0;
+      for (uint32_t m : q.matches) {
+        bool published = trace.files[m].replicas <= thr;
+        found += model::PFHybrid(trace.files[m].replicas, published, params);
+      }
+      qdr_sum += found / static_cast<double>(q.matches.size());
+    }
+    double qdr = queries ? qdr_sum / queries : 0;
+
+    // Equation 5: CP_all over the queried universe; publishing one item
+    // costs (1 Item + k Inverted tuples) × log N hops each.
+    double publish_msgs = 0;
+    for (uint32_t f : trace.QueriedFileUniverse()) {
+      const auto& file = trace.files[f];
+      if (file.replicas > thr) continue;
+      model::ItemParams item;
+      item.published = true;
+      model::CostParams cp = costs;
+      cp.cp_dht = (1.0 + static_cast<double>(file.keywords.size())) *
+                  costs.cs_dht * file.replicas;
+      publish_msgs += model::PublishCost(item, cp);
+    }
+
+    // Equation 3 averaged over queries (Qi = 1): flooding dominates; the
+    // DHT term only pays when Gnutella misses.
+    double search_sum = 0;
+    for (const auto& q : trace.queries) {
+      if (q.matches.empty()) continue;
+      double r_avg = static_cast<double>(q.total_results) /
+                     static_cast<double>(q.matches.size());
+      model::ItemParams item;
+      item.replicas = r_avg;
+      item.query_freq = 1;
+      search_sum += model::SearchCost(item, params, costs);
+    }
+    double search_avg = queries ? search_sum / queries : 0;
+
+    double marginal = (qdr - prev_qdr) > 1e-9
+                          ? (publish_msgs - prev_publish) /
+                                ((qdr - prev_qdr) * 100)
+                          : 0;
+    table.AddRow({FormatI(thr), FormatPct(qdr),
+                  FormatF(publish_msgs / 1000.0, 1),
+                  FormatF(search_avg, 0),
+                  thr == 0 ? "-" : FormatF(marginal / 1000.0, 1) + "K"});
+    prev_qdr = qdr;
+    prev_publish = publish_msgs;
+  }
+  table.Print();
+  std::printf(
+      "\nreading: recall gains concentrate at thresholds 1-2 while the\n"
+      "publishing bill keeps growing — the paper's 'little benefit in\n"
+      "publishing items that are already popular' (Section 6.2).\n");
+  return 0;
+}

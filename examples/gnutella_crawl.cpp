@@ -1,0 +1,78 @@
+// Gnutella topology crawl (paper Section 4.1 in miniature).
+//
+// Builds a 2,000-ultrapeer / 8,000-leaf network, crawls it from 30
+// parallel vantage points like the paper's PlanetLab crawler, and prints
+// the topology statistics plus the Figure 8-style flood-cost analysis.
+//
+//   ./build/examples/gnutella_crawl
+#include <cstdio>
+#include <memory>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "gnutella/crawler.h"
+#include "gnutella/topology.h"
+
+using namespace pierstack;
+
+int main() {
+  sim::Simulator simulator;
+  sim::Network network(&simulator,
+                       std::make_unique<sim::UniformLatency>(
+                           10 * sim::kMillisecond, 120 * sim::kMillisecond),
+                       3);
+
+  gnutella::TopologyConfig config;
+  config.num_ultrapeers = 2000;
+  config.num_leaves = 8000;
+  config.protocol.ultrapeer_degree = 16;
+  config.seed = 2004;
+  gnutella::GnutellaNetwork net(&network, config);
+  simulator.Run();
+
+  // Crawl from 30 seeds with bounded parallelism.
+  gnutella::Crawler crawler(&network, /*parallelism=*/30);
+  std::vector<sim::HostId> seeds;
+  for (size_t i = 0; i < 30; ++i) seeds.push_back(net.ultrapeer(i)->host());
+  sim::SimTime started = simulator.now();
+  gnutella::CrawlGraph graph;
+  crawler.Start(seeds, [&](const gnutella::CrawlGraph& g) { graph = g; });
+  simulator.Run();
+
+  std::printf("crawl finished in %.1f sim-seconds, %llu request messages\n",
+              (simulator.now() - started) / 1e6,
+              (unsigned long long)graph.crawl_messages);
+  std::printf("ultrapeers found : %zu\n", graph.num_ultrapeers());
+  std::printf("estimated network: %llu nodes (ultrapeers + leaf slots)\n",
+              (unsigned long long)graph.EstimatedNetworkSize());
+
+  Summary degrees;
+  for (const auto& [h, neighbors] : graph.adjacency) {
+    degrees.Add(static_cast<double>(neighbors.size()));
+  }
+  std::printf("ultrapeer degree : mean %.1f  median %.0f  max %.0f\n\n",
+              degrees.mean(), degrees.Median(), degrees.max());
+
+  // Figure 8 analysis: flood reach vs message cost.
+  std::vector<sim::HostId> sources(seeds.begin(), seeds.begin() + 10);
+  auto steps = gnutella::FloodExpansionAveraged(graph, sources, 8);
+  TablePrinter table({"TTL", "ultrapeers reached", "messages",
+                      "msgs per new ultrapeer"});
+  uint64_t prev_reached = 1, prev_msgs = 0;
+  for (const auto& s : steps) {
+    double per_new =
+        s.ultrapeers_reached > prev_reached
+            ? static_cast<double>(s.messages - prev_msgs) /
+                  static_cast<double>(s.ultrapeers_reached - prev_reached)
+            : 0.0;
+    table.AddRow({FormatI(s.ttl), FormatI((long long)s.ultrapeers_reached),
+                  FormatI((long long)s.messages), FormatF(per_new, 1)});
+    prev_reached = s.ultrapeers_reached;
+    prev_msgs = s.messages;
+  }
+  table.Print();
+  std::printf(
+      "\nNote the diminishing returns: each extra TTL pays more messages\n"
+      "per newly reached ultrapeer (Section 4.3 of the paper).\n");
+  return 0;
+}

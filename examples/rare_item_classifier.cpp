@@ -1,0 +1,75 @@
+// Rare-item scheme comparison on a synthetic trace (paper Section 6.3).
+//
+// Generates a Gnutella-like trace, runs every localized rare-item scheme,
+// and reports each one's precision/recall against the Perfect baseline at
+// a fixed publishing budget, plus the resulting hybrid query recall.
+//
+//   ./build/examples/rare_item_classifier
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "hybrid/evaluator.h"
+#include "hybrid/schemes.h"
+
+using namespace pierstack;
+
+int main() {
+  workload::WorkloadConfig wc;
+  wc.num_nodes = 10000;
+  wc.num_distinct_files = 15000;
+  wc.num_queries = 700;
+  wc.seed = 2004;
+  std::printf("generating trace: %zu nodes, %zu distinct files...\n",
+              wc.num_nodes, wc.num_distinct_files);
+  auto trace = workload::GenerateTrace(wc);
+  std::printf("  %llu copies, %zu queries, %.1f%% of copies have 1 replica\n",
+              (unsigned long long)trace.total_copies, trace.queries.size(),
+              100 * trace.CopiesFractionAtOrBelow(1));
+
+  const double kBudget = 0.4;  // publish 40% of copies
+  hybrid::EvalConfig eval;
+  eval.horizon_fraction = 0.05;
+  eval.trials_per_query = 3;
+
+  // Ground truth: what Perfect publishes at this budget.
+  auto perfect_scores = hybrid::PerfectScheme().Scores(trace);
+  auto perfect_pub = hybrid::SelectByBudget(trace, perfect_scores, kBudget);
+
+  std::vector<std::unique_ptr<hybrid::RareItemScheme>> schemes;
+  schemes.push_back(std::make_unique<hybrid::PerfectScheme>());
+  schemes.push_back(std::make_unique<hybrid::SamplingScheme>(0.15, 1));
+  schemes.push_back(std::make_unique<hybrid::SamplingScheme>(0.05, 2));
+  schemes.push_back(std::make_unique<hybrid::TermPairFrequencyScheme>());
+  schemes.push_back(std::make_unique<hybrid::TermFrequencyScheme>());
+  schemes.push_back(std::make_unique<hybrid::QrsScheme>());
+  schemes.push_back(std::make_unique<hybrid::RandomScheme>(3));
+
+  TablePrinter table({"scheme", "published copies", "precision vs Perfect",
+                      "recall vs Perfect", "avg QR", "avg QDR"});
+  for (auto& scheme : schemes) {
+    auto scores = scheme->Scores(trace);
+    auto pub = hybrid::SelectByBudget(trace, scores, kBudget);
+    size_t tp = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < pub.size(); ++i) {
+      if (pub[i] && perfect_pub[i]) ++tp;
+      if (pub[i] && !perfect_pub[i]) ++fp;
+      if (!pub[i] && perfect_pub[i]) ++fn;
+    }
+    double precision = tp + fp ? static_cast<double>(tp) / (tp + fp) : 0;
+    double recall = tp + fn ? static_cast<double>(tp) / (tp + fn) : 0;
+    auto r = hybrid::EvaluateHybrid(trace, pub, eval);
+    table.AddRow({scheme->name(),
+                  FormatPct(r.published_copies_fraction),
+                  FormatPct(precision), FormatPct(recall),
+                  FormatPct(r.avg_query_recall),
+                  FormatPct(r.avg_query_distinct_recall)});
+  }
+  std::printf("\npublishing budget = %.0f%% of copies, horizon = %.0f%%\n\n",
+              kBudget * 100, eval.horizon_fraction * 100);
+  table.Print();
+  std::printf(
+      "\nReading guide: SAM tracks Perfect closely even at small sample\n"
+      "rates; TF/TPF sit between SAM and Random (paper Figures 13-15).\n");
+  return 0;
+}

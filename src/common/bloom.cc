@@ -1,0 +1,73 @@
+#include "common/bloom.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hashing.h"
+
+namespace pierstack {
+
+BloomFilter::BloomFilter(size_t bits, size_t num_hashes)
+    : num_hashes_(num_hashes) {
+  assert(num_hashes >= 1);
+  size_t words = (bits + 63) / 64;
+  if (words == 0) words = 1;
+  words_.assign(words, 0);
+}
+
+BloomFilter BloomFilter::ForItems(size_t expected_items, double fp_rate) {
+  assert(fp_rate > 0 && fp_rate < 1);
+  if (expected_items == 0) expected_items = 1;
+  double n = static_cast<double>(expected_items);
+  double ln2 = std::log(2.0);
+  double m = -n * std::log(fp_rate) / (ln2 * ln2);
+  double k = std::max(1.0, std::round(m / n * ln2));
+  return BloomFilter(static_cast<size_t>(m) + 1, static_cast<size_t>(k));
+}
+
+std::pair<uint64_t, uint64_t> BloomFilter::BaseHashes(
+    std::string_view item) const {
+  uint64_t h1 = Fnv1a64(item);
+  uint64_t h2 = Mix64(h1) | 1;  // odd so double hashing cycles all slots
+  return {h1, h2};
+}
+
+void BloomFilter::Insert(std::string_view item) {
+  auto [h1, h2] = BaseHashes(item);
+  size_t bits = words_.size() * 64;
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % bits;
+    words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view item) const {
+  auto [h1, h2] = BaseHashes(item);
+  size_t bits = words_.size() * 64;
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % bits;
+    if (!(words_[bit >> 6] & (uint64_t{1} << (bit & 63)))) return false;
+  }
+  return true;
+}
+
+bool BloomFilter::MayContainAll(const std::vector<std::string>& items) const {
+  for (const auto& item : items) {
+    if (!MayContain(item)) return false;
+  }
+  return true;
+}
+
+double BloomFilter::FillRatio() const {
+  size_t set = 0;
+  for (uint64_t w : words_) set += static_cast<size_t>(__builtin_popcountll(w));
+  return static_cast<double>(set) / static_cast<double>(words_.size() * 64);
+}
+
+void BloomFilter::UnionWith(const BloomFilter& other) {
+  assert(words_.size() == other.words_.size());
+  assert(num_hashes_ == other.num_hashes_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+}  // namespace pierstack

@@ -1,0 +1,55 @@
+// Bloom filter over strings.
+//
+// Used by the Gnutella layer's QRP-style leaf publishing (the paper's
+// footnote 2: "leaf nodes publish Bloom filters of the keywords in their
+// files to ultrapeers ... Bloom filters reduce publishing and searching
+// costs in Gnutella, but preclude substring and wildcard searching") and
+// available to the TF scheme for compact term statistics (the paper cites
+// compressed Bloom filters for that purpose).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pierstack {
+
+/// Fixed-size Bloom filter with k derived hash functions.
+class BloomFilter {
+ public:
+  /// `bits` is rounded up to a multiple of 64; `num_hashes` >= 1.
+  BloomFilter(size_t bits, size_t num_hashes);
+
+  /// Sizes a filter for `expected_items` at roughly `fp_rate` false
+  /// positives (standard m = -n ln p / ln^2 2, k = m/n ln 2).
+  static BloomFilter ForItems(size_t expected_items, double fp_rate);
+
+  void Insert(std::string_view item);
+
+  /// True if the item may have been inserted; false means definitely not.
+  bool MayContain(std::string_view item) const;
+
+  /// True iff every item may be contained (conjunctive keyword check).
+  bool MayContainAll(const std::vector<std::string>& items) const;
+
+  /// Serialized/wire size in bytes (the leaf-publish cost).
+  size_t ByteSize() const { return words_.size() * 8 + 4; }
+
+  size_t bit_count() const { return words_.size() * 64; }
+  size_t num_hashes() const { return num_hashes_; }
+
+  /// Fraction of bits set (diagnostic; load factor).
+  double FillRatio() const;
+
+  /// Merges another filter of identical geometry (bitwise or).
+  void UnionWith(const BloomFilter& other);
+
+ private:
+  std::pair<uint64_t, uint64_t> BaseHashes(std::string_view item) const;
+
+  size_t num_hashes_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pierstack

@@ -1,0 +1,102 @@
+#include "common/bytes.h"
+
+#include <cstring>
+
+namespace pierstack {
+
+void BytesWriter::PutU8(uint8_t v) { buf_.push_back(v); }
+
+void BytesWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void BytesWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void BytesWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void BytesWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BytesWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  PutBytes(s.data(), s.size());
+}
+
+void BytesWriter::PutBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+Result<uint8_t> BytesReader::GetU8() {
+  if (pos_ + 1 > size_) return Status::Corruption("u8 underflow");
+  return data_[pos_++];
+}
+
+Result<uint32_t> BytesReader::GetU32() {
+  if (pos_ + 4 > size_) return Status::Corruption("u32 underflow");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> BytesReader::GetU64() {
+  if (pos_ + 8 > size_) return Status::Corruption("u64 underflow");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> BytesReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::Corruption("varint underflow");
+    if (shift >= 64) return Status::Corruption("varint overlong");
+    uint8_t b = data_[pos_++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<double> BytesReader::GetDouble() {
+  auto bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  uint64_t b = bits.value();
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+Result<std::string> BytesReader::GetString() {
+  auto len = GetVarint();
+  if (!len.ok()) return len.status();
+  if (pos_ + len.value() > size_) return Status::Corruption("string underflow");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(len.value()));
+  pos_ += static_cast<size_t>(len.value());
+  return s;
+}
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace pierstack

@@ -1,0 +1,62 @@
+// Compact binary serialization: BytesWriter / BytesReader.
+//
+// Used by PIER's tuple serializer and by the simulator to charge realistic
+// wire sizes to every message. Integers are varint-encoded; strings are
+// length-prefixed. The format is deterministic so byte counts are stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pierstack {
+
+/// Appends primitives to a growing byte buffer.
+class BytesWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);   // fixed-width little endian
+  void PutU64(uint64_t v);   // fixed-width little endian
+  void PutVarint(uint64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);  // varint length + bytes
+  void PutBytes(const void* data, size_t len);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads primitives back; every getter returns Corruption on underflow.
+class BytesReader {
+ public:
+  explicit BytesReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  BytesReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Number of bytes PutVarint(v) would emit.
+size_t VarintSize(uint64_t v);
+
+}  // namespace pierstack

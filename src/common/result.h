@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the library's fallible return type.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pierstack {
+
+/// Holds either a T or a non-OK Status.
+///
+/// Accessors assert on misuse (calling value() on an error), matching the
+/// no-exceptions convention used throughout the library.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — lets functions `return x;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error Status — lets functions `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define PIERSTACK_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto PIERSTACK_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!PIERSTACK_CONCAT_(_res_, __LINE__).ok())        \
+    return PIERSTACK_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(PIERSTACK_CONCAT_(_res_, __LINE__)).value()
+
+#define PIERSTACK_CONCAT_INNER_(a, b) a##b
+#define PIERSTACK_CONCAT_(a, b) PIERSTACK_CONCAT_INNER_(a, b)
+
+}  // namespace pierstack

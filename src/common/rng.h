@@ -1,0 +1,64 @@
+// Seeded pseudo-random number generation (xoshiro256**).
+//
+// Deliberately not <random>'s engines: xoshiro is faster, and keeping the
+// implementation in-tree guarantees bit-identical streams across platforms,
+// which the reproducibility tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pierstack {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound), bound > 0. Uses Lemire's method.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      using std::swap;
+      swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices uniformly from [0, n) (k <= n).
+  /// Floyd's algorithm; O(k) expected time, output unsorted.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; stable given call order.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace pierstack

@@ -1,0 +1,79 @@
+// Descriptive statistics used by the measurement benches: running
+// summaries, percentiles, empirical CDFs and log-scale histograms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pierstack {
+
+/// Accumulates samples; computes mean/min/max/stddev/percentiles on demand.
+class Summary {
+ public:
+  void Add(double x);
+  void AddN(double x, size_t n);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+
+  /// p in [0,100]; nearest-rank percentile. Requires at least one sample.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// Point on an empirical CDF: P(X <= x) = cum_fraction.
+struct CdfPoint {
+  double x;
+  double cum_fraction;  // in [0, 1]
+};
+
+/// Builds the empirical CDF of `samples` evaluated at each distinct value.
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> samples);
+
+/// Fraction of samples <= threshold.
+double FractionAtOrBelow(const std::vector<double>& samples, double threshold);
+
+/// Histogram over logarithmically spaced buckets, for long-tailed data
+/// (result-set sizes, replica counts).
+class LogHistogram {
+ public:
+  /// Buckets: [0], [1], (1, b], (b, b^2], ... with the given base > 1.
+  explicit LogHistogram(double base = 2.0);
+
+  void Add(double x);
+
+  struct Bucket {
+    double lo;  // inclusive
+    double hi;  // inclusive upper edge of the bucket
+    size_t count;
+  };
+  /// Non-empty buckets in increasing order of lo.
+  std::vector<Bucket> buckets() const;
+
+  size_t total() const { return total_; }
+
+ private:
+  double base_;
+  std::map<int, size_t> counts_;  // bucket index -> count
+  size_t total_ = 0;
+};
+
+/// Groups (x, y) pairs by x and reports the mean y per distinct x,
+/// sorted by x. Used for "Y vs X" scatter summaries like Figures 4 and 7.
+std::vector<std::pair<double, double>> MeanByGroup(
+    const std::vector<std::pair<double, double>>& xy);
+
+}  // namespace pierstack

@@ -1,0 +1,39 @@
+// Fixed-width text table printer for bench output.
+//
+// Every figure-reproduction bench prints its series through TablePrinter so
+// EXPERIMENTS.md rows can be pasted directly from bench output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pierstack {
+
+/// Collects rows of strings and renders an aligned table to a FILE*.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders to `out` (default stdout) with column alignment.
+  void Print(std::FILE* out = stdout) const;
+
+  /// Renders as CSV (no alignment, comma-separated, header first).
+  void PrintCsv(std::FILE* out) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string FormatF(double v, int decimals = 2);
+std::string FormatI(long long v);
+std::string FormatPct(double fraction, int decimals = 1);  // 0.42 -> "42.0%"
+
+}  // namespace pierstack

@@ -1,0 +1,47 @@
+// Filename tokenization for keyword indexing, as used by PIERSearch's
+// Publisher and the Gnutella query matcher.
+//
+// Mirrors Section 3.1 of the paper: keywords are the terms of the filename;
+// stop-words such as "mp3" and "the" are dropped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace pierstack {
+
+/// Returns the default stop-word set (articles, filesharing noise terms and
+/// common file extensions such as "mp3", "avi").
+const std::unordered_set<std::string>& DefaultStopWords();
+
+/// Splits `text` on non-alphanumeric characters and lower-cases the parts.
+/// Empty tokens are dropped; no stop-word filtering.
+std::vector<std::string> SplitTerms(std::string_view text);
+
+/// Tokenizes a filename into index keywords: SplitTerms minus stop-words and
+/// minus terms shorter than `min_len` characters. Duplicates are preserved
+/// (callers that need a set dedupe themselves).
+std::vector<std::string> ExtractKeywords(std::string_view filename,
+                                         size_t min_len = 2);
+
+/// Deduplicated ExtractKeywords, preserving first-occurrence order.
+std::vector<std::string> ExtractUniqueKeywords(std::string_view filename,
+                                               size_t min_len = 2);
+
+/// True if every query term (tokenized with SplitTerms) occurs as a
+/// substring of the lower-cased filename. This is Gnutella's match rule and
+/// also the filter applied by the InvertedCache plan (Figure 3).
+bool FilenameMatchesQuery(std::string_view filename,
+                          const std::vector<std::string>& query_terms);
+
+/// Lower-cases ASCII in place and returns the argument for chaining.
+std::string ToLowerAscii(std::string_view s);
+
+/// Adjacent ordered term pairs of a filename's keyword list, concatenated
+/// with a '\x1f' separator — the unit the TPF rare-item scheme counts.
+std::vector<std::string> AdjacentTermPairs(
+    const std::vector<std::string>& terms);
+
+}  // namespace pierstack

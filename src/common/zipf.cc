@@ -1,0 +1,73 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pierstack {
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) : n_(n), alpha_(alpha) {
+  assert(n >= 1);
+  assert(alpha >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against FP drift
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t rank) const {
+  assert(rank < n_);
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+PowerLawSampler::PowerLawSampler(uint64_t lo, uint64_t hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  assert(lo >= 1);
+  assert(hi >= lo);
+  assert(alpha > 0.0);
+  size_t n = static_cast<size_t>(hi - lo + 1);
+  cdf_.resize(n);
+  double total = 0.0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double v = static_cast<double>(lo + i);
+    double p = std::pow(v, -alpha);
+    total += p;
+    weighted += v * p;
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+  mean_ = weighted / total;
+}
+
+uint64_t PowerLawSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  size_t idx = (it == cdf_.end()) ? cdf_.size() - 1
+                                  : static_cast<size_t>(it - cdf_.begin());
+  return lo_ + idx;
+}
+
+double PowerLawSampler::Pmf(uint64_t value) const {
+  assert(value >= lo_ && value <= hi_);
+  size_t idx = static_cast<size_t>(value - lo_);
+  if (idx == 0) return cdf_[0];
+  return cdf_[idx] - cdf_[idx - 1];
+}
+
+double PowerLawSampler::Mean() const { return mean_; }
+
+}  // namespace pierstack

@@ -1,0 +1,65 @@
+// Skewed discrete distributions used by the workload generator:
+//  * ZipfSampler      — rank-based Zipf over {0..n-1}, P(k) ∝ 1/(k+1)^alpha
+//  * PowerLawSampler  — power-law values in [lo, hi], P(v) ∝ v^-alpha;
+//                       models the long-tailed file replication counts the
+//                       Gnutella study observed (many singletons, few hot
+//                       items).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pierstack {
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^alpha.
+///
+/// Uses a precomputed inverse-CDF table: O(n) setup, O(log n) sampling.
+/// Good for vocabularies and popularity ranks up to a few million entries.
+class ZipfSampler {
+ public:
+  /// n >= 1, alpha >= 0 (alpha == 0 degenerates to uniform).
+  ZipfSampler(size_t n, double alpha);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of `rank`.
+  double Pmf(size_t rank) const;
+
+  size_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  size_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+/// Samples integer values v in [lo, hi] with P(v) ∝ v^-alpha.
+///
+/// With alpha ≈ 2.2–2.6 and lo = 1 this yields the "long tail" replica
+/// distribution: a large fraction of distinct files have exactly one copy,
+/// while a handful have thousands.
+class PowerLawSampler {
+ public:
+  /// Requires 1 <= lo <= hi, alpha > 0.
+  PowerLawSampler(uint64_t lo, uint64_t hi, double alpha);
+
+  uint64_t Sample(Rng* rng) const;
+
+  double Pmf(uint64_t value) const;
+
+  /// Expected value of the distribution.
+  double Mean() const;
+
+ private:
+  uint64_t lo_;
+  uint64_t hi_;
+  double alpha_;
+  std::vector<double> cdf_;    // over values lo..hi
+  double mean_ = 0.0;
+};
+
+}  // namespace pierstack

@@ -1,0 +1,56 @@
+// Bamboo/Pastry-style routing state: prefix routing table plus leaf set.
+//
+// Follows Rowstron & Druschel (Pastry) / Rhea et al. (Bamboo): keys are
+// strings of 4-bit digits; the routing table holds, for each (row, digit),
+// a node sharing `row` leading digits with self; the leaf set holds the
+// closest nodes on either side of self on the ring. A key is owned by the
+// node numerically closest to it (ring distance, ties broken clockwise).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "dht/routing.h"
+
+namespace pierstack::dht {
+
+class BambooRouting : public RoutingTable {
+ public:
+  static constexpr int kBitsPerDigit = 4;
+  static constexpr int kNumRows = 64 / kBitsPerDigit;  // 16
+  static constexpr int kNumCols = 1 << kBitsPerDigit;  // 16
+  static constexpr size_t kDefaultLeafSetHalf = 4;
+
+  explicit BambooRouting(NodeInfo self,
+                         size_t leaf_set_half = kDefaultLeafSetHalf);
+
+  NodeInfo self() const override { return self_; }
+  void BuildStatic(const std::vector<NodeInfo>& sorted_members) override;
+  bool IsOwner(Key target) const override;
+  NodeInfo NextHop(Key target) const override;
+  std::vector<NodeInfo> ReplicaTargets(size_t k) const override;
+  void RemovePeer(sim::HostId host) override;
+  std::vector<NodeInfo> KnownPeers() const override;
+
+  /// Digit d (0..15) of `k` at row `row` (row 0 = most significant).
+  static int DigitAt(Key k, int row);
+
+  /// Number of leading digits `a` and `b` share (0..16).
+  static int SharedPrefixDigits(Key a, Key b);
+
+  const std::vector<NodeInfo>& leaves_cw() const { return leaves_cw_; }
+  const std::vector<NodeInfo>& leaves_ccw() const { return leaves_ccw_; }
+
+ private:
+  NodeInfo TableEntry(int row, int col) const {
+    return table_[static_cast<size_t>(row * kNumCols + col)];
+  }
+
+  NodeInfo self_;
+  size_t leaf_set_half_;
+  std::vector<NodeInfo> leaves_cw_;   // nearest clockwise, ascending distance
+  std::vector<NodeInfo> leaves_ccw_;  // nearest counter-clockwise
+  std::array<NodeInfo, static_cast<size_t>(kNumRows* kNumCols)> table_;
+};
+
+}  // namespace pierstack::dht

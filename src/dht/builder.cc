@@ -1,0 +1,87 @@
+#include "dht/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace pierstack::dht {
+
+DhtDeployment::DhtDeployment(sim::Network* network, size_t n,
+                             const DhtOptions& options, uint64_t seed)
+    : network_(network), options_(options) {
+  assert(n >= 1);
+  Rng rng(seed);
+  std::unordered_set<Key> used;
+  nodes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Key k;
+    do {
+      k = rng.Next();
+    } while (!used.insert(k).second);
+    nodes_.push_back(std::make_unique<DhtNode>(network, k, options, &metrics_));
+  }
+  RebuildStaticTables();
+}
+
+std::vector<NodeInfo> DhtDeployment::LiveMembersSorted() const {
+  std::vector<NodeInfo> members;
+  members.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    if (network_->IsHostUp(node->host())) members.push_back(node->info());
+  }
+  std::sort(members.begin(), members.end(),
+            [](const NodeInfo& a, const NodeInfo& b) { return a.id < b.id; });
+  return members;
+}
+
+void DhtDeployment::RebuildStaticTables() {
+  auto members = LiveMembersSorted();
+  for (auto& node : nodes_) {
+    if (network_->IsHostUp(node->host())) node->BootstrapStatic(members);
+  }
+}
+
+DhtNode* DhtDeployment::AddNodeDynamic(uint64_t key_seed) {
+  Key k = Mix64(key_seed);
+  nodes_.push_back(std::make_unique<DhtNode>(network_, k, options_, &metrics_));
+  DhtNode* fresh = nodes_.back().get();
+  fresh->JoinViaBootstrap(nodes_.front()->host());
+  return fresh;
+}
+
+DhtNode* DhtDeployment::ExpectedOwner(Key k) {
+  DhtNode* best = nullptr;
+  if (options_.overlay == OverlayKind::kChord) {
+    // Chord: owner = first live node clockwise at or after k.
+    Key best_dist = 0;
+    for (auto& node : nodes_) {
+      if (!network_->IsHostUp(node->host())) continue;
+      Key d = ClockwiseDistance(k, node->id());
+      if (best == nullptr || d < best_dist) {
+        best = node.get();
+        best_dist = d;
+      }
+    }
+  } else {
+    // Bamboo/Pastry: owner = numerically closest live node (clockwise tie
+    // break, matching BambooRouting::IsOwner).
+    for (auto& node : nodes_) {
+      if (!network_->IsHostUp(node->host())) continue;
+      if (best == nullptr) {
+        best = node.get();
+        continue;
+      }
+      Key dn = RingDistance(node->id(), k);
+      Key db = RingDistance(best->id(), k);
+      if (dn < db || (dn == db && ClockwiseDistance(node->id(), k) <
+                                      ClockwiseDistance(best->id(), k))) {
+        best = node.get();
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pierstack::dht

@@ -1,0 +1,52 @@
+// DhtDeployment: convenience owner of a whole simulated DHT.
+//
+// Static bring-up (the experiments' common case): N nodes with distinct
+// random ring keys, routing tables built from global knowledge. Dynamic
+// joins/leaves remain available on the returned nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dht/node.h"
+
+namespace pierstack::dht {
+
+/// Owns the nodes of one DHT overlay attached to an existing network.
+class DhtDeployment {
+ public:
+  /// Creates `n` nodes with distinct pseudo-random keys (from `seed`) and
+  /// installs static routing state on each.
+  DhtDeployment(sim::Network* network, size_t n, const DhtOptions& options,
+                uint64_t seed);
+
+  /// Adds one more node with a random key via the dynamic join protocol,
+  /// bootstrapped through node 0. Caller runs the simulator to let the join
+  /// and stabilization complete. Chord only.
+  DhtNode* AddNodeDynamic(uint64_t key_seed);
+
+  size_t size() const { return nodes_.size(); }
+  DhtNode* node(size_t i) { return nodes_[i].get(); }
+  const std::vector<std::unique_ptr<DhtNode>>& nodes() const { return nodes_; }
+
+  /// The node currently responsible for `k` according to global membership
+  /// (live nodes only) — ground truth for tests.
+  DhtNode* ExpectedOwner(Key k);
+
+  DhtMetrics& metrics() { return metrics_; }
+  const DhtOptions& options() const { return options_; }
+
+  /// Rebuilds every live node's routing state from current global
+  /// membership (e.g. after scripted crashes, to model converged repair).
+  void RebuildStaticTables();
+
+ private:
+  std::vector<NodeInfo> LiveMembersSorted() const;
+
+  sim::Network* network_;
+  DhtOptions options_;
+  DhtMetrics metrics_;
+  std::vector<std::unique_ptr<DhtNode>> nodes_;
+};
+
+}  // namespace pierstack::dht

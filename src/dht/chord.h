@@ -1,0 +1,71 @@
+// Chord-style routing state: successor list, predecessor and finger table.
+//
+// Follows Stoica et al. (SIGCOMM'01): node n owns keys in (predecessor, n];
+// finger[i] is the first node clockwise of n + 2^i; lookups forward to the
+// closest preceding finger, giving O(log N) hops.
+//
+// The table exposes mutators (SetPredecessor, OfferSuccessor, SetFinger,
+// RemovePeer) used by DhtNode's join/stabilization protocol.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "dht/routing.h"
+
+namespace pierstack::dht {
+
+class ChordRouting : public RoutingTable {
+ public:
+  static constexpr size_t kNumFingers = 64;
+  static constexpr size_t kDefaultSuccessorListSize = 8;
+
+  explicit ChordRouting(NodeInfo self,
+                        size_t successor_list_size = kDefaultSuccessorListSize);
+
+  NodeInfo self() const override { return self_; }
+  void BuildStatic(const std::vector<NodeInfo>& sorted_members) override;
+  bool IsOwner(Key target) const override;
+  NodeInfo NextHop(Key target) const override;
+  std::vector<NodeInfo> ReplicaTargets(size_t k) const override;
+  void RemovePeer(sim::HostId host) override;
+  std::vector<NodeInfo> KnownPeers() const override;
+
+  /// Immediate successor (self if the ring is a singleton).
+  NodeInfo successor() const;
+  const std::vector<NodeInfo>& successor_list() const { return successors_; }
+  NodeInfo predecessor() const { return predecessor_; }
+
+  /// Overwrites the predecessor pointer.
+  void SetPredecessor(NodeInfo p) { predecessor_ = p; }
+  void ClearPredecessor() { predecessor_ = NodeInfo{}; }
+
+  /// Considers `candidate` as a new immediate successor; adopts it if it
+  /// falls in (self, current successor). Returns true if adopted.
+  bool OfferSuccessor(NodeInfo candidate);
+
+  /// Replaces the successor list wholesale (from a stabilize reply:
+  /// [successor] + successor's own list, truncated).
+  void SetSuccessorList(std::vector<NodeInfo> list);
+
+  /// Drops the current head of the successor list (failure suspected).
+  /// Returns false if the list would become empty (singleton fallback).
+  bool DropPrimarySuccessor();
+
+  void SetFinger(size_t i, NodeInfo n);
+  NodeInfo finger(size_t i) const { return fingers_[i]; }
+
+  /// The finger table start key for slot i: self + 2^i.
+  Key FingerStart(size_t i) const {
+    return self_.id + (Key{1} << i);
+  }
+
+ private:
+  NodeInfo self_;
+  size_t successor_list_size_;
+  NodeInfo predecessor_;
+  std::vector<NodeInfo> successors_;           // ordered clockwise from self
+  std::array<NodeInfo, kNumFingers> fingers_;  // may contain invalid entries
+};
+
+}  // namespace pierstack::dht

@@ -1,0 +1,124 @@
+#include "dht/local_store.h"
+
+#include <algorithm>
+
+namespace pierstack::dht {
+
+bool LocalStore::Put(const std::string& ns, Key key,
+                     std::vector<uint8_t> value, sim::SimTime expiry) {
+  auto& space = spaces_[ns];
+  auto [lo, hi] = space.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.value == value) {
+      // Re-publish: refresh soft state.
+      it->second.expiry = expiry;
+      return false;
+    }
+  }
+  total_bytes_ += value.size();
+  space.emplace(key, StoredValue{key, std::move(value), expiry});
+  return true;
+}
+
+std::vector<const StoredValue*> LocalStore::Get(const std::string& ns, Key key,
+                                                sim::SimTime now) const {
+  std::vector<const StoredValue*> out;
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return out;
+  auto [lo, hi] = sit->second.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (Alive(it->second, now)) out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::vector<const StoredValue*> LocalStore::Scan(const std::string& ns,
+                                                 sim::SimTime now) const {
+  std::vector<const StoredValue*> out;
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return out;
+  out.reserve(sit->second.size());
+  for (const auto& [k, v] : sit->second) {
+    if (Alive(v, now)) out.push_back(&v);
+  }
+  return out;
+}
+
+size_t LocalStore::Erase(const std::string& ns, Key key) {
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return 0;
+  auto [lo, hi] = sit->second.equal_range(key);
+  size_t n = 0;
+  for (auto it = lo; it != hi;) {
+    total_bytes_ -= it->second.value.size();
+    it = sit->second.erase(it);
+    ++n;
+  }
+  return n;
+}
+
+std::vector<StoredValue> LocalStore::ExtractRange(const std::string& ns,
+                                                  Key from, Key to) {
+  std::vector<StoredValue> out;
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return out;
+  auto& space = sit->second;
+  for (auto it = space.begin(); it != space.end();) {
+    if (InOpenClosed(from, to, it->first)) {
+      total_bytes_ -= it->second.value.size();
+      out.push_back(std::move(it->second));
+      it = space.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<StoredValue> LocalStore::ExtractAll(const std::string& ns) {
+  std::vector<StoredValue> out;
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return out;
+  out.reserve(sit->second.size());
+  for (auto& [k, v] : sit->second) {
+    total_bytes_ -= v.value.size();
+    out.push_back(std::move(v));
+  }
+  sit->second.clear();
+  return out;
+}
+
+std::vector<std::string> LocalStore::Namespaces() const {
+  std::vector<std::string> out;
+  out.reserve(spaces_.size());
+  for (const auto& [ns, _] : spaces_) out.push_back(ns);
+  return out;
+}
+
+size_t LocalStore::PurgeExpired(sim::SimTime now) {
+  size_t dropped = 0;
+  for (auto& [ns, space] : spaces_) {
+    for (auto it = space.begin(); it != space.end();) {
+      if (!Alive(it->second, now)) {
+        total_bytes_ -= it->second.value.size();
+        it = space.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+size_t LocalStore::TotalEntries(sim::SimTime now) const {
+  size_t n = 0;
+  for (const auto& [ns, space] : spaces_) {
+    for (const auto& [k, v] : space) {
+      if (Alive(v, now)) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace pierstack::dht

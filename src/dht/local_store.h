@@ -1,0 +1,80 @@
+// Per-node DHT storage: a namespaced soft-state multimap.
+//
+// PIER stores every tuple in the DHT (Section 2 of the paper); this is the
+// node-local slice of that storage. Values are opaque byte strings plus the
+// ring key they were published under; entries may carry an expiry time
+// (soft state) and are purged lazily.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dht/id.h"
+#include "sim/simulator.h"
+
+namespace pierstack::dht {
+
+/// One stored value.
+struct StoredValue {
+  Key key = 0;                    ///< Ring key it was published under.
+  std::vector<uint8_t> value;     ///< Opaque payload (serialized tuple).
+  sim::SimTime expiry = 0;        ///< 0 = never expires.
+};
+
+/// Node-local namespaced store.
+///
+/// Not thread-safe; the simulator is single-threaded by design.
+class LocalStore {
+ public:
+  /// Inserts a value under (ns, key). Duplicate payloads under the same key
+  /// are de-duplicated (a re-publish refreshes the expiry instead).
+  /// Returns true if a new entry was created.
+  bool Put(const std::string& ns, Key key, std::vector<uint8_t> value,
+           sim::SimTime expiry = 0);
+
+  /// All live values stored under (ns, key).
+  std::vector<const StoredValue*> Get(const std::string& ns, Key key,
+                                      sim::SimTime now) const;
+
+  /// All live values in a namespace (local scan).
+  std::vector<const StoredValue*> Scan(const std::string& ns,
+                                       sim::SimTime now) const;
+
+  /// Removes every value under (ns, key); returns how many were removed.
+  size_t Erase(const std::string& ns, Key key);
+
+  /// Removes entries whose ring key falls in (from, to] — used when handing
+  /// a key range to a joining node. Returns the removed entries.
+  std::vector<StoredValue> ExtractRange(const std::string& ns, Key from,
+                                        Key to);
+
+  /// Removes and returns every entry in a namespace (graceful departure).
+  std::vector<StoredValue> ExtractAll(const std::string& ns);
+
+  /// Namespaces present (including ones holding only expired entries until
+  /// the next purge).
+  std::vector<std::string> Namespaces() const;
+
+  /// Drops expired entries; returns how many were dropped.
+  size_t PurgeExpired(sim::SimTime now);
+
+  /// Number of live entries across all namespaces.
+  size_t TotalEntries(sim::SimTime now) const;
+
+  /// Total payload bytes currently held (including expired-but-unpurged).
+  size_t TotalBytes() const { return total_bytes_; }
+
+ private:
+  // ns -> (key -> values). std::map on key so ExtractRange can walk ranges.
+  std::map<std::string, std::multimap<Key, StoredValue>> spaces_;
+  size_t total_bytes_ = 0;
+
+  static bool Alive(const StoredValue& v, sim::SimTime now) {
+    return v.expiry == 0 || v.expiry > now;
+  }
+};
+
+}  // namespace pierstack::dht

@@ -1,0 +1,592 @@
+#include "dht/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dht/bamboo.h"
+#include "dht/chord.h"
+
+namespace pierstack::dht {
+
+namespace {
+
+/// Wire-size estimate for a NodeInfo (id + address).
+constexpr size_t kNodeInfoBytes = 12;
+
+std::unique_ptr<RoutingTable> MakeRouting(OverlayKind kind, NodeInfo self) {
+  switch (kind) {
+    case OverlayKind::kChord:
+      return std::make_unique<ChordRouting>(self);
+    case OverlayKind::kBamboo:
+      return std::make_unique<BambooRouting>(self);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+struct AckBody {
+  uint64_t req_id;
+};
+
+struct NotifyBody {
+  NodeInfo candidate;
+};
+
+struct GetPredecessorBody {
+  uint64_t seq;
+};
+
+struct LeaveBody {
+  NodeInfo departing;
+  std::vector<NodeInfo> successor_list;
+  NodeInfo predecessor;
+  bool to_predecessor;
+};
+
+DhtNode::DhtNode(sim::Network* network, Key id, const DhtOptions& options,
+                 DhtMetrics* metrics)
+    : network_(network), options_(options), metrics_(metrics) {
+  assert(network != nullptr);
+  assert(metrics != nullptr);
+  sim::HostId host = network->AddHost(this);
+  routing_ = MakeRouting(options.overlay, NodeInfo{id, host});
+}
+
+DhtNode::~DhtNode() = default;
+
+ChordRouting* DhtNode::chord() const {
+  return options_.overlay == OverlayKind::kChord
+             ? static_cast<ChordRouting*>(routing_.get())
+             : nullptr;
+}
+
+void DhtNode::BootstrapStatic(const std::vector<NodeInfo>& sorted_members) {
+  routing_->BuildStatic(sorted_members);
+  bool was_joined = joined_;
+  joined_ = true;
+  if (options_.maintenance && !was_joined) StartMaintenanceTimers();
+}
+
+void DhtNode::JoinViaBootstrap(sim::HostId bootstrap) {
+  assert(chord() != nullptr && "dynamic join implemented for Chord");
+  RouteMsg m;
+  m.target = id();
+  m.origin = info();
+  m.app_type = kAppJoinLookup;
+  m.app_bytes = kNodeInfoBytes;
+  // The joiner is not yet in the ring, so it cannot route; hand the lookup
+  // to the bootstrap node, which forwards it like any other routed message.
+  ++metrics_->routes_initiated;
+  network_->Send(host(), bootstrap,
+                 sim::Message::Make<RouteMsg>(
+                     kRouteStep, "dht.route",
+                     RouteHeaderBytes() + m.app_bytes, std::move(m)));
+}
+
+void DhtNode::LeaveGracefully() {
+  if (!joined_ || crashed_) return;
+  ChordRouting* c = chord();
+  NodeInfo succ = c ? c->successor() : NodeInfo{};
+  NodeInfo pred = c ? c->predecessor() : NodeInfo{};
+  if (c && succ.valid() && succ.host != host()) {
+    // Hand all stored state to the successor.
+    KeyTransferBody transfer;
+    size_t bytes = 16;
+    for (const auto& ns : store_.Namespaces()) {
+      for (auto& v : store_.ExtractAll(ns)) {
+        bytes += ns.size() + v.value.size() + 17;
+        transfer.entries.push_back({ns, std::move(v)});
+      }
+    }
+    if (!transfer.entries.empty()) {
+      SendDirect(succ.host,
+                 sim::Message::Make<KeyTransferBody>(
+                     kKeyTransfer, "dht.transfer", bytes, std::move(transfer)));
+    }
+    LeaveBody to_succ{info(), {}, pred, /*to_predecessor=*/false};
+    SendDirect(succ.host, sim::Message::Make<LeaveBody>(
+                              kLeave, "dht.maint",
+                              16 + 2 * kNodeInfoBytes, std::move(to_succ)));
+  }
+  if (c && pred.valid() && pred.host != host()) {
+    LeaveBody to_pred{info(), c->successor_list(), NodeInfo{},
+                      /*to_predecessor=*/true};
+    SendDirect(pred.host,
+               sim::Message::Make<LeaveBody>(
+                   kLeave, "dht.maint",
+                   16 + kNodeInfoBytes * (1 + to_pred.successor_list.size()),
+                   std::move(to_pred)));
+  }
+  joined_ = false;
+  network_->SetHostUp(host(), false);
+}
+
+void DhtNode::Crash() {
+  crashed_ = true;
+  joined_ = false;
+  network_->SetHostUp(host(), false);
+}
+
+void DhtNode::Route(Key target, int app_type,
+                    std::shared_ptr<const void> body, size_t body_bytes,
+                    uint64_t req_id) {
+  if (crashed_) return;
+  ++metrics_->routes_initiated;
+  RouteMsg m;
+  m.target = target;
+  m.origin = info();
+  m.app_type = app_type;
+  m.req_id = req_id;
+  m.app_bytes = body_bytes;
+  m.app_body = std::move(body);
+  ForwardOrDeliver(std::move(m));
+}
+
+void DhtNode::ForwardOrDeliver(RouteMsg msg) {
+  if (crashed_) return;
+  if (msg.final_hop) {
+    // The key's predecessor decided we own this key; accept even if our own
+    // predecessor pointer is stale.
+    DeliverLocally(msg);
+    return;
+  }
+  // Send failures act as a failure detector (TCP connect refused): drop the
+  // dead peer from the tables and retry with the repaired state.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (routing_->IsOwner(msg.target)) {
+      DeliverLocally(msg);
+      return;
+    }
+    NodeInfo next;
+    bool final_hop = false;
+    if (ChordRouting* c = chord()) {
+      NodeInfo succ = c->successor();
+      if (succ.valid() && succ.host != host() &&
+          InOpenClosed(id(), succ.id, msg.target)) {
+        next = succ;
+        final_hop = true;
+      }
+    }
+    if (!next.valid()) {
+      next = routing_->NextHop(msg.target);
+      if (next.host == host()) {
+        DeliverLocally(msg);
+        return;
+      }
+    }
+    if (msg.hops >= options_.max_route_hops) {
+      ++metrics_->routes_dropped;
+      return;
+    }
+    RouteMsg out = msg;
+    out.hops += 1;
+    out.final_hop = final_hop;
+    size_t bytes = RouteHeaderBytes() + out.app_bytes;
+    if (network_->Send(host(), next.host,
+                       sim::Message::Make<RouteMsg>(kRouteStep, "dht.route",
+                                                    bytes, std::move(out)))) {
+      return;
+    }
+    routing_->RemovePeer(next.host);
+  }
+  ++metrics_->routes_dropped;
+}
+
+void DhtNode::DeliverLocally(const RouteMsg& msg) {
+  ++metrics_->routes_delivered;
+  metrics_->total_hops += msg.hops;
+  metrics_->max_hops = std::max(metrics_->max_hops, msg.hops);
+  switch (msg.app_type) {
+    case kAppPut:
+      HandlePutUpcall(msg);
+      return;
+    case kAppGet:
+      HandleGetUpcall(msg);
+      return;
+    case kAppJoinLookup:
+      HandleJoinLookupUpcall(msg);
+      return;
+    case kAppFingerLookup:
+      HandleFingerLookupUpcall(msg);
+      return;
+    case kAppLookup:
+      HandleLookupUpcall(msg);
+      return;
+    default: {
+      auto it = upcalls_.find(msg.app_type);
+      if (it != upcalls_.end()) it->second(msg);
+      return;
+    }
+  }
+}
+
+void DhtNode::Put(const std::string& ns, Key key, std::vector<uint8_t> value,
+                  sim::SimTime expiry, PutCallback callback) {
+  ++metrics_->puts;
+  uint64_t req_id = 0;
+  bool want_ack = callback != nullptr;
+  if (want_ack) {
+    req_id = NextReqId();
+    pending_puts_[req_id] = std::move(callback);
+  }
+  size_t bytes = ns.size() + value.size() + 18;
+  auto body = std::make_shared<const PutBody>(
+      PutBody{ns, key, std::move(value), expiry, want_ack});
+  Route(key, kAppPut, body, bytes, req_id);
+}
+
+void DhtNode::Get(const std::string& ns, Key key, GetCallback callback) {
+  assert(callback != nullptr);
+  ++metrics_->gets;
+  uint64_t req_id = NextReqId();
+  PendingGet pending;
+  pending.callback = std::move(callback);
+  pending.timeout = network_->simulator()->ScheduleAfter(
+      options_.get_timeout, [this, req_id]() {
+        auto it = pending_gets_.find(req_id);
+        if (it == pending_gets_.end()) return;
+        GetCallback cb = std::move(it->second.callback);
+        pending_gets_.erase(it);
+        cb(Status::TimedOut("dht get"), {});
+      });
+  pending_gets_[req_id] = std::move(pending);
+  size_t bytes = ns.size() + 10;
+  auto body = std::make_shared<const GetBody>(GetBody{ns, key});
+  Route(key, kAppGet, body, bytes, req_id);
+}
+
+void DhtNode::Lookup(Key target, LookupCallback callback) {
+  assert(callback != nullptr);
+  uint64_t req_id = NextReqId();
+  PendingLookup pending;
+  pending.callback = std::move(callback);
+  pending.timeout = network_->simulator()->ScheduleAfter(
+      options_.get_timeout, [this, req_id]() {
+        auto it = pending_lookups_.find(req_id);
+        if (it == pending_lookups_.end()) return;
+        LookupCallback cb = std::move(it->second.callback);
+        pending_lookups_.erase(it);
+        cb(Status::TimedOut("dht lookup"), NodeInfo{}, 0);
+      });
+  pending_lookups_[req_id] = std::move(pending);
+  Route(target, kAppLookup, nullptr, 0, req_id);
+}
+
+void DhtNode::SetUpcallHandler(int app_type, UpcallHandler handler) {
+  upcalls_[app_type] = std::move(handler);
+}
+
+void DhtNode::SetDirectHandler(DirectHandler handler) {
+  direct_handler_ = std::move(handler);
+}
+
+bool DhtNode::SendDirect(sim::HostId to, sim::Message msg) {
+  if (crashed_) return false;
+  return network_->Send(host(), to, std::move(msg));
+}
+
+void DhtNode::HandlePutUpcall(const RouteMsg& msg) {
+  const auto& put = msg.body<PutBody>();
+  store_.Put(put.ns, put.key, put.value, put.expiry);
+  if (options_.replication > 1) {
+    ReplicateEntry(put.ns, put.key, put.value, put.expiry);
+  }
+  if (put.want_ack) {
+    SendDirect(msg.origin.host,
+               sim::Message::Make<AckBody>(kPutAck, "dht.reply", 9,
+                                           AckBody{msg.req_id}));
+  }
+}
+
+void DhtNode::ReplicateEntry(const std::string& ns, Key key,
+                             const std::vector<uint8_t>& value,
+                             sim::SimTime expiry) {
+  auto targets = routing_->ReplicaTargets(options_.replication - 1);
+  size_t bytes = ns.size() + value.size() + 18;
+  for (const auto& t : targets) {
+    SendDirect(t.host, sim::Message::Make<PutBody>(
+                           kReplicaPut, "dht.replica", bytes,
+                           PutBody{ns, key, value, expiry, false}));
+  }
+}
+
+void DhtNode::HandleGetUpcall(const RouteMsg& msg) {
+  const auto& get = msg.body<GetBody>();
+  GetReplyBody reply;
+  reply.req_id = msg.req_id;
+  size_t bytes = 16;
+  for (const StoredValue* v :
+       store_.Get(get.ns, get.key, network_->simulator()->now())) {
+    bytes += v->value.size() + 4;
+    reply.values.push_back(v->value);
+  }
+  SendDirect(msg.origin.host,
+             sim::Message::Make<GetReplyBody>(kGetReply, "dht.reply", bytes,
+                                              std::move(reply)));
+}
+
+void DhtNode::HandleJoinLookupUpcall(const RouteMsg& msg) {
+  // The joiner's key falls in our range; we are its future successor.
+  ChordRouting* c = chord();
+  if (c == nullptr) return;
+  JoinReplyBody reply{info(), c->successor_list()};
+  SendDirect(msg.origin.host,
+             sim::Message::Make<JoinReplyBody>(
+                 kJoinReply, "dht.maint",
+                 kNodeInfoBytes * (1 + reply.successor_list.size()),
+                 std::move(reply)));
+}
+
+void DhtNode::HandleFingerLookupUpcall(const RouteMsg& msg) {
+  const auto& body = msg.body<FingerLookupBody>();
+  SendDirect(msg.origin.host,
+             sim::Message::Make<FingerReplyBody>(
+                 kFingerReply, "dht.maint", 8 + kNodeInfoBytes,
+                 FingerReplyBody{body.index, info()}));
+}
+
+void DhtNode::HandleLookupUpcall(const RouteMsg& msg) {
+  SendDirect(msg.origin.host,
+             sim::Message::Make<LookupReplyBody>(
+                 kLookupReply, "dht.reply", 12 + kNodeInfoBytes,
+                 LookupReplyBody{msg.req_id, info(), msg.hops}));
+}
+
+void DhtNode::StartMaintenanceTimers() {
+  // Stagger nodes deterministically so maintenance doesn't synchronize.
+  sim::SimTime offset =
+      (host() % 16) * (options_.stabilize_interval / 16);
+  network_->simulator()->ScheduleAfter(options_.stabilize_interval + offset,
+                                       [this]() { DoStabilize(); });
+  network_->simulator()->ScheduleAfter(options_.fix_finger_interval + offset,
+                                       [this]() { DoFixFinger(); });
+}
+
+void DhtNode::DoStabilize() {
+  if (crashed_ || !joined_) return;
+  network_->simulator()->ScheduleAfter(options_.stabilize_interval,
+                                       [this]() { DoStabilize(); });
+  ChordRouting* c = chord();
+  if (c == nullptr) return;
+  // Probe the predecessor's liveness; a refused connection clears the
+  // pointer so a future Notify from the true predecessor can be adopted.
+  NodeInfo pred = c->predecessor();
+  if (pred.valid() && pred.host != host()) {
+    if (!SendDirect(pred.host,
+                    sim::Message::Make<uint8_t>(kPredecessorPing, "dht.maint",
+                                                1, uint8_t{0}))) {
+      c->ClearPredecessor();
+    }
+  }
+  NodeInfo succ = c->successor();
+  while (succ.valid() && succ.host != host()) {
+    uint64_t seq = ++stabilize_seq_;
+    if (SendDirect(succ.host, sim::Message::Make<GetPredecessorBody>(
+                                  kGetPredecessor, "dht.maint", 9,
+                                  GetPredecessorBody{seq}))) {
+      stabilize_timeout_ = network_->simulator()->ScheduleAfter(
+          options_.rpc_timeout, [this, seq, suspect = succ.host]() {
+            OnStabilizeTimeout(seq, suspect);
+          });
+      return;
+    }
+    // Connection refused: successor is down; fall back along the list.
+    routing_->RemovePeer(succ.host);
+    succ = c->successor();
+  }
+}
+
+void DhtNode::OnStabilizeTimeout(uint64_t seq, sim::HostId suspect) {
+  if (crashed_ || !joined_) return;
+  if (seq <= last_stabilize_reply_) return;  // that round was answered
+  // The successor did not answer: declare it failed and fall back to the
+  // next entry of the successor list.
+  routing_->RemovePeer(suspect);
+}
+
+void DhtNode::DoFixFinger() {
+  if (crashed_ || !joined_) return;
+  network_->simulator()->ScheduleAfter(options_.fix_finger_interval,
+                                       [this]() { DoFixFinger(); });
+  ChordRouting* c = chord();
+  if (c == nullptr) return;
+  size_t i = next_finger_;
+  next_finger_ = (next_finger_ + 1) % ChordRouting::kNumFingers;
+  auto body = std::make_shared<const FingerLookupBody>(FingerLookupBody{i});
+  Route(c->FingerStart(i), kAppFingerLookup, body, 9);
+}
+
+void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
+  if (crashed_) return;
+  switch (msg.type) {
+    case kRouteStep: {
+      ForwardOrDeliver(msg.as<RouteMsg>());
+      return;
+    }
+    case kGetReply: {
+      const auto& reply = msg.as<GetReplyBody>();
+      auto it = pending_gets_.find(reply.req_id);
+      if (it == pending_gets_.end()) return;
+      network_->simulator()->Cancel(it->second.timeout);
+      GetCallback cb = std::move(it->second.callback);
+      pending_gets_.erase(it);
+      cb(Status::OK(), reply.values);
+      return;
+    }
+    case kPutAck: {
+      const auto& ack = msg.as<AckBody>();
+      auto it = pending_puts_.find(ack.req_id);
+      if (it == pending_puts_.end()) return;
+      PutCallback cb = std::move(it->second);
+      pending_puts_.erase(it);
+      cb(Status::OK());
+      return;
+    }
+    case kLookupReply: {
+      const auto& reply = msg.as<LookupReplyBody>();
+      auto it = pending_lookups_.find(reply.req_id);
+      if (it == pending_lookups_.end()) return;
+      network_->simulator()->Cancel(it->second.timeout);
+      LookupCallback cb = std::move(it->second.callback);
+      pending_lookups_.erase(it);
+      cb(Status::OK(), reply.owner, reply.hops);
+      return;
+    }
+    case kJoinReply: {
+      ChordRouting* c = chord();
+      if (c == nullptr || joined_) return;
+      const auto& reply = msg.as<JoinReplyBody>();
+      std::vector<NodeInfo> list;
+      list.push_back(reply.owner);
+      for (const auto& s : reply.successor_list) list.push_back(s);
+      c->SetSuccessorList(std::move(list));
+      joined_ = true;
+      SendDirect(reply.owner.host,
+                 sim::Message::Make<NotifyBody>(kNotify, "dht.maint",
+                                                kNodeInfoBytes,
+                                                NotifyBody{info()}));
+      StartMaintenanceTimers();
+      return;
+    }
+    case kGetPredecessor: {
+      ChordRouting* c = chord();
+      if (c == nullptr) return;
+      const auto& req = msg.as<GetPredecessorBody>();
+      PredecessorReplyBody reply{req.seq, c->predecessor(),
+                                 c->successor_list()};
+      SendDirect(from, sim::Message::Make<PredecessorReplyBody>(
+                           kPredecessorReply, "dht.maint",
+                           9 + kNodeInfoBytes * (1 + reply.successor_list.size()),
+                           std::move(reply)));
+      return;
+    }
+    case kPredecessorReply: {
+      ChordRouting* c = chord();
+      if (c == nullptr) return;
+      const auto& reply = msg.as<PredecessorReplyBody>();
+      if (reply.seq > last_stabilize_reply_) {
+        last_stabilize_reply_ = reply.seq;
+      }
+      if (reply.seq == stabilize_seq_) {
+        network_->simulator()->Cancel(stabilize_timeout_);
+        stabilize_timeout_ = sim::kInvalidEventId;
+      }
+      ++stabilize_rounds_;
+      if (reply.predecessor.valid()) {
+        c->OfferSuccessor(reply.predecessor);
+      }
+      NodeInfo succ = c->successor();
+      std::vector<NodeInfo> list;
+      list.push_back(succ);
+      for (const auto& s : reply.successor_list) list.push_back(s);
+      c->SetSuccessorList(std::move(list));
+      succ = c->successor();
+      if (succ.valid() && succ.host != host()) {
+        SendDirect(succ.host,
+                   sim::Message::Make<NotifyBody>(kNotify, "dht.maint",
+                                                  kNodeInfoBytes,
+                                                  NotifyBody{info()}));
+      }
+      return;
+    }
+    case kNotify: {
+      ChordRouting* c = chord();
+      if (c == nullptr) return;
+      const auto& notify = msg.as<NotifyBody>();
+      NodeInfo cand = notify.candidate;
+      if (!cand.valid() || cand.host == host()) return;
+      NodeInfo old_pred = c->predecessor();
+      bool adopt = !old_pred.valid() ||
+                   InOpenOpen(old_pred.id, id(), cand.id);
+      c->OfferSuccessor(cand);  // first join on a singleton ring
+      if (!adopt) return;
+      c->SetPredecessor(cand);
+      // Hand over the keys that now belong to the new predecessor:
+      // everything outside (cand, self].
+      Key from_key = old_pred.valid() ? old_pred.id : id();
+      if (ClockwiseDistance(from_key, cand.id) == 0) return;
+      KeyTransferBody transfer;
+      size_t bytes = 16;
+      for (const auto& ns : store_.Namespaces()) {
+        for (auto& v : store_.ExtractRange(ns, from_key, cand.id)) {
+          bytes += ns.size() + v.value.size() + 17;
+          transfer.entries.push_back({ns, std::move(v)});
+        }
+      }
+      if (!transfer.entries.empty()) {
+        SendDirect(cand.host, sim::Message::Make<KeyTransferBody>(
+                                  kKeyTransfer, "dht.transfer", bytes,
+                                  std::move(transfer)));
+      }
+      return;
+    }
+    case kFingerReply: {
+      ChordRouting* c = chord();
+      if (c == nullptr) return;
+      const auto& reply = msg.as<FingerReplyBody>();
+      if (reply.index < ChordRouting::kNumFingers) {
+        c->SetFinger(reply.index, reply.owner);
+      }
+      return;
+    }
+    case kKeyTransfer: {
+      const auto& transfer = msg.as<KeyTransferBody>();
+      for (const auto& e : transfer.entries) {
+        store_.Put(e.ns, e.value.key, e.value.value, e.value.expiry);
+      }
+      return;
+    }
+    case kReplicaPut: {
+      const auto& put = msg.as<PutBody>();
+      store_.Put(put.ns, put.key, put.value, put.expiry);
+      return;
+    }
+    case kLeave: {
+      ChordRouting* c = chord();
+      if (c == nullptr) return;
+      const auto& leave = msg.as<LeaveBody>();
+      routing_->RemovePeer(leave.departing.host);
+      if (leave.to_predecessor) {
+        std::vector<NodeInfo> list = leave.successor_list;
+        c->SetSuccessorList(std::move(list));
+      } else if (leave.predecessor.valid() &&
+                 leave.predecessor.host != host()) {
+        c->SetPredecessor(leave.predecessor);
+      }
+      return;
+    }
+    case kPredecessorPing:
+      // Liveness is proven by the connection itself; nothing to do.
+      return;
+    case kDirectApp: {
+      if (direct_handler_) direct_handler_(from, msg);
+      return;
+    }
+    default:
+      // Unknown control message: drop (forward compatibility).
+      return;
+  }
+}
+
+}  // namespace pierstack::dht

@@ -1,0 +1,289 @@
+// DhtNode: one DHT participant — key-based routing with upcalls, put/get
+// with replication, and ring maintenance (join / stabilize / failure
+// repair, Chord-style).
+//
+// This is the messaging + storage substrate PIER runs on (paper Section 2:
+// "With the exception of query answers, all messages are sent via the DHT
+// routing layer. PIER also stores all temporary tuples ... in the DHT.").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dht/local_store.h"
+#include "dht/routing.h"
+#include "sim/network.h"
+
+namespace pierstack::dht {
+
+class ChordRouting;
+
+/// A message being routed to the owner of `target`. Applications attach an
+/// opaque payload and receive the whole RouteMsg in their upcall.
+struct RouteMsg {
+  Key target = 0;
+  NodeInfo origin;   ///< The node that initiated the route.
+  uint32_t hops = 0; ///< Overlay hops taken so far.
+  int app_type = 0;  ///< Application discriminator (>= kAppUserBase for apps).
+  uint64_t req_id = 0;
+  size_t app_bytes = 0;  ///< Payload wire size (header added separately).
+  /// Set on the last hop by the key's Chord predecessor ("the key lies in
+  /// (me, successor]"), telling the receiver to deliver unconditionally.
+  /// This keeps delivery correct while the receiver's own predecessor
+  /// pointer is stale (mid-join or after a crash).
+  bool final_hop = false;
+  std::shared_ptr<const void> app_body;
+
+  template <typename T>
+  const T& body() const {
+    return *static_cast<const T*>(app_body.get());
+  }
+};
+
+/// Built-in routed application types; user apps start at kAppUserBase.
+enum RoutedApp : int {
+  kAppPut = 1,
+  kAppGet = 2,
+  kAppJoinLookup = 3,
+  kAppFingerLookup = 4,
+  kAppLookup = 5,
+  kAppUserBase = 100,
+};
+
+/// Aggregate counters shared by all nodes of one deployment.
+struct DhtMetrics {
+  uint64_t routes_initiated = 0;
+  uint64_t routes_delivered = 0;
+  uint64_t routes_dropped = 0;  ///< Hop-limit exceeded.
+  uint64_t total_hops = 0;      ///< Over delivered routes.
+  uint32_t max_hops = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+
+  double MeanHops() const {
+    return routes_delivered == 0
+               ? 0.0
+               : static_cast<double>(total_hops) /
+                     static_cast<double>(routes_delivered);
+  }
+};
+
+/// Tunables for a DHT deployment.
+struct DhtOptions {
+  OverlayKind overlay = OverlayKind::kChord;
+  size_t replication = 1;  ///< Copies per key (1 = owner only).
+  uint32_t max_route_hops = 128;
+  /// Run periodic ring maintenance (stabilize + fix-fingers) on statically
+  /// bootstrapped nodes. Off by default so static simulations quiesce;
+  /// dynamically joined nodes always run maintenance.
+  bool maintenance = false;
+  sim::SimTime stabilize_interval = 500 * sim::kMillisecond;
+  sim::SimTime fix_finger_interval = 250 * sim::kMillisecond;
+  sim::SimTime rpc_timeout = 2 * sim::kSecond;
+  sim::SimTime get_timeout = 10 * sim::kSecond;
+};
+
+/// One DHT node. Create via DhtBuilder (static deployments) or construct
+/// directly and call JoinViaBootstrap (dynamic).
+class DhtNode : public sim::Host {
+ public:
+  using GetCallback =
+      std::function<void(Status, std::vector<std::vector<uint8_t>>)>;
+  using PutCallback = std::function<void(Status)>;
+  using LookupCallback = std::function<void(Status, NodeInfo owner,
+                                            uint32_t hops)>;
+  using UpcallHandler = std::function<void(const RouteMsg&)>;
+  using DirectHandler =
+      std::function<void(sim::HostId from, const sim::Message&)>;
+
+  /// The node registers itself with `network` and remembers its HostId.
+  DhtNode(sim::Network* network, Key id, const DhtOptions& options,
+          DhtMetrics* metrics);
+  ~DhtNode() override;
+
+  NodeInfo info() const { return routing_->self(); }
+  Key id() const { return routing_->self().id; }
+  sim::HostId host() const { return routing_->self().host; }
+  sim::Network* network() { return network_; }
+  LocalStore& store() { return store_; }
+  const LocalStore& store() const { return store_; }
+  RoutingTable& routing() { return *routing_; }
+
+  // --- Overlay lifecycle -------------------------------------------------
+
+  /// Static bring-up: install routing state from the full membership list
+  /// and mark the node joined. Used by DhtBuilder.
+  void BootstrapStatic(const std::vector<NodeInfo>& sorted_members);
+
+  /// Dynamic join through any live node. Ring maintenance timers start on
+  /// completion. Chord overlay only.
+  void JoinViaBootstrap(sim::HostId bootstrap);
+
+  /// Graceful departure: hands stored keys to the successor and detaches.
+  void LeaveGracefully();
+
+  /// Simulates a crash: the host goes silent; peers repair around it.
+  void Crash();
+
+  bool joined() const { return joined_; }
+
+  // --- Core API (paper's put/get/route interface) ------------------------
+
+  /// Routes an application payload to the owner of `target`; the owner's
+  /// registered upcall for `app_type` fires with the RouteMsg.
+  void Route(Key target, int app_type, std::shared_ptr<const void> body,
+             size_t body_bytes, uint64_t req_id = 0);
+
+  /// Stores value under (ns, key) at the key's owner (+ replicas).
+  void Put(const std::string& ns, Key key, std::vector<uint8_t> value,
+           sim::SimTime expiry = 0, PutCallback callback = nullptr);
+
+  /// Fetches all values under (ns, key) from the key's owner.
+  void Get(const std::string& ns, Key key, GetCallback callback);
+
+  /// Resolves the current owner of `target`.
+  void Lookup(Key target, LookupCallback callback);
+
+  /// Registers the handler invoked when a routed message for `app_type`
+  /// arrives at this node (this node being the key's owner).
+  void SetUpcallHandler(int app_type, UpcallHandler handler);
+
+  /// Registers a handler for direct (non-routed) app messages; PIER uses
+  /// this for query answers, which bypass the overlay per the paper.
+  void SetDirectHandler(DirectHandler handler);
+
+  /// Sends an app message straight to a known host (one network hop).
+  /// Returns false when the destination is known-down (connection failed),
+  /// which callers may use as a failure signal.
+  bool SendDirect(sim::HostId to, sim::Message msg);
+
+  // --- sim::Host ---------------------------------------------------------
+  void HandleMessage(sim::HostId from, const sim::Message& msg) override;
+
+  /// Ring-maintenance statistics for tests.
+  uint64_t stabilize_rounds() const { return stabilize_rounds_; }
+
+  // Wire message discriminators (sim::Message::type). kDirectApp is public
+  // contract: applications wrap their own direct messages in it (their own
+  // discriminator goes in the payload) so DhtNode can dispatch them to the
+  // registered DirectHandler.
+  enum MsgType : int {
+    kRouteStep = 1,
+    kGetReply = 2,
+    kPutAck = 3,
+    kJoinReply = 4,
+    kGetPredecessor = 5,
+    kPredecessorReply = 6,
+    kNotify = 7,
+    kFingerReply = 8,
+    kKeyTransfer = 9,
+    kReplicaPut = 10,
+    kLookupReply = 11,
+    kDirectApp = 12,
+    kLeave = 13,
+    kPredecessorPing = 14,
+  };
+
+ private:
+
+  struct PutBody {
+    std::string ns;
+    Key key;
+    std::vector<uint8_t> value;
+    sim::SimTime expiry;
+    bool want_ack;
+  };
+  struct GetBody {
+    std::string ns;
+    Key key;
+  };
+  struct JoinReplyBody {
+    NodeInfo owner;
+    std::vector<NodeInfo> successor_list;
+  };
+  struct PredecessorReplyBody {
+    uint64_t seq;
+    NodeInfo predecessor;
+    std::vector<NodeInfo> successor_list;
+  };
+  struct FingerLookupBody {
+    size_t index;
+  };
+  struct FingerReplyBody {
+    size_t index;
+    NodeInfo owner;
+  };
+  struct KeyTransferBody {
+    // (ns, key, value, expiry) tuples being handed over.
+    struct Entry {
+      std::string ns;
+      StoredValue value;
+    };
+    std::vector<Entry> entries;
+  };
+  struct GetReplyBody {
+    uint64_t req_id;
+    std::vector<std::vector<uint8_t>> values;
+  };
+  struct LookupReplyBody {
+    uint64_t req_id;
+    NodeInfo owner;
+    uint32_t hops;
+  };
+
+  ChordRouting* chord() const;
+
+  void ForwardOrDeliver(RouteMsg msg);
+  void DeliverLocally(const RouteMsg& msg);
+  void HandlePutUpcall(const RouteMsg& msg);
+  void HandleGetUpcall(const RouteMsg& msg);
+  void HandleJoinLookupUpcall(const RouteMsg& msg);
+  void HandleFingerLookupUpcall(const RouteMsg& msg);
+  void HandleLookupUpcall(const RouteMsg& msg);
+  void ReplicateEntry(const std::string& ns, Key key,
+                      const std::vector<uint8_t>& value, sim::SimTime expiry);
+
+  void StartMaintenanceTimers();
+  void DoStabilize();
+  void DoFixFinger();
+  void OnStabilizeTimeout(uint64_t seq, sim::HostId suspect);
+
+  uint64_t NextReqId() { return next_req_id_++; }
+  size_t RouteHeaderBytes() const { return 40; }
+
+  sim::Network* network_;
+  DhtOptions options_;
+  DhtMetrics* metrics_;
+  std::unique_ptr<RoutingTable> routing_;
+  LocalStore store_;
+  bool joined_ = false;
+  bool crashed_ = false;
+
+  std::map<int, UpcallHandler> upcalls_;
+  DirectHandler direct_handler_;
+
+  uint64_t next_req_id_ = 1;
+  struct PendingGet {
+    GetCallback callback;
+    sim::EventId timeout = sim::kInvalidEventId;
+  };
+  std::map<uint64_t, PendingGet> pending_gets_;
+  std::map<uint64_t, PutCallback> pending_puts_;
+  struct PendingLookup {
+    LookupCallback callback;
+    sim::EventId timeout = sim::kInvalidEventId;
+  };
+  std::map<uint64_t, PendingLookup> pending_lookups_;
+
+  uint64_t stabilize_seq_ = 0;
+  uint64_t last_stabilize_reply_ = 0;
+  sim::EventId stabilize_timeout_ = sim::kInvalidEventId;
+  uint64_t stabilize_rounds_ = 0;
+  size_t next_finger_ = 0;
+};
+
+}  // namespace pierstack::dht

@@ -1,0 +1,54 @@
+// Routing table abstraction shared by the two structured overlays.
+//
+// The paper's system runs on the Bamboo DHT but depends only on generic
+// key-based routing (O(log N) hops) and key→owner agreement. We provide two
+// interchangeable implementations — a Chord-style ring (chord.h) and a
+// Bamboo/Pastry-style prefix router (bamboo.h) — so the overlay choice can
+// be ablated.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dht/id.h"
+
+namespace pierstack::dht {
+
+/// Which overlay implementation a node uses.
+enum class OverlayKind {
+  kChord,
+  kBamboo,
+};
+
+/// Per-node routing state: next-hop selection plus ownership test.
+class RoutingTable {
+ public:
+  virtual ~RoutingTable() = default;
+
+  /// This node's identity.
+  virtual NodeInfo self() const = 0;
+
+  /// Rebuilds the table from a full, id-sorted membership list (static
+  /// deployment — the common case in the experiments).
+  virtual void BuildStatic(const std::vector<NodeInfo>& sorted_members) = 0;
+
+  /// True iff this node is responsible for `target`.
+  virtual bool IsOwner(Key target) const = 0;
+
+  /// The neighbor to forward a message for `target` to; returns self() when
+  /// the message should be delivered locally (owner, or no strictly closer
+  /// node is known — best-effort delivery on stale tables).
+  virtual NodeInfo NextHop(Key target) const = 0;
+
+  /// Nodes that should hold replicas of this node's keys (closest k peers
+  /// in the overlay's own metric), excluding self. May return fewer than k.
+  virtual std::vector<NodeInfo> ReplicaTargets(size_t k) const = 0;
+
+  /// Drops a failed peer from all routing state.
+  virtual void RemovePeer(sim::HostId host) = 0;
+
+  /// All distinct peers currently known (for diagnostics/tests).
+  virtual std::vector<NodeInfo> KnownPeers() const = 0;
+};
+
+}  // namespace pierstack::dht

@@ -1,0 +1,133 @@
+#include "gnutella/crawler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace pierstack::gnutella {
+
+Crawler::Crawler(sim::Network* network, size_t parallelism)
+    : network_(network), parallelism_(parallelism) {
+  assert(parallelism >= 1);
+  host_ = network->AddHost(this);
+}
+
+void Crawler::Start(std::vector<sim::HostId> seeds, DoneCallback done) {
+  started_ = true;
+  done_ = std::move(done);
+  for (sim::HostId s : seeds) {
+    if (visited_.insert(s).second) frontier_.push_back(s);
+  }
+  Pump();
+}
+
+void Crawler::Pump() {
+  while (in_flight_ < parallelism_ && !frontier_.empty()) {
+    sim::HostId target = frontier_.back();
+    frontier_.pop_back();
+    RequestPeer(target);
+  }
+  if (in_flight_ == 0 && frontier_.empty() && done_) {
+    DoneCallback cb = std::move(done_);
+    done_ = nullptr;
+    cb(graph_);
+  }
+}
+
+void Crawler::RequestPeer(sim::HostId target) {
+  uint64_t req_id = next_req_id_++;
+  ++graph_.crawl_messages;
+  if (network_->Send(host_, target,
+                     sim::Message::Make<CrawlRequestBody>(
+                         kMsgCrawlReq, "gnutella.crawl", 16,
+                         CrawlRequestBody{req_id}))) {
+    pending_[req_id] = target;
+    ++in_flight_;
+  }
+  // Unreachable nodes are silently skipped, like churned peers mid-crawl.
+}
+
+void Crawler::HandleMessage(sim::HostId /*from*/, const sim::Message& msg) {
+  if (msg.type != kMsgCrawlReply) return;
+  const auto& reply = msg.as<CrawlReplyBody>();
+  auto it = pending_.find(reply.req_id);
+  if (it == pending_.end()) return;
+  pending_.erase(it);
+  --in_flight_;
+
+  const auto& info = reply.info;
+  if (info.role == Role::kUltrapeer) {
+    graph_.adjacency[info.host] = info.ultrapeer_neighbors;
+    graph_.total_leaves += info.leaf_count;
+    for (sim::HostId n : info.ultrapeer_neighbors) {
+      if (visited_.insert(n).second) frontier_.push_back(n);
+    }
+  }
+  Pump();
+}
+
+std::vector<FloodStep> FloodExpansion(const CrawlGraph& graph,
+                                      sim::HostId source, uint32_t max_ttl) {
+  std::vector<FloodStep> out;
+  auto deg = [&](sim::HostId h) -> uint64_t {
+    auto it = graph.adjacency.find(h);
+    return it == graph.adjacency.end() ? 0 : it->second.size();
+  };
+  // BFS layers from the source.
+  std::unordered_map<sim::HostId, uint32_t> depth;
+  std::deque<sim::HostId> queue;
+  depth[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    sim::HostId v = queue.front();
+    queue.pop_front();
+    auto it = graph.adjacency.find(v);
+    if (it == graph.adjacency.end()) continue;
+    for (sim::HostId n : it->second) {
+      if (depth.count(n)) continue;
+      depth[n] = depth[v] + 1;
+      queue.push_back(n);
+    }
+  }
+  // messages(ttl): the source sends deg(source); every node first reached
+  // at depth d in [1, ttl-1] forwards to deg(v)-1 neighbors. Duplicate
+  // deliveries are paid for as messages but reach no new node — the
+  // diminishing-returns effect of Section 4.3.
+  for (uint32_t ttl = 1; ttl <= max_ttl; ++ttl) {
+    FloodStep step{ttl, 0, 0};
+    for (const auto& [v, d] : depth) {
+      if (d <= ttl) step.ultrapeers_reached += 1;
+      if (d == 0) {
+        step.messages += deg(v);
+      } else if (d >= 1 && d < ttl) {
+        step.messages += deg(v) - 1;
+      }
+    }
+    out.push_back(step);
+  }
+  return out;
+}
+
+std::vector<FloodStep> FloodExpansionAveraged(
+    const CrawlGraph& graph, const std::vector<sim::HostId>& sources,
+    uint32_t max_ttl) {
+  std::vector<FloodStep> acc;
+  for (uint32_t ttl = 1; ttl <= max_ttl; ++ttl) {
+    acc.push_back(FloodStep{ttl, 0, 0});
+  }
+  if (sources.empty()) return acc;
+  for (sim::HostId s : sources) {
+    auto one = FloodExpansion(graph, s, max_ttl);
+    for (size_t i = 0; i < acc.size(); ++i) {
+      acc[i].ultrapeers_reached += one[i].ultrapeers_reached;
+      acc[i].messages += one[i].messages;
+    }
+  }
+  for (auto& step : acc) {
+    step.ultrapeers_reached /= sources.size();
+    step.messages /= sources.size();
+  }
+  return acc;
+}
+
+}  // namespace pierstack::gnutella

@@ -1,0 +1,86 @@
+// Gnutella topology crawler + flood-cost analysis (paper Sections 4.1/4.3).
+//
+// The crawler recursively invokes the neighbor-list API from a set of seed
+// ultrapeers, exactly like the paper's 45-minute distributed crawl, and
+// produces the ultrapeer adjacency graph. FloodExpansion then computes,
+// per TTL, how many ultrapeers a flood reaches and how many query messages
+// it costs — the data behind Figure 8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gnutella/node.h"
+
+namespace pierstack::gnutella {
+
+/// The crawled ultrapeer graph (undirected adjacency).
+struct CrawlGraph {
+  std::unordered_map<sim::HostId, std::vector<sim::HostId>> adjacency;
+  uint64_t total_leaves = 0;     ///< Sum of leaf counts reported by UPs.
+  uint64_t crawl_messages = 0;   ///< Request messages issued by the crawl.
+
+  size_t num_ultrapeers() const { return adjacency.size(); }
+  /// Estimated network size, the paper's headline number: ultrapeers plus
+  /// their reported leaves.
+  uint64_t EstimatedNetworkSize() const {
+    return adjacency.size() + total_leaves;
+  }
+};
+
+/// Asynchronous parallel crawler. Drive the simulator until `done`.
+class Crawler : public sim::Host {
+ public:
+  using DoneCallback = std::function<void(const CrawlGraph&)>;
+
+  /// `parallelism` bounds in-flight neighbor-list requests, mirroring the
+  /// paper's 30 parallel vantage points.
+  Crawler(sim::Network* network, size_t parallelism);
+
+  /// Starts crawling from `seeds`; `done` fires when the frontier drains.
+  void Start(std::vector<sim::HostId> seeds, DoneCallback done);
+
+  bool finished() const { return started_ && in_flight_ == 0 && frontier_.empty(); }
+  const CrawlGraph& graph() const { return graph_; }
+
+  void HandleMessage(sim::HostId from, const sim::Message& msg) override;
+
+ private:
+  void Pump();
+  void RequestPeer(sim::HostId target);
+
+  sim::Network* network_;
+  size_t parallelism_;
+  sim::HostId host_;
+  bool started_ = false;
+  size_t in_flight_ = 0;
+  std::vector<sim::HostId> frontier_;
+  std::unordered_set<sim::HostId> visited_;
+  CrawlGraph graph_;
+  DoneCallback done_;
+  uint64_t next_req_id_ = 1;
+  std::unordered_map<uint64_t, sim::HostId> pending_;
+};
+
+/// One TTL step of a flood-cost curve.
+struct FloodStep {
+  uint32_t ttl;
+  uint64_t ultrapeers_reached;  ///< Distinct UPs within TTL hops (incl. src).
+  uint64_t messages;            ///< Query messages sent (duplicates included).
+};
+
+/// Computes the Figure 8 curve from `source` on the crawled graph:
+/// flooding with duplicate-forwarding suppression still pays one message
+/// per edge traversal, so reached(TTL) grows sublinearly in messages(TTL).
+std::vector<FloodStep> FloodExpansion(const CrawlGraph& graph,
+                                      sim::HostId source, uint32_t max_ttl);
+
+/// Averages FloodExpansion over several sources for smoother curves.
+std::vector<FloodStep> FloodExpansionAveraged(const CrawlGraph& graph,
+                                              const std::vector<sim::HostId>& sources,
+                                              uint32_t max_ttl);
+
+}  // namespace pierstack::gnutella

@@ -1,0 +1,93 @@
+#include "gnutella/index.h"
+
+#include <algorithm>
+
+#include "common/tokenizer.h"
+
+namespace pierstack::gnutella {
+
+void KeywordIndex::Add(const SharedFile& file, sim::HostId owner) {
+  uint32_t idx = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(Entry{file.file_id, file.filename, file.size_bytes,
+                           owner});
+  ++live_entries_;
+  for (const auto& term : ExtractUniqueKeywords(file.filename)) {
+    postings_[term].push_back(idx);
+  }
+}
+
+void KeywordIndex::AddAll(const std::vector<SharedFile>& files,
+                          sim::HostId owner) {
+  for (const auto& f : files) Add(f, owner);
+}
+
+void KeywordIndex::RemoveOwner(sim::HostId owner) {
+  for (auto& e : entries_) {
+    if (e.owner == owner) {
+      e.owner = sim::kInvalidHost;
+      --live_entries_;
+    }
+  }
+}
+
+std::vector<const KeywordIndex::Entry*> KeywordIndex::Match(
+    const std::vector<std::string>& query_terms) const {
+  std::vector<const Entry*> out;
+  // Keep only indexable terms; an all-stop-word query matches nothing.
+  std::vector<std::string> terms;
+  const auto& stop = DefaultStopWords();
+  for (const auto& t : query_terms) {
+    if (t.size() < 2 || stop.count(t)) continue;
+    terms.push_back(t);
+  }
+  if (terms.empty()) return out;
+
+  // Start from the shortest posting list (the paper's smaller-posting-
+  // lists-first optimization applies locally too).
+  std::sort(terms.begin(), terms.end(),
+            [this](const std::string& a, const std::string& b) {
+              return PostingListSize(a) < PostingListSize(b);
+            });
+  auto first = postings_.find(terms[0]);
+  if (first == postings_.end()) return out;
+
+  std::vector<uint32_t> candidates;
+  for (uint32_t idx : first->second) {
+    if (Live(idx)) candidates.push_back(idx);
+  }
+  for (size_t t = 1; t < terms.size() && !candidates.empty(); ++t) {
+    auto it = postings_.find(terms[t]);
+    if (it == postings_.end()) return {};
+    // Posting lists are sorted by construction (append order).
+    const auto& list = it->second;
+    std::vector<uint32_t> next;
+    next.reserve(candidates.size());
+    std::set_intersection(candidates.begin(), candidates.end(), list.begin(),
+                          list.end(), std::back_inserter(next));
+    candidates = std::move(next);
+  }
+  out.reserve(candidates.size());
+  for (uint32_t idx : candidates) out.push_back(&entries_[idx]);
+  return out;
+}
+
+std::vector<const KeywordIndex::Entry*> KeywordIndex::MatchText(
+    const std::string& query_text) const {
+  return Match(SplitTerms(query_text));
+}
+
+size_t KeywordIndex::PostingListSize(const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+std::vector<const KeywordIndex::Entry*> KeywordIndex::AllEntries() const {
+  std::vector<const Entry*> out;
+  out.reserve(live_entries_);
+  for (const auto& e : entries_) {
+    if (e.owner != sim::kInvalidHost) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace pierstack::gnutella

@@ -1,0 +1,211 @@
+// GnutellaNode: one participant of the unstructured network.
+//
+// Implements the protocol features the paper measures (Section 4):
+//  * ultrapeer / leaf roles; leaves publish their file lists to ultrapeers
+//    and query through them,
+//  * TTL-scoped query flooding with GUID-based duplicate suppression,
+//  * query hits routed back along the reverse query path,
+//  * LimeWire-style dynamic querying (probe, then widen until enough
+//    results arrive),
+//  * BrowseHost (fetch a neighbor's shared files) and a crawler ping that
+//    returns the neighbor list (Section 4.1's topology crawl).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bloom.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "gnutella/index.h"
+#include "gnutella/types.h"
+
+namespace pierstack::gnutella {
+
+class GnutellaNode : public sim::Host {
+ public:
+  /// Receives each query-hit batch for a locally issued query.
+  using ResultCallback = std::function<void(const std::vector<QueryResult>&)>;
+  /// Observes queries this node processes (own, leaf-issued or forwarded).
+  using QueryObserver =
+      std::function<void(Guid, const std::string& text, sim::HostId from)>;
+  /// Observes query-hit batches this node delivers or forwards, with the
+  /// running result count for that GUID (the hybrid proxy's snooping hook).
+  using HitObserver = std::function<void(Guid, const std::vector<QueryResult>&,
+                                         size_t results_so_far)>;
+  using BrowseCallback =
+      std::function<void(Status, std::vector<SharedFile>)>;
+  using CrawlCallback = std::function<void(Status, CrawlInfo)>;
+
+  GnutellaNode(sim::Network* network, Role role, const GnutellaConfig* config,
+               GnutellaMetrics* metrics, uint64_t seed);
+  ~GnutellaNode() override;
+
+  Role role() const { return role_; }
+  sim::HostId host() const { return host_; }
+
+  // --- Library ------------------------------------------------------------
+
+  /// Replaces this node's shared files; file ids are assigned here.
+  void SetSharedFiles(std::vector<std::string> filenames,
+                      std::vector<uint64_t> sizes = {});
+  const std::vector<SharedFile>& shared_files() const { return files_; }
+
+  // --- Topology wiring (used by TopologyBuilder) ---------------------------
+
+  /// Registers an ultrapeer neighbor edge (one direction; the builder adds
+  /// both). Ultrapeers only.
+  void AddUltrapeerNeighbor(sim::HostId neighbor);
+
+  /// Leaf side of a leaf↔ultrapeer attachment: remembers the parent and
+  /// publishes this leaf's file list to it.
+  void ConnectToUltrapeer(sim::HostId ultrapeer);
+
+  /// Re-sends this node's current file list to an already-connected parent
+  /// (used after the library changed).
+  void RepublishTo(sim::HostId ultrapeer);
+
+  const std::vector<sim::HostId>& ultrapeer_neighbors() const {
+    return up_neighbors_;
+  }
+  const std::vector<sim::HostId>& parent_ultrapeers() const {
+    return parents_;
+  }
+  const std::vector<sim::HostId>& leaves() const { return leaf_hosts_; }
+
+  // --- Querying -------------------------------------------------------------
+
+  /// Issues a keyword query. On a leaf it is sent to the primary parent
+  /// ultrapeer, which executes it (flooding or dynamic querying per
+  /// config); on an ultrapeer it is executed directly. Hits stream into
+  /// `callback` until EndQuery. Returns the query GUID.
+  Guid StartQuery(const std::string& text, ResultCallback callback);
+
+  /// Stops collecting results for a locally issued query.
+  void EndQuery(Guid guid);
+
+  /// True while the dynamic-query controller for `guid` is still widening.
+  bool QueryActive(Guid guid) const;
+
+  // --- Auxiliary protocol APIs ---------------------------------------------
+
+  /// Fetches the files shared by `target` (Gnutella BrowseHost).
+  void BrowseHost(sim::HostId target, BrowseCallback callback);
+
+  /// Asks `target` for its neighbor list (crawler support).
+  void CrawlPeer(sim::HostId target, CrawlCallback callback);
+
+  // --- Hybrid integration hooks ---------------------------------------------
+
+  void SetQueryObserver(QueryObserver observer) {
+    query_observer_ = std::move(observer);
+  }
+  void SetHitObserver(HitObserver observer) {
+    hit_observer_ = std::move(observer);
+  }
+
+  const KeywordIndex& index() const { return index_; }
+
+  // --- sim::Host -------------------------------------------------------------
+  void HandleMessage(sim::HostId from, const sim::Message& msg) override;
+
+ private:
+  struct QueryBody {
+    Guid guid;
+    uint8_t ttl;
+    uint8_t hops;
+    std::string text;
+  };
+  struct QueryHitBody {
+    Guid guid;
+    std::vector<QueryResult> results;
+  };
+  struct LeafQueryBody {
+    Guid guid;
+    std::string text;
+  };
+  struct LeafPublishBody {
+    std::vector<SharedFile> files;
+  };
+  struct LeafBloomBody {
+    BloomFilter keywords;
+    size_t file_count;
+  };
+  struct LeafForwardBody {
+    Guid guid;
+    std::string text;
+  };
+  struct BrowseReqBody {
+    uint64_t req_id;
+  };
+  struct BrowseReplyBody {
+    uint64_t req_id;
+    std::vector<SharedFile> files;
+  };
+
+  struct LocalQuery {
+    ResultCallback callback;
+    std::unordered_set<uint64_t> seen_file_ids;
+  };
+
+  /// Dynamic-query controller state (lives at the query-root ultrapeer).
+  struct DqState {
+    std::string text;
+    size_t results = 0;
+    std::vector<sim::HostId> pending_neighbors;  // not yet queried
+    sim::EventId tick = sim::kInvalidEventId;
+  };
+
+  static size_t QueryWireBytes(const QueryBody& q) {
+    return 23 + 2 + q.text.size();  // Gnutella header + min speed + text
+  }
+  static size_t HitWireBytes(const QueryHitBody& h);
+
+  void ExecuteQueryAsRoot(Guid guid, const std::string& text);
+  void BeginDynamicQuery(Guid guid, const std::string& text);
+  void FloodQuery(const QueryBody& q, sim::HostId exclude);
+  void SendQueryTo(sim::HostId neighbor, Guid guid, const std::string& text,
+                   uint8_t ttl);
+  void MatchLocally(Guid guid, const std::string& text, sim::HostId reply_to);
+  void DeliverOrForwardHit(Guid guid, std::vector<QueryResult> results);
+  void DynamicTick(Guid guid);
+  void RememberGuid(Guid guid, sim::HostId from);
+  bool SeenGuid(Guid guid) const { return seen_guids_.count(guid) > 0; }
+
+  sim::Network* network_;
+  Role role_;
+  const GnutellaConfig* config_;
+  GnutellaMetrics* metrics_;
+  sim::HostId host_;
+  Rng rng_;
+
+  std::vector<SharedFile> files_;
+  KeywordIndex index_;
+
+  std::vector<sim::HostId> up_neighbors_;  // ultrapeer ↔ ultrapeer
+  std::vector<sim::HostId> parents_;       // leaf → ultrapeers
+  std::vector<sim::HostId> leaf_hosts_;    // ultrapeer → leaves
+  // QRP mode: per-leaf keyword Bloom filters instead of full file lists.
+  std::unordered_map<sim::HostId, BloomFilter> leaf_blooms_;
+
+  std::unordered_set<Guid> seen_guids_;
+  std::unordered_map<Guid, sim::HostId> guid_routes_;
+  std::deque<Guid> guid_fifo_;  // eviction order for the two maps above
+
+  std::unordered_map<Guid, LocalQuery> local_queries_;
+  std::unordered_map<Guid, DqState> dq_states_;
+
+  uint64_t next_req_id_ = 1;
+  std::unordered_map<uint64_t, BrowseCallback> pending_browses_;
+  std::unordered_map<uint64_t, CrawlCallback> pending_crawls_;
+
+  QueryObserver query_observer_;
+  HitObserver hit_observer_;
+};
+
+}  // namespace pierstack::gnutella

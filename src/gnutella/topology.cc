@@ -1,0 +1,99 @@
+#include "gnutella/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace pierstack::gnutella {
+
+GnutellaNetwork::GnutellaNetwork(sim::Network* network,
+                                 const TopologyConfig& config)
+    : network_(network), config_(config) {
+  assert(config.num_ultrapeers >= 1);
+  Rng rng(config.seed);
+
+  for (size_t i = 0; i < config.num_ultrapeers; ++i) {
+    ultrapeers_.push_back(std::make_unique<GnutellaNode>(
+        network, Role::kUltrapeer, &config_.protocol, &metrics_, rng.Next()));
+  }
+  for (size_t i = 0; i < config.num_leaves; ++i) {
+    leaves_.push_back(std::make_unique<GnutellaNode>(
+        network, Role::kLeaf, &config_.protocol, &metrics_, rng.Next()));
+  }
+  for (auto& up : ultrapeers_) {
+    while (by_host_.size() <= up->host()) by_host_.push_back(nullptr);
+    by_host_[up->host()] = up.get();
+  }
+  for (auto& leaf : leaves_) {
+    while (by_host_.size() <= leaf->host()) by_host_.push_back(nullptr);
+    by_host_[leaf->host()] = leaf.get();
+  }
+
+  // Ultrapeer mesh: connect each ultrapeer to `degree` random distinct
+  // peers (undirected). The incremental random attachment yields the
+  // redundant-path structure whose duplicate floods Figure 8 measures.
+  size_t n = ultrapeers_.size();
+  size_t degree = std::min(config.protocol.ultrapeer_degree, n - 1);
+  std::vector<std::unordered_set<size_t>> adj(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t attempts = 0;
+    while (adj[i].size() < degree && attempts < 20 * degree) {
+      ++attempts;
+      size_t j = static_cast<size_t>(rng.NextBelow(n));
+      if (j == i || adj[i].count(j)) continue;
+      // Respect the peer's degree budget (allow slight overflow to keep
+      // the graph connected at small sizes).
+      if (adj[j].size() >= degree + 2) continue;
+      adj[i].insert(j);
+      adj[j].insert(i);
+    }
+  }
+  // Ensure connectivity: chain any isolated ultrapeer to its predecessor.
+  for (size_t i = 1; i < n; ++i) {
+    if (adj[i].empty()) {
+      adj[i].insert(i - 1);
+      adj[i - 1].insert(i);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j : adj[i]) {
+      ultrapeers_[i]->AddUltrapeerNeighbor(ultrapeers_[j]->host());
+    }
+  }
+
+  // Leaf attachment: each leaf picks `ultrapeers_per_leaf` distinct
+  // ultrapeers with spare capacity.
+  std::vector<size_t> capacity(n, config.protocol.max_leaves_per_ultrapeer *
+                                      config.protocol.ultrapeers_per_leaf);
+  for (auto& leaf : leaves_) {
+    std::unordered_set<size_t> chosen;
+    size_t want = std::min(config.protocol.ultrapeers_per_leaf, n);
+    size_t attempts = 0;
+    while (chosen.size() < want && attempts < 50 * want) {
+      ++attempts;
+      size_t u = static_cast<size_t>(rng.NextBelow(n));
+      if (chosen.count(u) || capacity[u] == 0) continue;
+      chosen.insert(u);
+      --capacity[u];
+    }
+    if (chosen.empty()) chosen.insert(rng.NextBelow(n));  // overflow fallback
+    for (size_t u : chosen) {
+      leaf->ConnectToUltrapeer(ultrapeers_[u]->host());
+    }
+  }
+}
+
+GnutellaNode* GnutellaNetwork::by_host(sim::HostId host) const {
+  if (host >= by_host_.size()) return nullptr;
+  return by_host_[host];
+}
+
+void GnutellaNetwork::PublishAllFiles() {
+  for (auto& leaf : leaves_) {
+    for (sim::HostId up : leaf->parent_ultrapeers()) {
+      leaf->RepublishTo(up);
+    }
+  }
+}
+
+}  // namespace pierstack::gnutella

@@ -1,0 +1,106 @@
+#include "hybrid/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hybrid/schemes.h"
+
+namespace pierstack::hybrid {
+
+uint32_t SampleFoundReplicas(Rng* rng, uint64_t num_nodes, uint32_t replicas,
+                             uint64_t horizon) {
+  assert(horizon <= num_nodes);
+  if (replicas == 0 || horizon == 0) return 0;
+  if (horizon == num_nodes) return replicas;
+  if (replicas > 2000) {
+    // Normal approximation of the hypergeometric for very popular files;
+    // their recall contribution is dominated by the mean anyway.
+    double n = static_cast<double>(num_nodes);
+    double p = static_cast<double>(horizon) / n;
+    double r = static_cast<double>(replicas);
+    double mean = r * p;
+    double var = r * p * (1 - p) * (n - r) / (n - 1);
+    double draw = mean + rng->NextGaussian() * std::sqrt(std::max(0.0, var));
+    double cap = std::min(r, static_cast<double>(horizon));
+    return static_cast<uint32_t>(std::clamp(draw, 0.0, cap) + 0.5);
+  }
+  // Exact urn draws: place each replica on a distinct node; it falls in
+  // the horizon with probability (horizon - placed_in) / (nodes - placed).
+  uint64_t in_horizon = 0;
+  for (uint32_t j = 0; j < replicas; ++j) {
+    double p = static_cast<double>(horizon - in_horizon) /
+               static_cast<double>(num_nodes - j);
+    if (rng->NextBernoulli(p)) ++in_horizon;
+  }
+  return static_cast<uint32_t>(in_horizon);
+}
+
+EvalResult EvaluateHybrid(const workload::Trace& trace,
+                          const std::vector<bool>& published,
+                          const EvalConfig& config) {
+  EvalResult result;
+  result.published_copies_fraction =
+      PublishedCopiesFraction(trace, published);
+
+  uint64_t n = trace.config.num_nodes;
+  uint64_t horizon = static_cast<uint64_t>(
+      config.horizon_fraction * static_cast<double>(n) + 0.5);
+  horizon = std::min(horizon, n);
+  Rng rng(config.seed);
+
+  double qr_sum = 0, qdr_sum = 0;
+  double empty_g = 0, empty_h = 0;
+  size_t evaluated = 0;
+  for (const auto& q : trace.queries) {
+    if (q.total_results == 0) continue;
+    ++evaluated;
+    uint64_t pub_copies = 0;
+    for (uint32_t m : q.matches) {
+      if (published[m]) pub_copies += trace.files[m].replicas;
+    }
+    double qr_trials = 0, qdr_trials = 0, eg_trials = 0, eh_trials = 0;
+    for (int t = 0; t < config.trials_per_query; ++t) {
+      uint64_t found_copies = 0;
+      size_t found_distinct = 0;
+      bool gnutella_any = false;
+      for (uint32_t m : q.matches) {
+        uint32_t f = SampleFoundReplicas(&rng, n, trace.files[m].replicas,
+                                         horizon);
+        if (f > 0) {
+          gnutella_any = true;
+          found_copies += f;
+          ++found_distinct;
+        } else if (published[m]) {
+          // Per-item DHT fallback (Equation 1's PNF_g * PF_DHT term): a
+          // published item missed by the flood is recovered from the
+          // partial index, all replicas included.
+          found_copies += trace.files[m].replicas;
+          ++found_distinct;
+        }
+      }
+      if (!gnutella_any) {
+        eg_trials += 1;
+        if (pub_copies == 0) eh_trials += 1;
+      }
+      qr_trials += static_cast<double>(found_copies) /
+                   static_cast<double>(q.total_results);
+      qdr_trials += static_cast<double>(found_distinct) /
+                    static_cast<double>(q.matches.size());
+    }
+    qr_sum += qr_trials / config.trials_per_query;
+    qdr_sum += qdr_trials / config.trials_per_query;
+    empty_g += eg_trials / config.trials_per_query;
+    empty_h += eh_trials / config.trials_per_query;
+  }
+  if (evaluated > 0) {
+    result.avg_query_recall = qr_sum / static_cast<double>(evaluated);
+    result.avg_query_distinct_recall = qdr_sum / static_cast<double>(evaluated);
+    result.empty_fraction_gnutella = empty_g / static_cast<double>(evaluated);
+    result.empty_fraction_hybrid = empty_h / static_cast<double>(evaluated);
+  }
+  result.queries_evaluated = evaluated;
+  return result;
+}
+
+}  // namespace pierstack::hybrid

@@ -1,0 +1,51 @@
+// Trace-driven Monte-Carlo evaluation of the hybrid system (paper
+// Section 6.2/6.3; drives Figures 11–15).
+//
+// Model semantics (Section 6.1's assumptions): replicas are uniformly
+// placed and a Gnutella query observes a uniformly random horizon of
+// Nhorizon nodes. Following the model — "a query for item i is first
+// issued to Gnutella; if Gnutella does not return any results, the query
+// is re-issued to the DHT" — the DHT fallback applies *per item*: an item
+// none of whose replicas fell in the horizon is recovered iff it is
+// published. (This is what makes the paper's average QDR exactly equal
+// Equation 1, as Section 6.2 notes.) A published file is fully indexed —
+// every node publishes its rare items in a full deployment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/trace.h"
+
+namespace pierstack::hybrid {
+
+struct EvalConfig {
+  double horizon_fraction = 0.05;  ///< Nhorizon / N.
+  int trials_per_query = 3;        ///< Monte-Carlo repetitions.
+  uint64_t seed = 7;
+};
+
+/// Averages over the trace's queries (queries with no available results
+/// are excluded from the recall averages, which would be 0/0).
+struct EvalResult {
+  double avg_query_recall = 0;           ///< Figure 11/13 metric (QR).
+  double avg_query_distinct_recall = 0;  ///< Figure 12/14 metric (QDR).
+  double published_copies_fraction = 0;  ///< Figure 10 metric.
+  double empty_fraction_gnutella = 0;    ///< Queries with 0 Gnutella results.
+  double empty_fraction_hybrid = 0;      ///< Still 0 after the DHT fallback.
+  size_t queries_evaluated = 0;
+};
+
+/// Evaluates one publish selection against the trace.
+EvalResult EvaluateHybrid(const workload::Trace& trace,
+                          const std::vector<bool>& published,
+                          const EvalConfig& config);
+
+/// Draws how many of `replicas` copies land inside a random
+/// `horizon`-node subset of `num_nodes` nodes (hypergeometric; exact urn
+/// draws for small counts, normal approximation for large ones).
+uint32_t SampleFoundReplicas(Rng* rng, uint64_t num_nodes, uint32_t replicas,
+                             uint64_t horizon);
+
+}  // namespace pierstack::hybrid

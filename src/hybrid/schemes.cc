@@ -1,0 +1,165 @@
+#include "hybrid/schemes.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/tokenizer.h"
+
+namespace pierstack::hybrid {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<double> PerfectScheme::Scores(const workload::Trace& trace) {
+  std::vector<double> scores(trace.files.size());
+  for (size_t i = 0; i < trace.files.size(); ++i) {
+    scores[i] = static_cast<double>(trace.files[i].replicas);
+  }
+  return scores;
+}
+
+std::vector<double> RandomScheme::Scores(const workload::Trace& trace) {
+  Rng rng(seed_);
+  std::vector<double> scores(trace.files.size());
+  for (auto& s : scores) s = rng.NextDouble();
+  return scores;
+}
+
+std::vector<double> QrsScheme::Scores(const workload::Trace& trace) {
+  std::vector<double> scores(trace.files.size(), kNever);
+  for (const auto& q : trace.queries) {
+    for (uint32_t m : q.matches) {
+      scores[m] = std::min(scores[m], static_cast<double>(q.total_results));
+    }
+  }
+  return scores;
+}
+
+std::vector<double> TermFrequencyScheme::Scores(
+    const workload::Trace& trace) {
+  // Result-stream term statistics: each file appears in traffic in
+  // proportion to its replication, so a term's observed count is the sum
+  // of replicas over files containing it.
+  std::unordered_map<std::string, double> freq;
+  for (const auto& f : trace.files) {
+    for (const auto& t : f.keywords) {
+      freq[t] += static_cast<double>(f.replicas);
+    }
+  }
+  std::vector<double> scores(trace.files.size(), kNever);
+  for (size_t i = 0; i < trace.files.size(); ++i) {
+    for (const auto& t : trace.files[i].keywords) {
+      scores[i] = std::min(scores[i], freq[t]);
+    }
+  }
+  return scores;
+}
+
+std::vector<double> TermPairFrequencyScheme::Scores(
+    const workload::Trace& trace) {
+  std::unordered_map<std::string, double> pair_freq;
+  std::unordered_map<std::string, double> term_freq;
+  for (const auto& f : trace.files) {
+    for (const auto& p : AdjacentTermPairs(f.keywords)) {
+      pair_freq[p] += static_cast<double>(f.replicas);
+    }
+    for (const auto& t : f.keywords) {
+      term_freq[t] += static_cast<double>(f.replicas);
+    }
+  }
+  std::vector<double> scores(trace.files.size(), kNever);
+  for (size_t i = 0; i < trace.files.size(); ++i) {
+    const auto& kw = trace.files[i].keywords;
+    auto pairs = AdjacentTermPairs(kw);
+    if (pairs.empty()) {
+      // Single-keyword file: only term statistics exist for it.
+      for (const auto& t : kw) {
+        scores[i] = std::min(scores[i], term_freq[t]);
+      }
+      continue;
+    }
+    for (const auto& p : pairs) {
+      scores[i] = std::min(scores[i], pair_freq[p]);
+    }
+  }
+  return scores;
+}
+
+std::string SamplingScheme::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "SAM(%d%%)",
+                static_cast<int>(fraction_ * 100 + 0.5));
+  return buf;
+}
+
+std::vector<double> SamplingScheme::Scores(const workload::Trace& trace) {
+  Rng rng(seed_);
+  size_t n = trace.node_files.size();
+  size_t sample_size = static_cast<size_t>(fraction_ * static_cast<double>(n));
+  std::vector<double> scores(trace.files.size(), 0.0);
+  if (sample_size == 0) {
+    // Sampling nothing: no information; degenerate to a random order.
+    for (auto& s : scores) s = rng.NextDouble();
+    return scores;
+  }
+  if (sample_size > n) sample_size = n;
+  auto sampled = rng.SampleWithoutReplacement(n, sample_size);
+  for (size_t node : sampled) {
+    for (uint32_t f : trace.node_files[node]) {
+      scores[f] += 1.0;  // replicas observed within the sample
+    }
+  }
+  return scores;
+}
+
+std::vector<bool> SelectByBudget(const workload::Trace& trace,
+                                 const std::vector<double>& scores,
+                                 double budget_copies_fraction) {
+  auto universe = trace.QueriedFileUniverse();
+  uint64_t universe_copies = 0;
+  for (uint32_t f : universe) universe_copies += trace.files[f].replicas;
+  uint64_t budget_copies = static_cast<uint64_t>(
+      budget_copies_fraction * static_cast<double>(universe_copies));
+
+  std::vector<uint32_t> order(universe);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return a < b;
+  });
+
+  std::vector<bool> published(trace.files.size(), false);
+  uint64_t used = 0;
+  for (uint32_t f : order) {
+    if (scores[f] == std::numeric_limits<double>::infinity()) break;
+    uint64_t r = trace.files[f].replicas;
+    if (used + r > budget_copies) break;
+    published[f] = true;
+    used += r;
+  }
+  return published;
+}
+
+std::vector<bool> SelectByThreshold(const std::vector<double>& scores,
+                                    double threshold) {
+  std::vector<bool> published(scores.size(), false);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    published[i] = scores[i] <= threshold;
+  }
+  return published;
+}
+
+double PublishedCopiesFraction(const workload::Trace& trace,
+                               const std::vector<bool>& published) {
+  auto universe = trace.QueriedFileUniverse();
+  uint64_t total = 0, pub = 0;
+  for (uint32_t f : universe) {
+    total += trace.files[f].replicas;
+    if (published[f]) pub += trace.files[f].replicas;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(pub) / static_cast<double>(total);
+}
+
+}  // namespace pierstack::hybrid

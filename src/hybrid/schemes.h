@@ -1,0 +1,116 @@
+// Rare-item identification schemes (paper Section 5).
+//
+// Every scheme assigns each distinct file a *rarity score* — lower means
+// "more likely rare" — computed only from information a node could gather
+// locally (term statistics from snooped result traffic, sampled neighbor
+// libraries, observed query result sizes). A file is published when its
+// score falls at or below a threshold; sweeping the threshold (or,
+// equivalently, taking a prefix of the score-sorted files) traces the
+// recall-vs-publishing-budget curves of Figures 13–15.
+//
+// Schemes: Perfect (true replica counts — the upper bound), Random (the
+// lower bound), QRS (query-results-size caching), TF (term frequency),
+// TPF (adjacent term-pair frequency), SAM (neighbor sampling).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/trace.h"
+
+namespace pierstack::hybrid {
+
+/// Scores every distinct file of a trace; lower = rarer.
+class RareItemScheme {
+ public:
+  virtual ~RareItemScheme() = default;
+  virtual std::string name() const = 0;
+
+  /// One score per trace.files entry. Files scored +inf are never
+  /// published (e.g. QRS's never-queried files).
+  virtual std::vector<double> Scores(const workload::Trace& trace) = 0;
+};
+
+/// Perfect knowledge: score = true replica count (paper Section 6.3's
+/// "Perfect" upper-bound scheme).
+class PerfectScheme : public RareItemScheme {
+ public:
+  std::string name() const override { return "Perfect"; }
+  std::vector<double> Scores(const workload::Trace& trace) override;
+};
+
+/// Random: a uniformly random score per file (the lower-bound scheme).
+class RandomScheme : public RareItemScheme {
+ public:
+  explicit RandomScheme(uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "Random"; }
+  std::vector<double> Scores(const workload::Trace& trace) override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// QRS: score = the smallest observed result-set size among the (training)
+/// queries whose results contain the file; +inf for never-returned files.
+/// "The DHT is used to cache elements of small result sets."
+class QrsScheme : public RareItemScheme {
+ public:
+  std::string name() const override { return "QRS"; }
+  std::vector<double> Scores(const workload::Trace& trace) override;
+};
+
+/// TF: term statistics gathered from result-stream monitoring. A term's
+/// observed frequency is weighted by replication (popular files appear
+/// proportionally more often in result traffic); the file's score is its
+/// rarest term's frequency.
+class TermFrequencyScheme : public RareItemScheme {
+ public:
+  std::string name() const override { return "TF"; }
+  std::vector<double> Scores(const workload::Trace& trace) override;
+};
+
+/// TPF: like TF but over ordered adjacent term pairs, the paper's answer
+/// to rare items composed of individually popular keywords. Files with a
+/// single keyword fall back to that term's frequency.
+class TermPairFrequencyScheme : public RareItemScheme {
+ public:
+  std::string name() const override { return "TPF"; }
+  std::vector<double> Scores(const workload::Trace& trace) override;
+};
+
+/// SAM: sample `sample_fraction` of the nodes and count each file's
+/// replicas within the sample (a lower-bound estimate of its true
+/// replication).
+class SamplingScheme : public RareItemScheme {
+ public:
+  SamplingScheme(double sample_fraction, uint64_t seed)
+      : fraction_(sample_fraction), seed_(seed) {}
+  std::string name() const override;
+  std::vector<double> Scores(const workload::Trace& trace) override;
+
+ private:
+  double fraction_;
+  uint64_t seed_;
+};
+
+/// Publish set selection: marks files published so that the published
+/// fraction of *copies* (over the queried-file universe, matching the
+/// paper's result-derived item population) is as close to `budget` as the
+/// score order allows. Lower scores are published first; ties are broken
+/// by file id.
+std::vector<bool> SelectByBudget(const workload::Trace& trace,
+                                 const std::vector<double>& scores,
+                                 double budget_copies_fraction);
+
+/// Threshold form used by the live hybrid deployment: publish iff
+/// score <= threshold.
+std::vector<bool> SelectByThreshold(const std::vector<double>& scores,
+                                    double threshold);
+
+/// Fraction of copies (queried universe) the selection publishes.
+double PublishedCopiesFraction(const workload::Trace& trace,
+                               const std::vector<bool>& published);
+
+}  // namespace pierstack::hybrid

@@ -1,0 +1,60 @@
+#include "model/equations.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pierstack::model {
+
+double PFGnutella(double replicas, const SystemParams& params) {
+  double n = params.num_nodes;
+  double h = params.horizon_nodes;
+  assert(n >= 1);
+  if (replicas <= 0 || h <= 0) return 0.0;
+  if (replicas >= n) return 1.0;
+  if (h >= n) return 1.0;
+  // log Π_{j=0}^{h-1} (1 - R/(N-j)), guarding factors that reach zero.
+  double log_miss = 0.0;
+  for (double j = 0; j < h; ++j) {
+    double denom = n - j;
+    if (replicas >= denom) return 1.0;
+    log_miss += std::log1p(-replicas / denom);
+  }
+  return 1.0 - std::exp(log_miss);
+}
+
+double PFHybrid(double replicas, bool published, const SystemParams& params) {
+  double pf_g = PFGnutella(replicas, params);
+  double pf_dht = published ? 1.0 : 0.0;
+  return pf_g + (1.0 - pf_g) * pf_dht;
+}
+
+double PFThreshold(uint32_t replica_threshold, const SystemParams& params) {
+  // Published items (R <= threshold) are always found; the binding
+  // constraint is the least-replicated unpublished item.
+  return PFGnutella(static_cast<double>(replica_threshold) + 1.0, params);
+}
+
+double SearchCost(const ItemParams& item, const SystemParams& params,
+                  const CostParams& costs) {
+  double pnf_g = 1.0 - PFGnutella(item.replicas, params);
+  return item.query_freq *
+         ((params.horizon_nodes - 1.0) + pnf_g * costs.cs_dht);
+}
+
+double TotalItemCost(const ItemParams& item, const SystemParams& params,
+                     const CostParams& costs) {
+  double publish_rate =
+      item.published && item.lifetime > 0 ? costs.cp_dht / item.lifetime : 0.0;
+  return SearchCost(item, params, costs) + publish_rate;
+}
+
+double PublishCost(const ItemParams& item, const CostParams& costs) {
+  return item.published ? costs.cp_dht : 0.0;
+}
+
+double DefaultDhtSearchCost(double num_nodes) {
+  return std::log2(std::max(2.0, num_nodes));
+}
+
+}  // namespace pierstack::model

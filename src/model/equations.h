@@ -1,0 +1,72 @@
+// Analytical model of hybrid search (paper Section 6.1, Equations 1–5).
+//
+// The paper's Tables 1 and 2 define the notation; they map to the structs
+// below:
+//   Table 1: N (SystemParams::num_nodes), Nhorizon (horizon_nodes),
+//            Ri (replicas arguments), Ti (ItemParams::lifetime),
+//            Qi (ItemParams::query_freq).
+//   Table 2: PF*/PNF* (the probability functions), CS/CP/CO (the cost
+//            functions below).
+#pragma once
+
+#include <cstdint>
+
+namespace pierstack::model {
+
+/// Global system parameters (paper Table 1).
+struct SystemParams {
+  double num_nodes = 0;      ///< N: nodes in the system.
+  double horizon_nodes = 0;  ///< Nhorizon: distinct nodes a flood reaches
+                             ///< (includes the query node itself).
+};
+
+/// Per-item parameters (paper Table 1).
+struct ItemParams {
+  double replicas = 1;    ///< Ri.
+  double query_freq = 1;  ///< Qi: queries per time unit.
+  double lifetime = 1;    ///< Ti: item lifetime in the network.
+  bool published = false; ///< Whether the item is in the DHT partial index
+                          ///< (PF_DHT is its indicator).
+};
+
+/// Cost constants (paper Section 6.1's cost discussion).
+struct CostParams {
+  double cs_dht = 0;  ///< CS_DHT: messages per DHT query (≈ log N with the
+                      ///< InvertedCache option).
+  double cp_dht = 0;  ///< CP_DHT: messages to publish one item.
+};
+
+/// Equation 2: probability a query for an item with `replicas` copies
+/// finds at least one within a random `horizon_nodes`-node flood over
+/// `num_nodes` nodes (sampling without replacement).
+double PFGnutella(double replicas, const SystemParams& params);
+
+/// Equation 1: PF_hybrid = PF_g + (1 - PF_g) * PF_DHT, with PF_DHT the
+/// published indicator.
+double PFHybrid(double replicas, bool published, const SystemParams& params);
+
+/// Figure 9's PF_threshold: the lower bound of PF_hybrid over all items
+/// when every item with replicas <= replica_threshold is published. Items
+/// published are found with probability 1; the worst unpublished item has
+/// replica_threshold + 1 copies.
+double PFThreshold(uint32_t replica_threshold, const SystemParams& params);
+
+/// Equation 3: per-time-unit search cost of an item in the hybrid system:
+/// Qi * ((Nhorizon - 1) + PNF_g * CS_DHT).
+double SearchCost(const ItemParams& item, const SystemParams& params,
+                  const CostParams& costs);
+
+/// Equation 4: total per-time-unit cost of supporting an item:
+/// CS_hybrid + PF_DHT * CP_DHT / Ti.
+double TotalItemCost(const ItemParams& item, const SystemParams& params,
+                     const CostParams& costs);
+
+/// Equation 5 (one term): the publishing cost an item contributes to
+/// CP_all,hybrid = Σ PF_DHT * CP_DHT.
+double PublishCost(const ItemParams& item, const CostParams& costs);
+
+/// Default CS_DHT for an N-node overlay: log2(N) routing messages (paper:
+/// "In a typical DHT system, CS_DHT is log N messages").
+double DefaultDhtSearchCost(double num_nodes);
+
+}  // namespace pierstack::model

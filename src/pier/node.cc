@@ -1,0 +1,273 @@
+#include "pier/node.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "common/tokenizer.h"
+
+namespace pierstack::pier {
+
+namespace {
+
+dht::Key DhtKeyFor(const std::string& ns, const Value& key) {
+  return HashCombine(Fnv1a64(ns), key.Hash());
+}
+
+}  // namespace
+
+PierNode::PierNode(dht::DhtNode* dht, PierMetrics* metrics)
+    : dht_(dht), metrics_(metrics) {
+  assert(dht != nullptr && metrics != nullptr);
+  dht_->SetUpcallHandler(kAppJoinStage,
+                         [this](const dht::RouteMsg& m) { OnJoinStage(m); });
+  dht_->SetUpcallHandler(kAppSizeProbe,
+                         [this](const dht::RouteMsg& m) { OnSizeProbe(m); });
+  dht_->SetDirectHandler([this](sim::HostId from, const sim::Message& m) {
+    OnDirect(from, m);
+  });
+}
+
+void PierNode::Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry,
+                       dht::DhtNode::PutCallback callback) {
+  ++metrics_->tuples_published;
+  std::vector<uint8_t> bytes = tuple.Serialize();
+  metrics_->publish_bytes += bytes.size();
+  dht::Key key = DhtKeyFor(schema.table_name(), tuple.IndexValue(schema));
+  dht_->Put(schema.table_name(), key, std::move(bytes), expiry,
+            std::move(callback));
+}
+
+std::vector<Tuple> PierNode::ScanLocal(const Schema& schema,
+                                       const Value& key) {
+  std::vector<Tuple> out;
+  dht::Key k = DhtKeyFor(schema.table_name(), key);
+  sim::SimTime now = dht_->network()->simulator()->now();
+  for (const dht::StoredValue* v :
+       dht_->store().Get(schema.table_name(), k, now)) {
+    auto t = Tuple::Deserialize(v->value);
+    if (!t.ok()) continue;  // skip corrupt entries
+    if (t.value().arity() <= schema.index_field()) continue;
+    if (!(t.value().IndexValue(schema) == key)) continue;  // 64-bit collision
+    out.push_back(std::move(t).value());
+  }
+  return out;
+}
+
+void PierNode::Fetch(const Schema& schema, const Value& key,
+                     FetchCallback callback) {
+  ++metrics_->fetches;
+  dht::Key k = DhtKeyFor(schema.table_name(), key);
+  size_t index_field = schema.index_field();
+  dht_->Get(schema.table_name(), k,
+            [callback = std::move(callback), key, index_field](
+                Status s, std::vector<std::vector<uint8_t>> values) {
+              if (!s.ok()) {
+                callback(s, {});
+                return;
+              }
+              std::vector<Tuple> tuples;
+              for (const auto& bytes : values) {
+                auto t = Tuple::Deserialize(bytes);
+                if (!t.ok()) continue;
+                if (t.value().arity() <= index_field) continue;
+                if (!(t.value().at(index_field) == key)) continue;
+                tuples.push_back(std::move(t).value());
+              }
+              callback(Status::OK(), std::move(tuples));
+            });
+}
+
+void PierNode::ProbePostingSize(const std::string& ns, const Value& key,
+                                ProbeCallback callback) {
+  ++metrics_->probe_messages;
+  uint64_t qid = NextQid();
+  PendingProbe pending;
+  pending.callback = std::move(callback);
+  pending.timeout = dht_->network()->simulator()->ScheduleAfter(
+      10 * sim::kSecond, [this, qid]() {
+        auto it = pending_probes_.find(qid);
+        if (it == pending_probes_.end()) return;
+        ProbeCallback cb = std::move(it->second.callback);
+        pending_probes_.erase(it);
+        cb(Status::TimedOut("posting size probe"), 0);
+      });
+  pending_probes_[qid] = std::move(pending);
+  auto body = std::make_shared<const SizeProbeMsg>(SizeProbeMsg{qid, ns, key});
+  dht_->Route(DhtKeyFor(ns, key), kAppSizeProbe, body,
+              ns.size() + key.WireSize() + 8, qid);
+}
+
+void PierNode::ExecuteJoin(DistributedJoin join, JoinCallback callback,
+                           sim::SimTime timeout) {
+  assert(!join.stages.empty());
+  ++metrics_->joins_executed;
+  uint64_t qid = NextQid();
+  PendingJoin pending;
+  pending.callback = std::move(callback);
+  pending.timeout =
+      dht_->network()->simulator()->ScheduleAfter(timeout, [this, qid]() {
+        auto it = pending_joins_.find(qid);
+        if (it == pending_joins_.end()) return;
+        JoinCallback cb = std::move(it->second.callback);
+        pending_joins_.erase(it);
+        cb(Status::TimedOut("distributed join"), {});
+      });
+  pending_joins_[qid] = std::move(pending);
+
+  JoinStageMsg msg;
+  msg.qid = qid;
+  msg.join = std::make_shared<const DistributedJoin>(std::move(join));
+  msg.stage_idx = 0;
+  msg.origin = dht_->info();
+  const JoinStage& first = msg.join->stages[0];
+  dht::Key target = DhtKeyFor(first.ns, first.key);
+  ++metrics_->join_stage_messages;
+  size_t bytes = StageMsgWireSize(msg);
+  dht_->Route(target, kAppJoinStage,
+              std::make_shared<const JoinStageMsg>(std::move(msg)), bytes,
+              qid);
+}
+
+size_t PierNode::EntryWireSize(const JoinResultEntry& e) {
+  return e.join_key.WireSize() + e.payload.WireSize();
+}
+
+size_t PierNode::StageMsgWireSize(const JoinStageMsg& m) {
+  size_t bytes = 32;  // qid, stage idx, origin, limit
+  for (const auto& s : m.join->stages) {
+    bytes += s.ns.size() + s.key.WireSize() + 6;
+    for (const auto& f : s.substring_filter) bytes += f.size() + 1;
+  }
+  for (const auto& e : m.incoming) bytes += EntryWireSize(e);
+  return bytes;
+}
+
+std::vector<JoinResultEntry> PierNode::LocalStageEntries(
+    const JoinStage& stage) {
+  std::vector<JoinResultEntry> out;
+  dht::Key k = DhtKeyFor(stage.ns, stage.key);
+  sim::SimTime now = dht_->network()->simulator()->now();
+  for (const dht::StoredValue* v : dht_->store().Get(stage.ns, k, now)) {
+    auto parsed = Tuple::Deserialize(v->value);
+    if (!parsed.ok()) continue;
+    Tuple t = std::move(parsed).value();
+    if (t.arity() <= stage.key_col || t.arity() <= stage.join_col) continue;
+    if (!(t.at(stage.key_col) == stage.key)) continue;
+    if (!stage.substring_filter.empty()) {
+      if (stage.filter_col >= t.arity()) continue;
+      if (!t.at(stage.filter_col).is_string()) continue;
+      if (!FilenameMatchesQuery(t.at(stage.filter_col).AsString(),
+                                stage.substring_filter)) {
+        continue;
+      }
+    }
+    JoinResultEntry e;
+    e.join_key = t.at(stage.join_col);
+    if (!stage.payload_cols.empty()) {
+      std::vector<Value> payload;
+      payload.reserve(stage.payload_cols.size());
+      for (size_t c : stage.payload_cols) {
+        payload.push_back(c < t.arity() ? t.at(c) : Value());
+      }
+      e.payload = Tuple(std::move(payload));
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
+  const auto& stage_msg = msg.body<JoinStageMsg>();
+  const DistributedJoin& join = *stage_msg.join;
+  const JoinStage& stage = join.stages[stage_msg.stage_idx];
+
+  std::vector<JoinResultEntry> local = LocalStageEntries(stage);
+
+  std::vector<JoinResultEntry> surviving;
+  if (stage_msg.stage_idx == 0) {
+    surviving = std::move(local);
+  } else {
+    // Symmetric hash join between the shipped entries (left) and the local
+    // posting list (right); the surviving payload is the incoming one.
+    SymmetricHashJoin shj(/*left_col=*/0, /*right_col=*/0);
+    for (const auto& e : local) {
+      shj.InsertRight(Tuple(std::vector<Value>{e.join_key}));
+    }
+    for (const auto& e : stage_msg.incoming) {
+      auto joined = shj.InsertLeft(Tuple(std::vector<Value>{e.join_key}));
+      // Duplicate local postings for the same key yield duplicate joins;
+      // the chain semantics are set-based, so take at most one.
+      if (!joined.empty()) surviving.push_back(e);
+    }
+  }
+
+  bool last = stage_msg.stage_idx + 1 == join.stages.size();
+  // The cap applies to the final answer only; truncating an intermediate
+  // posting list could drop entries that survive later stages.
+  if (last && surviving.size() > join.limit) surviving.resize(join.limit);
+  if (last || surviving.empty()) {
+    // Stream the answer directly to the query node (bypasses the overlay).
+    DirectEnvelope env;
+    env.subtype = kJoinReply;
+    env.qid = stage_msg.qid;
+    env.entries = std::move(surviving);
+    size_t bytes = 16;
+    for (const auto& e : env.entries) bytes += EntryWireSize(e);
+    dht_->SendDirect(stage_msg.origin.host,
+                     sim::Message::Make<DirectEnvelope>(
+                         dht::DhtNode::kDirectApp, "pier.answer", bytes,
+                         std::move(env)));
+    return;
+  }
+
+  JoinStageMsg next;
+  next.qid = stage_msg.qid;
+  next.join = stage_msg.join;
+  next.stage_idx = stage_msg.stage_idx + 1;
+  next.incoming = std::move(surviving);
+  next.origin = stage_msg.origin;
+  metrics_->posting_entries_shipped += next.incoming.size();
+  ++metrics_->join_stage_messages;
+  const JoinStage& next_stage = join.stages[next.stage_idx];
+  size_t bytes = StageMsgWireSize(next);
+  dht_->Route(DhtKeyFor(next_stage.ns, next_stage.key), kAppJoinStage,
+              std::make_shared<const JoinStageMsg>(std::move(next)), bytes,
+              stage_msg.qid);
+}
+
+void PierNode::OnSizeProbe(const dht::RouteMsg& msg) {
+  const auto& probe = msg.body<SizeProbeMsg>();
+  dht::Key k = DhtKeyFor(probe.ns, probe.key);
+  size_t n =
+      dht_->store().Get(probe.ns, k, dht_->network()->simulator()->now())
+          .size();
+  DirectEnvelope env;
+  env.subtype = kProbeReply;
+  env.qid = probe.qid;
+  env.posting_size = n;
+  dht_->SendDirect(msg.origin.host,
+                   sim::Message::Make<DirectEnvelope>(
+                       dht::DhtNode::kDirectApp, "pier.answer", 24,
+                       std::move(env)));
+}
+
+void PierNode::OnDirect(sim::HostId /*from*/, const sim::Message& msg) {
+  const auto& env = msg.as<DirectEnvelope>();
+  if (env.subtype == kJoinReply) {
+    auto it = pending_joins_.find(env.qid);
+    if (it == pending_joins_.end()) return;
+    dht_->network()->simulator()->Cancel(it->second.timeout);
+    JoinCallback cb = std::move(it->second.callback);
+    pending_joins_.erase(it);
+    cb(Status::OK(), env.entries);
+  } else if (env.subtype == kProbeReply) {
+    auto it = pending_probes_.find(env.qid);
+    if (it == pending_probes_.end()) return;
+    dht_->network()->simulator()->Cancel(it->second.timeout);
+    ProbeCallback cb = std::move(it->second.callback);
+    pending_probes_.erase(it);
+    cb(Status::OK(), env.posting_size);
+  }
+}
+
+}  // namespace pierstack::pier

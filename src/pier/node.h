@@ -1,0 +1,155 @@
+// PierNode: PIER's per-node query processor over the DHT.
+//
+// Responsibilities (paper Sections 2–3):
+//  * table storage: every tuple is published into the DHT under its
+//    schema's index field (Put) and scanned from the owner's LocalStore,
+//  * distributed query execution: the keyword-join chain — the query plan
+//    of Figure 2 — routed via the DHT with a symmetric hash join per hop,
+//    plus the single-site InvertedCache variant of Figure 3,
+//  * result streaming: final answers travel directly to the query node,
+//    bypassing the overlay ("With the exception of query answers, all
+//    messages are sent via the DHT routing layer").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dht/node.h"
+#include "pier/ops.h"
+#include "pier/schema.h"
+
+namespace pierstack::pier {
+
+/// Aggregate counters for one PIER deployment.
+struct PierMetrics {
+  uint64_t tuples_published = 0;
+  uint64_t publish_bytes = 0;           ///< Application bytes (tuples only).
+  uint64_t joins_executed = 0;
+  uint64_t join_stage_messages = 0;
+  uint64_t posting_entries_shipped = 0; ///< Entries rehashed between stages.
+  uint64_t probe_messages = 0;
+  uint64_t fetches = 0;
+};
+
+/// One stage of a distributed join chain (one keyword, in PIERSearch).
+struct JoinStage {
+  std::string ns;            ///< Table namespace, e.g. "inverted".
+  Value key;                 ///< DHT key value, e.g. Value("madonna").
+  size_t key_col = 0;        ///< Column that must equal `key`.
+  size_t join_col = 1;       ///< Join attribute column (fileID).
+  /// Columns carried as payload from this stage's tuples (only the stage
+  /// that first produces an entry contributes payload — stage 0 in a
+  /// chain). Empty = carry the join key only.
+  std::vector<size_t> payload_cols;
+  /// If set, tuples must contain all these strings as substrings of
+  /// column `filter_col` (the InvertedCache plan's in-situ selection).
+  std::vector<std::string> substring_filter;
+  size_t filter_col = SIZE_MAX;
+};
+
+/// A join-chain result entry: the join key plus the stage-0 payload.
+struct JoinResultEntry {
+  Value join_key;
+  Tuple payload;
+};
+
+/// Parameters of one distributed join execution.
+struct DistributedJoin {
+  std::vector<JoinStage> stages;
+  size_t limit = SIZE_MAX;  ///< Cap on result entries returned.
+};
+
+class PierNode {
+ public:
+  using JoinCallback =
+      std::function<void(Status, std::vector<JoinResultEntry>)>;
+  using FetchCallback = std::function<void(Status, std::vector<Tuple>)>;
+  using ProbeCallback = std::function<void(Status, size_t posting_size)>;
+
+  /// Attaches PIER to a DHT node. Claims the DHT node's upcall slots for
+  /// PIER app types and its direct-message handler.
+  PierNode(dht::DhtNode* dht, PierMetrics* metrics);
+
+  dht::DhtNode* dht() { return dht_; }
+  sim::HostId host() const { return dht_->host(); }
+
+  /// Publishes a tuple into the DHT under its schema's index field.
+  void Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry = 0,
+               dht::DhtNode::PutCallback callback = nullptr);
+
+  /// Tuples of `schema` stored locally under `key` (post hash-collision
+  /// filtering on the key column).
+  std::vector<Tuple> ScanLocal(const Schema& schema, const Value& key);
+
+  /// Fetches all tuples of `schema` keyed by `key` from the owner node.
+  void Fetch(const Schema& schema, const Value& key, FetchCallback callback);
+
+  /// Asks the owner of (ns, key) for its posting-list size — the optimizer
+  /// probe behind the "smaller posting lists first" ordering.
+  void ProbePostingSize(const std::string& ns, const Value& key,
+                        ProbeCallback callback);
+
+  /// Runs a distributed join chain; the callback fires with the surviving
+  /// entries (or a timeout error).
+  void ExecuteJoin(DistributedJoin join, JoinCallback callback,
+                   sim::SimTime timeout = 30 * sim::kSecond);
+
+ private:
+  // Routed app types (offsets from dht::kAppUserBase).
+  static constexpr int kAppJoinStage = dht::kAppUserBase + 1;
+  static constexpr int kAppSizeProbe = dht::kAppUserBase + 2;
+  // Direct message subtypes (within dht::DhtNode::kDirectApp).
+  static constexpr int kJoinReply = 1;
+  static constexpr int kProbeReply = 2;
+
+  struct JoinStageMsg {
+    uint64_t qid;
+    std::shared_ptr<const DistributedJoin> join;
+    size_t stage_idx;
+    std::vector<JoinResultEntry> incoming;
+    dht::NodeInfo origin;
+  };
+  struct SizeProbeMsg {
+    uint64_t qid;
+    std::string ns;
+    Value key;
+  };
+  struct DirectEnvelope {
+    int subtype;
+    uint64_t qid;
+    std::vector<JoinResultEntry> entries;  // kJoinReply
+    size_t posting_size = 0;               // kProbeReply
+  };
+
+  void OnJoinStage(const dht::RouteMsg& msg);
+  void OnSizeProbe(const dht::RouteMsg& msg);
+  void OnDirect(sim::HostId from, const sim::Message& msg);
+
+  /// Tuples of (ns, key) passing the stage's filters, as JoinResultEntries.
+  std::vector<JoinResultEntry> LocalStageEntries(const JoinStage& stage);
+
+  static size_t EntryWireSize(const JoinResultEntry& e);
+  static size_t StageMsgWireSize(const JoinStageMsg& m);
+
+  uint64_t NextQid() { return next_qid_++; }
+
+  dht::DhtNode* dht_;
+  PierMetrics* metrics_;
+  uint64_t next_qid_ = 1;
+
+  struct PendingJoin {
+    JoinCallback callback;
+    sim::EventId timeout = sim::kInvalidEventId;
+  };
+  std::map<uint64_t, PendingJoin> pending_joins_;
+  struct PendingProbe {
+    ProbeCallback callback;
+    sim::EventId timeout = sim::kInvalidEventId;
+  };
+  std::map<uint64_t, PendingProbe> pending_probes_;
+};
+
+}  // namespace pierstack::pier

@@ -1,0 +1,63 @@
+#include "pier/schema.h"
+
+namespace pierstack::pier {
+
+Schema::Schema(std::string table_name, std::vector<Field> fields,
+               size_t index_field)
+    : name_(std::move(table_name)),
+      fields_(std::move(fields)),
+      index_field_(index_field) {
+  assert(index_field_ < fields_.size());
+}
+
+size_t Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  assert(false && "unknown field");
+  return SIZE_MAX;
+}
+
+std::vector<uint8_t> Tuple::Serialize() const {
+  BytesWriter w;
+  w.PutVarint(values_.size());
+  for (const auto& v : values_) v.SerializeTo(&w);
+  return w.Take();
+}
+
+Result<Tuple> Tuple::Deserialize(const std::vector<uint8_t>& data) {
+  BytesReader r(data);
+  auto arity = r.GetVarint();
+  if (!arity.ok()) return arity.status();
+  // Every value costs at least one byte; a larger claimed arity is
+  // corrupt input (and guards the reserve below against hostile sizes).
+  if (arity.value() > r.remaining()) {
+    return Status::Corruption("tuple arity exceeds payload");
+  }
+  std::vector<Value> values;
+  values.reserve(static_cast<size_t>(arity.value()));
+  for (uint64_t i = 0; i < arity.value(); ++i) {
+    auto v = Value::Deserialize(&r);
+    if (!v.ok()) return v.status();
+    values.push_back(std::move(v).value());
+  }
+  return Tuple(std::move(values));
+}
+
+size_t Tuple::WireSize() const {
+  size_t n = VarintSize(values_.size());
+  for (const auto& v : values_) n += v.WireSize();
+  return n;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pierstack::pier

@@ -1,0 +1,77 @@
+// Schema and Tuple: PIER's relational data model (paper Section 3.1).
+//
+// A schema names its fields, declares their types, and designates one
+// field as the DHT *publishing (index) key* — e.g. `keyword` for the
+// Inverted table, `fileID` for the Item table.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "pier/value.h"
+
+namespace pierstack::pier {
+
+struct Field {
+  std::string name;
+  ValueType type;
+};
+
+/// Table schema. Instances are created once and shared by pointer.
+class Schema {
+ public:
+  /// `index_field`: which field's value keys the tuple in the DHT.
+  Schema(std::string table_name, std::vector<Field> fields,
+         size_t index_field);
+
+  const std::string& table_name() const { return name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t index_field() const { return index_field_; }
+  size_t arity() const { return fields_.size(); }
+
+  /// Index of a field by name; asserts it exists.
+  size_t FieldIndex(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<Field> fields_;
+  size_t index_field_;
+};
+
+/// A tuple: a row of Values conforming to some schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Value of the schema's DHT index field.
+  const Value& IndexValue(const Schema& schema) const {
+    return values_[schema.index_field()];
+  }
+
+  /// Serialized bytes (the engine's compact binary format — what PIER's
+  /// Java serialization overhead is replaced with).
+  std::vector<uint8_t> Serialize() const;
+  static Result<Tuple> Deserialize(const std::vector<uint8_t>& data);
+
+  /// Wire size without materializing the serialization.
+  size_t WireSize() const;
+
+  /// Field-wise rendering "(a, b, c)".
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace pierstack::pier

@@ -1,0 +1,99 @@
+#include "pier/value.h"
+
+#include <cstring>
+
+namespace pierstack::pier {
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kUint64:
+      return Mix64(AsUint64());
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(AsInt64()) ^ 0x11);
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits ^ 0x22);
+    }
+    case ValueType::kString:
+      return Fnv1a64(AsString());
+  }
+  return 0;
+}
+
+size_t Value::WireSize() const {
+  switch (type()) {
+    case ValueType::kUint64:
+      return 1 + VarintSize(AsUint64());
+    case ValueType::kInt64:
+      return 1 + VarintSize(static_cast<uint64_t>(AsInt64()));
+    case ValueType::kDouble:
+      return 1 + 8;
+    case ValueType::kString:
+      return 1 + VarintSize(AsString().size()) + AsString().size();
+  }
+  return 1;
+}
+
+void Value::SerializeTo(BytesWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kUint64:
+      w->PutVarint(AsUint64());
+      return;
+    case ValueType::kInt64:
+      w->PutVarint(static_cast<uint64_t>(AsInt64()));
+      return;
+    case ValueType::kDouble:
+      w->PutDouble(AsDouble());
+      return;
+    case ValueType::kString:
+      w->PutString(AsString());
+      return;
+  }
+}
+
+Result<Value> Value::Deserialize(BytesReader* r) {
+  auto tag = r->GetU8();
+  if (!tag.ok()) return tag.status();
+  switch (static_cast<ValueType>(tag.value())) {
+    case ValueType::kUint64: {
+      auto v = r->GetVarint();
+      if (!v.ok()) return v.status();
+      return Value(v.value());
+    }
+    case ValueType::kInt64: {
+      auto v = r->GetVarint();
+      if (!v.ok()) return v.status();
+      return Value(static_cast<int64_t>(v.value()));
+    }
+    case ValueType::kDouble: {
+      auto v = r->GetDouble();
+      if (!v.ok()) return v.status();
+      return Value(v.value());
+    }
+    case ValueType::kString: {
+      auto v = r->GetString();
+      if (!v.ok()) return v.status();
+      return Value(std::move(v).value());
+    }
+  }
+  return Status::Corruption("unknown value type tag");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kUint64:
+      return std::to_string(AsUint64());
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+}  // namespace pierstack::pier

@@ -1,0 +1,64 @@
+// Value: the dynamic typed cell of PIER tuples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/hashing.h"
+
+namespace pierstack::pier {
+
+/// Field types supported by the engine.
+enum class ValueType : uint8_t {
+  kUint64 = 0,  // ids, sizes, addresses
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// A dynamically typed value. Small, copyable, hashable.
+class Value {
+ public:
+  Value() : v_(uint64_t{0}) {}
+  explicit Value(uint64_t v) : v_(v) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  static Value OfString(std::string_view s) { return Value(std::string(s)); }
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+
+  uint64_t AsUint64() const { return std::get<uint64_t>(v_); }
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  bool is_string() const { return type() == ValueType::kString; }
+
+  /// Stable 64-bit hash (DHT publishing key, join bucketing).
+  uint64_t Hash() const;
+
+  /// Serialized wire size in bytes (type tag included).
+  size_t WireSize() const;
+
+  void SerializeTo(BytesWriter* w) const;
+  static Result<Value> Deserialize(BytesReader* r);
+
+  /// Human-readable rendering for logs and examples.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Value& a, const Value& b) { return a.v_ < b.v_; }
+
+ private:
+  std::variant<uint64_t, int64_t, double, std::string> v_;
+};
+
+}  // namespace pierstack::pier

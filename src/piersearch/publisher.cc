@@ -1,0 +1,41 @@
+#include "piersearch/publisher.h"
+
+#include "common/hashing.h"
+#include "common/tokenizer.h"
+#include "piersearch/schemas.h"
+
+namespace pierstack::piersearch {
+
+using pier::Tuple;
+using pier::Value;
+
+uint64_t Publisher::PublishFile(const std::string& filename,
+                                uint64_t size_bytes, uint32_t address,
+                                uint16_t port,
+                                const PublishOptions& options) {
+  uint64_t file_id = FileId(filename, size_bytes, address);
+  ++stats_.files_published;
+
+  auto publish = [&](const pier::Schema& schema, Tuple t) {
+    stats_.tuple_bytes += t.WireSize();
+    ++stats_.tuples_published;
+    pier_->Publish(schema, std::move(t), options.expiry);
+  };
+
+  publish(ItemSchema(),
+          Tuple({Value(file_id), Value(filename), Value(size_bytes),
+                 Value(uint64_t{address}), Value(uint64_t{port})}));
+
+  for (const auto& kw : ExtractUniqueKeywords(filename)) {
+    if (options.inverted) {
+      publish(InvertedSchema(), Tuple({Value(kw), Value(file_id)}));
+    }
+    if (options.inverted_cache) {
+      publish(InvertedCacheSchema(),
+              Tuple({Value(kw), Value(file_id), Value(filename)}));
+    }
+  }
+  return file_id;
+}
+
+}  // namespace pierstack::piersearch

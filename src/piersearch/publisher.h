@@ -1,0 +1,48 @@
+// Publisher: builds and publishes the inverted-file tuples for shared
+// files (paper Section 3.1 and Figure 1's Publisher component).
+//
+// For each file it emits one Item tuple keyed by fileID plus one Inverted
+// tuple per unique keyword (or InvertedCache tuples, which redundantly
+// carry the filename so searches resolve at a single site — Figure 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pier/node.h"
+
+namespace pierstack::piersearch {
+
+/// What index structures to publish for each file.
+struct PublishOptions {
+  bool inverted = true;        ///< Inverted(keyword, fileID) tuples.
+  bool inverted_cache = false; ///< InvertedCache(keyword, fileID, fulltext).
+  sim::SimTime expiry = 0;     ///< Soft-state lifetime (0 = permanent).
+};
+
+/// Per-publisher counters (the Section 7 per-file bandwidth analysis).
+struct PublisherStats {
+  uint64_t files_published = 0;
+  uint64_t tuples_published = 0;
+  uint64_t tuple_bytes = 0;  ///< Application-level bytes across all tuples.
+};
+
+class Publisher {
+ public:
+  explicit Publisher(pier::PierNode* pier) : pier_(pier) {}
+
+  /// Publishes one file: the Item tuple plus its keyword index entries.
+  /// `address`/`port` locate the host actually sharing the file (a leaf,
+  /// in the hybrid deployment). Returns the fileID.
+  uint64_t PublishFile(const std::string& filename, uint64_t size_bytes,
+                       uint32_t address, uint16_t port,
+                       const PublishOptions& options);
+
+  const PublisherStats& stats() const { return stats_; }
+
+ private:
+  pier::PierNode* pier_;
+  PublisherStats stats_;
+};
+
+}  // namespace pierstack::piersearch

@@ -1,0 +1,40 @@
+#include "piersearch/schemas.h"
+
+namespace pierstack::piersearch {
+
+using pier::Field;
+using pier::Schema;
+using pier::ValueType;
+
+const Schema& ItemSchema() {
+  static const Schema* kSchema = new Schema(
+      "item",
+      {Field{"fileID", ValueType::kUint64},
+       Field{"filename", ValueType::kString},
+       Field{"filesize", ValueType::kUint64},
+       Field{"ipAddress", ValueType::kUint64},
+       Field{"port", ValueType::kUint64}},
+      kItemFileId);
+  return *kSchema;
+}
+
+const Schema& InvertedSchema() {
+  static const Schema* kSchema = new Schema(
+      "inverted",
+      {Field{"keyword", ValueType::kString},
+       Field{"fileID", ValueType::kUint64}},
+      kInvKeyword);
+  return *kSchema;
+}
+
+const Schema& InvertedCacheSchema() {
+  static const Schema* kSchema = new Schema(
+      "invcache",
+      {Field{"keyword", ValueType::kString},
+       Field{"fileID", ValueType::kUint64},
+       Field{"fulltext", ValueType::kString}},
+      kIcKeyword);
+  return *kSchema;
+}
+
+}  // namespace pierstack::piersearch

@@ -1,0 +1,38 @@
+// PIERSearch table schemas (paper Section 3.1):
+//
+//   Item(fileID, filename, filesize, ipAddress, port)      — keyed by fileID
+//   Inverted(keyword, fileID)                              — keyed by keyword
+//   InvertedCache(keyword, fileID, fulltext)               — keyed by keyword
+#pragma once
+
+#include "pier/schema.h"
+
+namespace pierstack::piersearch {
+
+/// Column indices of the Item table.
+enum ItemCol : size_t {
+  kItemFileId = 0,
+  kItemFilename = 1,
+  kItemFilesize = 2,
+  kItemAddress = 3,
+  kItemPort = 4,
+};
+
+/// Column indices of the Inverted table.
+enum InvertedCol : size_t {
+  kInvKeyword = 0,
+  kInvFileId = 1,
+};
+
+/// Column indices of the InvertedCache table.
+enum InvertedCacheCol : size_t {
+  kIcKeyword = 0,
+  kIcFileId = 1,
+  kIcFulltext = 2,
+};
+
+const pier::Schema& ItemSchema();
+const pier::Schema& InvertedSchema();
+const pier::Schema& InvertedCacheSchema();
+
+}  // namespace pierstack::piersearch

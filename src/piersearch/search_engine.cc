@@ -1,0 +1,162 @@
+#include "piersearch/search_engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/tokenizer.h"
+#include "piersearch/schemas.h"
+
+namespace pierstack::piersearch {
+
+using pier::DistributedJoin;
+using pier::JoinResultEntry;
+using pier::JoinStage;
+using pier::Tuple;
+using pier::Value;
+
+void SearchEngine::Search(const std::string& query_text,
+                          const SearchOptions& options,
+                          SearchCallback callback) {
+  std::vector<std::string> terms = ExtractUniqueKeywords(query_text);
+  if (terms.empty()) {
+    callback(Status::InvalidArgument("no indexable terms in query"), {});
+    return;
+  }
+  ++searches_started_;
+  if (!options.order_by_posting_size || terms.size() == 1) {
+    RunPlan(std::move(terms), options, std::move(callback));
+    return;
+  }
+  // Optimizer probe: learn each keyword's posting size, then order the
+  // chain smallest-first (paper: "optimized to compute smaller posting
+  // lists first").
+  const std::string& ns = options.strategy == SearchStrategy::kInvertedCache
+                              ? InvertedCacheSchema().table_name()
+                              : InvertedSchema().table_name();
+  struct ProbeState {
+    size_t remaining;
+    std::vector<std::pair<size_t, std::string>> sized;  // (size, term)
+  };
+  auto state = std::make_shared<ProbeState>();
+  state->remaining = terms.size();
+  for (const auto& term : terms) {
+    pier_->ProbePostingSize(
+        ns, Value(term),
+        [this, state, term, options, callback](Status s, size_t size) mutable {
+          state->sized.emplace_back(s.ok() ? size : SIZE_MAX, term);
+          if (--state->remaining > 0) return;
+          std::stable_sort(state->sized.begin(), state->sized.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first < b.first;
+                           });
+          std::vector<std::string> ordered;
+          ordered.reserve(state->sized.size());
+          for (auto& [sz, t] : state->sized) ordered.push_back(std::move(t));
+          RunPlan(std::move(ordered), options, std::move(callback));
+        });
+  }
+}
+
+void SearchEngine::RunPlan(std::vector<std::string> terms,
+                           const SearchOptions& options,
+                           SearchCallback callback) {
+  DistributedJoin join;
+  join.limit = options.max_results;
+  if (options.strategy == SearchStrategy::kInvertedCache) {
+    // Single-site plan: all terms but the routing one become substring
+    // selections over the cached fulltext.
+    JoinStage stage;
+    stage.ns = InvertedCacheSchema().table_name();
+    stage.key = Value(terms[0]);
+    stage.key_col = kIcKeyword;
+    stage.join_col = kIcFileId;
+    stage.payload_cols = {kIcFileId, kIcFulltext};
+    stage.filter_col = kIcFulltext;
+    stage.substring_filter.assign(terms.begin() + 1, terms.end());
+    join.stages.push_back(std::move(stage));
+  } else {
+    for (const auto& term : terms) {
+      JoinStage stage;
+      stage.ns = InvertedSchema().table_name();
+      stage.key = Value(term);
+      stage.key_col = kInvKeyword;
+      stage.join_col = kInvFileId;
+      join.stages.push_back(std::move(stage));
+    }
+  }
+  pier_->ExecuteJoin(
+      std::move(join),
+      [this, options, callback = std::move(callback)](
+          Status s, std::vector<JoinResultEntry> entries) mutable {
+        OnJoinDone(options, std::move(callback), s, std::move(entries));
+      },
+      options.timeout);
+}
+
+void SearchEngine::OnJoinDone(const SearchOptions& options,
+                              SearchCallback callback, Status status,
+                              std::vector<JoinResultEntry> entries) {
+  if (!status.ok()) {
+    callback(status, {});
+    return;
+  }
+  if (!options.fetch_items) {
+    std::vector<SearchHit> hits;
+    hits.reserve(entries.size());
+    for (const auto& e : entries) {
+      SearchHit h;
+      h.file_id = e.join_key.AsUint64();
+      if (e.payload.arity() >= 2 && e.payload.at(1).is_string()) {
+        h.filename = e.payload.at(1).AsString();
+      }
+      hits.push_back(std::move(h));
+    }
+    callback(Status::OK(), std::move(hits));
+    return;
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(entries.size());
+  for (const auto& e : entries) ids.push_back(e.join_key.AsUint64());
+  FetchItems(std::move(ids), options, std::move(callback));
+}
+
+void SearchEngine::FetchItems(std::vector<uint64_t> file_ids,
+                              const SearchOptions& options,
+                              SearchCallback callback) {
+  if (file_ids.empty()) {
+    callback(Status::OK(), {});
+    return;
+  }
+  if (file_ids.size() > options.max_results) {
+    file_ids.resize(options.max_results);
+  }
+  struct FetchState {
+    size_t remaining;
+    std::vector<SearchHit> hits;
+  };
+  auto state = std::make_shared<FetchState>();
+  state->remaining = file_ids.size();
+  for (uint64_t id : file_ids) {
+    pier_->Fetch(
+        ItemSchema(), Value(id),
+        [state, callback](Status s, std::vector<Tuple> tuples) {
+          if (s.ok()) {
+            for (const auto& t : tuples) {
+              if (t.arity() < 5) continue;
+              SearchHit h;
+              h.file_id = t.at(kItemFileId).AsUint64();
+              h.filename = t.at(kItemFilename).AsString();
+              h.size_bytes = t.at(kItemFilesize).AsUint64();
+              h.address = static_cast<uint32_t>(t.at(kItemAddress).AsUint64());
+              h.port = static_cast<uint16_t>(t.at(kItemPort).AsUint64());
+              state->hits.push_back(std::move(h));
+            }
+          }
+          if (--state->remaining == 0) {
+            callback(Status::OK(), std::move(state->hits));
+          }
+        });
+  }
+}
+
+}  // namespace pierstack::piersearch

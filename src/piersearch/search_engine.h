@@ -1,0 +1,77 @@
+// SearchEngine: PIERSearch's query side (Figure 1's Search Engine).
+//
+// Two strategies (paper Section 3.2):
+//  * kDistributedJoin — the Figure 2 plan: ship posting lists along the
+//    chain of keyword owners, symmetric-hash-joining at each hop, then
+//    fetch Item tuples for the surviving fileIDs.
+//  * kInvertedCache  — the Figure 3 plan: send the whole query to a single
+//    node hosting one of the terms; remaining terms are applied there as
+//    substring selections over the cached fulltext.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pier/node.h"
+
+namespace pierstack::piersearch {
+
+enum class SearchStrategy {
+  kDistributedJoin,
+  kInvertedCache,
+};
+
+/// One search answer (a decorated Item tuple).
+struct SearchHit {
+  uint64_t file_id = 0;
+  std::string filename;
+  uint64_t size_bytes = 0;
+  uint32_t address = 0;  ///< Sharing host (sim::HostId in this build).
+  uint16_t port = 0;
+};
+
+struct SearchOptions {
+  SearchStrategy strategy = SearchStrategy::kDistributedJoin;
+  /// Probe posting-list sizes first and visit keywords smallest-first (the
+  /// paper's SHJ optimization; also picks the cheapest single site for the
+  /// InvertedCache plan instead of the first term).
+  bool order_by_posting_size = false;
+  /// Fetch full Item tuples for matches (the plans' final join). Off, the
+  /// engine returns fileIDs only (filename present only with
+  /// InvertedCache's fulltext).
+  bool fetch_items = true;
+  size_t max_results = 200;
+  sim::SimTime timeout = 30 * sim::kSecond;
+};
+
+class SearchEngine {
+ public:
+  using SearchCallback =
+      std::function<void(Status, std::vector<SearchHit>)>;
+
+  explicit SearchEngine(pier::PierNode* pier) : pier_(pier) {}
+
+  /// Runs a keyword search for `query_text` (tokenized and stop-word
+  /// filtered like the Publisher side). Fails fast with InvalidArgument if
+  /// no indexable terms remain.
+  void Search(const std::string& query_text, const SearchOptions& options,
+              SearchCallback callback);
+
+  uint64_t searches_started() const { return searches_started_; }
+
+ private:
+  void RunPlan(std::vector<std::string> terms, const SearchOptions& options,
+               SearchCallback callback);
+  void OnJoinDone(const SearchOptions& options, SearchCallback callback,
+                  Status status,
+                  std::vector<pier::JoinResultEntry> entries);
+  void FetchItems(std::vector<uint64_t> file_ids,
+                  const SearchOptions& options, SearchCallback callback);
+
+  pier::PierNode* pier_;
+  uint64_t searches_started_ = 0;
+};
+
+}  // namespace pierstack::piersearch

@@ -1,0 +1,106 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pierstack::sim {
+
+SimTime UniformLatency::Latency(HostId, HostId, size_t, Rng* rng) {
+  if (hi_ <= lo_) return lo_;
+  return lo_ + rng->NextBelow(hi_ - lo_ + 1);
+}
+
+CoordinateLatency::CoordinateLatency(Options opts, uint64_t seed)
+    : opts_(opts), coord_rng_(seed) {}
+
+CoordinateLatency::Coord CoordinateLatency::CoordOf(HostId h) {
+  while (coords_.size() <= h) {
+    coords_.push_back(
+        Coord{coord_rng_.NextDouble(), coord_rng_.NextDouble()});
+  }
+  return coords_[h];
+}
+
+SimTime CoordinateLatency::Latency(HostId from, HostId to, size_t bytes,
+                                   Rng* rng) {
+  Coord a = CoordOf(from);
+  Coord b = CoordOf(to);
+  double dist = std::sqrt((a.x - b.x) * (a.x - b.x) +
+                          (a.y - b.y) * (a.y - b.y)) /
+                std::sqrt(2.0);  // normalized to [0,1]
+  SimTime delay = opts_.base;
+  delay += static_cast<SimTime>(dist * static_cast<double>(opts_.max_distance));
+  if (opts_.jitter_mean > 0) {
+    delay += static_cast<SimTime>(
+        rng->NextExponential(static_cast<double>(opts_.jitter_mean)));
+  }
+  delay += opts_.per_kb * (bytes / 1024);
+  return delay;
+}
+
+void NetworkMetrics::Record(const char* tag, size_t bytes) {
+  total.messages += 1;
+  total.bytes += bytes;
+  auto& c = by_tag[tag];
+  c.messages += 1;
+  c.bytes += bytes;
+}
+
+void NetworkMetrics::Reset() {
+  total = TrafficCounter{};
+  by_tag.clear();
+  dropped_messages = 0;
+}
+
+Network::Network(Simulator* simulator, std::unique_ptr<LatencyModel> model,
+                 uint64_t seed)
+    : simulator_(simulator), latency_(std::move(model)), rng_(seed) {
+  assert(simulator != nullptr);
+}
+
+HostId Network::AddHost(Host* host) {
+  assert(host != nullptr);
+  hosts_.push_back(host);
+  up_.push_back(true);
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+void Network::RemoveHost(HostId id) {
+  assert(id < hosts_.size());
+  hosts_[id] = nullptr;
+  up_[id] = false;
+}
+
+void Network::SetHostUp(HostId id, bool up) {
+  assert(id < hosts_.size());
+  up_[id] = up && hosts_[id] != nullptr;
+}
+
+bool Network::IsHostUp(HostId id) const {
+  return id < hosts_.size() && hosts_[id] != nullptr && up_[id];
+}
+
+bool Network::Send(HostId from, HostId to, Message msg) {
+  if (!IsHostUp(to)) {
+    ++metrics_.dropped_messages;
+    return false;
+  }
+  metrics_.Record(msg.tag, msg.wire_bytes);
+  SimTime delay = 0;
+  if (latency_ && from != to) {
+    delay = latency_->Latency(from, to, msg.wire_bytes, &rng_);
+  }
+  simulator_->ScheduleAfter(
+      delay, [this, from, to, m = std::move(msg)]() {
+        // Re-check liveness at delivery time: the host may have left while
+        // the message was in flight.
+        if (!IsHostUp(to)) {
+          ++metrics_.dropped_messages;
+          return;
+        }
+        hosts_[to]->HandleMessage(from, m);
+      });
+  return true;
+}
+
+}  // namespace pierstack::sim

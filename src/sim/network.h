@@ -1,0 +1,171 @@
+// Simulated message-passing network with latency models and per-category
+// traffic accounting.
+//
+// All inter-node communication in the repository flows through
+// Network::Send, so the bandwidth/overhead numbers the benches report
+// (Figures 8, 10, 13–15; Section 7) are derived from one place.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace pierstack::sim {
+
+/// Dense id of a host attached to the network.
+using HostId = uint32_t;
+constexpr HostId kInvalidHost = UINT32_MAX;
+
+/// An application-level message. The payload is an app-defined struct kept
+/// by shared pointer (no serialization on the sim fast path); `wire_bytes`
+/// is what the message would cost on a real wire and is charged to metrics.
+struct Message {
+  int type = 0;                       ///< App-defined discriminator.
+  size_t wire_bytes = 0;              ///< Serialized size charged to metrics.
+  const char* tag = "msg";            ///< Metrics category (static string).
+  std::shared_ptr<const void> body;   ///< App payload.
+
+  /// Typed payload accessor; the caller asserts the type via `type`.
+  template <typename T>
+  const T& as() const {
+    return *static_cast<const T*>(body.get());
+  }
+
+  /// Builds a message owning a copy of `payload`.
+  template <typename T>
+  static Message Make(int type, const char* tag, size_t wire_bytes,
+                      T payload) {
+    Message m;
+    m.type = type;
+    m.tag = tag;
+    m.wire_bytes = wire_bytes;
+    m.body = std::make_shared<const T>(std::move(payload));
+    return m;
+  }
+};
+
+/// Receiver interface implemented by every simulated node.
+class Host {
+ public:
+  virtual ~Host() = default;
+  /// Called when a message addressed to this host is delivered.
+  virtual void HandleMessage(HostId from, const Message& msg) = 0;
+};
+
+/// Latency model interface: delay for one message.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual SimTime Latency(HostId from, HostId to, size_t bytes, Rng* rng) = 0;
+};
+
+/// Fixed one-way delay.
+class ConstantLatency : public LatencyModel {
+ public:
+  explicit ConstantLatency(SimTime delay) : delay_(delay) {}
+  SimTime Latency(HostId, HostId, size_t, Rng*) override { return delay_; }
+
+ private:
+  SimTime delay_;
+};
+
+/// Uniform delay in [lo, hi]. Models a wide-area mix without topology.
+class UniformLatency : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {}
+  SimTime Latency(HostId, HostId, size_t, Rng* rng) override;
+
+ private:
+  SimTime lo_, hi_;
+};
+
+/// Internet-like model: each host gets a random 2-D coordinate; delay =
+/// base + distance-proportional component + exponential jitter + a
+/// bandwidth term per KB. Approximates the PlanetLab two-continent spread.
+class CoordinateLatency : public LatencyModel {
+ public:
+  struct Options {
+    SimTime base = 5 * kMillisecond;           ///< Per-hop fixed cost.
+    SimTime max_distance = 80 * kMillisecond;  ///< Delay across the diagonal.
+    SimTime jitter_mean = 5 * kMillisecond;    ///< Exponential jitter mean.
+    SimTime per_kb = 2 * kMillisecond;         ///< Transfer time per KB.
+  };
+  CoordinateLatency(Options opts, uint64_t seed);
+  SimTime Latency(HostId from, HostId to, size_t bytes, Rng* rng) override;
+
+ private:
+  struct Coord {
+    double x, y;
+  };
+  Coord CoordOf(HostId h);
+  Options opts_;
+  Rng coord_rng_;
+  std::vector<Coord> coords_;
+};
+
+/// Traffic counters for one message category.
+struct TrafficCounter {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+/// Aggregated network metrics, by category tag and in total.
+struct NetworkMetrics {
+  TrafficCounter total;
+  std::map<std::string, TrafficCounter> by_tag;
+  uint64_t dropped_messages = 0;  ///< Sends to down/detached hosts.
+
+  void Record(const char* tag, size_t bytes);
+  void Reset();
+};
+
+/// The simulated network: host registry + latency + delivery + metrics.
+class Network {
+ public:
+  /// `model` may be null, which means zero latency (pure dataflow tests).
+  Network(Simulator* simulator, std::unique_ptr<LatencyModel> model,
+          uint64_t seed);
+
+  /// Attaches a host; returns its id. The pointer must outlive the network
+  /// or be detached first.
+  HostId AddHost(Host* host);
+
+  /// Detaches a host; later sends to it are counted as dropped.
+  void RemoveHost(HostId id);
+
+  /// Marks a host down (messages dropped) without forgetting it — models
+  /// churn where the node returns later.
+  void SetHostUp(HostId id, bool up);
+  bool IsHostUp(HostId id) const;
+
+  /// Sends `msg` from `from` to `to`; delivery is scheduled at
+  /// now + latency. Self-sends are delivered with zero delay.
+  ///
+  /// Returns false — charging nothing to the byte counters — when the
+  /// destination is already down or detached, which models a failed TCP
+  /// connection attempt; senders use this as a failure detector. A host
+  /// that goes down while the message is in flight still loses it, but
+  /// silently (true is returned).
+  bool Send(HostId from, HostId to, Message msg);
+
+  Simulator* simulator() { return simulator_; }
+  NetworkMetrics& metrics() { return metrics_; }
+  const NetworkMetrics& metrics() const { return metrics_; }
+  size_t host_count() const { return hosts_.size(); }
+
+ private:
+  Simulator* simulator_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  std::vector<Host*> hosts_;    // index = HostId; null = removed
+  std::vector<bool> up_;
+  NetworkMetrics metrics_;
+};
+
+}  // namespace pierstack::sim

@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace pierstack::sim {
+
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  assert(t >= now_);
+  EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (pending_ids_.erase(id) == 0) return false;
+  // Lazy deletion: remember the id; skip it when popped.
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_ids_.erase(ev.id);
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::Run(size_t limit) {
+  size_t n = 0;
+  while (n < limit && Step()) ++n;
+  return n;
+}
+
+size_t Simulator::RunUntil(SimTime t) {
+  size_t n = 0;
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    if (cancelled_.count(ev.id)) {
+      heap_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > t) break;
+    Step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+size_t Simulator::RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+}  // namespace pierstack::sim

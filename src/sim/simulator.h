@@ -1,0 +1,91 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Every protocol in this repository (Gnutella flooding, DHT routing, PIER
+// dataflow) runs as event handlers over this kernel, replacing the paper's
+// PlanetLab deployment with a reproducible in-process network.
+//
+// Events with equal timestamps fire in scheduling order (FIFO tiebreak), so
+// a run is a pure function of the seed and the event handlers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace pierstack::sim {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+
+/// Identifies a scheduled event so it can be cancelled (e.g. timeouts).
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+/// Priority-queue driven event loop with cancellation.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now). Returns a cancellable id.
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` after now.
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if it already ran, was
+  /// cancelled before, or never existed.
+  bool Cancel(EventId id);
+
+  /// Runs the earliest pending event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs events until the queue empties or `limit` events ran.
+  /// Returns the number of events executed.
+  size_t Run(size_t limit = SIZE_MAX);
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  size_t RunUntil(SimTime t);
+
+  /// RunUntil(now + duration).
+  size_t RunFor(SimTime duration);
+
+  /// Number of pending (non-cancelled) events.
+  size_t pending() const { return pending_ids_.size(); }
+
+  /// Total events executed since construction.
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;  // also the FIFO tiebreak (monotonically increasing)
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> pending_ids_;  ///< Scheduled, not yet run/cancelled.
+  std::unordered_set<EventId> cancelled_;    ///< Cancelled, still in the heap.
+};
+
+}  // namespace pierstack::sim

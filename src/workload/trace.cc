@@ -1,0 +1,220 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/tokenizer.h"
+#include "common/zipf.h"
+
+namespace pierstack::workload {
+
+namespace {
+
+/// Samples `count` distinct term ranks by popularity.
+std::vector<size_t> SampleDistinctRanks(const Vocabulary& vocab, size_t count,
+                                        Rng* rng) {
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> out;
+  size_t guard = 0;
+  while (out.size() < count && guard < count * 50) {
+    ++guard;
+    size_t r = vocab.SampleRank(rng);
+    if (chosen.insert(r).second) out.push_back(r);
+  }
+  // Fallback for pathological configs: fill sequentially.
+  size_t next = 0;
+  while (out.size() < count && next < vocab.size()) {
+    if (chosen.insert(next).second) out.push_back(next);
+    ++next;
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace GenerateTrace(const WorkloadConfig& config) {
+  assert(config.num_nodes >= 2);
+  assert(config.num_distinct_files >= 1);
+  Trace trace;
+  trace.config = config;
+  Rng rng(config.seed);
+
+  Vocabulary vocab(config.vocab_size, config.vocab_alpha, rng.Next());
+
+  uint64_t max_replicas =
+      config.max_replicas > 0 ? config.max_replicas : config.num_nodes / 4;
+  max_replicas = std::max<uint64_t>(1, std::min<uint64_t>(
+                                           max_replicas, config.num_nodes));
+  PowerLawSampler replica_dist(1, max_replicas, config.replica_alpha);
+
+  // --- Distinct files -----------------------------------------------------
+  std::unordered_set<std::string> filenames_seen;
+  trace.files.reserve(config.num_distinct_files);
+  Rng file_rng = rng.Fork();
+  while (trace.files.size() < config.num_distinct_files) {
+    size_t nterms = config.min_terms_per_file +
+                    file_rng.NextBelow(config.max_terms_per_file -
+                                       config.min_terms_per_file + 1);
+    auto ranks = SampleDistinctRanks(vocab, nterms, &file_rng);
+    std::string name;
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      if (i) name.push_back(' ');
+      name += vocab.term(ranks[i]);
+    }
+    name += ".mp3";
+    if (!filenames_seen.insert(name).second) continue;  // regenerate dup
+    TraceFile f;
+    f.id = static_cast<uint32_t>(trace.files.size());
+    f.keywords = ExtractUniqueKeywords(name);
+    f.filename = std::move(name);
+    f.replicas = static_cast<uint32_t>(replica_dist.Sample(&file_rng));
+    trace.files.push_back(std::move(f));
+  }
+
+  // --- Placement ----------------------------------------------------------
+  trace.node_files.assign(config.num_nodes, {});
+  Rng place_rng = rng.Fork();
+  for (const auto& f : trace.files) {
+    auto nodes =
+        place_rng.SampleWithoutReplacement(config.num_nodes, f.replicas);
+    for (size_t n : nodes) trace.node_files[n].push_back(f.id);
+    trace.total_copies += f.replicas;
+  }
+
+  // --- Queries --------------------------------------------------------------
+  TraceIndex index(trace.files);
+  // Popularity-biased file sampler: weight ∝ replicas^bias.
+  std::vector<double> weights(trace.files.size());
+  double total_weight = 0;
+  for (size_t i = 0; i < trace.files.size(); ++i) {
+    weights[i] = std::pow(static_cast<double>(trace.files[i].replicas),
+                          config.query_file_bias);
+    total_weight += weights[i];
+  }
+  std::vector<double> cum(weights.size());
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total_weight;
+    cum[i] = acc;
+  }
+  if (!cum.empty()) cum.back() = 1.0;
+
+  Rng query_rng = rng.Fork();
+  trace.queries.reserve(config.num_queries);
+  std::unordered_set<std::string> query_seen;
+  size_t guard = 0;
+  while (trace.queries.size() < config.num_queries &&
+         guard < config.num_queries * 100) {
+    ++guard;
+    double mix = query_rng.NextDouble();
+    std::vector<std::string> terms;
+    if (mix < config.query_from_file && !trace.files.empty()) {
+      // A run of consecutive keywords from a (popularity-biased) file.
+      double u = query_rng.NextDouble();
+      size_t fi = static_cast<size_t>(
+          std::lower_bound(cum.begin(), cum.end(), u) - cum.begin());
+      fi = std::min(fi, trace.files.size() - 1);
+      const auto& kw = trace.files[fi].keywords;
+      if (kw.empty()) continue;
+      size_t want = 1 + query_rng.NextBelow(
+                            std::min(config.max_terms_per_query, kw.size()));
+      size_t start = query_rng.NextBelow(kw.size() - want + 1);
+      terms.assign(kw.begin() + static_cast<long>(start),
+                   kw.begin() + static_cast<long>(start + want));
+    } else if (mix < config.query_from_file + config.query_popular_terms) {
+      // Globally popular terms: large result sets.
+      size_t lo = std::max<size_t>(1, config.popular_query_min_terms);
+      size_t want = lo + query_rng.NextBelow(2);
+      auto ranks = SampleDistinctRanks(vocab, want, &query_rng);
+      for (size_t r : ranks) terms.push_back(vocab.term(r));
+    } else {
+      // Random tail terms; conjunction rarely (often never) matches.
+      size_t want = 2 + query_rng.NextBelow(2);
+      for (size_t i = 0; i < want; ++i) {
+        size_t r = vocab.size() / 10 +
+                   query_rng.NextBelow(vocab.size() - vocab.size() / 10);
+        terms.push_back(vocab.term(r));
+      }
+    }
+    if (terms.empty()) continue;
+    std::string text;
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (i) text.push_back(' ');
+      text += terms[i];
+    }
+    if (!query_seen.insert(text).second) continue;  // distinct queries only
+    TraceQuery q;
+    q.text = std::move(text);
+    q.matches = index.Match(terms);
+    q.terms = std::move(terms);
+    for (uint32_t m : q.matches) q.total_results += trace.files[m].replicas;
+    trace.queries.push_back(std::move(q));
+  }
+  return trace;
+}
+
+double Trace::CopiesFractionAtOrBelow(uint32_t replica_threshold) const {
+  if (total_copies == 0) return 0.0;
+  uint64_t covered = 0;
+  for (const auto& f : files) {
+    if (f.replicas <= replica_threshold) covered += f.replicas;
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_copies);
+}
+
+std::vector<uint32_t> Trace::QueriedFileUniverse() const {
+  std::vector<bool> in(files.size(), false);
+  for (const auto& q : queries) {
+    for (uint32_t m : q.matches) in[m] = true;
+  }
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < files.size(); ++i) {
+    if (in[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::string> Trace::FilenamesOfNode(size_t node) const {
+  std::vector<std::string> out;
+  out.reserve(node_files[node].size());
+  for (uint32_t id : node_files[node]) out.push_back(files[id].filename);
+  return out;
+}
+
+TraceIndex::TraceIndex(const std::vector<TraceFile>& files) {
+  for (const auto& f : files) {
+    for (const auto& t : f.keywords) postings_[t].push_back(f.id);
+  }
+}
+
+std::vector<uint32_t> TraceIndex::Match(
+    const std::vector<std::string>& terms) const {
+  std::vector<uint32_t> result;
+  if (terms.empty()) return result;
+  // Smallest posting list first.
+  std::vector<const std::vector<uint32_t>*> lists;
+  for (const auto& t : terms) {
+    auto it = postings_.find(t);
+    if (it == postings_.end()) return {};
+    lists.push_back(&it->second);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  result = *lists[0];
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    std::vector<uint32_t> next;
+    std::set_intersection(result.begin(), result.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    result = std::move(next);
+  }
+  return result;
+}
+
+size_t TraceIndex::PostingSize(const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+}  // namespace pierstack::workload

@@ -1,0 +1,112 @@
+// Synthetic Gnutella trace generator.
+//
+// Replaces the paper's captured traces (Section 4.2: 700 replayed queries,
+// 315,546 result files on 75,129 nodes) with a seeded generator whose
+// marginal statistics are calibrated to the published numbers:
+//  * long-tailed replica distribution — with the default replica_alpha,
+//    copies of single-replica files are ~23% of all copies (Figure 10's
+//    "replica threshold 1 ⇒ 23% published"),
+//  * a query mix whose ground-truth result sizes span 0..10^3+ with a
+//    heavy low end (Figures 5/6),
+//  * filenames of 3–7 Zipf-popular terms (the trace's 38.9k distinct terms
+//    and 193k distinct adjacent pairs, proportionally).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/vocabulary.h"
+
+namespace pierstack::workload {
+
+/// Generator parameters. Defaults produce a ~20k-node network in the same
+/// proportions as the paper's measured trace.
+struct WorkloadConfig {
+  size_t num_nodes = 20000;
+  size_t num_distinct_files = 30000;
+  /// P(replicas = r) ∝ r^-replica_alpha over [1, max_replicas].
+  double replica_alpha = 2.2;
+  /// 0 = auto (num_nodes / 4).
+  uint64_t max_replicas = 0;
+
+  size_t vocab_size = 12000;
+  double vocab_alpha = 0.95;
+  size_t min_terms_per_file = 3;
+  size_t max_terms_per_file = 7;
+
+  size_t num_queries = 700;
+  /// Query mix: drawn from a file's keywords / popular vocabulary terms /
+  /// random tail combinations (often no match).
+  double query_from_file = 0.82;
+  double query_popular_terms = 0.12;
+  /// Bias of file choice by popularity: weight ∝ replicas^query_file_bias.
+  double query_file_bias = 0.55;
+  size_t max_terms_per_query = 3;
+  /// Minimum terms of popular-vocabulary queries (1 = allow single hot
+  /// terms, which match very large, mostly-rare result sets).
+  size_t popular_query_min_terms = 1;
+
+  uint64_t seed = 42;
+};
+
+/// One distinct file of the trace.
+struct TraceFile {
+  uint32_t id = 0;  ///< Index into Trace::files.
+  std::string filename;
+  std::vector<std::string> keywords;  ///< Unique, index-ready terms.
+  uint32_t replicas = 0;              ///< Copies in the network.
+};
+
+/// One query with its ground truth.
+struct TraceQuery {
+  std::string text;
+  std::vector<std::string> terms;
+  std::vector<uint32_t> matches;  ///< Distinct files matching all terms.
+  uint64_t total_results = 0;     ///< Σ replicas over matches.
+};
+
+/// A complete generated trace.
+struct Trace {
+  WorkloadConfig config;
+  std::vector<TraceFile> files;
+  std::vector<TraceQuery> queries;
+  /// node -> distinct-file ids placed there (each file appears at most once
+  /// per node, matching the paper's model assumptions).
+  std::vector<std::vector<uint32_t>> node_files;
+  uint64_t total_copies = 0;
+
+  /// Fraction of copies whose file has replicas <= threshold — the paper's
+  /// "publishing overhead (% items)" for the Perfect scheme (Figure 10).
+  double CopiesFractionAtOrBelow(uint32_t replica_threshold) const;
+
+  /// Distinct files appearing in at least one query's ground truth — the
+  /// universe the paper's Section 6 analysis is computed over.
+  std::vector<uint32_t> QueriedFileUniverse() const;
+
+  /// Per-node filename lists, for loading simulators.
+  std::vector<std::string> FilenamesOfNode(size_t node) const;
+};
+
+/// Generates a trace; deterministic in config.seed.
+Trace GenerateTrace(const WorkloadConfig& config);
+
+/// Inverted index over a trace's distinct files, used for ground-truth
+/// matching and by the rare-item schemes.
+class TraceIndex {
+ public:
+  explicit TraceIndex(const std::vector<TraceFile>& files);
+
+  /// Files whose keyword set contains every term (exact-token conjunctive
+  /// match, the experiments' matching rule).
+  std::vector<uint32_t> Match(const std::vector<std::string>& terms) const;
+
+  size_t PostingSize(const std::string& term) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+};
+
+}  // namespace pierstack::workload

@@ -1,0 +1,39 @@
+#include "workload/vocabulary.h"
+
+#include <unordered_set>
+
+#include "common/tokenizer.h"
+
+namespace pierstack::workload {
+
+namespace {
+
+std::string MakeWord(Rng* rng) {
+  static constexpr char kConsonants[] = "bcdfghjklmnprstvz";
+  static constexpr char kVowels[] = "aeiou";
+  size_t syllables = 2 + rng->NextBelow(3);  // 2..4
+  std::string w;
+  for (size_t s = 0; s < syllables; ++s) {
+    w.push_back(kConsonants[rng->NextBelow(sizeof(kConsonants) - 1)]);
+    w.push_back(kVowels[rng->NextBelow(sizeof(kVowels) - 1)]);
+  }
+  return w;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(size_t size, double alpha, uint64_t seed)
+    : zipf_(size, alpha) {
+  Rng rng(seed);
+  std::unordered_set<std::string> used;
+  const auto& stop = DefaultStopWords();
+  terms_.reserve(size);
+  while (terms_.size() < size) {
+    std::string w = MakeWord(&rng);
+    if (stop.count(w)) continue;
+    if (!used.insert(w).second) continue;
+    terms_.push_back(std::move(w));
+  }
+}
+
+}  // namespace pierstack::workload

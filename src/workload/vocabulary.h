@@ -1,0 +1,41 @@
+// Vocabulary: deterministic synthetic term universe for filenames.
+//
+// Terms are pronounceable CV-syllable words ("mora", "tedalu", ...) with a
+// Zipf popularity over ranks, mirroring real filesharing vocabularies
+// (a few hot terms — artist names, formats — and a long tail). The paper's
+// trace had 38,900 distinct terms over 315,546 files; the generator's
+// defaults land in the same regime proportionally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace pierstack::workload {
+
+class Vocabulary {
+ public:
+  /// Generates `size` distinct terms; `alpha` sets the Zipf skew of
+  /// popularity by rank.
+  Vocabulary(size_t size, double alpha, uint64_t seed);
+
+  size_t size() const { return terms_.size(); }
+  const std::string& term(size_t rank) const { return terms_[rank]; }
+
+  /// Samples a term rank by popularity.
+  size_t SampleRank(Rng* rng) const { return zipf_.Sample(rng); }
+
+  /// Popularity mass of a rank.
+  double Pmf(size_t rank) const { return zipf_.Pmf(rank); }
+
+  const std::vector<std::string>& terms() const { return terms_; }
+
+ private:
+  std::vector<std::string> terms_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace pierstack::workload

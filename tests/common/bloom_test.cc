@@ -1,0 +1,97 @@
+#include "common/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace pierstack {
+namespace {
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(1024, 4);
+  std::vector<std::string> items;
+  for (int i = 0; i < 50; ++i) items.push_back("item" + std::to_string(i));
+  for (const auto& it : items) bloom.Insert(it);
+  for (const auto& it : items) EXPECT_TRUE(bloom.MayContain(it));
+}
+
+TEST(BloomTest, MostlyRejectsAbsent) {
+  BloomFilter bloom = BloomFilter::ForItems(100, 0.01);
+  for (int i = 0; i < 100; ++i) bloom.Insert("present" + std::to_string(i));
+  int fp = 0;
+  const int kProbes = 10000;
+  for (int i = 0; i < kProbes; ++i) {
+    fp += bloom.MayContain("absent" + std::to_string(i));
+  }
+  // Sized for 1%; allow up to 3%.
+  EXPECT_LT(fp, kProbes * 3 / 100);
+}
+
+TEST(BloomTest, ForItemsRespectsTargetRate) {
+  for (double rate : {0.1, 0.01}) {
+    BloomFilter bloom = BloomFilter::ForItems(500, rate);
+    for (int i = 0; i < 500; ++i) bloom.Insert("x" + std::to_string(i));
+    int fp = 0;
+    const int kProbes = 20000;
+    for (int i = 0; i < kProbes; ++i) {
+      fp += bloom.MayContain("y" + std::to_string(i));
+    }
+    double measured = fp / double(kProbes);
+    EXPECT_LT(measured, rate * 3) << rate;
+  }
+}
+
+TEST(BloomTest, MayContainAllConjunction) {
+  BloomFilter bloom(2048, 5);
+  bloom.Insert("dark");
+  bloom.Insert("side");
+  EXPECT_TRUE(bloom.MayContainAll({"dark", "side"}));
+  EXPECT_FALSE(bloom.MayContainAll({"dark", "moon"}));
+  EXPECT_TRUE(bloom.MayContainAll({}));
+}
+
+TEST(BloomTest, EmptyFilterContainsNothing) {
+  BloomFilter bloom(256, 3);
+  EXPECT_FALSE(bloom.MayContain("anything"));
+  EXPECT_DOUBLE_EQ(bloom.FillRatio(), 0.0);
+}
+
+TEST(BloomTest, FillRatioGrowsWithInsertions) {
+  BloomFilter bloom(512, 3);
+  double prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    bloom.Insert("k" + std::to_string(i));
+    EXPECT_GE(bloom.FillRatio(), prev);
+    prev = bloom.FillRatio();
+  }
+  EXPECT_GT(prev, 0.1);
+  EXPECT_LT(prev, 1.0);
+}
+
+TEST(BloomTest, UnionContainsBothSides) {
+  BloomFilter a(512, 3), b(512, 3);
+  a.Insert("alpha");
+  b.Insert("beta");
+  a.UnionWith(b);
+  EXPECT_TRUE(a.MayContain("alpha"));
+  EXPECT_TRUE(a.MayContain("beta"));
+}
+
+TEST(BloomTest, ByteSizeSmallerThanFileList) {
+  // The QRP rationale: a keyword Bloom of a 30-file library beats
+  // shipping ~30 × 30-byte filenames.
+  BloomFilter bloom = BloomFilter::ForItems(150, 0.02);  // ~150 keywords
+  EXPECT_LT(bloom.ByteSize(), 30u * 30u / 2);
+}
+
+TEST(BloomTest, TinyFilterStillWorks) {
+  BloomFilter bloom(1, 1);  // rounds up to one word
+  bloom.Insert("x");
+  EXPECT_TRUE(bloom.MayContain("x"));
+  EXPECT_GE(bloom.bit_count(), 64u);
+}
+
+}  // namespace
+}  // namespace pierstack

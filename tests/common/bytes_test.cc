@@ -1,0 +1,108 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pierstack {
+namespace {
+
+TEST(BytesTest, RoundTripPrimitives) {
+  BytesWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutDouble(3.14159);
+  w.PutString("hello");
+  BytesReader r(w.data());
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.14159);
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values{0,    1,    127,  128,   16383, 16384,
+                               1u << 21, 1ull << 35, 1ull << 56,
+                               std::numeric_limits<uint64_t>::max()};
+  BytesWriter w;
+  for (uint64_t v : values) w.PutVarint(v);
+  BytesReader r(w.data());
+  for (uint64_t v : values) EXPECT_EQ(r.GetVarint().value(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, VarintSizeMatchesEncoding) {
+  const std::vector<uint64_t> cases{0, 127, 128, 300, uint64_t{1} << 40,
+                                    std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    BytesWriter w;
+    w.PutVarint(v);
+    EXPECT_EQ(w.size(), VarintSize(v)) << v;
+  }
+}
+
+TEST(BytesTest, UnderflowIsCorruption) {
+  BytesWriter w;
+  w.PutU8(1);
+  BytesReader r(w.data());
+  EXPECT_TRUE(r.GetU8().ok());
+  EXPECT_EQ(r.GetU8().status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.GetU64().status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.GetString().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TruncatedStringIsCorruption) {
+  BytesWriter w;
+  w.PutVarint(100);  // claims 100 bytes follow
+  w.PutU8('x');
+  BytesReader r(w.data());
+  EXPECT_EQ(r.GetString().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, OverlongVarintIsCorruption) {
+  std::vector<uint8_t> bad(11, 0x80);  // never terminates within 64 bits
+  BytesReader r(bad.data(), bad.size());
+  EXPECT_EQ(r.GetVarint().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, EmptyString) {
+  BytesWriter w;
+  w.PutString("");
+  BytesReader r(w.data());
+  EXPECT_EQ(r.GetString().value(), "");
+}
+
+TEST(BytesTest, BinaryStringWithNuls) {
+  std::string s("a\0b\0c", 5);
+  BytesWriter w;
+  w.PutString(s);
+  BytesReader r(w.data());
+  EXPECT_EQ(r.GetString().value(), s);
+}
+
+TEST(BytesTest, TakeMovesBuffer) {
+  BytesWriter w;
+  w.PutU32(7);
+  auto buf = w.Take();
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(BytesTest, NegativeAndSpecialDoubles) {
+  BytesWriter w;
+  w.PutDouble(-0.0);
+  w.PutDouble(std::numeric_limits<double>::infinity());
+  w.PutDouble(1e-300);
+  BytesReader r(w.data());
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), -0.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(),
+                   std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 1e-300);
+}
+
+}  // namespace
+}  // namespace pierstack

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace pierstack {
+namespace {
+
+std::string Render(const TablePrinter& t, bool csv = false) {
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  if (csv) {
+    t.PrintCsv(mem);
+  } else {
+    t.Print(mem);
+  }
+  std::fclose(mem);
+  std::string out(buf, len);
+  free(buf);
+  return out;
+}
+
+TEST(TableTest, AlignedOutputContainsAllCells) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  std::string out = Render(t);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, CsvFormat) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(Render(t, /*csv=*/true), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FormatF(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatF(2.0, 0), "2");
+  EXPECT_EQ(FormatI(-42), "-42");
+  EXPECT_EQ(FormatPct(0.421, 1), "42.1%");
+  EXPECT_EQ(FormatPct(1.0, 0), "100%");
+}
+
+TEST(TableTest, EmptyTableJustHeader) {
+  TablePrinter t({"only"});
+  std::string out = Render(t);
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pierstack

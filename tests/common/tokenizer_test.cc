@@ -1,0 +1,95 @@
+#include "common/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace pierstack {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  auto terms = SplitTerms("Madonna - Like_a.Prayer (Live)");
+  EXPECT_EQ(terms, (std::vector<std::string>{"madonna", "like", "a",
+                                             "prayer", "live"}));
+}
+
+TEST(TokenizerTest, SplitEmptyAndPunctOnly) {
+  EXPECT_TRUE(SplitTerms("").empty());
+  EXPECT_TRUE(SplitTerms("--- ...!!!").empty());
+}
+
+TEST(TokenizerTest, SplitKeepsDigits) {
+  auto terms = SplitTerms("track01 part2");
+  EXPECT_EQ(terms, (std::vector<std::string>{"track01", "part2"}));
+}
+
+TEST(TokenizerTest, KeywordsDropStopWordsAndShortTerms) {
+  auto kw = ExtractKeywords("The Matrix.avi");
+  EXPECT_EQ(kw, (std::vector<std::string>{"matrix"}));
+}
+
+TEST(TokenizerTest, KeywordsDropFileExtensions) {
+  auto kw = ExtractKeywords("dark side of the moon.mp3");
+  EXPECT_EQ(kw, (std::vector<std::string>{"dark", "side", "moon"}));
+}
+
+TEST(TokenizerTest, KeywordsPreserveDuplicates) {
+  auto kw = ExtractKeywords("boom boom pow");
+  EXPECT_EQ(kw, (std::vector<std::string>{"boom", "boom", "pow"}));
+}
+
+TEST(TokenizerTest, UniqueKeywordsDedupe) {
+  auto kw = ExtractUniqueKeywords("boom boom pow");
+  EXPECT_EQ(kw, (std::vector<std::string>{"boom", "pow"}));
+}
+
+TEST(TokenizerTest, MinLenConfigurable) {
+  auto kw = ExtractKeywords("go up now", 1);
+  // "go", "up", "now" all kept at min_len 1 (none are stop words).
+  EXPECT_EQ(kw.size(), 3u);
+  auto kw3 = ExtractKeywords("go up now", 3);
+  EXPECT_EQ(kw3, (std::vector<std::string>{"now"}));
+}
+
+TEST(TokenizerTest, MatchRequiresAllTerms) {
+  std::vector<std::string> q{"madonna", "prayer"};
+  EXPECT_TRUE(FilenameMatchesQuery("Madonna - Like a Prayer.mp3", q));
+  EXPECT_FALSE(FilenameMatchesQuery("Madonna - Vogue.mp3", q));
+}
+
+TEST(TokenizerTest, MatchIsSubstring) {
+  // Gnutella matching is substring-based: "donna" matches "Madonna".
+  EXPECT_TRUE(FilenameMatchesQuery("Madonna - Vogue.mp3", {"donna"}));
+}
+
+TEST(TokenizerTest, MatchCaseInsensitive) {
+  EXPECT_TRUE(FilenameMatchesQuery("MADONNA.MP3", {"madonna"}));
+}
+
+TEST(TokenizerTest, EmptyQueryMatchesEverything) {
+  EXPECT_TRUE(FilenameMatchesQuery("anything.bin", {}));
+}
+
+TEST(TokenizerTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC-123"), "abc-123");
+}
+
+TEST(TokenizerTest, AdjacentTermPairs) {
+  auto pairs = AdjacentTermPairs({"dark", "side", "moon"});
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], std::string("dark") + '\x1f' + "side");
+  EXPECT_EQ(pairs[1], std::string("side") + '\x1f' + "moon");
+}
+
+TEST(TokenizerTest, AdjacentTermPairsShortInputs) {
+  EXPECT_TRUE(AdjacentTermPairs({}).empty());
+  EXPECT_TRUE(AdjacentTermPairs({"solo"}).empty());
+}
+
+TEST(TokenizerTest, StopWordSetContainsPaperExamples) {
+  // Section 3.1: 'Stop-words such as "MP3" and "the" are usually not
+  // considered.'
+  EXPECT_TRUE(DefaultStopWords().count("mp3"));
+  EXPECT_TRUE(DefaultStopWords().count("the"));
+}
+
+}  // namespace
+}  // namespace pierstack

@@ -1,0 +1,114 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pierstack {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(1000, 1.0);
+  double sum = 0;
+  for (size_t k = 0; k < 1000; ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  ZipfSampler z(100, 1.2);
+  for (size_t k = 1; k < 100; ++k) {
+    EXPECT_LT(z.Pmf(k), z.Pmf(k - 1));
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfSampler z(50, 0.0);
+  for (size_t k = 0; k < 50; ++k) EXPECT_NEAR(z.Pmf(k), 1.0 / 50, 1e-9);
+}
+
+TEST(ZipfTest, SampleRespectsPmfHead) {
+  ZipfSampler z(10000, 1.0);
+  Rng rng(1);
+  const int kDraws = 200000;
+  int rank0 = 0;
+  for (int i = 0; i < kDraws; ++i) rank0 += (z.Sample(&rng) == 0);
+  EXPECT_NEAR(rank0 / static_cast<double>(kDraws), z.Pmf(0), 0.005);
+}
+
+TEST(ZipfTest, SampleInRange) {
+  ZipfSampler z(7, 2.0);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(&rng), 7u);
+}
+
+TEST(ZipfTest, SingletonAlwaysZero) {
+  ZipfSampler z(1, 1.5);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.Sample(&rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(PowerLawTest, PmfSumsToOne) {
+  PowerLawSampler p(1, 500, 2.4);
+  double sum = 0;
+  for (uint64_t v = 1; v <= 500; ++v) sum += p.Pmf(v);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PowerLawTest, HeavySingletonMass) {
+  // With alpha ~2.4 most distinct values should be 1 — the paper's "long
+  // tail of rare files".
+  PowerLawSampler p(1, 1000, 2.4);
+  EXPECT_GT(p.Pmf(1), 0.7);
+  EXPECT_LT(p.Pmf(10), 0.01);
+}
+
+TEST(PowerLawTest, MeanMatchesEmpirical) {
+  PowerLawSampler p(1, 200, 2.0);
+  Rng rng(4);
+  double sum = 0;
+  const int kDraws = 300000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(p.Sample(&rng));
+  }
+  EXPECT_NEAR(sum / kDraws, p.Mean(), p.Mean() * 0.03);
+}
+
+TEST(PowerLawTest, SampleWithinBounds) {
+  PowerLawSampler p(3, 17, 1.5);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = p.Sample(&rng);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 17u);
+  }
+}
+
+TEST(PowerLawTest, DegenerateRange) {
+  PowerLawSampler p(5, 5, 2.0);
+  Rng rng(6);
+  EXPECT_EQ(p.Sample(&rng), 5u);
+  EXPECT_NEAR(p.Mean(), 5.0, 1e-12);
+}
+
+// Parameterized property sweep: the empirical frequency of value 1 must
+// track the analytic Pmf across exponents.
+class PowerLawAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawAlphaSweep, EmpiricalMatchesPmfAtOne) {
+  double alpha = GetParam();
+  PowerLawSampler p(1, 300, alpha);
+  Rng rng(static_cast<uint64_t>(alpha * 1000));
+  const int kDraws = 100000;
+  int ones = 0;
+  for (int i = 0; i < kDraws; ++i) ones += (p.Sample(&rng) == 1);
+  EXPECT_NEAR(ones / static_cast<double>(kDraws), p.Pmf(1), 0.01)
+      << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PowerLawAlphaSweep,
+                         ::testing::Values(1.2, 1.6, 2.0, 2.4, 2.8, 3.2));
+
+}  // namespace
+}  // namespace pierstack

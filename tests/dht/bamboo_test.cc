@@ -1,0 +1,205 @@
+#include "dht/bamboo.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pierstack::dht {
+namespace {
+
+std::vector<NodeInfo> MakeRing(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeInfo> members;
+  for (size_t i = 0; i < n; ++i) {
+    members.push_back(NodeInfo{rng.Next(), static_cast<sim::HostId>(i)});
+  }
+  std::sort(members.begin(), members.end(),
+            [](const NodeInfo& a, const NodeInfo& b) { return a.id < b.id; });
+  return members;
+}
+
+std::vector<std::unique_ptr<BambooRouting>> BuildAll(
+    const std::vector<NodeInfo>& members) {
+  std::vector<std::unique_ptr<BambooRouting>> tables;
+  for (const auto& m : members) {
+    auto t = std::make_unique<BambooRouting>(m);
+    t->BuildStatic(members);
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+std::pair<sim::HostId, int> RouteOnTables(
+    const std::vector<std::unique_ptr<BambooRouting>>& tables,
+    const std::vector<NodeInfo>& members, size_t start, Key target) {
+  size_t cur = start;
+  for (int hops = 0; hops < 200; ++hops) {
+    if (tables[cur]->IsOwner(target)) return {members[cur].host, hops};
+    NodeInfo next = tables[cur]->NextHop(target);
+    if (next.host == members[cur].host) return {members[cur].host, hops};
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i].host == next.host) {
+        cur = i;
+        break;
+      }
+    }
+  }
+  return {sim::kInvalidHost, 200};
+}
+
+TEST(BambooTest, DigitExtraction) {
+  Key k = 0xA123456789ABCDEFull;
+  EXPECT_EQ(BambooRouting::DigitAt(k, 0), 0xA);
+  EXPECT_EQ(BambooRouting::DigitAt(k, 1), 0x1);
+  EXPECT_EQ(BambooRouting::DigitAt(k, 15), 0xF);
+}
+
+TEST(BambooTest, SharedPrefixDigits) {
+  EXPECT_EQ(BambooRouting::SharedPrefixDigits(0xAB00000000000000ull,
+                                              0xAB00000000000000ull),
+            16);
+  EXPECT_EQ(BambooRouting::SharedPrefixDigits(0xAB00000000000000ull,
+                                              0xAC00000000000000ull),
+            1);
+  EXPECT_EQ(BambooRouting::SharedPrefixDigits(0x1000000000000000ull,
+                                              0xF000000000000000ull),
+            0);
+}
+
+TEST(BambooTest, OwnershipPartitionsKeySpace) {
+  auto members = MakeRing(32, 21);
+  auto tables = BuildAll(members);
+  Rng rng(22);
+  for (int trial = 0; trial < 500; ++trial) {
+    Key k = rng.Next();
+    int owners = 0;
+    for (const auto& t : tables) owners += t->IsOwner(k);
+    EXPECT_EQ(owners, 1) << "key " << k;
+  }
+}
+
+TEST(BambooTest, OwnerIsNumericallyClosestNode) {
+  auto members = MakeRing(40, 23);
+  auto tables = BuildAll(members);
+  Rng rng(24);
+  for (int trial = 0; trial < 200; ++trial) {
+    Key k = rng.Next();
+    // Ground truth: minimal RingDistance, clockwise tie break.
+    NodeInfo expect = members[0];
+    for (const auto& m : members) {
+      Key dm = RingDistance(m.id, k);
+      Key de = RingDistance(expect.id, k);
+      if (dm < de || (dm == de && ClockwiseDistance(m.id, k) <
+                                      ClockwiseDistance(expect.id, k))) {
+        expect = m;
+      }
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (tables[i]->IsOwner(k)) {
+        EXPECT_EQ(members[i].host, expect.host);
+      }
+    }
+  }
+}
+
+TEST(BambooTest, AllStartsRouteToSameOwner) {
+  auto members = MakeRing(64, 25);
+  auto tables = BuildAll(members);
+  Rng rng(26);
+  for (int trial = 0; trial < 100; ++trial) {
+    Key k = rng.Next();
+    auto [owner0, hops0] = RouteOnTables(tables, members, 0, k);
+    ASSERT_NE(owner0, sim::kInvalidHost);
+    for (size_t start : {5ul, 31ul, 63ul}) {
+      auto [owner, hops] = RouteOnTables(tables, members, start, k);
+      EXPECT_EQ(owner, owner0);
+    }
+  }
+}
+
+TEST(BambooTest, PrefixRoutingIsLogarithmic) {
+  for (size_t n : {64ul, 256ul, 1024ul}) {
+    auto members = MakeRing(n, 27);
+    auto tables = BuildAll(members);
+    Rng rng(28);
+    double total = 0;
+    const int kTrials = 200;
+    for (int t = 0; t < kTrials; ++t) {
+      Key k = rng.Next();
+      size_t start = static_cast<size_t>(rng.NextBelow(n));
+      auto [owner, hops] = RouteOnTables(tables, members, start, k);
+      ASSERT_NE(owner, sim::kInvalidHost);
+      total += hops;
+    }
+    double mean = total / kTrials;
+    // Pastry bound: log_16 N hops plus small constant.
+    double log16 = std::log2(static_cast<double>(n)) / 4.0;
+    EXPECT_LE(mean, log16 + 2.0) << "n=" << n;
+  }
+}
+
+TEST(BambooTest, SingletonOwnsEverything) {
+  NodeInfo solo{77, 0};
+  BambooRouting t(solo);
+  t.BuildStatic({solo});
+  EXPECT_TRUE(t.IsOwner(0));
+  EXPECT_TRUE(t.IsOwner(UINT64_MAX));
+  EXPECT_EQ(t.NextHop(12345).host, solo.host);
+}
+
+TEST(BambooTest, LeafSetsSurroundSelf) {
+  auto members = MakeRing(20, 29);
+  BambooRouting t(members[10], /*leaf_set_half=*/3);
+  t.BuildStatic(members);
+  ASSERT_EQ(t.leaves_cw().size(), 3u);
+  ASSERT_EQ(t.leaves_ccw().size(), 3u);
+  EXPECT_EQ(t.leaves_cw()[0].host, members[11].host);
+  EXPECT_EQ(t.leaves_ccw()[0].host, members[9].host);
+}
+
+TEST(BambooTest, RemovePeerPurgesState) {
+  auto members = MakeRing(20, 30);
+  BambooRouting t(members[5]);
+  t.BuildStatic(members);
+  sim::HostId victim = members[6].host;
+  t.RemovePeer(victim);
+  for (const auto& p : t.KnownPeers()) EXPECT_NE(p.host, victim);
+}
+
+TEST(BambooTest, ReplicaTargetsAlternateSides) {
+  auto members = MakeRing(20, 31);
+  BambooRouting t(members[8]);
+  t.BuildStatic(members);
+  auto reps = t.ReplicaTargets(4);
+  ASSERT_EQ(reps.size(), 4u);
+  EXPECT_EQ(reps[0].host, members[9].host);   // nearest cw
+  EXPECT_EQ(reps[1].host, members[7].host);   // nearest ccw
+  EXPECT_EQ(reps[2].host, members[10].host);
+  EXPECT_EQ(reps[3].host, members[6].host);
+}
+
+// Ownership consistency must hold for any ring size (property sweep).
+class BambooSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BambooSizeSweep, ExactlyOneOwnerPerKey) {
+  auto members = MakeRing(GetParam(), 32);
+  auto tables = BuildAll(members);
+  Rng rng(33);
+  for (int trial = 0; trial < 100; ++trial) {
+    Key k = rng.Next();
+    int owners = 0;
+    for (const auto& t : tables) owners += t->IsOwner(k);
+    EXPECT_EQ(owners, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BambooSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 9, 17, 33, 128));
+
+}  // namespace
+}  // namespace pierstack::dht

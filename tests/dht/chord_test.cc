@@ -1,0 +1,229 @@
+#include "dht/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pierstack::dht {
+namespace {
+
+std::vector<NodeInfo> MakeRing(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeInfo> members;
+  for (size_t i = 0; i < n; ++i) {
+    members.push_back(NodeInfo{rng.Next(), static_cast<sim::HostId>(i)});
+  }
+  std::sort(members.begin(), members.end(),
+            [](const NodeInfo& a, const NodeInfo& b) { return a.id < b.id; });
+  return members;
+}
+
+std::vector<std::unique_ptr<ChordRouting>> BuildAll(
+    const std::vector<NodeInfo>& members) {
+  std::vector<std::unique_ptr<ChordRouting>> tables;
+  for (const auto& m : members) {
+    auto t = std::make_unique<ChordRouting>(m);
+    t->BuildStatic(members);
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+/// Walks NextHop pointers from `start` until an owner claims the key.
+/// Returns {owner_host, hops}; hops capped to detect loops.
+std::pair<sim::HostId, int> RouteOnTables(
+    const std::vector<std::unique_ptr<ChordRouting>>& tables,
+    const std::vector<NodeInfo>& members, size_t start, Key target) {
+  size_t cur = start;
+  for (int hops = 0; hops < 200; ++hops) {
+    if (tables[cur]->IsOwner(target)) return {members[cur].host, hops};
+    NodeInfo next = tables[cur]->NextHop(target);
+    if (next.host == members[cur].host) return {members[cur].host, hops};
+    // Find index of next in members.
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i].host == next.host) {
+        cur = i;
+        break;
+      }
+    }
+  }
+  return {sim::kInvalidHost, 200};
+}
+
+TEST(ChordTest, StaticBuildSetsRingPointers) {
+  auto members = MakeRing(10, 1);
+  auto tables = BuildAll(members);
+  for (size_t i = 0; i < members.size(); ++i) {
+    EXPECT_EQ(tables[i]->successor().host,
+              members[(i + 1) % members.size()].host);
+    EXPECT_EQ(tables[i]->predecessor().host,
+              members[(i + members.size() - 1) % members.size()].host);
+  }
+}
+
+TEST(ChordTest, OwnershipPartitionsKeySpace) {
+  auto members = MakeRing(32, 2);
+  auto tables = BuildAll(members);
+  Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    Key k = rng.Next();
+    int owners = 0;
+    for (const auto& t : tables) owners += t->IsOwner(k);
+    EXPECT_EQ(owners, 1) << "key " << k << " has " << owners << " owners";
+  }
+}
+
+TEST(ChordTest, AllStartsRouteToSameOwner) {
+  auto members = MakeRing(64, 4);
+  auto tables = BuildAll(members);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    Key k = rng.Next();
+    auto [owner0, hops0] = RouteOnTables(tables, members, 0, k);
+    ASSERT_NE(owner0, sim::kInvalidHost);
+    for (size_t start : {7ul, 23ul, 63ul}) {
+      auto [owner, hops] = RouteOnTables(tables, members, start, k);
+      EXPECT_EQ(owner, owner0);
+    }
+  }
+}
+
+TEST(ChordTest, RoutingReachesTrueSuccessorOfKey) {
+  auto members = MakeRing(50, 6);
+  auto tables = BuildAll(members);
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Key k = rng.Next();
+    // Ground truth: first member clockwise at or after k.
+    NodeInfo expect = members.front();
+    Key best = ClockwiseDistance(k, expect.id);
+    for (const auto& m : members) {
+      Key d = ClockwiseDistance(k, m.id);
+      if (d < best) {
+        best = d;
+        expect = m;
+      }
+    }
+    auto [owner, hops] = RouteOnTables(tables, members, trial % 50, k);
+    EXPECT_EQ(owner, expect.host);
+  }
+}
+
+TEST(ChordTest, HopsLogarithmic) {
+  // Property from the paper's Section 2: "Most DHTs guarantee that routing
+  // completes in O(log N) hops."
+  for (size_t n : {16ul, 64ul, 256ul, 1024ul}) {
+    auto members = MakeRing(n, 8);
+    auto tables = BuildAll(members);
+    Rng rng(9);
+    double total_hops = 0;
+    const int kTrials = 200;
+    for (int t = 0; t < kTrials; ++t) {
+      Key k = rng.Next();
+      size_t start = static_cast<size_t>(rng.NextBelow(n));
+      auto [owner, hops] = RouteOnTables(tables, members, start, k);
+      ASSERT_NE(owner, sim::kInvalidHost);
+      total_hops += hops;
+    }
+    double mean = total_hops / kTrials;
+    double log2n = std::log2(static_cast<double>(n));
+    EXPECT_LE(mean, log2n) << "n=" << n;   // classic bound: ~0.5 log2 N
+    EXPECT_GE(mean, 0.25 * log2n) << "n=" << n;
+  }
+}
+
+TEST(ChordTest, SingletonOwnsEverything) {
+  NodeInfo solo{12345, 0};
+  ChordRouting t(solo);
+  t.BuildStatic({solo});
+  EXPECT_TRUE(t.IsOwner(0));
+  EXPECT_TRUE(t.IsOwner(UINT64_MAX));
+  EXPECT_EQ(t.NextHop(999).host, solo.host);
+  EXPECT_EQ(t.successor().host, solo.host);
+}
+
+TEST(ChordTest, TwoNodeRing) {
+  std::vector<NodeInfo> members{{100, 0}, {200, 1}};
+  auto tables = BuildAll(members);
+  EXPECT_TRUE(tables[0]->IsOwner(50));    // (200, 100] wraps
+  EXPECT_TRUE(tables[0]->IsOwner(100));
+  EXPECT_FALSE(tables[0]->IsOwner(150));
+  EXPECT_TRUE(tables[1]->IsOwner(150));
+  EXPECT_TRUE(tables[1]->IsOwner(200));
+  EXPECT_FALSE(tables[1]->IsOwner(250));
+  EXPECT_TRUE(tables[0]->IsOwner(250));
+}
+
+TEST(ChordTest, OfferSuccessorAdoptsCloserNode) {
+  std::vector<NodeInfo> members{{100, 0}, {300, 1}};
+  ChordRouting t(members[0]);
+  t.BuildStatic(members);
+  EXPECT_EQ(t.successor().id, 300u);
+  EXPECT_TRUE(t.OfferSuccessor(NodeInfo{200, 2}));
+  EXPECT_EQ(t.successor().id, 200u);
+  // Farther node is not adopted.
+  EXPECT_FALSE(t.OfferSuccessor(NodeInfo{250, 3}));
+  EXPECT_EQ(t.successor().id, 200u);
+  // Self and invalid rejected.
+  EXPECT_FALSE(t.OfferSuccessor(members[0]));
+  EXPECT_FALSE(t.OfferSuccessor(NodeInfo{}));
+}
+
+TEST(ChordTest, RemovePeerPurgesAllState) {
+  auto members = MakeRing(8, 10);
+  ChordRouting t(members[3]);
+  t.BuildStatic(members);
+  sim::HostId victim = t.successor().host;
+  t.RemovePeer(victim);
+  for (const auto& p : t.KnownPeers()) EXPECT_NE(p.host, victim);
+  // Successor fell back to the next list entry.
+  EXPECT_NE(t.successor().host, victim);
+}
+
+TEST(ChordTest, DropPrimarySuccessorFallsBack) {
+  auto members = MakeRing(8, 11);
+  ChordRouting t(members[0]);
+  t.BuildStatic(members);
+  NodeInfo second = t.successor_list()[1];
+  EXPECT_TRUE(t.DropPrimarySuccessor());
+  EXPECT_EQ(t.successor().host, second.host);
+}
+
+TEST(ChordTest, SuccessorListExcludesSelfAndTruncates) {
+  auto members = MakeRing(4, 12);
+  ChordRouting t(members[0], /*successor_list_size=*/2);
+  t.BuildStatic(members);
+  EXPECT_EQ(t.successor_list().size(), 2u);
+  std::vector<NodeInfo> list{members[1], members[0], members[2], members[3]};
+  t.SetSuccessorList(list);
+  EXPECT_EQ(t.successor_list().size(), 2u);
+  for (const auto& s : t.successor_list()) {
+    EXPECT_NE(s.host, members[0].host);
+  }
+}
+
+TEST(ChordTest, FingerStartsDoubleInDistance) {
+  ChordRouting t(NodeInfo{0, 0});
+  EXPECT_EQ(t.FingerStart(0), 1u);
+  EXPECT_EQ(t.FingerStart(10), 1024u);
+  EXPECT_EQ(t.FingerStart(63), 1ull << 63);
+}
+
+TEST(ChordTest, ReplicaTargetsAreDistinctSuccessors) {
+  auto members = MakeRing(10, 13);
+  ChordRouting t(members[2]);
+  t.BuildStatic(members);
+  auto reps = t.ReplicaTargets(3);
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_EQ(reps[0].host, members[3].host);
+  EXPECT_EQ(reps[1].host, members[4].host);
+  EXPECT_EQ(reps[2].host, members[5].host);
+}
+
+}  // namespace
+}  // namespace pierstack::dht

@@ -1,0 +1,80 @@
+#include "dht/id.h"
+
+#include <gtest/gtest.h>
+
+namespace pierstack::dht {
+namespace {
+
+TEST(IdTest, ClockwiseDistanceWraps) {
+  EXPECT_EQ(ClockwiseDistance(10, 15), 5u);
+  EXPECT_EQ(ClockwiseDistance(15, 10), UINT64_MAX - 4);
+  EXPECT_EQ(ClockwiseDistance(7, 7), 0u);
+}
+
+TEST(IdTest, RingDistanceSymmetric) {
+  EXPECT_EQ(RingDistance(10, 15), 5u);
+  EXPECT_EQ(RingDistance(15, 10), 5u);
+  EXPECT_EQ(RingDistance(0, UINT64_MAX), 1u);  // adjacent across the wrap
+}
+
+TEST(IdTest, InOpenClosedBasic) {
+  EXPECT_TRUE(InOpenClosed(10, 20, 15));
+  EXPECT_TRUE(InOpenClosed(10, 20, 20));  // closed at b
+  EXPECT_FALSE(InOpenClosed(10, 20, 10)); // open at a
+  EXPECT_FALSE(InOpenClosed(10, 20, 25));
+  EXPECT_FALSE(InOpenClosed(10, 20, 5));
+}
+
+TEST(IdTest, InOpenClosedWrapsAroundZero) {
+  EXPECT_TRUE(InOpenClosed(UINT64_MAX - 5, 5, 0));
+  EXPECT_TRUE(InOpenClosed(UINT64_MAX - 5, 5, UINT64_MAX));
+  EXPECT_TRUE(InOpenClosed(UINT64_MAX - 5, 5, 5));
+  EXPECT_FALSE(InOpenClosed(UINT64_MAX - 5, 5, 6));
+  EXPECT_FALSE(InOpenClosed(UINT64_MAX - 5, 5, UINT64_MAX - 5));
+}
+
+TEST(IdTest, DegenerateIntervalIsFullRing) {
+  // (a, a] covers everything by convention: a singleton owns all keys.
+  EXPECT_TRUE(InOpenClosed(42, 42, 0));
+  EXPECT_TRUE(InOpenClosed(42, 42, 42));
+  EXPECT_TRUE(InOpenClosed(42, 42, UINT64_MAX));
+}
+
+TEST(IdTest, InOpenOpenExcludesBothEnds) {
+  EXPECT_TRUE(InOpenOpen(10, 20, 15));
+  EXPECT_FALSE(InOpenOpen(10, 20, 10));
+  EXPECT_FALSE(InOpenOpen(10, 20, 20));
+}
+
+TEST(IdTest, InOpenOpenDegenerate) {
+  EXPECT_TRUE(InOpenOpen(42, 42, 7));
+  EXPECT_FALSE(InOpenOpen(42, 42, 42));
+}
+
+TEST(IdTest, ExactlyOneOfComplementaryIntervals) {
+  // For a != b, every x is in exactly one of (a,b] and (b,a].
+  Key a = 1000, b = 5000;
+  const std::vector<Key> probes{0, 1000, 3000, 5000, 60000, UINT64_MAX};
+  for (Key x : probes) {
+    EXPECT_NE(InOpenClosed(a, b, x), InOpenClosed(b, a, x)) << x;
+  }
+}
+
+TEST(IdTest, KeyForStringDeterministic) {
+  EXPECT_EQ(KeyForString("madonna"), KeyForString("madonna"));
+  EXPECT_NE(KeyForString("madonna"), KeyForString("prayer"));
+}
+
+TEST(IdTest, NamespacedKeysSeparateNamespaces) {
+  EXPECT_NE(KeyForNamespaced("item", "x"), KeyForNamespaced("inverted", "x"));
+}
+
+TEST(IdTest, NodeInfoValidity) {
+  NodeInfo n;
+  EXPECT_FALSE(n.valid());
+  n.host = 3;
+  EXPECT_TRUE(n.valid());
+}
+
+}  // namespace
+}  // namespace pierstack::dht

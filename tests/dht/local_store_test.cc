@@ -1,0 +1,151 @@
+#include "dht/local_store.h"
+
+#include <gtest/gtest.h>
+
+namespace pierstack::dht {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(LocalStoreTest, PutGetRoundTrip) {
+  LocalStore store;
+  EXPECT_TRUE(store.Put("items", 42, Bytes("hello")));
+  auto got = store.Get("items", 42, 0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->value, Bytes("hello"));
+  EXPECT_EQ(got[0]->key, 42u);
+}
+
+TEST(LocalStoreTest, MultipleValuesPerKey) {
+  LocalStore store;
+  store.Put("inv", 7, Bytes("a"));
+  store.Put("inv", 7, Bytes("b"));
+  EXPECT_EQ(store.Get("inv", 7, 0).size(), 2u);
+}
+
+TEST(LocalStoreTest, DuplicatePayloadDeduped) {
+  LocalStore store;
+  EXPECT_TRUE(store.Put("inv", 7, Bytes("a")));
+  EXPECT_FALSE(store.Put("inv", 7, Bytes("a")));
+  EXPECT_EQ(store.Get("inv", 7, 0).size(), 1u);
+  EXPECT_EQ(store.TotalBytes(), 1u);
+}
+
+TEST(LocalStoreTest, RepublishRefreshesExpiry) {
+  LocalStore store;
+  store.Put("inv", 7, Bytes("a"), /*expiry=*/100);
+  store.Put("inv", 7, Bytes("a"), /*expiry=*/500);
+  EXPECT_EQ(store.Get("inv", 7, 200).size(), 1u);  // still alive at 200
+}
+
+TEST(LocalStoreTest, NamespacesAreIsolated) {
+  LocalStore store;
+  store.Put("a", 1, Bytes("x"));
+  store.Put("b", 1, Bytes("y"));
+  EXPECT_EQ(store.Get("a", 1, 0).size(), 1u);
+  EXPECT_EQ(store.Get("a", 1, 0)[0]->value, Bytes("x"));
+  EXPECT_EQ(store.Get("b", 1, 0)[0]->value, Bytes("y"));
+  EXPECT_TRUE(store.Get("c", 1, 0).empty());
+}
+
+TEST(LocalStoreTest, ExpiryHidesValues) {
+  LocalStore store;
+  store.Put("a", 1, Bytes("x"), /*expiry=*/100);
+  EXPECT_EQ(store.Get("a", 1, 50).size(), 1u);
+  EXPECT_EQ(store.Get("a", 1, 99).size(), 1u);
+  EXPECT_TRUE(store.Get("a", 1, 100).empty());  // expiry is exclusive
+  EXPECT_TRUE(store.Get("a", 1, 500).empty());
+}
+
+TEST(LocalStoreTest, ZeroExpiryNeverExpires) {
+  LocalStore store;
+  store.Put("a", 1, Bytes("x"), 0);
+  EXPECT_EQ(store.Get("a", 1, UINT64_MAX).size(), 1u);
+}
+
+TEST(LocalStoreTest, ScanReturnsAllLiveInNamespace) {
+  LocalStore store;
+  store.Put("a", 1, Bytes("x"));
+  store.Put("a", 2, Bytes("y"));
+  store.Put("a", 3, Bytes("z"), /*expiry=*/10);
+  EXPECT_EQ(store.Scan("a", 5).size(), 3u);
+  EXPECT_EQ(store.Scan("a", 20).size(), 2u);
+}
+
+TEST(LocalStoreTest, EraseRemovesAllUnderKey) {
+  LocalStore store;
+  store.Put("a", 1, Bytes("x"));
+  store.Put("a", 1, Bytes("y"));
+  store.Put("a", 2, Bytes("z"));
+  EXPECT_EQ(store.Erase("a", 1), 2u);
+  EXPECT_TRUE(store.Get("a", 1, 0).empty());
+  EXPECT_EQ(store.Get("a", 2, 0).size(), 1u);
+  EXPECT_EQ(store.TotalBytes(), 1u);
+}
+
+TEST(LocalStoreTest, PurgeExpiredDropsAndCounts) {
+  LocalStore store;
+  store.Put("a", 1, Bytes("x"), 10);
+  store.Put("a", 2, Bytes("y"), 20);
+  store.Put("b", 3, Bytes("z"));
+  EXPECT_EQ(store.PurgeExpired(15), 1u);
+  EXPECT_EQ(store.TotalEntries(0), 2u);
+}
+
+TEST(LocalStoreTest, ExtractRangeMovesOwnership) {
+  LocalStore store;
+  store.Put("a", 10, Bytes("ten"));
+  store.Put("a", 20, Bytes("twenty"));
+  store.Put("a", 30, Bytes("thirty"));
+  // Range (15, 30]: keys 20 and 30.
+  auto moved = store.ExtractRange("a", 15, 30);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(store.TotalEntries(0), 1u);
+  EXPECT_EQ(store.Get("a", 10, 0).size(), 1u);
+  EXPECT_TRUE(store.Get("a", 20, 0).empty());
+}
+
+TEST(LocalStoreTest, ExtractRangeWrapsRing) {
+  LocalStore store;
+  store.Put("a", 5, Bytes("five"));
+  store.Put("a", UINT64_MAX - 5, Bytes("high"));
+  store.Put("a", 1000, Bytes("mid"));
+  // (MAX-10, 10] wraps: should take MAX-5 and 5 but not 1000.
+  auto moved = store.ExtractRange("a", UINT64_MAX - 10, 10);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(store.Get("a", 1000, 0).size(), 1u);
+}
+
+TEST(LocalStoreTest, ExtractAllEmptiesNamespace) {
+  LocalStore store;
+  store.Put("a", 1, Bytes("x"));
+  store.Put("a", 2, Bytes("y"));
+  store.Put("b", 3, Bytes("z"));
+  auto all = store.ExtractAll("a");
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(store.Get("a", 1, 0).empty());
+  EXPECT_EQ(store.Get("b", 3, 0).size(), 1u);
+  EXPECT_EQ(store.TotalBytes(), 1u);
+}
+
+TEST(LocalStoreTest, TotalBytesTracksPayloadSizes) {
+  LocalStore store;
+  store.Put("a", 1, Bytes("xxxx"));
+  store.Put("a", 2, Bytes("yy"));
+  EXPECT_EQ(store.TotalBytes(), 6u);
+  store.Erase("a", 1);
+  EXPECT_EQ(store.TotalBytes(), 2u);
+}
+
+TEST(LocalStoreTest, NamespacesList) {
+  LocalStore store;
+  store.Put("items", 1, Bytes("x"));
+  store.Put("inverted", 2, Bytes("y"));
+  auto ns = store.Namespaces();
+  EXPECT_EQ(ns.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pierstack::dht

@@ -1,0 +1,182 @@
+// Dynamic querying: pacing, widening, and the latency/popularity relation
+// the paper measures in Figure 7.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "gnutella/topology.h"
+
+namespace pierstack::gnutella {
+namespace {
+
+struct Net {
+  sim::Simulator simulator;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<GnutellaNetwork> gnutella;
+
+  explicit Net(TopologyConfig config) {
+    network = std::make_unique<sim::Network>(
+        &simulator,
+        std::make_unique<sim::ConstantLatency>(20 * sim::kMillisecond), 6);
+    gnutella = std::make_unique<GnutellaNetwork>(network.get(), config);
+    simulator.Run();
+  }
+};
+
+TopologyConfig DynConfig() {
+  TopologyConfig c;
+  c.num_ultrapeers = 60;
+  c.num_leaves = 0;
+  c.protocol.ultrapeer_degree = 8;
+  c.protocol.query_mode = QueryMode::kDynamic;
+  c.protocol.dynamic.desired_results = 10;
+  c.protocol.dynamic.probe_wait = 1 * sim::kSecond;
+  c.protocol.dynamic.per_neighbor_wait = 1 * sim::kSecond;
+  c.seed = 21;
+  return c;
+}
+
+TEST(DynamicQueryTest, PopularContentAnsweredByProbe) {
+  auto config = DynConfig();
+  Net net(config);
+  // Every ultrapeer shares the popular file: the TTL-1 probe suffices.
+  for (size_t i = 0; i < net.gnutella->num_ultrapeers(); ++i) {
+    net.gnutella->ultrapeer(i)->SetSharedFiles({"ubiquitous popular hit.mp3"});
+  }
+  sim::SimTime first = 0;
+  size_t results = 0;
+  net.gnutella->ultrapeer(0)->StartQuery(
+      "ubiquitous popular", [&](const std::vector<QueryResult>& rs) {
+        if (results == 0) first = net.simulator.now();
+        results += rs.size();
+      });
+  net.simulator.Run();
+  EXPECT_GT(results, 0u);
+  EXPECT_LT(first, 500 * sim::kMillisecond);  // one round trip
+}
+
+TEST(DynamicQueryTest, RareContentTakesManyRounds) {
+  auto config = DynConfig();
+  Net net(config);
+  // Exactly one distant ultrapeer has the file.
+  net.gnutella->ultrapeer(47)->SetSharedFiles({"obscure basement tape.mp3"});
+  sim::SimTime first = 0;
+  size_t results = 0;
+  net.gnutella->ultrapeer(0)->StartQuery(
+      "obscure basement", [&](const std::vector<QueryResult>& rs) {
+        if (results == 0) first = net.simulator.now();
+        results += rs.size();
+      });
+  net.simulator.Run();
+  if (results > 0) {
+    // Found only after per-neighbor widening: latency reflects the waits.
+    EXPECT_GT(first, config.protocol.dynamic.probe_wait);
+  }
+  // Either way the query terminates (no infinite widening).
+  EXPECT_FALSE(net.gnutella->ultrapeer(0)->QueryActive(1));
+}
+
+TEST(DynamicQueryTest, StopsWideningOnceSatisfied) {
+  auto config = DynConfig();
+  config.protocol.dynamic.desired_results = 1;
+  Net net(config);
+  for (size_t i = 0; i < net.gnutella->num_ultrapeers(); ++i) {
+    net.gnutella->ultrapeer(i)->SetSharedFiles({"everywhere song.mp3"});
+  }
+  net.gnutella->metrics() = GnutellaMetrics{};
+  net.gnutella->ultrapeer(0)->StartQuery("everywhere song",
+                                         [](const auto&) {});
+  net.simulator.Run();
+  // Probe (3 neighbors) answers; at most one widening round should follow.
+  EXPECT_LE(net.gnutella->metrics().query_messages, 8u);
+}
+
+TEST(DynamicQueryTest, ExhaustsNeighborsForMissingContent) {
+  auto config = DynConfig();
+  Net net(config);
+  auto* root = net.gnutella->ultrapeer(0);
+  size_t degree = root->ultrapeer_neighbors().size();
+  net.gnutella->metrics() = GnutellaMetrics{};
+  Guid guid = root->StartQuery("never matches anything zzz",
+                               [](const auto&) {});
+  net.simulator.Run();
+  EXPECT_FALSE(root->QueryActive(guid));
+  // Root contacted every neighbor exactly once (probe + widening).
+  uint64_t root_sends = 0;
+  (void)degree;
+  // Indirect check: total runtime spans all per-neighbor waits.
+  EXPECT_GE(net.simulator.now(),
+            config.protocol.dynamic.probe_wait +
+                (degree > 3 ? (degree - 3) : 0) *
+                    config.protocol.dynamic.per_neighbor_wait);
+  (void)root_sends;
+}
+
+TEST(DynamicQueryTest, EndQueryCancelsWidening) {
+  auto config = DynConfig();
+  Net net(config);
+  auto* root = net.gnutella->ultrapeer(0);
+  Guid guid = root->StartQuery("never matches either", [](const auto&) {});
+  net.simulator.RunFor(100 * sim::kMillisecond);
+  EXPECT_TRUE(root->QueryActive(guid));
+  root->EndQuery(guid);
+  EXPECT_FALSE(root->QueryActive(guid));
+  uint64_t before = net.gnutella->metrics().query_messages;
+  net.simulator.Run();
+  // No further widening traffic from the root after EndQuery (allow the
+  // in-flight probe forwards to finish).
+  EXPECT_LE(net.gnutella->metrics().query_messages, before + 60);
+}
+
+TEST(DynamicQueryTest, LatencyOrderingRareVsPopular) {
+  // The Figure 7 relation: first-result latency for a rare item exceeds a
+  // popular item's by roughly the widening waits.
+  auto config = DynConfig();
+  Net net(config);
+  for (size_t i = 0; i < 60; ++i) {
+    net.gnutella->ultrapeer(i)->SetSharedFiles(
+        {"megahit chart topper.mp3"});
+  }
+  // Place the rare file on an ultrapeer that is NOT a direct neighbor of
+  // the query root, so the TTL-1 probe cannot reach it and the dynamic
+  // query must pay at least one widening wait.
+  auto* root = net.gnutella->ultrapeer(0);
+  GnutellaNode* rare_holder = nullptr;
+  for (size_t i = 1; i < 60; ++i) {
+    auto* cand = net.gnutella->ultrapeer(i);
+    const auto& ns = root->ultrapeer_neighbors();
+    if (std::find(ns.begin(), ns.end(), cand->host()) == ns.end()) {
+      rare_holder = cand;
+      break;
+    }
+  }
+  ASSERT_NE(rare_holder, nullptr);
+  rare_holder->SetSharedFiles(
+      {"megahit chart topper.mp3", "dusty attic demo.mp3"});
+
+  sim::SimTime popular_first = 0, rare_first = 0;
+  bool popular_seen = false, rare_seen = false;
+  net.gnutella->ultrapeer(0)->StartQuery(
+      "megahit chart", [&](const std::vector<QueryResult>&) {
+        if (!popular_seen) {
+          popular_first = net.simulator.now();
+          popular_seen = true;
+        }
+      });
+  net.gnutella->ultrapeer(0)->StartQuery(
+      "dusty attic", [&](const std::vector<QueryResult>&) {
+        if (!rare_seen) {
+          rare_first = net.simulator.now();
+          rare_seen = true;
+        }
+      });
+  net.simulator.Run();
+  ASSERT_TRUE(popular_seen);
+  if (rare_seen) {
+    EXPECT_GT(rare_first, popular_first);
+  }
+}
+
+}  // namespace
+}  // namespace pierstack::gnutella

@@ -1,0 +1,111 @@
+#include "gnutella/index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/tokenizer.h"
+
+namespace pierstack::gnutella {
+namespace {
+
+SharedFile File(const std::string& name, uint64_t size = 1000) {
+  SharedFile f;
+  f.filename = name;
+  f.size_bytes = size;
+  f.file_id = MakeFileId(name, size, 1);
+  return f;
+}
+
+TEST(KeywordIndexTest, SingleTermMatch) {
+  KeywordIndex idx;
+  idx.Add(File("madonna like a prayer.mp3"), 1);
+  idx.Add(File("beatles help.mp3"), 2);
+  auto m = idx.MatchText("madonna");
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0]->owner, 1u);
+}
+
+TEST(KeywordIndexTest, ConjunctiveMatchRequiresAllTerms) {
+  KeywordIndex idx;
+  idx.Add(File("madonna like a prayer.mp3"), 1);
+  idx.Add(File("madonna vogue.mp3"), 2);
+  EXPECT_EQ(idx.MatchText("madonna prayer").size(), 1u);
+  EXPECT_EQ(idx.MatchText("madonna").size(), 2u);
+  EXPECT_TRUE(idx.MatchText("madonna help").empty());
+}
+
+TEST(KeywordIndexTest, StopWordsIgnoredInQueries) {
+  KeywordIndex idx;
+  idx.Add(File("the matrix.avi"), 1);
+  // "the" and "avi" are stop words on both sides.
+  EXPECT_EQ(idx.MatchText("the matrix").size(), 1u);
+  EXPECT_EQ(idx.MatchText("matrix avi").size(), 1u);
+}
+
+TEST(KeywordIndexTest, AllStopWordQueryMatchesNothing) {
+  KeywordIndex idx;
+  idx.Add(File("the matrix.avi"), 1);
+  EXPECT_TRUE(idx.MatchText("the mp3").empty());
+  EXPECT_TRUE(idx.MatchText("").empty());
+}
+
+TEST(KeywordIndexTest, MultipleOwnersSameFilename) {
+  KeywordIndex idx;
+  idx.Add(File("dark side of the moon.mp3"), 1);
+  idx.Add(File("dark side of the moon.mp3"), 2);
+  EXPECT_EQ(idx.MatchText("moon dark").size(), 2u);
+}
+
+TEST(KeywordIndexTest, RemoveOwnerHidesEntries) {
+  KeywordIndex idx;
+  idx.Add(File("abba dancing queen.mp3"), 1);
+  idx.Add(File("abba waterloo.mp3"), 2);
+  EXPECT_EQ(idx.num_entries(), 2u);
+  idx.RemoveOwner(1);
+  EXPECT_EQ(idx.num_entries(), 1u);
+  auto m = idx.MatchText("abba");
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0]->owner, 2u);
+}
+
+TEST(KeywordIndexTest, PostingListSizes) {
+  KeywordIndex idx;
+  idx.Add(File("abba dancing queen.mp3"), 1);
+  idx.Add(File("abba waterloo.mp3"), 1);
+  EXPECT_EQ(idx.PostingListSize("abba"), 2u);
+  EXPECT_EQ(idx.PostingListSize("waterloo"), 1u);
+  EXPECT_EQ(idx.PostingListSize("nothing"), 0u);
+}
+
+TEST(KeywordIndexTest, MatchAgreesWithSubstringRuleOnTokenQueries) {
+  // For whole-token queries over these names, the index's conjunctive
+  // keyword match must agree with the Gnutella substring rule.
+  std::vector<std::string> names{
+      "silver hammer midnight.mp3", "silver moon.mp3",
+      "hammer time club.mp3", "midnight silver hammer live.mp3"};
+  KeywordIndex idx;
+  for (size_t i = 0; i < names.size(); ++i) {
+    idx.Add(File(names[i]), static_cast<sim::HostId>(i));
+  }
+  std::vector<std::vector<std::string>> queries{
+      {"silver"}, {"silver", "hammer"}, {"hammer", "club"}, {"moon"},
+      {"silver", "hammer", "midnight"}};
+  for (const auto& q : queries) {
+    auto matched = idx.Match(q);
+    size_t expected = 0;
+    for (const auto& n : names) {
+      if (FilenameMatchesQuery(n, q)) ++expected;
+    }
+    EXPECT_EQ(matched.size(), expected);
+  }
+}
+
+TEST(KeywordIndexTest, AllEntriesListsLiveOnly) {
+  KeywordIndex idx;
+  idx.Add(File("one.mp3x a"), 1);
+  idx.Add(File("two.mp3x b"), 2);
+  idx.RemoveOwner(1);
+  EXPECT_EQ(idx.AllEntries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace pierstack::gnutella

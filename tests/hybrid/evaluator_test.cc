@@ -1,0 +1,187 @@
+#include "hybrid/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "hybrid/schemes.h"
+#include "model/equations.h"
+
+namespace pierstack::hybrid {
+namespace {
+
+workload::Trace TestTrace() {
+  workload::WorkloadConfig c;
+  c.num_nodes = 4000;
+  c.num_distinct_files = 5000;
+  c.vocab_size = 3500;
+  c.num_queries = 400;
+  c.seed = 13;
+  return workload::GenerateTrace(c);
+}
+
+TEST(SampleFoundReplicasTest, Bounds) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    uint32_t f = SampleFoundReplicas(&rng, 1000, 10, 100);
+    EXPECT_LE(f, 10u);
+  }
+  EXPECT_EQ(SampleFoundReplicas(&rng, 1000, 0, 100), 0u);
+  EXPECT_EQ(SampleFoundReplicas(&rng, 1000, 10, 0), 0u);
+  EXPECT_EQ(SampleFoundReplicas(&rng, 1000, 10, 1000), 10u);
+}
+
+TEST(SampleFoundReplicasTest, MeanMatchesHypergeometric) {
+  Rng rng(2);
+  // E[found] = R * H / N.
+  const int kTrials = 20000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += SampleFoundReplicas(&rng, 1000, 20, 100);
+  }
+  EXPECT_NEAR(sum / kTrials, 2.0, 0.05);
+}
+
+TEST(SampleFoundReplicasTest, LargeReplicaApproximationMean) {
+  Rng rng(3);
+  const int kTrials = 3000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += SampleFoundReplicas(&rng, 100000, 5000, 10000);
+  }
+  EXPECT_NEAR(sum / kTrials, 500.0, 10.0);
+}
+
+TEST(EvaluatorTest, NoPublishingRecallEqualsHorizon) {
+  // Figure 11 anchor: "when no items are published ... the average query
+  // recall is equal to the percentage of nodes in the search horizon".
+  auto t = TestTrace();
+  std::vector<bool> none(t.files.size(), false);
+  for (double h : {0.05, 0.15, 0.30}) {
+    EvalConfig cfg;
+    cfg.horizon_fraction = h;
+    cfg.trials_per_query = 5;
+    auto r = EvaluateHybrid(t, none, cfg);
+    EXPECT_NEAR(r.avg_query_recall, h, 0.02) << h;
+    EXPECT_DOUBLE_EQ(r.published_copies_fraction, 0.0);
+  }
+}
+
+TEST(EvaluatorTest, FullPublishingLiftsQdrNearOne) {
+  auto t = TestTrace();
+  std::vector<bool> all(t.files.size(), true);
+  EvalConfig cfg;
+  cfg.horizon_fraction = 0.15;
+  auto r = EvaluateHybrid(t, all, cfg);
+  // Every query either finds something in Gnutella or falls back to a
+  // fully published DHT: nothing comes back empty.
+  EXPECT_DOUBLE_EQ(r.empty_fraction_hybrid, 0.0);
+  EXPECT_GT(r.avg_query_distinct_recall, 0.5);
+}
+
+TEST(EvaluatorTest, RecallMonotoneInThreshold) {
+  // Figures 11/12: QR and QDR rise with the replica threshold, with
+  // diminishing returns.
+  auto t = TestTrace();
+  auto scores = PerfectScheme().Scores(t);
+  EvalConfig cfg;
+  cfg.horizon_fraction = 0.15;
+  cfg.trials_per_query = 5;
+  double prev_qr = -1, prev_qdr = -1;
+  for (double thr : {0.0, 1.0, 2.0, 5.0, 10.0}) {
+    auto pub = SelectByThreshold(scores, thr);
+    auto r = EvaluateHybrid(t, pub, cfg);
+    EXPECT_GT(r.avg_query_recall, prev_qr - 0.02);
+    EXPECT_GT(r.avg_query_distinct_recall, prev_qdr - 0.02);
+    prev_qr = r.avg_query_recall;
+    prev_qdr = r.avg_query_distinct_recall;
+  }
+  // Threshold 10 publishes most rare files; the residual QDR gap comes
+  // from horizon misses of mid-popularity (R in 11..30) files.
+  EXPECT_GT(prev_qdr, 0.65);
+}
+
+TEST(EvaluatorTest, QdrExceedsQr) {
+  // Replicas of found distinct files are partially missed by QR but fully
+  // credited by QDR, so QDR >= QR on average.
+  auto t = TestTrace();
+  auto pub = SelectByThreshold(PerfectScheme().Scores(t), 2.0);
+  EvalConfig cfg;
+  cfg.horizon_fraction = 0.15;
+  auto r = EvaluateHybrid(t, pub, cfg);
+  EXPECT_GE(r.avg_query_distinct_recall, r.avg_query_recall);
+}
+
+TEST(EvaluatorTest, EmptyQueriesReducedByPublishing) {
+  // The paper's headline: hybrid publishing cuts no-result queries.
+  auto t = TestTrace();
+  EvalConfig cfg;
+  cfg.horizon_fraction = 0.05;
+  cfg.trials_per_query = 5;
+  std::vector<bool> none(t.files.size(), false);
+  auto base = EvaluateHybrid(t, none, cfg);
+  auto pub = SelectByThreshold(PerfectScheme().Scores(t), 2.0);
+  auto hybrid = EvaluateHybrid(t, pub, cfg);
+  EXPECT_GT(base.empty_fraction_gnutella, 0.0);
+  EXPECT_LT(hybrid.empty_fraction_hybrid,
+            base.empty_fraction_gnutella * 0.6);
+}
+
+TEST(EvaluatorTest, SchemeOrderingPerfectBeatsRandom) {
+  // Figure 13's vertical ordering at a fixed budget.
+  auto t = TestTrace();
+  EvalConfig cfg;
+  cfg.horizon_fraction = 0.05;
+  cfg.trials_per_query = 4;
+  double budget = 0.3;
+  auto perfect = EvaluateHybrid(
+      t, SelectByBudget(t, PerfectScheme().Scores(t), budget), cfg);
+  auto sam = EvaluateHybrid(
+      t, SelectByBudget(t, SamplingScheme(0.15, 3).Scores(t), budget), cfg);
+  auto random = EvaluateHybrid(
+      t, SelectByBudget(t, RandomScheme(3).Scores(t), budget), cfg);
+  EXPECT_GT(perfect.avg_query_recall, random.avg_query_recall);
+  EXPECT_GE(perfect.avg_query_recall + 0.02, sam.avg_query_recall);
+  EXPECT_GT(sam.avg_query_recall, random.avg_query_recall);
+}
+
+TEST(EvaluatorTest, MonteCarloQdrMatchesAnalyticEquationOne) {
+  // Section 6.2: "average QDR is exactly PF_i,hybrid as computed by
+  // Equation (1)" — the Monte-Carlo evaluator must converge to the
+  // analytic expectation.
+  auto t = TestTrace();
+  auto pub = SelectByThreshold(PerfectScheme().Scores(t), 2.0);
+  EvalConfig cfg;
+  cfg.horizon_fraction = 0.15;
+  cfg.trials_per_query = 12;
+  auto mc = EvaluateHybrid(t, pub, cfg);
+
+  model::SystemParams params;
+  params.num_nodes = static_cast<double>(t.config.num_nodes);
+  params.horizon_nodes = params.num_nodes * cfg.horizon_fraction;
+  double qdr_sum = 0;
+  size_t queries = 0;
+  for (const auto& q : t.queries) {
+    if (q.matches.empty()) continue;
+    ++queries;
+    double found = 0;
+    for (uint32_t m : q.matches) {
+      found += model::PFHybrid(t.files[m].replicas, pub[m], params);
+    }
+    qdr_sum += found / static_cast<double>(q.matches.size());
+  }
+  double analytic = qdr_sum / static_cast<double>(queries);
+  EXPECT_NEAR(mc.avg_query_distinct_recall, analytic, 0.01);
+}
+
+TEST(EvaluatorTest, DeterministicGivenSeed) {
+  auto t = TestTrace();
+  auto pub = SelectByThreshold(PerfectScheme().Scores(t), 1.0);
+  EvalConfig cfg;
+  cfg.horizon_fraction = 0.15;
+  auto a = EvaluateHybrid(t, pub, cfg);
+  auto b = EvaluateHybrid(t, pub, cfg);
+  EXPECT_DOUBLE_EQ(a.avg_query_recall, b.avg_query_recall);
+  EXPECT_DOUBLE_EQ(a.avg_query_distinct_recall, b.avg_query_distinct_recall);
+}
+
+}  // namespace
+}  // namespace pierstack::hybrid

@@ -1,0 +1,160 @@
+#include "hybrid/schemes.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace pierstack::hybrid {
+namespace {
+
+workload::Trace TestTrace() {
+  workload::WorkloadConfig c;
+  c.num_nodes = 3000;
+  c.num_distinct_files = 4000;
+  c.vocab_size = 3000;
+  c.num_queries = 400;
+  c.seed = 77;
+  return workload::GenerateTrace(c);
+}
+
+TEST(SchemesTest, PerfectScoresAreReplicaCounts) {
+  auto t = TestTrace();
+  auto scores = PerfectScheme().Scores(t);
+  ASSERT_EQ(scores.size(), t.files.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], t.files[i].replicas);
+  }
+}
+
+TEST(SchemesTest, RandomScoresUniform) {
+  auto t = TestTrace();
+  auto scores = RandomScheme(5).Scores(t);
+  double mean = 0;
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 1.0);
+    mean += s;
+  }
+  EXPECT_NEAR(mean / scores.size(), 0.5, 0.05);
+}
+
+TEST(SchemesTest, QrsScoresOnlyQueriedFiles) {
+  auto t = TestTrace();
+  auto scores = QrsScheme().Scores(t);
+  auto universe = t.QueriedFileUniverse();
+  std::vector<bool> queried(t.files.size(), false);
+  for (uint32_t f : universe) queried[f] = true;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (queried[i]) {
+      EXPECT_TRUE(std::isfinite(scores[i]));
+    } else {
+      EXPECT_TRUE(std::isinf(scores[i]));
+    }
+  }
+}
+
+TEST(SchemesTest, QrsScoreIsSmallestResultSet) {
+  auto t = TestTrace();
+  auto scores = QrsScheme().Scores(t);
+  for (const auto& q : t.queries) {
+    for (uint32_t m : q.matches) {
+      EXPECT_LE(scores[m], static_cast<double>(q.total_results));
+    }
+  }
+}
+
+TEST(SchemesTest, TfScoreIsMinTermFrequency) {
+  auto t = TestTrace();
+  auto scores = TermFrequencyScheme().Scores(t);
+  // A file's TF score is at least its own replica count (its terms appear
+  // at least in itself).
+  for (size_t i = 0; i < t.files.size(); ++i) {
+    EXPECT_GE(scores[i], static_cast<double>(t.files[i].replicas));
+  }
+}
+
+TEST(SchemesTest, TpfMoreSelectiveThanTf) {
+  // Pair frequencies are no larger than either member term's frequency.
+  auto t = TestTrace();
+  auto tf = TermFrequencyScheme().Scores(t);
+  auto tpf = TermPairFrequencyScheme().Scores(t);
+  size_t le = 0;
+  for (size_t i = 0; i < t.files.size(); ++i) {
+    if (tpf[i] <= tf[i] + 1e-9) ++le;
+  }
+  // Nearly all files (all with >= 2 keywords).
+  EXPECT_GT(static_cast<double>(le) / t.files.size(), 0.95);
+}
+
+TEST(SchemesTest, SamFullSampleEqualsPerfect) {
+  auto t = TestTrace();
+  auto sam = SamplingScheme(1.0, 9).Scores(t);
+  auto perfect = PerfectScheme().Scores(t);
+  for (size_t i = 0; i < sam.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sam[i], perfect[i]);
+  }
+}
+
+TEST(SchemesTest, SamIsLowerBoundEstimate) {
+  auto t = TestTrace();
+  auto sam = SamplingScheme(0.15, 9).Scores(t);
+  auto perfect = PerfectScheme().Scores(t);
+  for (size_t i = 0; i < sam.size(); ++i) {
+    EXPECT_LE(sam[i], perfect[i]);
+    EXPECT_GE(sam[i], 0.0);
+  }
+}
+
+TEST(SchemesTest, SamNames) {
+  EXPECT_EQ(SamplingScheme(0.15, 1).name(), "SAM(15%)");
+  EXPECT_EQ(SamplingScheme(1.0, 1).name(), "SAM(100%)");
+}
+
+TEST(SchemesTest, SelectByBudgetHitsTarget) {
+  auto t = TestTrace();
+  auto scores = PerfectScheme().Scores(t);
+  for (double budget : {0.0, 0.1, 0.3, 0.5, 0.9}) {
+    auto pub = SelectByBudget(t, scores, budget);
+    double got = PublishedCopiesFraction(t, pub);
+    EXPECT_LE(got, budget + 1e-9);
+    // Within one max-file granule of the target (the knapsack is greedy).
+    if (budget > 0.05) {
+      EXPECT_GT(got, budget - 0.1);
+    }
+  }
+}
+
+TEST(SchemesTest, SelectByBudgetPublishesRarestFirstForPerfect) {
+  auto t = TestTrace();
+  auto scores = PerfectScheme().Scores(t);
+  auto pub = SelectByBudget(t, scores, 0.3);
+  uint32_t max_pub = 0, min_unpub = UINT32_MAX;
+  auto universe = t.QueriedFileUniverse();
+  for (uint32_t f : universe) {
+    if (pub[f]) {
+      max_pub = std::max(max_pub, t.files[f].replicas);
+    } else {
+      min_unpub = std::min(min_unpub, t.files[f].replicas);
+    }
+  }
+  // Greedy by score: published replica counts stay below (or touch) the
+  // first unpublished one.
+  EXPECT_LE(max_pub, min_unpub + 1);
+}
+
+TEST(SchemesTest, SelectByThreshold) {
+  std::vector<double> scores{1, 5, 2, 9};
+  auto pub = SelectByThreshold(scores, 4.0);
+  EXPECT_EQ(pub, (std::vector<bool>{true, false, true, false}));
+}
+
+TEST(SchemesTest, BudgetZeroPublishesNothing) {
+  auto t = TestTrace();
+  auto pub = SelectByBudget(t, PerfectScheme().Scores(t), 0.0);
+  for (bool b : pub) EXPECT_FALSE(b);
+}
+
+}  // namespace
+}  // namespace pierstack::hybrid

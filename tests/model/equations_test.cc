@@ -1,0 +1,154 @@
+#include "model/equations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pierstack::model {
+namespace {
+
+SystemParams Params(double n, double h) {
+  SystemParams p;
+  p.num_nodes = n;
+  p.horizon_nodes = h;
+  return p;
+}
+
+TEST(EquationsTest, PFGnutellaBounds) {
+  auto p = Params(1000, 50);
+  for (double r : {0.0, 1.0, 5.0, 100.0, 1000.0}) {
+    double pf = PFGnutella(r, p);
+    EXPECT_GE(pf, 0.0);
+    EXPECT_LE(pf, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(PFGnutella(0, p), 0.0);
+  EXPECT_DOUBLE_EQ(PFGnutella(1000, p), 1.0);
+}
+
+TEST(EquationsTest, PFGnutellaSingleReplicaEqualsHorizonFraction) {
+  // One replica, horizon H of N: P(found) = H/N exactly.
+  auto p = Params(10000, 500);
+  EXPECT_NEAR(PFGnutella(1, p), 0.05, 1e-9);
+}
+
+TEST(EquationsTest, PFGnutellaMonotoneInReplicasAndHorizon) {
+  for (double h : {10.0, 100.0, 1000.0}) {
+    auto p = Params(10000, h);
+    double prev = -1;
+    for (double r = 0; r <= 64; r += 1) {
+      double pf = PFGnutella(r, p);
+      EXPECT_GE(pf, prev);
+      prev = pf;
+    }
+  }
+  for (double r : {1.0, 7.0, 50.0}) {
+    double prev = -1;
+    for (double h = 0; h <= 5000; h += 500) {
+      double pf = PFGnutella(r, Params(10000, h));
+      EXPECT_GE(pf, prev);
+      prev = pf;
+    }
+  }
+}
+
+TEST(EquationsTest, PFGnutellaFullHorizonIsCertain) {
+  EXPECT_DOUBLE_EQ(PFGnutella(1, Params(100, 100)), 1.0);
+}
+
+TEST(EquationsTest, PFGnutellaMatchesClosedFormForSmallCase) {
+  // N=4, H=2, R=1: P(found) = 1 - (3/4)(2/3) = 1/2.
+  EXPECT_NEAR(PFGnutella(1, Params(4, 2)), 0.5, 1e-12);
+  // N=4, H=2, R=2: 1 - (2/4)(1/3) = 5/6.
+  EXPECT_NEAR(PFGnutella(2, Params(4, 2)), 5.0 / 6.0, 1e-12);
+}
+
+TEST(EquationsTest, PFHybridEquationOne) {
+  auto p = Params(10000, 500);
+  double pf_g = PFGnutella(3, p);
+  EXPECT_DOUBLE_EQ(PFHybrid(3, false, p), pf_g);
+  EXPECT_DOUBLE_EQ(PFHybrid(3, true, p), 1.0);  // published → always found
+}
+
+TEST(EquationsTest, PFThresholdStartsAtHorizonFraction) {
+  auto p = Params(75129, static_cast<double>(75129) * 0.05);
+  EXPECT_NEAR(PFThreshold(0, p), 0.05, 1e-3);
+}
+
+TEST(EquationsTest, PFThresholdMonotoneWithDiminishingReturns) {
+  // The Figure 9 shape: increasing, concave.
+  auto p = Params(75129, 75129 * 0.15);
+  double prev = 0, prev_gain = 1;
+  for (uint32_t t = 0; t <= 20; ++t) {
+    double pf = PFThreshold(t, p);
+    EXPECT_GE(pf, prev);
+    if (t >= 2) {
+      double gain = pf - prev;
+      EXPECT_LE(gain, prev_gain + 1e-12) << "t=" << t;
+      prev_gain = gain;
+    } else if (t == 1) {
+      prev_gain = pf - prev;
+    }
+    prev = pf;
+  }
+  // At threshold 20 with 15% horizon, almost everything is found.
+  EXPECT_GT(PFThreshold(20, p), 0.95);
+}
+
+TEST(EquationsTest, SearchCostBreakdown) {
+  auto p = Params(1000, 100);
+  ItemParams item;
+  item.replicas = 1;
+  item.query_freq = 2;
+  CostParams costs;
+  costs.cs_dht = 10;
+  // Eq 3: Q * ((H-1) + PNF_g * CS_DHT).
+  double pnf = 1.0 - PFGnutella(1, p);
+  EXPECT_NEAR(SearchCost(item, p, costs), 2 * (99 + pnf * 10), 1e-9);
+}
+
+TEST(EquationsTest, TotalCostAddsAmortizedPublish) {
+  auto p = Params(1000, 100);
+  ItemParams item;
+  item.replicas = 1;
+  item.query_freq = 1;
+  item.lifetime = 5;
+  CostParams costs;
+  costs.cs_dht = 10;
+  costs.cp_dht = 50;
+  double base = SearchCost(item, p, costs);
+  EXPECT_DOUBLE_EQ(TotalItemCost(item, p, costs), base);  // unpublished
+  item.published = true;
+  EXPECT_DOUBLE_EQ(TotalItemCost(item, p, costs), base + 50.0 / 5.0);
+}
+
+TEST(EquationsTest, PublishCostIndicator) {
+  CostParams costs;
+  costs.cp_dht = 30;
+  ItemParams item;
+  EXPECT_DOUBLE_EQ(PublishCost(item, costs), 0.0);
+  item.published = true;
+  EXPECT_DOUBLE_EQ(PublishCost(item, costs), 30.0);
+}
+
+TEST(EquationsTest, DefaultDhtSearchCostIsLogN) {
+  EXPECT_NEAR(DefaultDhtSearchCost(1024), 10.0, 1e-9);
+  EXPECT_NEAR(DefaultDhtSearchCost(75129), std::log2(75129.0), 1e-9);
+}
+
+// Property sweep: hybrid recall dominates Gnutella-only recall for every
+// replica count (Equation 1 with publishing can only help).
+class HybridDominance : public ::testing::TestWithParam<double> {};
+
+TEST_P(HybridDominance, PublishedNeverWorse) {
+  auto p = Params(50000, 50000 * GetParam());
+  for (double r = 1; r <= 128; r *= 2) {
+    EXPECT_GE(PFHybrid(r, true, p), PFGnutella(r, p));
+    EXPECT_DOUBLE_EQ(PFHybrid(r, false, p), PFGnutella(r, p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, HybridDominance,
+                         ::testing::Values(0.01, 0.05, 0.15, 0.3, 0.5));
+
+}  // namespace
+}  // namespace pierstack::model

@@ -1,0 +1,120 @@
+// Robustness: the wire decoders must fail cleanly (never crash, never
+// accept garbage silently) on malformed input.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "pier/schema.h"
+
+namespace pierstack::pier {
+namespace {
+
+TEST(FuzzTest, TupleDeserializeRandomBytesNeverCrashes) {
+  Rng rng(0xf00d);
+  size_t ok = 0, corrupt = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    size_t len = rng.NextBelow(64);
+    std::vector<uint8_t> junk(len);
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.NextBelow(256));
+    auto result = Tuple::Deserialize(junk);
+    if (result.ok()) {
+      ++ok;
+      // Anything accepted must re-serialize to a valid tuple again.
+      auto round = Tuple::Deserialize(result.value().Serialize());
+      ASSERT_TRUE(round.ok());
+      EXPECT_EQ(round.value(), result.value());
+    } else {
+      ++corrupt;
+      EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+    }
+  }
+  // Both outcomes occur over 5000 random buffers.
+  EXPECT_GT(corrupt, 0u);
+  EXPECT_GT(ok, 0u);  // e.g. the empty-tuple encoding [0x00]
+}
+
+TEST(FuzzTest, TruncatedValidTuplesAreCorrupt) {
+  Tuple t({Value(uint64_t{123456}), Value(std::string("filename.mp3")),
+           Value(2.5)});
+  auto bytes = t.Serialize();
+  for (size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(bytes.begin(),
+                                bytes.begin() + static_cast<long>(cut));
+    auto r = Tuple::Deserialize(prefix);
+    if (r.ok()) {
+      // A shorter valid tuple is possible only if the prefix happens to
+      // be self-delimiting; it must then be internally consistent.
+      EXPECT_LE(r.value().WireSize(), cut);
+    }
+  }
+}
+
+TEST(FuzzTest, RandomTuplesRoundTrip) {
+  Rng rng(0xcafe);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<Value> vals;
+    size_t arity = rng.NextBelow(6);
+    for (size_t i = 0; i < arity; ++i) {
+      switch (rng.NextBelow(4)) {
+        case 0:
+          vals.push_back(Value(rng.Next()));
+          break;
+        case 1:
+          vals.push_back(Value(static_cast<int64_t>(rng.Next())));
+          break;
+        case 2:
+          vals.push_back(Value(rng.NextDouble() * 1e9));
+          break;
+        default: {
+          std::string s;
+          size_t len = rng.NextBelow(20);
+          for (size_t j = 0; j < len; ++j) {
+            s.push_back(static_cast<char>(rng.NextBelow(256)));
+          }
+          vals.push_back(Value(std::move(s)));
+        }
+      }
+    }
+    Tuple t(std::move(vals));
+    auto bytes = t.Serialize();
+    ASSERT_EQ(bytes.size(), t.WireSize());
+    auto back = Tuple::Deserialize(bytes);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), t);
+  }
+}
+
+TEST(FuzzTest, ReaderNeverReadsPastEnd) {
+  Rng rng(0xbeef);
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t len = rng.NextBelow(32);
+    std::vector<uint8_t> junk(len);
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.NextBelow(256));
+    BytesReader r(junk);
+    // Issue a random sequence of reads; remaining() must stay consistent.
+    for (int op = 0; op < 8; ++op) {
+      size_t before = r.remaining();
+      switch (rng.NextBelow(5)) {
+        case 0:
+          (void)r.GetU8();
+          break;
+        case 1:
+          (void)r.GetU32();
+          break;
+        case 2:
+          (void)r.GetU64();
+          break;
+        case 3:
+          (void)r.GetVarint();
+          break;
+        default:
+          (void)r.GetString();
+          break;
+      }
+      EXPECT_LE(r.remaining(), before);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pierstack::pier

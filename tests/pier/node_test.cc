@@ -1,0 +1,309 @@
+// PierNode: DHT-backed storage and the distributed join chain.
+#include "pier/node.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dht/builder.h"
+
+namespace pierstack::pier {
+namespace {
+
+const Schema& InvSchema() {
+  static const Schema* s = new Schema(
+      "inverted",
+      {{"keyword", ValueType::kString}, {"fileID", ValueType::kUint64}}, 0);
+  return *s;
+}
+
+struct Cluster {
+  sim::Simulator simulator;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<dht::DhtDeployment> dht;
+  PierMetrics metrics;
+  std::vector<std::unique_ptr<PierNode>> piers;
+
+  explicit Cluster(size_t n,
+                   dht::OverlayKind kind = dht::OverlayKind::kChord) {
+    network = std::make_unique<sim::Network>(
+        &simulator,
+        std::make_unique<sim::ConstantLatency>(5 * sim::kMillisecond), 17);
+    dht::DhtOptions opts;
+    opts.overlay = kind;
+    dht = std::make_unique<dht::DhtDeployment>(network.get(), n, opts, 555);
+    for (size_t i = 0; i < n; ++i) {
+      piers.push_back(std::make_unique<PierNode>(dht->node(i), &metrics));
+    }
+  }
+
+  PierNode* pier(size_t i) { return piers[i].get(); }
+
+  void PublishPosting(size_t from, const std::string& kw, uint64_t file_id) {
+    pier(from)->Publish(InvSchema(),
+                        Tuple({Value(kw), Value(file_id)}));
+  }
+};
+
+TEST(PierNodeTest, PublishLandsAtKeywordOwner) {
+  Cluster c(32);
+  c.PublishPosting(0, "madonna", 111);
+  c.simulator.Run();
+  dht::DhtNode* owner = c.dht->ExpectedOwner(
+      HashCombine(Fnv1a64("inverted"), Value(std::string("madonna")).Hash()));
+  // Owner-side local scan sees the tuple; everyone else sees nothing.
+  int holders = 0;
+  for (size_t i = 0; i < c.piers.size(); ++i) {
+    auto local = c.pier(i)->ScanLocal(InvSchema(), Value(std::string("madonna")));
+    if (!local.empty()) {
+      ++holders;
+      EXPECT_EQ(c.dht->node(i)->host(), owner->host());
+      EXPECT_EQ(local[0].at(1).AsUint64(), 111u);
+    }
+  }
+  EXPECT_EQ(holders, 1);
+}
+
+TEST(PierNodeTest, FetchReturnsAllTuplesForKey) {
+  Cluster c(16);
+  c.PublishPosting(1, "beatles", 1);
+  c.PublishPosting(2, "beatles", 2);
+  c.PublishPosting(3, "beatles", 3);
+  c.simulator.Run();
+  std::vector<Tuple> got;
+  c.pier(9)->Fetch(InvSchema(), Value(std::string("beatles")),
+                   [&](Status s, std::vector<Tuple> tuples) {
+                     ASSERT_TRUE(s.ok());
+                     got = std::move(tuples);
+                   });
+  c.simulator.Run();
+  EXPECT_EQ(got.size(), 3u);
+}
+
+TEST(PierNodeTest, SingleStageJoinReturnsPostingList) {
+  Cluster c(16);
+  for (uint64_t f : {10u, 20u, 30u}) c.PublishPosting(0, "solo", f);
+  c.simulator.Run();
+  DistributedJoin join;
+  JoinStage stage;
+  stage.ns = "inverted";
+  stage.key = Value(std::string("solo"));
+  join.stages.push_back(stage);
+  std::set<uint64_t> ids;
+  c.pier(5)->ExecuteJoin(join, [&](Status s, auto entries) {
+    ASSERT_TRUE(s.ok());
+    for (const auto& e : entries) ids.insert(e.join_key.AsUint64());
+  });
+  c.simulator.Run();
+  EXPECT_EQ(ids, (std::set<uint64_t>{10, 20, 30}));
+}
+
+TEST(PierNodeTest, TwoStageChainIntersects) {
+  Cluster c(24);
+  // "alpha" posting: {1,2,3}; "beta": {2,3,4} → intersection {2,3}.
+  for (uint64_t f : {1u, 2u, 3u}) c.PublishPosting(0, "alpha", f);
+  for (uint64_t f : {2u, 3u, 4u}) c.PublishPosting(1, "beta", f);
+  c.simulator.Run();
+  DistributedJoin join;
+  for (const char* kw : {"alpha", "beta"}) {
+    JoinStage stage;
+    stage.ns = "inverted";
+    stage.key = Value(std::string(kw));
+    join.stages.push_back(stage);
+  }
+  std::set<uint64_t> ids;
+  bool done = false;
+  c.pier(7)->ExecuteJoin(join, [&](Status s, auto entries) {
+    done = true;
+    ASSERT_TRUE(s.ok());
+    for (const auto& e : entries) ids.insert(e.join_key.AsUint64());
+  });
+  c.simulator.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(ids, (std::set<uint64_t>{2, 3}));
+}
+
+TEST(PierNodeTest, ThreeStageChain) {
+  Cluster c(24);
+  for (uint64_t f : {1u, 2u, 3u, 4u}) c.PublishPosting(0, "a", f);
+  for (uint64_t f : {2u, 3u, 4u, 5u}) c.PublishPosting(0, "b", f);
+  for (uint64_t f : {3u, 4u, 6u}) c.PublishPosting(0, "c", f);
+  c.simulator.Run();
+  DistributedJoin join;
+  for (const char* kw : {"a", "b", "c"}) {
+    JoinStage stage;
+    stage.ns = "inverted";
+    stage.key = Value(std::string(kw));
+    join.stages.push_back(stage);
+  }
+  std::set<uint64_t> ids;
+  c.pier(3)->ExecuteJoin(join, [&](Status s, auto entries) {
+    ASSERT_TRUE(s.ok());
+    for (const auto& e : entries) ids.insert(e.join_key.AsUint64());
+  });
+  c.simulator.Run();
+  EXPECT_EQ(ids, (std::set<uint64_t>{3, 4}));
+}
+
+TEST(PierNodeTest, EmptyIntersectionShortCircuits) {
+  Cluster c(16);
+  c.PublishPosting(0, "left", 1);
+  c.PublishPosting(0, "right", 2);
+  c.PublishPosting(0, "tail", 3);
+  c.simulator.Run();
+  c.metrics = PierMetrics{};
+  DistributedJoin join;
+  for (const char* kw : {"left", "right", "tail"}) {
+    JoinStage stage;
+    stage.ns = "inverted";
+    stage.key = Value(std::string(kw));
+    join.stages.push_back(stage);
+  }
+  bool done = false;
+  c.pier(2)->ExecuteJoin(join, [&](Status s, auto entries) {
+    done = true;
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(entries.empty());
+  });
+  c.simulator.Run();
+  EXPECT_TRUE(done);
+  // The chain stopped after stage 2 (empty after intersecting "right"):
+  // only the initial route plus one forward happened.
+  EXPECT_LE(c.metrics.join_stage_messages, 2u);
+}
+
+TEST(PierNodeTest, MissingKeywordYieldsEmpty) {
+  Cluster c(16);
+  c.PublishPosting(0, "exists", 1);
+  c.simulator.Run();
+  DistributedJoin join;
+  for (const char* kw : {"exists", "missing"}) {
+    JoinStage stage;
+    stage.ns = "inverted";
+    stage.key = Value(std::string(kw));
+    join.stages.push_back(stage);
+  }
+  bool done = false;
+  c.pier(1)->ExecuteJoin(join, [&](Status s, auto entries) {
+    done = true;
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(entries.empty());
+  });
+  c.simulator.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(PierNodeTest, LimitCapsResults) {
+  Cluster c(16);
+  for (uint64_t f = 0; f < 50; ++f) c.PublishPosting(0, "many", f);
+  c.simulator.Run();
+  DistributedJoin join;
+  JoinStage stage;
+  stage.ns = "inverted";
+  stage.key = Value(std::string("many"));
+  join.stages.push_back(stage);
+  join.limit = 10;
+  size_t got = 0;
+  c.pier(1)->ExecuteJoin(join, [&](Status s, auto entries) {
+    ASSERT_TRUE(s.ok());
+    got = entries.size();
+  });
+  c.simulator.Run();
+  EXPECT_EQ(got, 10u);
+}
+
+TEST(PierNodeTest, SubstringFilterStage) {
+  Cluster c(16);
+  const Schema ic("invcache",
+                  {{"keyword", ValueType::kString},
+                   {"fileID", ValueType::kUint64},
+                   {"fulltext", ValueType::kString}},
+                  0);
+  c.pier(0)->Publish(ic, Tuple({Value(std::string("moon")), Value(uint64_t{1}),
+                                Value(std::string("dark side moon.mp3"))}));
+  c.pier(0)->Publish(ic, Tuple({Value(std::string("moon")), Value(uint64_t{2}),
+                                Value(std::string("blue moon swing.mp3"))}));
+  c.simulator.Run();
+  DistributedJoin join;
+  JoinStage stage;
+  stage.ns = "invcache";
+  stage.key = Value(std::string("moon"));
+  stage.key_col = 0;
+  stage.join_col = 1;
+  stage.payload_cols = {1, 2};
+  stage.filter_col = 2;
+  stage.substring_filter = {"dark"};
+  join.stages.push_back(stage);
+  std::vector<JoinResultEntry> got;
+  c.pier(4)->ExecuteJoin(join, [&](Status s, auto entries) {
+    ASSERT_TRUE(s.ok());
+    got = std::move(entries);
+  });
+  c.simulator.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].join_key.AsUint64(), 1u);
+  EXPECT_EQ(got[0].payload.at(1).AsString(), "dark side moon.mp3");
+}
+
+TEST(PierNodeTest, ProbePostingSize) {
+  Cluster c(16);
+  for (uint64_t f = 0; f < 7; ++f) c.PublishPosting(0, "sized", f);
+  c.simulator.Run();
+  size_t size = SIZE_MAX;
+  c.pier(3)->ProbePostingSize("inverted", Value(std::string("sized")),
+                              [&](Status s, size_t n) {
+                                ASSERT_TRUE(s.ok());
+                                size = n;
+                              });
+  c.simulator.Run();
+  EXPECT_EQ(size, 7u);
+  size_t zero = SIZE_MAX;
+  c.pier(3)->ProbePostingSize("inverted", Value(std::string("unknown")),
+                              [&](Status s, size_t n) {
+                                ASSERT_TRUE(s.ok());
+                                zero = n;
+                              });
+  c.simulator.Run();
+  EXPECT_EQ(zero, 0u);
+}
+
+TEST(PierNodeTest, ShippedEntriesCounted) {
+  Cluster c(16);
+  for (uint64_t f = 0; f < 20; ++f) c.PublishPosting(0, "first", f);
+  for (uint64_t f = 0; f < 20; f += 2) c.PublishPosting(0, "second", f);
+  c.simulator.Run();
+  c.metrics = PierMetrics{};
+  DistributedJoin join;
+  for (const char* kw : {"first", "second"}) {
+    JoinStage stage;
+    stage.ns = "inverted";
+    stage.key = Value(std::string(kw));
+    join.stages.push_back(stage);
+  }
+  c.pier(1)->ExecuteJoin(join, [](Status, auto) {});
+  c.simulator.Run();
+  // Stage 0 ships its 20 postings to stage 1.
+  EXPECT_EQ(c.metrics.posting_entries_shipped, 20u);
+}
+
+TEST(PierNodeTest, WorksOnBambooOverlay) {
+  Cluster c(32, dht::OverlayKind::kBamboo);
+  for (uint64_t f : {1u, 2u}) c.PublishPosting(0, "bamboo", f);
+  c.simulator.Run();
+  DistributedJoin join;
+  JoinStage stage;
+  stage.ns = "inverted";
+  stage.key = Value(std::string("bamboo"));
+  join.stages.push_back(stage);
+  std::set<uint64_t> ids;
+  c.pier(9)->ExecuteJoin(join, [&](Status s, auto entries) {
+    ASSERT_TRUE(s.ok());
+    for (const auto& e : entries) ids.insert(e.join_key.AsUint64());
+  });
+  c.simulator.Run();
+  EXPECT_EQ(ids, (std::set<uint64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace pierstack::pier

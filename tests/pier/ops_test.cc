@@ -1,0 +1,170 @@
+#include "pier/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace pierstack::pier {
+namespace {
+
+Tuple T2(uint64_t a, uint64_t b) {
+  return Tuple({Value(a), Value(b)});
+}
+
+std::vector<Tuple> MakeRows(std::initializer_list<std::pair<uint64_t, uint64_t>> rows) {
+  std::vector<Tuple> out;
+  for (auto [a, b] : rows) out.push_back(T2(a, b));
+  return out;
+}
+
+TEST(OpsTest, VectorScanYieldsAll) {
+  VectorScan scan(MakeRows({{1, 2}, {3, 4}}));
+  auto got = Collect(&scan);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], T2(1, 2));
+}
+
+TEST(OpsTest, SelectionFilters) {
+  Selection sel(std::make_unique<VectorScan>(MakeRows({{1, 2}, {3, 4}, {5, 6}})),
+                [](const Tuple& t) { return t.at(0).AsUint64() >= 3; });
+  auto got = Collect(&sel);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(OpsTest, ProjectionReordersColumns) {
+  Projection proj(std::make_unique<VectorScan>(MakeRows({{1, 2}})),
+                  {1, 0, 1});
+  auto got = Collect(&proj);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Tuple({Value(uint64_t{2}), Value(uint64_t{1}),
+                           Value(uint64_t{2})}));
+}
+
+TEST(OpsTest, LimitStopsEarly) {
+  Limit lim(std::make_unique<VectorScan>(MakeRows({{1, 1}, {2, 2}, {3, 3}})),
+            2);
+  EXPECT_EQ(Collect(&lim).size(), 2u);
+}
+
+TEST(OpsTest, LimitZero) {
+  Limit lim(std::make_unique<VectorScan>(MakeRows({{1, 1}})), 0);
+  EXPECT_TRUE(Collect(&lim).empty());
+}
+
+TEST(OpsTest, HashJoinBasic) {
+  // R(a,b) join S(c,d) on b = c.
+  auto left = std::make_unique<VectorScan>(MakeRows({{1, 10}, {2, 20}, {3, 10}}));
+  auto right = std::make_unique<VectorScan>(MakeRows({{10, 100}, {30, 300}}));
+  HashJoin join(std::move(left), std::move(right), 1, 0);
+  auto got = Collect(&join);
+  ASSERT_EQ(got.size(), 2u);
+  for (const auto& t : got) {
+    EXPECT_EQ(t.arity(), 4u);
+    EXPECT_EQ(t.at(1), t.at(2));
+  }
+}
+
+TEST(OpsTest, HashJoinEmptyInputs) {
+  HashJoin join(std::make_unique<VectorScan>(std::vector<Tuple>{}),
+                std::make_unique<VectorScan>(MakeRows({{1, 1}})), 0, 0);
+  EXPECT_TRUE(Collect(&join).empty());
+}
+
+TEST(OpsTest, HashJoinDuplicatesMultiply) {
+  auto left = std::make_unique<VectorScan>(MakeRows({{1, 5}, {2, 5}}));
+  auto right = std::make_unique<VectorScan>(MakeRows({{5, 7}, {5, 8}}));
+  HashJoin join(std::move(left), std::move(right), 1, 0);
+  EXPECT_EQ(Collect(&join).size(), 4u);  // 2 x 2 cross on key 5
+}
+
+TEST(ShjTest, ProducesJoinsIncrementally) {
+  SymmetricHashJoin shj(1, 0);
+  EXPECT_TRUE(shj.InsertLeft(T2(1, 10)).empty());   // nothing on right yet
+  auto out = shj.InsertRight(T2(10, 100));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].arity(), 4u);
+  // Another left match joins against the stored right tuple.
+  auto out2 = shj.InsertLeft(T2(2, 10));
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0].at(0).AsUint64(), 2u);
+}
+
+TEST(ShjTest, OutputOrderIsAlwaysLeftThenRight) {
+  SymmetricHashJoin shj(0, 0);
+  shj.InsertRight(Tuple({Value(std::string("k")), Value(std::string("R"))}));
+  auto out =
+      shj.InsertLeft(Tuple({Value(std::string("k")), Value(std::string("L"))}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(1).AsString(), "L");
+  EXPECT_EQ(out[0].at(3).AsString(), "R");
+}
+
+TEST(ShjTest, NoFalseMatchesOnHashCollisions) {
+  // Different string keys never join even if the table is tiny.
+  SymmetricHashJoin shj(0, 0);
+  shj.InsertLeft(Tuple({Value(std::string("alpha"))}));
+  EXPECT_TRUE(shj.InsertRight(Tuple({Value(std::string("beta"))})).empty());
+}
+
+// Property: streaming SHJ over random insert orders produces exactly the
+// same join result as the blocking HashJoin.
+class ShjEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShjEquivalence, MatchesHashJoinOnRandomData) {
+  Rng rng(GetParam());
+  std::vector<Tuple> left, right;
+  for (int i = 0; i < 60; ++i) {
+    left.push_back(T2(rng.NextBelow(30), rng.NextBelow(10)));
+    right.push_back(T2(rng.NextBelow(10), rng.NextBelow(30)));
+  }
+  // Reference: blocking hash join on left.1 == right.0.
+  HashJoin ref(std::make_unique<VectorScan>(left),
+               std::make_unique<VectorScan>(right), 1, 0);
+  auto expected = Collect(&ref);
+
+  // Streaming: interleave inserts in a random order.
+  SymmetricHashJoin shj(1, 0);
+  std::vector<Tuple> got;
+  size_t li = 0, ri = 0;
+  while (li < left.size() || ri < right.size()) {
+    bool take_left = ri >= right.size() ||
+                     (li < left.size() && rng.NextBernoulli(0.5));
+    auto out = take_left ? shj.InsertLeft(left[li++])
+                         : shj.InsertRight(right[ri++]);
+    got.insert(got.end(), out.begin(), out.end());
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  auto key = [](const Tuple& t) { return t.ToString(); };
+  std::multiset<std::string> a, b;
+  for (const auto& t : expected) a.insert(key(t));
+  for (const auto& t : got) b.insert(key(t));
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShjEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(OpsTest, ComposedPipeline) {
+  // SELECT b FROM R JOIN S ON R.b = S.c WHERE S.d > 150 LIMIT 2
+  auto left = std::make_unique<VectorScan>(
+      MakeRows({{1, 10}, {2, 20}, {3, 30}, {4, 10}}));
+  auto right = std::make_unique<VectorScan>(
+      MakeRows({{10, 100}, {20, 200}, {30, 300}}));
+  auto join = std::make_unique<HashJoin>(std::move(left), std::move(right),
+                                         1, 0);
+  auto sel = std::make_unique<Selection>(
+      std::move(join),
+      [](const Tuple& t) { return t.at(3).AsUint64() > 150; });
+  auto proj = std::make_unique<Projection>(std::move(sel),
+                                           std::vector<size_t>{1});
+  Limit lim(std::move(proj), 2);
+  auto got = Collect(&lim);
+  EXPECT_EQ(got.size(), 2u);
+  for (const auto& t : got) EXPECT_EQ(t.arity(), 1u);
+}
+
+}  // namespace
+}  // namespace pierstack::pier

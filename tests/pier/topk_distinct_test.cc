@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+#include "pier/ops.h"
+
+namespace pierstack::pier {
+namespace {
+
+std::vector<Tuple> Rows(std::initializer_list<uint64_t> keys) {
+  std::vector<Tuple> out;
+  for (uint64_t k : keys) out.push_back(Tuple({Value(k)}));
+  return out;
+}
+
+TEST(DistinctTest, RemovesExactDuplicates) {
+  Distinct d(std::make_unique<VectorScan>(Rows({1, 2, 1, 3, 2, 1})));
+  auto got = Collect(&d);
+  EXPECT_EQ(got.size(), 3u);
+}
+
+TEST(DistinctTest, KeepsFirstOccurrenceOrder) {
+  Distinct d(std::make_unique<VectorScan>(Rows({5, 3, 5, 9})));
+  auto got = Collect(&d);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].at(0).AsUint64(), 5u);
+  EXPECT_EQ(got[1].at(0).AsUint64(), 3u);
+  EXPECT_EQ(got[2].at(0).AsUint64(), 9u);
+}
+
+TEST(DistinctTest, MultiColumnTuplesComparedFully) {
+  std::vector<Tuple> rows{
+      Tuple({Value(uint64_t{1}), Value(std::string("a"))}),
+      Tuple({Value(uint64_t{1}), Value(std::string("b"))}),
+      Tuple({Value(uint64_t{1}), Value(std::string("a"))}),
+  };
+  Distinct d(std::make_unique<VectorScan>(std::move(rows)));
+  EXPECT_EQ(Collect(&d).size(), 2u);
+}
+
+TEST(DistinctTest, EmptyInput) {
+  Distinct d(std::make_unique<VectorScan>(std::vector<Tuple>{}));
+  EXPECT_TRUE(Collect(&d).empty());
+}
+
+TEST(TopKTest, DescendingTakesLargest) {
+  TopK top(std::make_unique<VectorScan>(Rows({5, 1, 9, 3, 7})), 0, 3,
+           /*descending=*/true);
+  auto got = Collect(&top);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].at(0).AsUint64(), 9u);
+  EXPECT_EQ(got[1].at(0).AsUint64(), 7u);
+  EXPECT_EQ(got[2].at(0).AsUint64(), 5u);
+}
+
+TEST(TopKTest, AscendingTakesSmallest) {
+  TopK top(std::make_unique<VectorScan>(Rows({5, 1, 9, 3, 7})), 0, 2,
+           /*descending=*/false);
+  auto got = Collect(&top);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].at(0).AsUint64(), 1u);
+  EXPECT_EQ(got[1].at(0).AsUint64(), 3u);
+}
+
+TEST(TopKTest, KLargerThanInput) {
+  TopK top(std::make_unique<VectorScan>(Rows({2, 1})), 0, 10, true);
+  auto got = Collect(&top);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].at(0).AsUint64(), 2u);
+}
+
+TEST(TopKTest, KZeroEmpty) {
+  TopK top(std::make_unique<VectorScan>(Rows({1, 2, 3})), 0, 0, true);
+  EXPECT_TRUE(Collect(&top).empty());
+}
+
+// Property: TopK over random data equals sort-then-truncate.
+class TopKProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TopKProperty, MatchesSortTruncate) {
+  Rng rng(GetParam());
+  std::vector<Tuple> rows;
+  size_t n = 50 + rng.NextBelow(100);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Tuple({Value(rng.NextBelow(1000))}));
+  }
+  size_t k = 1 + rng.NextBelow(20);
+  std::vector<uint64_t> expect;
+  for (const auto& t : rows) expect.push_back(t.at(0).AsUint64());
+  std::sort(expect.rbegin(), expect.rend());
+  expect.resize(std::min(k, expect.size()));
+
+  TopK top(std::make_unique<VectorScan>(std::move(rows)), 0, k, true);
+  auto got = Collect(&top);
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].at(0).AsUint64(), expect[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(TopKTest, ComposesWithDistinct) {
+  // Distinct result sizes, best three: mirrors "top results" UI plans.
+  auto distinct =
+      std::make_unique<Distinct>(std::make_unique<VectorScan>(
+          Rows({4, 4, 9, 1, 9, 6})));
+  TopK top(std::move(distinct), 0, 3, true);
+  auto got = Collect(&top);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].at(0).AsUint64(), 9u);
+  EXPECT_EQ(got[1].at(0).AsUint64(), 6u);
+  EXPECT_EQ(got[2].at(0).AsUint64(), 4u);
+}
+
+}  // namespace
+}  // namespace pierstack::pier

@@ -1,0 +1,91 @@
+#include "pier/value.h"
+
+#include <gtest/gtest.h>
+
+#include "pier/schema.h"
+
+namespace pierstack::pier {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(uint64_t{7}).type(), ValueType::kUint64);
+  EXPECT_EQ(Value(int64_t{-7}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(std::string("x")).type(), ValueType::kString);
+  EXPECT_EQ(Value(uint64_t{7}).AsUint64(), 7u);
+  EXPECT_EQ(Value(int64_t{-7}).AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(std::string("x")).AsString(), "x");
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+  EXPECT_FALSE(Value(uint64_t{1}).is_string());
+}
+
+TEST(ValueTest, EqualityIsTypeAware) {
+  EXPECT_EQ(Value(uint64_t{1}), Value(uint64_t{1}));
+  EXPECT_NE(Value(uint64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(std::string("1")), Value(uint64_t{1}));
+}
+
+TEST(ValueTest, HashStableAndDiscriminating) {
+  EXPECT_EQ(Value(std::string("madonna")).Hash(),
+            Value(std::string("madonna")).Hash());
+  EXPECT_NE(Value(std::string("madonna")).Hash(),
+            Value(std::string("prayer")).Hash());
+  EXPECT_NE(Value(uint64_t{5}).Hash(), Value(uint64_t{6}).Hash());
+}
+
+TEST(ValueTest, SerializeRoundTrip) {
+  std::vector<Value> values{Value(uint64_t{123456789}), Value(int64_t{-5}),
+                            Value(3.25), Value(std::string("hello world"))};
+  BytesWriter w;
+  for (const auto& v : values) v.SerializeTo(&w);
+  BytesReader r(w.data());
+  for (const auto& v : values) {
+    auto got = Value::Deserialize(&r);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), v);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ValueTest, WireSizeMatchesSerialization) {
+  for (const Value& v :
+       {Value(uint64_t{0}), Value(uint64_t{1} << 40),
+        Value(std::string("abcdef")), Value(1.5), Value(int64_t{9})}) {
+    BytesWriter w;
+    v.SerializeTo(&w);
+    EXPECT_EQ(w.size(), v.WireSize()) << v.ToString();
+  }
+}
+
+TEST(TupleTest, SerializeRoundTrip) {
+  Tuple t({Value(uint64_t{42}), Value(std::string("file.mp3")),
+           Value(uint64_t{1024})});
+  auto bytes = t.Serialize();
+  EXPECT_EQ(bytes.size(), t.WireSize());
+  auto back = Tuple::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);
+}
+
+TEST(TupleTest, DeserializeCorruptFails) {
+  std::vector<uint8_t> junk{0x03, 0xff, 0xff};
+  EXPECT_FALSE(Tuple::Deserialize(junk).ok());
+}
+
+TEST(SchemaTest, FieldLookupAndIndexValue) {
+  Schema s("t", {{"a", ValueType::kUint64}, {"b", ValueType::kString}}, 1);
+  EXPECT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.FieldIndex("a"), 0u);
+  EXPECT_EQ(s.FieldIndex("b"), 1u);
+  Tuple t({Value(uint64_t{1}), Value(std::string("key"))});
+  EXPECT_EQ(t.IndexValue(s).AsString(), "key");
+}
+
+TEST(TupleTest, ToStringRendersFields) {
+  Tuple t({Value(uint64_t{1}), Value(std::string("x"))});
+  EXPECT_EQ(t.ToString(), "(1, x)");
+}
+
+}  // namespace
+}  // namespace pierstack::pier

@@ -1,0 +1,175 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pierstack::sim {
+namespace {
+
+struct Payload {
+  std::string text;
+};
+
+/// Test host that records deliveries.
+class Recorder : public Host {
+ public:
+  void HandleMessage(HostId from, const Message& msg) override {
+    received.push_back({from, msg.as<Payload>().text});
+  }
+  std::vector<std::pair<HostId, std::string>> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+};
+
+TEST_F(NetworkTest, DeliversWithConstantLatency) {
+  Network net(&sim, std::make_unique<ConstantLatency>(10 * kMillisecond), 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.Send(ha, hb, Message::Make<Payload>(1, "test", 100, Payload{"hi"}));
+  EXPECT_TRUE(b.received.empty());
+  sim.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, ha);
+  EXPECT_EQ(b.received[0].second, "hi");
+  EXPECT_EQ(sim.now(), 10 * kMillisecond);
+}
+
+TEST_F(NetworkTest, SelfSendIsImmediateButAsync) {
+  Network net(&sim, std::make_unique<ConstantLatency>(10 * kMillisecond), 1);
+  Recorder a;
+  HostId ha = net.AddHost(&a);
+  net.Send(ha, ha, Message::Make<Payload>(1, "test", 10, Payload{"self"}));
+  sim.Run();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST_F(NetworkTest, MetricsCountMessagesAndBytes) {
+  Network net(&sim, nullptr, 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.Send(ha, hb, Message::Make<Payload>(1, "query", 100, Payload{"q"}));
+  net.Send(ha, hb, Message::Make<Payload>(1, "query", 50, Payload{"q"}));
+  net.Send(hb, ha, Message::Make<Payload>(1, "reply", 25, Payload{"r"}));
+  sim.Run();
+  EXPECT_EQ(net.metrics().total.messages, 3u);
+  EXPECT_EQ(net.metrics().total.bytes, 175u);
+  EXPECT_EQ(net.metrics().by_tag.at("query").messages, 2u);
+  EXPECT_EQ(net.metrics().by_tag.at("query").bytes, 150u);
+  EXPECT_EQ(net.metrics().by_tag.at("reply").bytes, 25u);
+}
+
+TEST_F(NetworkTest, MetricsReset) {
+  Network net(&sim, nullptr, 1);
+  Recorder a;
+  HostId ha = net.AddHost(&a);
+  net.Send(ha, ha, Message::Make<Payload>(1, "x", 10, Payload{}));
+  sim.Run();
+  net.metrics().Reset();
+  EXPECT_EQ(net.metrics().total.messages, 0u);
+  EXPECT_TRUE(net.metrics().by_tag.empty());
+}
+
+TEST_F(NetworkTest, DownHostDropsMessages) {
+  Network net(&sim, nullptr, 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.SetHostUp(hb, false);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 10, Payload{"drop"}));
+  sim.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.metrics().dropped_messages, 1u);
+  net.SetHostUp(hb, true);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 10, Payload{"ok"}));
+  sim.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, HostGoingDownMidFlightDropsDelivery) {
+  Network net(&sim, std::make_unique<ConstantLatency>(5 * kMillisecond), 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 10, Payload{"late"}));
+  sim.ScheduleAt(1 * kMillisecond, [&] { net.SetHostUp(hb, false); });
+  sim.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.metrics().dropped_messages, 1u);
+}
+
+TEST_F(NetworkTest, RemovedHostNeverReceives) {
+  Network net(&sim, nullptr, 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.RemoveHost(hb);
+  EXPECT_FALSE(net.IsHostUp(hb));
+  net.SetHostUp(hb, true);  // cannot resurrect a removed host
+  EXPECT_FALSE(net.IsHostUp(hb));
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 10, Payload{}));
+  sim.Run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST_F(NetworkTest, UniformLatencyWithinBounds) {
+  auto model = std::make_unique<UniformLatency>(10, 20);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    SimTime d = model->Latency(0, 1, 0, &rng);
+    EXPECT_GE(d, 10u);
+    EXPECT_LE(d, 20u);
+  }
+}
+
+TEST_F(NetworkTest, CoordinateLatencyDeterministicPerPair) {
+  CoordinateLatency::Options opts;
+  opts.jitter_mean = 0;
+  opts.per_kb = 0;
+  CoordinateLatency model(opts, 7);
+  Rng rng(1);
+  SimTime d1 = model.Latency(0, 1, 0, &rng);
+  SimTime d2 = model.Latency(0, 1, 0, &rng);
+  EXPECT_EQ(d1, d2);
+  EXPECT_GE(d1, opts.base);
+  EXPECT_LE(d1, opts.base + opts.max_distance);
+}
+
+TEST_F(NetworkTest, CoordinateLatencyChargesBytes) {
+  CoordinateLatency::Options opts;
+  opts.jitter_mean = 0;
+  opts.max_distance = 0;
+  opts.per_kb = kMillisecond;
+  CoordinateLatency model(opts, 7);
+  Rng rng(1);
+  SimTime small = model.Latency(0, 1, 100, &rng);
+  SimTime big = model.Latency(0, 1, 10 * 1024, &rng);
+  EXPECT_EQ(big - small, 10 * kMillisecond);
+}
+
+TEST_F(NetworkTest, MessagesOrderedPerLinkWithEqualLatency) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  for (int i = 0; i < 5; ++i) {
+    net.Send(ha, hb,
+             Message::Make<Payload>(1, "x", 1, Payload{std::to_string(i)}));
+  }
+  sim.Run();
+  ASSERT_EQ(b.received.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(b.received[static_cast<size_t>(i)].second, std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace pierstack::sim

@@ -1,0 +1,146 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pierstack::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(30, [&] { order.push_back(3); });
+  s.ScheduleAt(10, [&] { order.push_back(1); });
+  s.ScheduleAt(20, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(SimulatorTest, FifoTiebreakAtEqualTime) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(5, [&] { order.push_back(1); });
+  s.ScheduleAt(5, [&] { order.push_back(2); });
+  s.ScheduleAt(5, [&] { order.push_back(3); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  SimTime seen = 0;
+  s.ScheduleAt(100, [&] {
+    s.ScheduleAfter(50, [&] { seen = s.now(); });
+  });
+  s.Run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) s.ScheduleAfter(1, chain);
+  };
+  s.ScheduleAt(0, chain);
+  s.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(s.now(), 9u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  EventId id = s.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  s.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelTwiceFails) {
+  Simulator s;
+  EventId id = s.ScheduleAt(10, [] {});
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelAfterRunFails) {
+  Simulator s;
+  EventId id = s.ScheduleAt(10, [] {});
+  s.Run();
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelInvalidIdFails) {
+  Simulator s;
+  EXPECT_FALSE(s.Cancel(kInvalidEventId));
+  EXPECT_FALSE(s.Cancel(9999));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator s;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10u, 20u, 30u, 40u}) {
+    s.ScheduleAt(t, [&, t] { fired.push_back(t); });
+  }
+  s.RunUntil(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(s.now(), 25u);
+  s.RunUntil(100);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(SimulatorTest, RunUntilIncludesBoundaryEvents) {
+  Simulator s;
+  bool ran = false;
+  s.ScheduleAt(25, [&] { ran = true; });
+  s.RunUntil(25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator s;
+  s.ScheduleAt(5, [] {});
+  s.RunUntil(10);
+  int count = 0;
+  s.ScheduleAfter(5, [&] { ++count; });
+  s.ScheduleAfter(15, [&] { ++count; });
+  s.RunFor(10);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), 20u);
+}
+
+TEST(SimulatorTest, RunWithLimitStopsEarly) {
+  Simulator s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.ScheduleAt(i, [&] { ++count; });
+  EXPECT_EQ(s.Run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending(), 7u);
+}
+
+TEST(SimulatorTest, ExecutedCounterAndPending) {
+  Simulator s;
+  s.ScheduleAt(1, [] {});
+  s.ScheduleAt(2, [] {});
+  EventId id = s.ScheduleAt(3, [] {});
+  s.Cancel(id);
+  EXPECT_EQ(s.pending(), 2u);
+  s.Run();
+  EXPECT_EQ(s.events_executed(), 2u);
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotAdvanceClock) {
+  Simulator s;
+  EventId id = s.ScheduleAt(50, [] {});
+  s.ScheduleAt(10, [] {});
+  s.Cancel(id);
+  s.Run();
+  EXPECT_EQ(s.now(), 10u);
+}
+
+}  // namespace
+}  // namespace pierstack::sim

@@ -1,0 +1,193 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/tokenizer.h"
+
+namespace pierstack::workload {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig c;
+  c.num_nodes = 2000;
+  c.num_distinct_files = 3000;
+  c.vocab_size = 2500;
+  c.num_queries = 300;
+  c.seed = 99;
+  return c;
+}
+
+TEST(VocabularyTest, GeneratesDistinctNonStopTerms) {
+  Vocabulary v(500, 0.9, 1);
+  EXPECT_EQ(v.size(), 500u);
+  std::set<std::string> seen;
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_FALSE(DefaultStopWords().count(v.term(i)));
+    EXPECT_GE(v.term(i).size(), 3u);
+    seen.insert(v.term(i));
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(VocabularyTest, SamplingFollowsZipf) {
+  Vocabulary v(1000, 1.0, 2);
+  Rng rng(3);
+  size_t rank0 = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) rank0 += (v.SampleRank(&rng) == 0);
+  EXPECT_NEAR(rank0 / static_cast<double>(kDraws), v.Pmf(0), 0.01);
+}
+
+TEST(TraceTest, DeterministicForSeed) {
+  auto a = GenerateTrace(SmallConfig());
+  auto b = GenerateTrace(SmallConfig());
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].filename, b.files[i].filename);
+    EXPECT_EQ(a.files[i].replicas, b.files[i].replicas);
+  }
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].text, b.queries[i].text);
+  }
+}
+
+TEST(TraceTest, DifferentSeedsDiffer) {
+  auto a = GenerateTrace(SmallConfig());
+  auto cfg = SmallConfig();
+  cfg.seed = 100;
+  auto b = GenerateTrace(cfg);
+  size_t same = 0;
+  for (size_t i = 0; i < std::min(a.files.size(), b.files.size()); ++i) {
+    same += a.files[i].filename == b.files[i].filename;
+  }
+  EXPECT_LT(same, a.files.size() / 10);
+}
+
+TEST(TraceTest, PlacementMatchesReplicaCounts) {
+  auto t = GenerateTrace(SmallConfig());
+  std::vector<uint32_t> counts(t.files.size(), 0);
+  for (const auto& nf : t.node_files) {
+    std::set<uint32_t> per_node(nf.begin(), nf.end());
+    EXPECT_EQ(per_node.size(), nf.size());  // no duplicate copy on a node
+    for (uint32_t f : nf) ++counts[f];
+  }
+  for (size_t i = 0; i < t.files.size(); ++i) {
+    EXPECT_EQ(counts[i], t.files[i].replicas);
+  }
+  uint64_t copies = 0;
+  for (const auto& f : t.files) copies += f.replicas;
+  EXPECT_EQ(copies, t.total_copies);
+}
+
+TEST(TraceTest, FilenamesAreDistinctAndTokenizable) {
+  auto t = GenerateTrace(SmallConfig());
+  std::set<std::string> names;
+  for (const auto& f : t.files) {
+    names.insert(f.filename);
+    EXPECT_GE(f.keywords.size(), 3u);
+    EXPECT_LE(f.keywords.size(), 7u);
+    EXPECT_EQ(f.keywords, ExtractUniqueKeywords(f.filename));
+  }
+  EXPECT_EQ(names.size(), t.files.size());
+}
+
+TEST(TraceTest, GroundTruthMatchesBruteForce) {
+  auto cfg = SmallConfig();
+  cfg.num_distinct_files = 500;
+  cfg.num_queries = 60;
+  auto t = GenerateTrace(cfg);
+  for (const auto& q : t.queries) {
+    std::set<uint32_t> expected;
+    for (const auto& f : t.files) {
+      bool all = true;
+      for (const auto& term : q.terms) {
+        if (std::find(f.keywords.begin(), f.keywords.end(), term) ==
+            f.keywords.end()) {
+          all = false;
+          break;
+        }
+      }
+      if (all) expected.insert(f.id);
+    }
+    std::set<uint32_t> got(q.matches.begin(), q.matches.end());
+    EXPECT_EQ(got, expected) << q.text;
+  }
+}
+
+TEST(TraceTest, TotalResultsAggregatesReplicas) {
+  auto t = GenerateTrace(SmallConfig());
+  for (const auto& q : t.queries) {
+    uint64_t sum = 0;
+    for (uint32_t m : q.matches) sum += t.files[m].replicas;
+    EXPECT_EQ(sum, q.total_results);
+  }
+}
+
+TEST(TraceTest, CalibrationLongTailedReplication) {
+  // The paper's Figure 10 anchor: at replica threshold 1 about 23% of all
+  // copies are published. Allow a generous band for the synthetic trace.
+  WorkloadConfig c;  // full-size defaults
+  c.num_nodes = 10000;
+  c.num_distinct_files = 15000;
+  auto t = GenerateTrace(c);
+  double frac1 = t.CopiesFractionAtOrBelow(1);
+  EXPECT_GT(frac1, 0.12);
+  EXPECT_LT(frac1, 0.35);
+  // And the distribution is long-tailed: most distinct files are rare but
+  // most copies belong to popular files.
+  size_t singletons = 0;
+  for (const auto& f : t.files) singletons += f.replicas == 1;
+  EXPECT_GT(singletons, t.files.size() / 2);
+  EXPECT_LT(frac1, 0.5);
+}
+
+TEST(TraceTest, QueryMixSpansResultSizes) {
+  auto cfg = SmallConfig();
+  cfg.num_queries = 500;
+  auto t = GenerateTrace(cfg);
+  size_t zero = 0, small = 0, large = 0;
+  for (const auto& q : t.queries) {
+    if (q.total_results == 0) ++zero;
+    if (q.total_results > 0 && q.total_results <= 10) ++small;
+    if (q.total_results > 100) ++large;
+  }
+  // Ground-truth zero-result rate should sit near the paper's union-30
+  // floor (6%), and the mix must include both rare and popular queries.
+  EXPECT_GT(zero, 0u);
+  EXPECT_LT(static_cast<double>(zero) / t.queries.size(), 0.20);
+  EXPECT_GT(small, t.queries.size() / 10);
+  EXPECT_GT(large, t.queries.size() / 20);
+}
+
+TEST(TraceTest, QueriedUniverseSubsetOfFiles) {
+  auto t = GenerateTrace(SmallConfig());
+  auto universe = t.QueriedFileUniverse();
+  EXPECT_FALSE(universe.empty());
+  EXPECT_LE(universe.size(), t.files.size());
+  for (size_t i = 1; i < universe.size(); ++i) {
+    EXPECT_LT(universe[i - 1], universe[i]);  // sorted, unique
+  }
+}
+
+TEST(TraceTest, FilenamesOfNodeRoundTrips) {
+  auto t = GenerateTrace(SmallConfig());
+  auto names = t.FilenamesOfNode(5);
+  EXPECT_EQ(names.size(), t.node_files[5].size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], t.files[t.node_files[5][i]].filename);
+  }
+}
+
+TEST(TraceIndexTest, MatchEmptyAndUnknownTerms) {
+  auto t = GenerateTrace(SmallConfig());
+  TraceIndex idx(t.files);
+  EXPECT_TRUE(idx.Match({}).empty());
+  EXPECT_TRUE(idx.Match({"zzzznotaterm"}).empty());
+  EXPECT_EQ(idx.PostingSize("zzzznotaterm"), 0u);
+}
+
+}  // namespace
+}  // namespace pierstack::workload
