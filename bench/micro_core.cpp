@@ -2,9 +2,20 @@
 // RNG, Zipf sampling, tuple serialization, the symmetric hash join and
 // next-hop selection in both overlays.
 //
-//   ./build/bench/micro_core
+// The *_Legacy / *_PerTuple benches replicate the pre-batching tuple
+// pipeline (deep-copied std::string values, one Deserialize call and one
+// buffer per tuple, one routed message per published tuple) so every run
+// reports the batching speedup against the path it replaced. See
+// bench/README.md; scripts/run_bench.sh records the ratios in
+// BENCH_core.json.
+//
+//   ./build/micro_core
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "common/hashing.h"
@@ -12,9 +23,14 @@
 #include "common/tokenizer.h"
 #include "common/zipf.h"
 #include "dht/bamboo.h"
+#include "dht/builder.h"
 #include "dht/chord.h"
 #include "gnutella/index.h"
+#include "pier/node.h"
 #include "pier/ops.h"
+#include "pier/tuple_batch.h"
+#include "piersearch/publisher.h"
+#include "piersearch/search_engine.h"
 
 using namespace pierstack;
 
@@ -102,6 +118,327 @@ static void BM_ShjInsertProbe(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
 }
 BENCHMARK(BM_ShjInsertProbe)->Arg(1000)->Arg(10000);
+
+// ---------------------------------------------------------------------------
+// Batched-pipeline benches. `legacy` replicates the seed's tuple
+// representation and per-tuple codec: values deep-copy their strings, every
+// stored/output tuple copies the whole row, every decode gets its own
+// buffer and reader.
+// ---------------------------------------------------------------------------
+namespace legacy {
+
+using LValue = std::variant<uint64_t, int64_t, double, std::string>;
+using LTuple = std::vector<LValue>;
+
+uint64_t HashOf(const LValue& v) {
+  switch (v.index()) {
+    case 0:
+      return Mix64(std::get<uint64_t>(v));
+    case 1:
+      return Mix64(static_cast<uint64_t>(std::get<int64_t>(v)) ^ 0x11);
+    case 3:
+      return Fnv1a64(std::get<std::string>(v));
+    default:
+      return 0;
+  }
+}
+
+/// The seed's SymmetricHashJoin: stored sides and join outputs are full
+/// deep copies of the value vectors (strings included).
+struct Shj {
+  size_t left_col, right_col;
+  std::unordered_multimap<uint64_t, LTuple> left_table, right_table;
+
+  Shj(size_t l, size_t r) : left_col(l), right_col(r) {}
+
+  static LTuple Concat(const LTuple& l, const LTuple& r) {
+    LTuple vals = l;
+    for (const auto& v : r) vals.push_back(v);
+    return vals;
+  }
+
+  std::vector<LTuple> InsertLeft(LTuple t) {
+    std::vector<LTuple> out;
+    uint64_t h = HashOf(t[left_col]);
+    auto [lo, hi] = right_table.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second[right_col] == t[left_col]) {
+        out.push_back(Concat(t, it->second));
+      }
+    }
+    left_table.emplace(h, std::move(t));
+    return out;
+  }
+
+  std::vector<LTuple> InsertRight(LTuple t) {
+    std::vector<LTuple> out;
+    uint64_t h = HashOf(t[right_col]);
+    auto [lo, hi] = left_table.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second[left_col] == t[right_col]) {
+        out.push_back(Concat(it->second, t));
+      }
+    }
+    right_table.emplace(h, std::move(t));
+    return out;
+  }
+};
+
+/// The seed's per-tuple decoder: std::string values, no interning.
+Result<LTuple> Deserialize(const std::vector<uint8_t>& data) {
+  BytesReader r(data);
+  auto arity = r.GetVarint();
+  if (!arity.ok()) return arity.status();
+  LTuple values;
+  values.reserve(static_cast<size_t>(arity.value()));
+  for (uint64_t i = 0; i < arity.value(); ++i) {
+    auto tag = r.GetU8();
+    if (!tag.ok()) return tag.status();
+    switch (static_cast<pier::ValueType>(tag.value())) {
+      case pier::ValueType::kUint64: {
+        auto v = r.GetVarint();
+        if (!v.ok()) return v.status();
+        values.emplace_back(v.value());
+        break;
+      }
+      case pier::ValueType::kInt64: {
+        auto v = r.GetVarint();
+        if (!v.ok()) return v.status();
+        values.emplace_back(static_cast<int64_t>(v.value()));
+        break;
+      }
+      case pier::ValueType::kDouble: {
+        auto v = r.GetDouble();
+        if (!v.ok()) return v.status();
+        values.emplace_back(v.value());
+        break;
+      }
+      case pier::ValueType::kString: {
+        auto v = r.GetString();
+        if (!v.ok()) return v.status();
+        values.emplace_back(std::move(v).value());
+        break;
+      }
+      default:
+        return Status::Corruption("unknown value type tag");
+    }
+  }
+  return values;
+}
+
+}  // namespace legacy
+
+// The SHJ workload of the keyword chain: the posting list of keyword A
+// (fileID + filename payload) intersecting the posting list of keyword B,
+// joined on fileID. Each side holds distinct fileIDs and roughly half the
+// probes find their match — the shape of a two-term query intersection.
+// Both tuple streams are materialized once up front (the engine decodes
+// tuples once and then feeds them to the join), so the bench isolates the
+// per-insert cost: a full row deep-copy (seed) vs a handle copy plus
+// exact table reservation (batched pipeline — batch decode knows the
+// cardinalities).
+struct ShjWorkload {
+  std::vector<std::pair<std::string, uint64_t>> lefts;   // (keyword, id)
+  std::vector<std::pair<uint64_t, std::string>> rights;  // (id, filename)
+
+  explicit ShjWorkload(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      rights.emplace_back(uint64_t{2 * i},  // even ids
+                          "artist" + std::to_string(i % 97) +
+                              " some longish track title " +
+                              std::to_string(i) + ".mp3");
+      // Probe ids cover evens and odds: ~50% of probes match.
+      lefts.emplace_back("keyword" + std::to_string(i % 16), uint64_t{i});
+    }
+  }
+};
+
+static void BM_ShjInsertWithMatches_Legacy(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  ShjWorkload w(n);
+  std::vector<legacy::LTuple> rights, lefts;
+  for (auto& [id, name] : w.rights) rights.push_back(legacy::LTuple{id, name});
+  for (auto& [kw, id] : w.lefts) lefts.push_back(legacy::LTuple{kw, id});
+  for (auto _ : state) {
+    legacy::Shj shj(1, 0);
+    for (const auto& t : rights) {
+      benchmark::DoNotOptimize(shj.InsertRight(t));  // deep copy in
+    }
+    for (const auto& t : lefts) {
+      benchmark::DoNotOptimize(shj.InsertLeft(t));
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(2 * n));
+}
+BENCHMARK(BM_ShjInsertWithMatches_Legacy)->Arg(4096);
+
+static void BM_ShjInsertWithMatches_SharedPayload(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  ShjWorkload w(n);
+  std::vector<pier::Tuple> rights, lefts;
+  for (auto& [id, name] : w.rights) {
+    rights.push_back(pier::Tuple({pier::Value(id), pier::Value(name)}));
+  }
+  for (auto& [kw, id] : w.lefts) {
+    lefts.push_back(pier::Tuple({pier::Value(kw), pier::Value(id)}));
+  }
+  for (auto _ : state) {
+    pier::SymmetricHashJoin shj(1, 0);
+    shj.Reserve(lefts.size(), rights.size());
+    for (const auto& t : rights) {
+      benchmark::DoNotOptimize(shj.InsertRight(t));  // refcount bump in
+    }
+    for (const auto& t : lefts) {
+      benchmark::DoNotOptimize(shj.InsertLeft(t));
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(2 * n));
+}
+BENCHMARK(BM_ShjInsertWithMatches_SharedPayload)->Arg(4096);
+
+/// A posting list the way the store holds it: one Item-shaped frame per
+/// entry, every entry repeating the keyword column.
+struct EncodedPostings {
+  std::vector<std::vector<uint8_t>> frames;
+  std::vector<uint8_t> image;  ///< TupleBatch image of the same frames.
+
+  explicit EncodedPostings(size_t n) {
+    pier::TupleBatch batch;
+    for (size_t i = 0; i < n; ++i) {
+      pier::Tuple t({pier::Value(std::string("madonna")),
+                     pier::Value(uint64_t{i}),
+                     pier::Value("madonna track " + std::to_string(i) +
+                                 ".mp3"),
+                     pier::Value(uint64_t{4 << 20})});
+      frames.push_back(t.Serialize());
+      batch.Add(std::move(t));
+    }
+    image = batch.Serialize();
+  }
+};
+
+// Both deserialize benches model the Fetch receiver: the DHT reply body is
+// copied into the callback (vector-of-frames before, one image now), then
+// decoded. That is the per-call overhead the batch path collapses.
+static void BM_TupleDeserialize_PerTuple(benchmark::State& state) {
+  EncodedPostings p(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::vector<uint8_t>> values = p.frames;  // reply copy
+    for (const auto& frame : values) {
+      benchmark::DoNotOptimize(legacy::Deserialize(frame));
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TupleDeserialize_PerTuple)->Arg(512);
+
+static void BM_TupleDeserialize_Batch(benchmark::State& state) {
+  EncodedPostings p(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<uint8_t> image = p.image;  // reply copy
+    benchmark::DoNotOptimize(pier::TupleBatch::Deserialize(image));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TupleDeserialize_Batch)->Arg(512);
+
+static void BM_TupleSerialize_PerTuple(benchmark::State& state) {
+  EncodedPostings p(static_cast<size_t>(state.range(0)));
+  size_t dropped = 0;
+  pier::TupleBatch batch =
+      pier::TupleBatch::DeserializeLossy(p.image, &dropped);
+  for (auto _ : state) {
+    for (const auto& t : batch) {
+      benchmark::DoNotOptimize(t.Serialize());
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TupleSerialize_PerTuple)->Arg(512);
+
+static void BM_TupleSerialize_Batch(benchmark::State& state) {
+  EncodedPostings p(static_cast<size_t>(state.range(0)));
+  size_t dropped = 0;
+  pier::TupleBatch batch =
+      pier::TupleBatch::DeserializeLossy(p.image, &dropped);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch.Serialize());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TupleSerialize_Batch)->Arg(512);
+
+// End-to-end join chain over a real DHT cluster: publish a library, run
+// two-keyword searches, and report network cost alongside throughput. The
+// PerTuple variant publishes with one routed message per tuple (the seed
+// path); Batched uses the coalesced PublishFiles pipeline. Both run the
+// same queries and are expected to return identical result counts.
+static void JoinChainRun(benchmark::State& state, bool batched) {
+  const size_t kFiles = 400, kNodes = 16, kQueries = 25;
+  uint64_t net_messages = 0, net_bytes = 0, results = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::Network network(&simulator,
+                         std::make_unique<sim::ConstantLatency>(
+                             10 * sim::kMillisecond),
+                         7);
+    dht::DhtDeployment dht(&network, kNodes, dht::DhtOptions{}, 11);
+    pier::PierMetrics metrics;
+    std::vector<std::unique_ptr<pier::PierNode>> piers;
+    for (size_t i = 0; i < dht.size(); ++i) {
+      piers.push_back(
+          std::make_unique<pier::PierNode>(dht.node(i), &metrics));
+    }
+    piersearch::Publisher publisher(piers[0].get());
+    piersearch::PublishOptions popts;
+    std::vector<piersearch::FileToPublish> files;
+    for (size_t i = 0; i < kFiles; ++i) {
+      files.push_back(piersearch::FileToPublish{
+          "artist" + std::to_string(i % 20) + " album" +
+              std::to_string(i % 50) + " track" + std::to_string(i) + ".mp3",
+          1 << 20, static_cast<uint32_t>(i % kNodes), 6346});
+    }
+    if (batched) {
+      publisher.PublishFiles(files, popts);
+    } else {
+      for (const auto& f : files) {
+        publisher.PublishFile(f.filename, f.size_bytes, f.address, f.port,
+                              popts);
+      }
+    }
+    simulator.Run();
+    piersearch::SearchEngine engine(piers[1].get());
+    piersearch::SearchOptions sopts;
+    sopts.fetch_items = false;
+    for (size_t q = 0; q < kQueries; ++q) {
+      std::string query = "artist" + std::to_string(q % 20) + " album" +
+                          std::to_string(q % 50);
+      engine.Search(query, sopts, [&](Status s, auto hits) {
+        if (s.ok()) results += hits.size();
+      });
+    }
+    simulator.Run();
+    net_messages += network.metrics().total.messages;
+    net_bytes += network.metrics().total.bytes;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kQueries));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["net_messages"] = per_iter(net_messages);
+  state.counters["net_bytes"] = per_iter(net_bytes);
+  state.counters["results"] = per_iter(results);
+}
+
+static void BM_JoinChain_PerTuplePublish(benchmark::State& state) {
+  JoinChainRun(state, /*batched=*/false);
+}
+BENCHMARK(BM_JoinChain_PerTuplePublish)->Unit(benchmark::kMillisecond);
+
+static void BM_JoinChain_BatchedPublish(benchmark::State& state) {
+  JoinChainRun(state, /*batched=*/true);
+}
+BENCHMARK(BM_JoinChain_BatchedPublish)->Unit(benchmark::kMillisecond);
 
 static void BM_ChordNextHop(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

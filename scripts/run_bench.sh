@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Runs the micro_core benchmark suite and records BENCH_core.json at the
+# repo root: the raw google-benchmark results plus the batching speedup
+# ratios the perf trajectory is tracked by (see bench/README.md).
+#
+#   scripts/run_bench.sh [--smoke] [build_dir]
+#
+# --smoke runs one short repetition (CI); default runs the full suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+
+SMOKE=0
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+if [ ! -x "$BUILD_DIR/micro_core" ]; then
+  echo "building micro_core in $BUILD_DIR..."
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target micro_core -j >/dev/null
+fi
+
+MIN_TIME=0.5
+if [ "$SMOKE" = "1" ]; then MIN_TIME=0.01; fi
+
+RAW=$(mktemp)
+"$BUILD_DIR/micro_core" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json \
+  --benchmark_out="$RAW" \
+  --benchmark_out_format=json >/dev/null
+
+python3 - "$RAW" "$REPO_ROOT/BENCH_core.json" <<'EOF'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+by_name = {}
+for b in raw.get("benchmarks", []):
+    by_name[b["name"]] = b
+
+def items_per_sec(name):
+    b = by_name.get(name)
+    return b.get("items_per_second") if b else None
+
+def ratio(new, old):
+    a, b = items_per_sec(new), items_per_sec(old)
+    return round(a / b, 2) if a and b else None
+
+ratios = {
+    "shj_insert_with_matches": ratio(
+        "BM_ShjInsertWithMatches_SharedPayload/4096",
+        "BM_ShjInsertWithMatches_Legacy/4096"),
+    "tuple_deserialize_batch": ratio(
+        "BM_TupleDeserialize_Batch/512",
+        "BM_TupleDeserialize_PerTuple/512"),
+    "tuple_serialize_batch": ratio(
+        "BM_TupleSerialize_Batch/512",
+        "BM_TupleSerialize_PerTuple/512"),
+}
+
+chain = {}
+for mode, name in (("per_tuple", "BM_JoinChain_PerTuplePublish"),
+                   ("batched", "BM_JoinChain_BatchedPublish")):
+    b = by_name.get(name)
+    if b:
+        chain[mode] = {
+            "net_messages": b.get("net_messages"),
+            "net_bytes": b.get("net_bytes"),
+            "results": b.get("results"),
+        }
+if "per_tuple" in chain and "batched" in chain and \
+        chain["batched"].get("net_messages"):
+    chain["message_reduction"] = round(
+        chain["per_tuple"]["net_messages"] /
+        chain["batched"]["net_messages"], 2)
+
+out = {
+    "context": raw.get("context", {}),
+    "speedup_vs_pre_refactor": ratios,
+    "join_chain": chain,
+    "benchmarks": raw.get("benchmarks", []),
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+
+print("BENCH_core.json written:")
+print("  speedups vs pre-refactor per-tuple path:", ratios)
+if chain:
+    print("  join chain:", {k: v for k, v in chain.items()
+                            if k == "message_reduction"})
+EOF
+
+rm -f "$RAW"

@@ -81,11 +81,19 @@ Result<double> BytesReader::GetDouble() {
 }
 
 Result<std::string> BytesReader::GetString() {
+  auto v = GetStringView();
+  if (!v.ok()) return v.status();
+  return std::string(v.value());
+}
+
+Result<std::string_view> BytesReader::GetStringView() {
   auto len = GetVarint();
   if (!len.ok()) return len.status();
-  if (pos_ + len.value() > size_) return Status::Corruption("string underflow");
-  std::string s(reinterpret_cast<const char*>(data_ + pos_),
-                static_cast<size_t>(len.value()));
+  if (len.value() > size_ - pos_) {
+    return Status::Corruption("string underflow");
+  }
+  std::string_view s(reinterpret_cast<const char*>(data_ + pos_),
+                     static_cast<size_t>(len.value()));
   pos_ += static_cast<size_t>(len.value());
   return s;
 }

@@ -25,6 +25,9 @@ class BytesWriter {
   void PutString(std::string_view s);  // varint length + bytes
   void PutBytes(const void* data, size_t len);
 
+  /// Pre-grows the buffer for `n` further bytes of writes.
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   const std::vector<uint8_t>& data() const { return buf_; }
   size_t size() const { return buf_.size(); }
   std::vector<uint8_t> Take() { return std::move(buf_); }
@@ -46,6 +49,9 @@ class BytesReader {
   Result<uint64_t> GetVarint();
   Result<double> GetDouble();
   Result<std::string> GetString();
+  /// Zero-copy string read: the view aliases the underlying buffer and is
+  /// only valid for the buffer's lifetime.
+  Result<std::string_view> GetStringView();
 
   size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }

@@ -2,7 +2,38 @@
 
 #include <algorithm>
 
+#include "common/bytes.h"
+
 namespace pierstack::dht {
+
+namespace {
+
+/// Emits a TupleBatch image (count prefix + concatenated frames) from the
+/// live entries a range walk yields.
+template <typename It>
+std::vector<uint8_t> BatchImage(It lo, It hi, sim::SimTime now,
+                                bool alive(const StoredValue&, sim::SimTime)) {
+  size_t count = 0, bytes = 0;
+  for (It it = lo; it != hi; ++it) {
+    if (!alive(it->second, now)) continue;
+    ++count;
+    bytes += it->second.value.size();
+  }
+  BytesWriter w;
+  w.Reserve(VarintSize(count) + bytes);
+  w.PutVarint(count);
+  for (It it = lo; it != hi; ++it) {
+    if (!alive(it->second, now)) continue;
+    w.PutBytes(it->second.value.data(), it->second.value.size());
+  }
+  return w.Take();
+}
+
+bool AliveFn(const StoredValue& v, sim::SimTime now) {
+  return v.expiry == 0 || v.expiry > now;
+}
+
+}  // namespace
 
 bool LocalStore::Put(const std::string& ns, Key key,
                      std::vector<uint8_t> value, sim::SimTime expiry) {
@@ -42,6 +73,21 @@ std::vector<const StoredValue*> LocalStore::Scan(const std::string& ns,
     if (Alive(v, now)) out.push_back(&v);
   }
   return out;
+}
+
+std::vector<uint8_t> LocalStore::GetBatch(const std::string& ns, Key key,
+                                          sim::SimTime now) const {
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return {0};  // empty batch: count = 0
+  auto [lo, hi] = sit->second.equal_range(key);
+  return BatchImage(lo, hi, now, AliveFn);
+}
+
+std::vector<uint8_t> LocalStore::ScanBatch(const std::string& ns,
+                                           sim::SimTime now) const {
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return {0};
+  return BatchImage(sit->second.begin(), sit->second.end(), now, AliveFn);
 }
 
 size_t LocalStore::Erase(const std::string& ns, Key key) {

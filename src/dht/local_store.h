@@ -43,6 +43,18 @@ class LocalStore {
   std::vector<const StoredValue*> Scan(const std::string& ns,
                                        sim::SimTime now) const;
 
+  /// Batched Get: one contiguous pier::TupleBatch image (varint live-entry
+  /// count, then the stored frames back-to-back). Because each stored
+  /// value is a standalone tuple frame, the image is assembled by
+  /// concatenation and decoded by the caller in a single pass instead of
+  /// one Deserialize call per entry.
+  std::vector<uint8_t> GetBatch(const std::string& ns, Key key,
+                                sim::SimTime now) const;
+
+  /// Batched Scan: the whole namespace as one TupleBatch image.
+  std::vector<uint8_t> ScanBatch(const std::string& ns,
+                                 sim::SimTime now) const;
+
   /// Removes every value under (ns, key); returns how many were removed.
   size_t Erase(const std::string& ns, Key key);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/bytes.h"
 #include "dht/bamboo.h"
 #include "dht/chord.h"
 
@@ -201,8 +202,14 @@ void DhtNode::DeliverLocally(const RouteMsg& msg) {
     case kAppPut:
       HandlePutUpcall(msg);
       return;
+    case kAppPutBatch:
+      HandlePutBatchUpcall(msg);
+      return;
     case kAppGet:
       HandleGetUpcall(msg);
+      return;
+    case kAppGetBatch:
+      HandleGetBatchUpcall(msg);
       return;
     case kAppJoinLookup:
       HandleJoinLookupUpcall(msg);
@@ -236,6 +243,25 @@ void DhtNode::Put(const std::string& ns, Key key, std::vector<uint8_t> value,
   Route(key, kAppPut, body, bytes, req_id);
 }
 
+void DhtNode::PutBatch(const std::string& ns, Key key,
+                       std::vector<uint8_t> frames, size_t value_count,
+                       sim::SimTime expiry, PutCallback callback) {
+  ++metrics_->batch_puts;
+  metrics_->batch_put_values += value_count;
+  uint64_t req_id = 0;
+  bool want_ack = callback != nullptr;
+  if (want_ack) {
+    req_id = NextReqId();
+    pending_puts_[req_id] = std::move(callback);
+  }
+  // One route header amortized across the whole batch; the frame buffer
+  // already carries each value's length prefix.
+  size_t bytes = ns.size() + 18 + VarintSize(value_count) + frames.size();
+  auto body = std::make_shared<const PutBatchBody>(PutBatchBody{
+      ns, key, std::move(frames), value_count, expiry, want_ack});
+  Route(key, kAppPutBatch, body, bytes, req_id);
+}
+
 void DhtNode::Get(const std::string& ns, Key key, GetCallback callback) {
   assert(callback != nullptr);
   ++metrics_->gets;
@@ -254,6 +280,27 @@ void DhtNode::Get(const std::string& ns, Key key, GetCallback callback) {
   size_t bytes = ns.size() + 10;
   auto body = std::make_shared<const GetBody>(GetBody{ns, key});
   Route(key, kAppGet, body, bytes, req_id);
+}
+
+void DhtNode::GetBatch(const std::string& ns, Key key,
+                       GetBatchCallback callback) {
+  assert(callback != nullptr);
+  ++metrics_->batch_gets;
+  uint64_t req_id = NextReqId();
+  PendingBatchGet pending;
+  pending.callback = std::move(callback);
+  pending.timeout = network_->simulator()->ScheduleAfter(
+      options_.get_timeout, [this, req_id]() {
+        auto it = pending_batch_gets_.find(req_id);
+        if (it == pending_batch_gets_.end()) return;
+        GetBatchCallback cb = std::move(it->second.callback);
+        pending_batch_gets_.erase(it);
+        cb(Status::TimedOut("dht get batch"), {});
+      });
+  pending_batch_gets_[req_id] = std::move(pending);
+  size_t bytes = ns.size() + 10;
+  auto body = std::make_shared<const GetBody>(GetBody{ns, key});
+  Route(key, kAppGetBatch, body, bytes, req_id);
 }
 
 void DhtNode::Lookup(Key target, LookupCallback callback) {
@@ -299,6 +346,41 @@ void DhtNode::HandlePutUpcall(const RouteMsg& msg) {
   }
 }
 
+void DhtNode::StoreBatchFrames(const PutBatchBody& put) {
+  BytesReader r(put.frames);
+  for (uint64_t i = 0; i < put.value_count; ++i) {
+    auto v = r.GetStringView();
+    if (!v.ok()) return;
+    const auto* data = reinterpret_cast<const uint8_t*>(v.value().data());
+    store_.Put(put.ns, put.key,
+               std::vector<uint8_t>(data, data + v.value().size()),
+               put.expiry);
+  }
+}
+
+void DhtNode::HandlePutBatchUpcall(const RouteMsg& msg) {
+  const auto& put = msg.body<PutBatchBody>();
+  StoreBatchFrames(put);
+  if (options_.replication > 1 && put.value_count > 0) {
+    // One replica message per target carries the whole batch.
+    auto targets = routing_->ReplicaTargets(options_.replication - 1);
+    size_t bytes = put.ns.size() + 18 + VarintSize(put.value_count) +
+                   put.frames.size();
+    for (const auto& t : targets) {
+      SendDirect(t.host, sim::Message::Make<PutBatchBody>(
+                             kReplicaPutBatch, "dht.replica", bytes,
+                             PutBatchBody{put.ns, put.key, put.frames,
+                                          put.value_count, put.expiry,
+                                          false}));
+    }
+  }
+  if (put.want_ack) {
+    SendDirect(msg.origin.host,
+               sim::Message::Make<AckBody>(kPutAck, "dht.reply", 9,
+                                           AckBody{msg.req_id}));
+  }
+}
+
 void DhtNode::ReplicateEntry(const std::string& ns, Key key,
                              const std::vector<uint8_t>& value,
                              sim::SimTime expiry) {
@@ -324,6 +406,19 @@ void DhtNode::HandleGetUpcall(const RouteMsg& msg) {
   SendDirect(msg.origin.host,
              sim::Message::Make<GetReplyBody>(kGetReply, "dht.reply", bytes,
                                               std::move(reply)));
+}
+
+void DhtNode::HandleGetBatchUpcall(const RouteMsg& msg) {
+  const auto& get = msg.body<GetBody>();
+  GetBatchReplyBody reply;
+  reply.req_id = msg.req_id;
+  reply.batch =
+      store_.GetBatch(get.ns, get.key, network_->simulator()->now());
+  size_t bytes = reply.batch.size() + 12;
+  SendDirect(msg.origin.host,
+             sim::Message::Make<GetBatchReplyBody>(kGetBatchReply,
+                                                   "dht.reply", bytes,
+                                                   std::move(reply)));
 }
 
 void DhtNode::HandleJoinLookupUpcall(const RouteMsg& msg) {
@@ -432,6 +527,20 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       GetCallback cb = std::move(it->second.callback);
       pending_gets_.erase(it);
       cb(Status::OK(), reply.values);
+      return;
+    }
+    case kGetBatchReply: {
+      const auto& reply = msg.as<GetBatchReplyBody>();
+      auto it = pending_batch_gets_.find(reply.req_id);
+      if (it == pending_batch_gets_.end()) return;
+      network_->simulator()->Cancel(it->second.timeout);
+      GetBatchCallback cb = std::move(it->second.callback);
+      pending_batch_gets_.erase(it);
+      cb(Status::OK(), reply.batch);
+      return;
+    }
+    case kReplicaPutBatch: {
+      StoreBatchFrames(msg.as<PutBatchBody>());
       return;
     }
     case kPutAck: {

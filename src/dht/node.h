@@ -51,6 +51,8 @@ enum RoutedApp : int {
   kAppJoinLookup = 3,
   kAppFingerLookup = 4,
   kAppLookup = 5,
+  kAppPutBatch = 6,
+  kAppGetBatch = 7,
   kAppUserBase = 100,
 };
 
@@ -63,6 +65,9 @@ struct DhtMetrics {
   uint32_t max_hops = 0;
   uint64_t puts = 0;
   uint64_t gets = 0;
+  uint64_t batch_puts = 0;        ///< PutBatch messages (any value count).
+  uint64_t batch_put_values = 0;  ///< Values carried by PutBatch messages.
+  uint64_t batch_gets = 0;
 
   double MeanHops() const {
     return routes_delivered == 0
@@ -93,6 +98,10 @@ class DhtNode : public sim::Host {
  public:
   using GetCallback =
       std::function<void(Status, std::vector<std::vector<uint8_t>>)>;
+  /// Batched get: the owner's values under (ns, key) as one contiguous
+  /// pier::TupleBatch image (count prefix + concatenated frames).
+  using GetBatchCallback =
+      std::function<void(Status, std::vector<uint8_t> batch)>;
   using PutCallback = std::function<void(Status)>;
   using LookupCallback = std::function<void(Status, NodeInfo owner,
                                             uint32_t hops)>;
@@ -142,8 +151,24 @@ class DhtNode : public sim::Host {
   void Put(const std::string& ns, Key key, std::vector<uint8_t> value,
            sim::SimTime expiry = 0, PutCallback callback = nullptr);
 
+  /// Stores many values under (ns, key) with ONE routed message — the
+  /// coalesced-rehash primitive. `frames` is `value_count` length-prefixed
+  /// values back-to-back (varint length + bytes each, i.e. BytesWriter
+  /// PutString framing), built by the sender as one buffer. Charges one
+  /// route header for the whole batch instead of one per value; the owner
+  /// splits the frames and stores each as its own soft-state entry
+  /// (dedup/refresh semantics identical to Put).
+  void PutBatch(const std::string& ns, Key key, std::vector<uint8_t> frames,
+                size_t value_count, sim::SimTime expiry = 0,
+                PutCallback callback = nullptr);
+
   /// Fetches all values under (ns, key) from the key's owner.
   void Get(const std::string& ns, Key key, GetCallback callback);
+
+  /// Batched Get: the reply is one TupleBatch image built by the owner's
+  /// LocalStore::GetBatch — decoded once by the caller instead of one
+  /// deserialize per value.
+  void GetBatch(const std::string& ns, Key key, GetBatchCallback callback);
 
   /// Resolves the current owner of `target`.
   void Lookup(Key target, LookupCallback callback);
@@ -186,6 +211,8 @@ class DhtNode : public sim::Host {
     kDirectApp = 12,
     kLeave = 13,
     kPredecessorPing = 14,
+    kGetBatchReply = 15,
+    kReplicaPutBatch = 16,
   };
 
  private:
@@ -200,6 +227,14 @@ class DhtNode : public sim::Host {
   struct GetBody {
     std::string ns;
     Key key;
+  };
+  struct PutBatchBody {
+    std::string ns;
+    Key key;
+    std::vector<uint8_t> frames;  ///< Length-prefixed values, one buffer.
+    uint64_t value_count;
+    sim::SimTime expiry;
+    bool want_ack;
   };
   struct JoinReplyBody {
     NodeInfo owner;
@@ -229,6 +264,10 @@ class DhtNode : public sim::Host {
     uint64_t req_id;
     std::vector<std::vector<uint8_t>> values;
   };
+  struct GetBatchReplyBody {
+    uint64_t req_id;
+    std::vector<uint8_t> batch;  ///< TupleBatch image.
+  };
   struct LookupReplyBody {
     uint64_t req_id;
     NodeInfo owner;
@@ -240,7 +279,13 @@ class DhtNode : public sim::Host {
   void ForwardOrDeliver(RouteMsg msg);
   void DeliverLocally(const RouteMsg& msg);
   void HandlePutUpcall(const RouteMsg& msg);
+  void HandlePutBatchUpcall(const RouteMsg& msg);
+  /// Splits a PutBatch frame buffer and stores each value. A malformed
+  /// buffer stops at the first bad frame (the earlier frames stand — the
+  /// same salvage rule as the tuple-batch decoder).
+  void StoreBatchFrames(const PutBatchBody& put);
   void HandleGetUpcall(const RouteMsg& msg);
+  void HandleGetBatchUpcall(const RouteMsg& msg);
   void HandleJoinLookupUpcall(const RouteMsg& msg);
   void HandleFingerLookupUpcall(const RouteMsg& msg);
   void HandleLookupUpcall(const RouteMsg& msg);
@@ -272,6 +317,11 @@ class DhtNode : public sim::Host {
     sim::EventId timeout = sim::kInvalidEventId;
   };
   std::map<uint64_t, PendingGet> pending_gets_;
+  struct PendingBatchGet {
+    GetBatchCallback callback;
+    sim::EventId timeout = sim::kInvalidEventId;
+  };
+  std::map<uint64_t, PendingBatchGet> pending_batch_gets_;
   std::map<uint64_t, PutCallback> pending_puts_;
   struct PendingLookup {
     LookupCallback callback;

@@ -111,16 +111,18 @@ void HybridUltrapeer::Query(const std::string& text, HitCallback on_hit,
 size_t HybridUltrapeer::PublishLocalFiles(
     const std::function<bool(const gnutella::KeywordIndex::Entry&)>&
         is_rare) {
-  size_t published = 0;
+  // Collect the whole rare set first so the publisher can coalesce all
+  // same-keyword tuples into per-destination batch messages.
+  std::vector<piersearch::FileToPublish> files;
   for (const auto* entry : up_->index().AllEntries()) {
     if (!is_rare(*entry)) continue;
     if (!published_file_ids_.insert(entry->file_id).second) continue;
-    publisher_.PublishFile(entry->filename, entry->size_bytes, entry->owner,
-                           /*port=*/6346, config_.publish);
-    ++published;
+    files.push_back(piersearch::FileToPublish{
+        entry->filename, entry->size_bytes, entry->owner, /*port=*/6346});
   }
-  stats_.rare_results_published += published;
-  return published;
+  publisher_.PublishFiles(files, config_.publish);
+  stats_.rare_results_published += files.size();
+  return files.size();
 }
 
 }  // namespace pierstack::hybrid

@@ -1,9 +1,12 @@
 #include "pier/node.h"
 
 #include <cassert>
+#include <memory>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/tokenizer.h"
+#include "pier/tuple_batch.h"
 
 namespace pierstack::pier {
 
@@ -30,6 +33,7 @@ PierNode::PierNode(dht::DhtNode* dht, PierMetrics* metrics)
 void PierNode::Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry,
                        dht::DhtNode::PutCallback callback) {
   ++metrics_->tuples_published;
+  ++metrics_->publish_messages;
   std::vector<uint8_t> bytes = tuple.Serialize();
   metrics_->publish_bytes += bytes.size();
   dht::Key key = DhtKeyFor(schema.table_name(), tuple.IndexValue(schema));
@@ -37,18 +41,85 @@ void PierNode::Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry,
             std::move(callback));
 }
 
+void PierNode::PublishBatch(const Schema& schema, std::vector<Tuple> tuples,
+                            sim::SimTime expiry,
+                            dht::DhtNode::PutCallback callback) {
+  if (tuples.empty()) {
+    if (callback) callback(Status::OK());
+    return;
+  }
+  // Aggregate ack: remember the first failure, fire once after the last
+  // batch answers.
+  struct AckState {
+    size_t remaining = 0;
+    Status first_error;
+    dht::DhtNode::PutCallback callback;
+  };
+  std::shared_ptr<AckState> acks;
+  if (callback) {
+    acks = std::make_shared<AckState>();
+    acks->callback = std::move(callback);
+  }
+
+  // One frame buffer per destination key: each tuple appends its length
+  // prefix + frame in place, so the whole group ships (and is built) as a
+  // single allocation instead of one buffer per tuple.
+  struct Group {
+    BytesWriter frames;
+    size_t count = 0;
+  };
+  auto flush = [&](dht::Key key, Group* g) {
+    if (g->count == 0) return;
+    ++metrics_->publish_messages;
+    dht::DhtNode::PutCallback sub;
+    if (acks) {
+      ++acks->remaining;
+      sub = [acks](Status s) {
+        if (!s.ok() && acks->first_error.ok()) acks->first_error = s;
+        if (--acks->remaining == 0) acks->callback(acks->first_error);
+      };
+    }
+    dht_->PutBatch(schema.table_name(), key, g->frames.Take(), g->count,
+                   expiry, std::move(sub));
+    *g = Group{};
+  };
+
+  std::unordered_map<dht::Key, Group> groups;
+  for (const Tuple& t : tuples) {
+    ++metrics_->tuples_published;
+    size_t wire = t.WireSize();
+    metrics_->publish_bytes += wire;
+    dht::Key key = DhtKeyFor(schema.table_name(), t.IndexValue(schema));
+    Group& g = groups[key];
+    g.frames.PutVarint(wire);
+    t.SerializeTo(&g.frames);
+    ++g.count;
+    if (g.count >= batch_options_.max_batch_tuples ||
+        g.frames.size() >= batch_options_.max_batch_bytes) {
+      flush(key, &g);
+    }
+  }
+  for (auto& [key, g] : groups) flush(key, &g);
+}
+
+std::vector<Tuple> PierNode::DecodeLocalBatch(const std::string& ns,
+                                              dht::Key key) {
+  sim::SimTime now = dht_->network()->simulator()->now();
+  std::vector<uint8_t> image = dht_->store().GetBatch(ns, key, now);
+  size_t dropped = 0;
+  TupleBatch batch = TupleBatch::DeserializeLossy(image, &dropped);
+  metrics_->tuples_dropped_deserialize += dropped;
+  return batch.TakeTuples();
+}
+
 std::vector<Tuple> PierNode::ScanLocal(const Schema& schema,
                                        const Value& key) {
   std::vector<Tuple> out;
   dht::Key k = DhtKeyFor(schema.table_name(), key);
-  sim::SimTime now = dht_->network()->simulator()->now();
-  for (const dht::StoredValue* v :
-       dht_->store().Get(schema.table_name(), k, now)) {
-    auto t = Tuple::Deserialize(v->value);
-    if (!t.ok()) continue;  // skip corrupt entries
-    if (t.value().arity() <= schema.index_field()) continue;
-    if (!(t.value().IndexValue(schema) == key)) continue;  // 64-bit collision
-    out.push_back(std::move(t).value());
+  for (Tuple& t : DecodeLocalBatch(schema.table_name(), k)) {
+    if (t.arity() <= schema.index_field()) continue;
+    if (!(t.IndexValue(schema) == key)) continue;  // 64-bit collision
+    out.push_back(std::move(t));
   }
   return out;
 }
@@ -58,23 +129,29 @@ void PierNode::Fetch(const Schema& schema, const Value& key,
   ++metrics_->fetches;
   dht::Key k = DhtKeyFor(schema.table_name(), key);
   size_t index_field = schema.index_field();
-  dht_->Get(schema.table_name(), k,
-            [callback = std::move(callback), key, index_field](
-                Status s, std::vector<std::vector<uint8_t>> values) {
-              if (!s.ok()) {
-                callback(s, {});
-                return;
-              }
-              std::vector<Tuple> tuples;
-              for (const auto& bytes : values) {
-                auto t = Tuple::Deserialize(bytes);
-                if (!t.ok()) continue;
-                if (t.value().arity() <= index_field) continue;
-                if (!(t.value().at(index_field) == key)) continue;
-                tuples.push_back(std::move(t).value());
-              }
-              callback(Status::OK(), std::move(tuples));
-            });
+  // Captures the metrics sink rather than `this`: the deployment-owned
+  // PierMetrics outlives any one node, so a reply landing after this
+  // PierNode is gone stays safe.
+  dht_->GetBatch(
+      schema.table_name(), k,
+      [metrics = metrics_, callback = std::move(callback), key, index_field](
+          Status s, std::vector<uint8_t> image) {
+        if (!s.ok()) {
+          callback(s, {});
+          return;
+        }
+        size_t dropped = 0;
+        TupleBatch batch = TupleBatch::DeserializeLossy(image, &dropped);
+        metrics->tuples_dropped_deserialize += dropped;
+        std::vector<Tuple> tuples;
+        tuples.reserve(batch.size());
+        for (Tuple& t : batch.TakeTuples()) {
+          if (t.arity() <= index_field) continue;
+          if (!(t.at(index_field) == key)) continue;
+          tuples.push_back(std::move(t));
+        }
+        callback(Status::OK(), std::move(tuples));
+      });
 }
 
 void PierNode::ProbePostingSize(const std::string& ns, const Value& key,
@@ -146,11 +223,7 @@ std::vector<JoinResultEntry> PierNode::LocalStageEntries(
     const JoinStage& stage) {
   std::vector<JoinResultEntry> out;
   dht::Key k = DhtKeyFor(stage.ns, stage.key);
-  sim::SimTime now = dht_->network()->simulator()->now();
-  for (const dht::StoredValue* v : dht_->store().Get(stage.ns, k, now)) {
-    auto parsed = Tuple::Deserialize(v->value);
-    if (!parsed.ok()) continue;
-    Tuple t = std::move(parsed).value();
+  for (Tuple& t : DecodeLocalBatch(stage.ns, k)) {
     if (t.arity() <= stage.key_col || t.arity() <= stage.join_col) continue;
     if (!(t.at(stage.key_col) == stage.key)) continue;
     if (!stage.substring_filter.empty()) {
@@ -190,6 +263,7 @@ void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
     // Symmetric hash join between the shipped entries (left) and the local
     // posting list (right); the surviving payload is the incoming one.
     SymmetricHashJoin shj(/*left_col=*/0, /*right_col=*/0);
+    shj.Reserve(stage_msg.incoming.size(), local.size());
     for (const auto& e : local) {
       shj.InsertRight(Tuple(std::vector<Value>{e.join_key}));
     }

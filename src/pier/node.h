@@ -27,11 +27,23 @@ namespace pierstack::pier {
 struct PierMetrics {
   uint64_t tuples_published = 0;
   uint64_t publish_bytes = 0;           ///< Application bytes (tuples only).
+  uint64_t publish_messages = 0;        ///< DHT put messages issued.
   uint64_t joins_executed = 0;
   uint64_t join_stage_messages = 0;
   uint64_t posting_entries_shipped = 0; ///< Entries rehashed between stages.
   uint64_t probe_messages = 0;
   uint64_t fetches = 0;
+  /// Stored tuples lost to deserialize failures across ScanLocal / Fetch /
+  /// join stages. Non-zero means stored state was corrupted somewhere —
+  /// the integration suite asserts this stays 0.
+  uint64_t tuples_dropped_deserialize = 0;
+};
+
+/// Flush thresholds for per-destination publish coalescing: a destination
+/// group is flushed as one PutBatch message when it reaches either bound.
+struct BatchOptions {
+  size_t max_batch_tuples = 256;
+  size_t max_batch_bytes = 48 * 1024;
 };
 
 /// One stage of a distributed join chain (one keyword, in PIERSearch).
@@ -79,6 +91,21 @@ class PierNode {
   /// Publishes a tuple into the DHT under its schema's index field.
   void Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry = 0,
                dht::DhtNode::PutCallback callback = nullptr);
+
+  /// Publishes many tuples with per-destination coalescing: tuples are
+  /// grouped by their DHT key and each group ships as one PutBatch
+  /// message (split by the BatchOptions flush thresholds). Same storage
+  /// semantics as per-tuple Publish, a fraction of the messages. The
+  /// callback, when given, fires once after every batch is acked (first
+  /// error wins).
+  void PublishBatch(const Schema& schema, std::vector<Tuple> tuples,
+                    sim::SimTime expiry = 0,
+                    dht::DhtNode::PutCallback callback = nullptr);
+
+  void set_batch_options(const BatchOptions& options) {
+    batch_options_ = options;
+  }
+  const BatchOptions& batch_options() const { return batch_options_; }
 
   /// Tuples of `schema` stored locally under `key` (post hash-collision
   /// filtering on the key column).
@@ -131,6 +158,10 @@ class PierNode {
   /// Tuples of (ns, key) passing the stage's filters, as JoinResultEntries.
   std::vector<JoinResultEntry> LocalStageEntries(const JoinStage& stage);
 
+  /// One-shot decode of a locally stored (ns, key) posting list; counts
+  /// undecodable tuples into tuples_dropped_deserialize.
+  std::vector<Tuple> DecodeLocalBatch(const std::string& ns, dht::Key key);
+
   static size_t EntryWireSize(const JoinResultEntry& e);
   static size_t StageMsgWireSize(const JoinStageMsg& m);
 
@@ -138,6 +169,7 @@ class PierNode {
 
   dht::DhtNode* dht_;
   PierMetrics* metrics_;
+  BatchOptions batch_options_;
   uint64_t next_qid_ = 1;
 
   struct PendingJoin {

@@ -6,7 +6,7 @@ namespace pierstack::pier {
 
 bool VectorScan::Next(Tuple* out) {
   if (pos_ >= tuples_.size()) return false;
-  *out = tuples_[pos_++];
+  *out = tuples_[pos_++];  // handle copy: refcount bump, no row deep-copy
   return true;
 }
 
@@ -49,14 +49,22 @@ HashJoin::HashJoin(std::unique_ptr<Operator> left,
 void HashJoin::Open() {
   left_->Open();
   right_->Open();
-  build_.clear();
+  build_.Clear();
   pending_.clear();
+  // Drain the build side first so the table can be sized exactly — one
+  // rehash instead of log(n) incremental ones.
+  std::vector<Tuple> rows;
   Tuple t;
   while (right_->Next(&t)) {
-    uint64_t h = t.at(right_col_).Hash();
-    build_.emplace(h, std::move(t));
+    rows.push_back(std::move(t));
     t = Tuple();
   }
+  build_.Reserve(rows.size());
+  for (Tuple& row : rows) {
+    uint64_t h = row.at(right_col_).Hash();
+    build_.Insert(h, std::move(row));
+  }
+  pending_.reserve(8);
 }
 
 bool HashJoin::Next(Tuple* out) {
@@ -68,40 +76,34 @@ bool HashJoin::Next(Tuple* out) {
     }
     if (!left_->Next(&current_left_)) return false;
     const Value& key = current_left_.at(left_col_);
-    auto [lo, hi] = build_.equal_range(key.Hash());
-    for (auto it = lo; it != hi; ++it) {
-      if (!(it->second.at(right_col_) == key)) continue;  // hash collision
-      std::vector<Value> vals = current_left_.values();
-      for (const auto& v : it->second.values()) vals.push_back(v);
-      pending_.emplace_back(std::move(vals));
-    }
+    build_.ForEachMatch(key.Hash(), [&](const Tuple& match) {
+      if (!(match.at(right_col_) == key)) return;  // hash collision
+      pending_.push_back(Tuple::Concat(current_left_, match));
+    });
   }
 }
 
 void HashJoin::Close() {
   left_->Close();
   right_->Close();
-  build_.clear();
+  build_.Clear();
 }
 
 SymmetricHashJoin::SymmetricHashJoin(size_t left_col, size_t right_col)
     : left_col_(left_col), right_col_(right_col) {}
 
-Tuple SymmetricHashJoin::Concat(const Tuple& l, const Tuple& r) {
-  std::vector<Value> vals = l.values();
-  for (const auto& v : r.values()) vals.push_back(v);
-  return Tuple(std::move(vals));
-}
-
 std::vector<Tuple> SymmetricHashJoin::InsertLeft(Tuple t) {
   std::vector<Tuple> out;
   const Value& key = t.at(left_col_);
   uint64_t h = key.Hash();
-  auto [lo, hi] = right_table_.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second.at(right_col_) == key) out.push_back(Concat(t, it->second));
+  size_t candidates = right_table_.CountHash(h);
+  if (candidates > 0) {
+    out.reserve(candidates);
+    right_table_.ForEachMatch(h, [&](const Tuple& match) {
+      if (match.at(right_col_) == key) out.push_back(Tuple::Concat(t, match));
+    });
   }
-  left_table_.emplace(h, std::move(t));
+  left_table_.Insert(h, std::move(t));
   ++left_count_;
   return out;
 }
@@ -110,11 +112,14 @@ std::vector<Tuple> SymmetricHashJoin::InsertRight(Tuple t) {
   std::vector<Tuple> out;
   const Value& key = t.at(right_col_);
   uint64_t h = key.Hash();
-  auto [lo, hi] = left_table_.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second.at(left_col_) == key) out.push_back(Concat(it->second, t));
+  size_t candidates = left_table_.CountHash(h);
+  if (candidates > 0) {
+    out.reserve(candidates);
+    left_table_.ForEachMatch(h, [&](const Tuple& match) {
+      if (match.at(left_col_) == key) out.push_back(Tuple::Concat(match, t));
+    });
   }
-  right_table_.emplace(h, std::move(t));
+  right_table_.Insert(h, std::move(t));
   ++right_count_;
   return out;
 }
@@ -239,7 +244,7 @@ bool Distinct::Next(Tuple* out) {
   Tuple t;
   while (child_->Next(&t)) {
     uint64_t h = 0xcbf29ce484222325ULL;
-    for (const auto& v : t.values()) h = HashCombine(h, v.Hash());
+    for (const Value& v : t) h = HashCombine(h, v.Hash());
     auto [lo, hi] = seen_.equal_range(h);
     bool dup = false;
     for (auto it = lo; it != hi; ++it) {

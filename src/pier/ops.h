@@ -10,11 +10,80 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "pier/schema.h"
 
 namespace pierstack::pier {
+
+/// Flat open-addressing multimap from 64-bit join hash to Tuple — the
+/// bucket store of both joins. Entries live in one dense vector (no
+/// per-node allocation like std::unordered_multimap) indexed by a linear
+/// probing slot table; join tables only ever insert, which keeps probing
+/// correct without tombstones.
+class JoinTable {
+ public:
+  /// Sizes for `n` entries up front (load factor stays <= 1/2).
+  void Reserve(size_t n) {
+    entries_.reserve(n);
+    size_t want = NextPow2(n * 2);
+    if (want > slots_.size()) GrowSlots(want);
+  }
+
+  void Insert(uint64_t h, Tuple t) {
+    if ((entries_.size() + 1) * 2 > slots_.size()) {
+      GrowSlots(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    entries_.emplace_back(h, std::move(t));
+    Place(static_cast<uint32_t>(entries_.size()));
+  }
+
+  /// Number of entries whose hash equals `h` (an upper bound on value
+  /// matches — callers reserve with it, then compare values).
+  size_t CountHash(uint64_t h) const {
+    size_t n = 0;
+    ForEachMatch(h, [&](const Tuple&) { ++n; });
+    return n;
+  }
+
+  /// Invokes `fn` with every stored tuple whose hash equals `h`.
+  template <typename Fn>
+  void ForEachMatch(uint64_t h, Fn&& fn) const {
+    if (slots_.empty()) return;
+    size_t mask = slots_.size() - 1;
+    for (size_t s = h & mask; slots_[s] != 0; s = (s + 1) & mask) {
+      const auto& e = entries_[slots_[s] - 1];
+      if (e.first == h) fn(e.second);
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+  void Clear() {
+    entries_.clear();
+    slots_.clear();
+  }
+
+ private:
+  void Place(uint32_t idx1) {
+    size_t mask = slots_.size() - 1;
+    size_t s = entries_[idx1 - 1].first & mask;
+    while (slots_[s] != 0) s = (s + 1) & mask;
+    slots_[s] = idx1;
+  }
+  void GrowSlots(size_t n) {
+    slots_.assign(n, 0);
+    for (uint32_t i = 1; i <= entries_.size(); ++i) Place(i);
+  }
+  static size_t NextPow2(size_t n) {
+    size_t p = 16;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<std::pair<uint64_t, Tuple>> entries_;  // insertion order
+  std::vector<uint32_t> slots_;  ///< 1-based entry index; 0 = empty.
+};
 
 /// Pull-based iterator over tuples (Volcano style).
 class Operator {
@@ -27,6 +96,9 @@ class Operator {
 };
 
 /// Scans an in-memory tuple vector (e.g. a LocalStore namespace snapshot).
+/// Next() hands out the stored tuple handle — a refcount bump on the
+/// shared row payload, not a deep copy — so the scan stays re-Openable
+/// (GroupByAggregate and tests replay inputs).
 class VectorScan : public Operator {
  public:
   explicit VectorScan(std::vector<Tuple> tuples)
@@ -100,7 +172,7 @@ class HashJoin : public Operator {
   std::unique_ptr<Operator> left_;
   std::unique_ptr<Operator> right_;
   size_t left_col_, right_col_;
-  std::unordered_multimap<uint64_t, Tuple> build_;
+  JoinTable build_;
   Tuple current_left_;
   std::vector<Tuple> pending_;  // matches of current_left_ not yet emitted
 };
@@ -113,6 +185,14 @@ class SymmetricHashJoin {
  public:
   SymmetricHashJoin(size_t left_col, size_t right_col);
 
+  /// Sizes the two hash tables up front when the input cardinalities are
+  /// known — batch decoding hands them to the join for free, avoiding the
+  /// incremental rehashes of growing tables tuple by tuple.
+  void Reserve(size_t left, size_t right) {
+    left_table_.Reserve(left);
+    right_table_.Reserve(right);
+  }
+
   /// Inserts into the left relation; returns newly joined outputs.
   std::vector<Tuple> InsertLeft(Tuple t);
   /// Inserts into the right relation; returns newly joined outputs.
@@ -122,11 +202,9 @@ class SymmetricHashJoin {
   size_t right_size() const { return right_count_; }
 
  private:
-  static Tuple Concat(const Tuple& l, const Tuple& r);
-
   size_t left_col_, right_col_;
-  std::unordered_multimap<uint64_t, Tuple> left_table_;
-  std::unordered_multimap<uint64_t, Tuple> right_table_;
+  JoinTable left_table_;
+  JoinTable right_table_;
   size_t left_count_ = 0, right_count_ = 0;
 };
 

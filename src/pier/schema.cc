@@ -18,26 +18,42 @@ size_t Schema::FieldIndex(const std::string& name) const {
   return SIZE_MAX;
 }
 
+Tuple Tuple::Concat(const Tuple& l, const Tuple& r) {
+  std::vector<Value> vals;
+  vals.reserve(l.arity() + r.arity());
+  vals.insert(vals.end(), l.begin(), l.end());
+  vals.insert(vals.end(), r.begin(), r.end());
+  return Tuple(std::move(vals));
+}
+
 std::vector<uint8_t> Tuple::Serialize() const {
   BytesWriter w;
-  w.PutVarint(values_.size());
-  for (const auto& v : values_) v.SerializeTo(&w);
+  SerializeTo(&w);
   return w.Take();
+}
+
+void Tuple::SerializeTo(BytesWriter* w) const {
+  w->PutVarint(arity());
+  for (const Value& v : *this) v.SerializeTo(w);
 }
 
 Result<Tuple> Tuple::Deserialize(const std::vector<uint8_t>& data) {
   BytesReader r(data);
-  auto arity = r.GetVarint();
+  return DeserializeFrom(&r);
+}
+
+Result<Tuple> Tuple::DeserializeFrom(BytesReader* r, StringArena* arena) {
+  auto arity = r->GetVarint();
   if (!arity.ok()) return arity.status();
   // Every value costs at least one byte; a larger claimed arity is
   // corrupt input (and guards the reserve below against hostile sizes).
-  if (arity.value() > r.remaining()) {
+  if (arity.value() > r->remaining()) {
     return Status::Corruption("tuple arity exceeds payload");
   }
   std::vector<Value> values;
   values.reserve(static_cast<size_t>(arity.value()));
   for (uint64_t i = 0; i < arity.value(); ++i) {
-    auto v = Value::Deserialize(&r);
+    auto v = Value::Deserialize(r, arena);
     if (!v.ok()) return v.status();
     values.push_back(std::move(v).value());
   }
@@ -45,16 +61,16 @@ Result<Tuple> Tuple::Deserialize(const std::vector<uint8_t>& data) {
 }
 
 size_t Tuple::WireSize() const {
-  size_t n = VarintSize(values_.size());
-  for (const auto& v : values_) n += v.WireSize();
+  size_t n = VarintSize(arity());
+  for (const Value& v : *this) n += v.WireSize();
   return n;
 }
 
 std::string Tuple::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  for (size_t i = 0; i < arity(); ++i) {
     if (i) out += ", ";
-    out += values_[i].ToString();
+    out += at(i).ToString();
   }
   out += ")";
   return out;

@@ -1,0 +1,174 @@
+#include "pier/tuple_batch.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pierstack::pier {
+
+namespace {
+
+/// Raw cursor for the specialized batch-decode inner loop: plain bounds
+/// checks instead of a Result<T> (which carries a Status string) per
+/// primitive — batch decoding reads millions of primitives per second, so
+/// the per-read overhead is the bottleneck the one-shot decode removes.
+struct Cursor {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+};
+
+bool ReadVarint(Cursor* c, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (c->p == c->end || shift >= 64) return false;
+    uint8_t b = *c->p++;
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  *out = v;
+  return true;
+}
+
+/// Decodes one value straight into the column arena.
+bool DecodeValueInto(Cursor* c, StringArena* strings,
+                     std::vector<Value>* cols) {
+  if (c->p == c->end) return false;
+  uint8_t tag = *c->p++;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kUint64: {
+      uint64_t v;
+      if (!ReadVarint(c, &v)) return false;
+      cols->emplace_back(Value(v));
+      return true;
+    }
+    case ValueType::kInt64: {
+      uint64_t v;
+      if (!ReadVarint(c, &v)) return false;
+      cols->emplace_back(Value(static_cast<int64_t>(v)));
+      return true;
+    }
+    case ValueType::kDouble: {
+      if (c->remaining() < 8) return false;
+      uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<uint64_t>(*c->p++) << (8 * i);
+      }
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      cols->emplace_back(Value(d));
+      return true;
+    }
+    case ValueType::kString: {
+      uint64_t len;
+      if (!ReadVarint(c, &len)) return false;
+      if (len > c->remaining()) return false;
+      cols->emplace_back(strings->Append(std::string_view(
+          reinterpret_cast<const char*>(c->p), static_cast<size_t>(len))));
+      c->p += len;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Decodes one row's values into the shared column arena; on a corrupt
+/// frame the arena is rolled back to the row start. Returns the row's
+/// arity, or SIZE_MAX on corruption.
+size_t DecodeRowInto(Cursor* c, StringArena* strings,
+                     std::vector<Value>* cols) {
+  size_t row_begin = cols->size();
+  uint64_t arity;
+  if (!ReadVarint(c, &arity)) return SIZE_MAX;
+  if (arity > c->remaining()) return SIZE_MAX;
+  for (uint64_t i = 0; i < arity; ++i) {
+    if (!DecodeValueInto(c, strings, cols)) {
+      cols->resize(row_begin);
+      return SIZE_MAX;
+    }
+  }
+  return static_cast<size_t>(arity);
+}
+
+}  // namespace
+
+size_t TupleBatch::WireSize() const {
+  size_t n = VarintSize(tuples_.size());
+  for (const auto& t : tuples_) n += t.WireSize();
+  return n;
+}
+
+void TupleBatch::SerializeTo(BytesWriter* w) const {
+  w->PutVarint(tuples_.size());
+  for (const auto& t : tuples_) t.SerializeTo(w);
+}
+
+std::vector<uint8_t> TupleBatch::Serialize() const {
+  BytesWriter w;
+  SerializeTo(&w);
+  return w.Take();
+}
+
+Result<TupleBatch> TupleBatch::Deserialize(const uint8_t* data, size_t size) {
+  Cursor c{data, data + size};
+  uint64_t count;
+  if (!ReadVarint(&c, &count)) return Status::Corruption("batch underflow");
+  // Every tuple frame costs at least one byte (its arity varint).
+  if (count > c.remaining()) {
+    return Status::Corruption("batch count exceeds payload");
+  }
+  StringArena strings;
+  // The column arena is shared with the produced slices up front and
+  // filled in place; slices address it by index, so growth while decoding
+  // is safe, and nothing mutates it once Deserialize returns.
+  auto cols = std::make_shared<std::vector<Value>>();
+  // Every encoded value costs >= 2 bytes (tag + payload), so remaining/2
+  // bounds the column count; cap the guess so the arena (which lives as
+  // long as any tuple slice) isn't over-pinned for string-heavy rows.
+  cols->reserve(std::min<size_t>(static_cast<size_t>(count) * 6,
+                                 c.remaining() / 2));
+  Tuple::Payload alias = cols;
+  std::vector<Tuple> tuples;
+  tuples.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    size_t begin = cols->size();
+    size_t arity = DecodeRowInto(&c, &strings, cols.get());
+    if (arity == SIZE_MAX) return Status::Corruption("corrupt tuple frame");
+    tuples.push_back(Tuple::Slice(alias, begin, arity));
+  }
+  if (c.p != c.end) {
+    return Status::Corruption("trailing bytes after batch");
+  }
+  return TupleBatch(std::move(tuples));
+}
+
+TupleBatch TupleBatch::DeserializeLossy(const uint8_t* data, size_t size,
+                                        size_t* dropped) {
+  *dropped = 0;
+  Cursor c{data, data + size};
+  uint64_t count;
+  if (!ReadVarint(&c, &count)) return TupleBatch();
+  uint64_t claimed = count;
+  if (claimed > c.remaining()) claimed = c.remaining();  // corrupt header cap
+  StringArena strings;
+  auto cols = std::make_shared<std::vector<Value>>();
+  cols->reserve(std::min<size_t>(static_cast<size_t>(claimed) * 6,
+                                 c.remaining() / 2));
+  Tuple::Payload alias = cols;
+  std::vector<Tuple> tuples;
+  tuples.reserve(static_cast<size_t>(claimed));
+  for (uint64_t i = 0; i < claimed; ++i) {
+    size_t begin = cols->size();
+    size_t arity = DecodeRowInto(&c, &strings, cols.get());
+    // A frame failing to decode loses the frame boundaries from there on,
+    // so everything after the failure is unsalvageable.
+    if (arity == SIZE_MAX) break;
+    tuples.push_back(Tuple::Slice(alias, begin, arity));
+  }
+  *dropped = static_cast<size_t>(count - tuples.size());
+  return TupleBatch(std::move(tuples));
+}
+
+}  // namespace pierstack::pier

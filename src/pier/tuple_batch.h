@@ -1,0 +1,64 @@
+// TupleBatch: the engine's batched tuple wire format.
+//
+// Image layout: varint tuple count, then each tuple's standalone
+// serialization back-to-back. Because every frame is exactly the
+// single-tuple format, a store holding per-tuple frames can assemble a
+// batch image by concatenation alone (see dht::LocalStore::GetBatch).
+//
+// Deserialize is one-shot: one cursor pass over one contiguous buffer
+// materializing one shared column arena plus one shared string blob for
+// the whole batch — zero allocations per tuple, and posting lists that
+// repeat their keyword in every tuple share the string bytes too.
+#pragma once
+
+#include <vector>
+
+#include "pier/schema.h"
+
+namespace pierstack::pier {
+
+class TupleBatch {
+ public:
+  TupleBatch() = default;
+  explicit TupleBatch(std::vector<Tuple> tuples)
+      : tuples_(std::move(tuples)) {}
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& operator[](size_t i) const { return tuples_[i]; }
+  void Add(Tuple t) { tuples_.push_back(std::move(t)); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple> TakeTuples() { return std::move(tuples_); }
+
+  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+
+  /// Wire size of the whole image (count prefix included).
+  size_t WireSize() const;
+
+  void SerializeTo(BytesWriter* w) const;
+  std::vector<uint8_t> Serialize() const;
+
+  /// Strict one-shot decode: fails on truncation, corrupt frames, or
+  /// trailing bytes.
+  static Result<TupleBatch> Deserialize(const uint8_t* data, size_t size);
+  static Result<TupleBatch> Deserialize(const std::vector<uint8_t>& data) {
+    return Deserialize(data.data(), data.size());
+  }
+
+  /// Salvaging decode for soft-state storage: returns the tuples decoded
+  /// before the first corrupt frame and reports how many of the claimed
+  /// tuples were lost in `*dropped` (0 on a clean image).
+  static TupleBatch DeserializeLossy(const uint8_t* data, size_t size,
+                                     size_t* dropped);
+  static TupleBatch DeserializeLossy(const std::vector<uint8_t>& data,
+                                     size_t* dropped) {
+    return DeserializeLossy(data.data(), data.size(), dropped);
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace pierstack::pier

@@ -4,6 +4,69 @@
 
 namespace pierstack::pier {
 
+Value::Value(std::string v) {
+  auto owner = std::make_shared<const std::string>(std::move(v));
+  uint32_t len = static_cast<uint32_t>(owner->size());
+  v_ = StringPiece{std::move(owner), 0, len};
+}
+
+Value Value::StringSlice(StringOwner owner, size_t off, size_t len) {
+  Value v;
+  v.v_ = StringPiece{std::move(owner), static_cast<uint32_t>(off),
+                     static_cast<uint32_t>(len)};
+  return v;
+}
+
+Value StringArena::Append(std::string_view s) {
+  if (!blob_) blob_ = std::make_shared<std::string>();
+  // The keyword column repeats in every tuple of a posting list: reuse the
+  // previous copy when one of the recent slices matches.
+  for (size_t i = 0; i < memo_used_; ++i) {
+    const Memo& m = memo_[i];
+    if (m.len == s.size() &&
+        std::string_view(blob_->data() + m.off, m.len) == s) {
+      return Value::StringSlice(blob_, m.off, m.len);
+    }
+  }
+  uint32_t off = static_cast<uint32_t>(blob_->size());
+  blob_->append(s);
+  Memo m{off, static_cast<uint32_t>(s.size())};
+  memo_[memo_next_] = m;
+  memo_next_ = (memo_next_ + 1) % kMemoSlots;
+  if (memo_used_ < kMemoSlots) ++memo_used_;
+  return Value::StringSlice(blob_, m.off, m.len);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) return false;
+  switch (a.type()) {
+    case ValueType::kUint64:
+      return a.AsUint64() == b.AsUint64();
+    case ValueType::kInt64:
+      return a.AsInt64() == b.AsInt64();
+    case ValueType::kDouble:
+      return a.AsDouble() == b.AsDouble();
+    case ValueType::kString:
+      return a.AsString() == b.AsString();
+  }
+  return false;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) return a.v_.index() < b.v_.index();
+  switch (a.type()) {
+    case ValueType::kUint64:
+      return a.AsUint64() < b.AsUint64();
+    case ValueType::kInt64:
+      return a.AsInt64() < b.AsInt64();
+    case ValueType::kDouble:
+      return a.AsDouble() < b.AsDouble();
+    case ValueType::kString:
+      return a.AsString() < b.AsString();
+  }
+  return false;
+}
+
 uint64_t Value::Hash() const {
   switch (type()) {
     case ValueType::kUint64:
@@ -54,7 +117,7 @@ void Value::SerializeTo(BytesWriter* w) const {
   }
 }
 
-Result<Value> Value::Deserialize(BytesReader* r) {
+Result<Value> Value::Deserialize(BytesReader* r, StringArena* arena) {
   auto tag = r->GetU8();
   if (!tag.ok()) return tag.status();
   switch (static_cast<ValueType>(tag.value())) {
@@ -74,9 +137,10 @@ Result<Value> Value::Deserialize(BytesReader* r) {
       return Value(v.value());
     }
     case ValueType::kString: {
-      auto v = r->GetString();
+      auto v = r->GetStringView();
       if (!v.ok()) return v.status();
-      return Value(std::move(v).value());
+      if (arena != nullptr) return arena->Append(v.value());
+      return Value(std::string(v.value()));
     }
   }
   return Status::Corruption("unknown value type tag");
@@ -91,7 +155,7 @@ std::string Value::ToString() const {
     case ValueType::kDouble:
       return std::to_string(AsDouble());
     case ValueType::kString:
-      return AsString();
+      return std::string(AsString());
   }
   return "?";
 }

@@ -13,29 +13,47 @@ uint64_t Publisher::PublishFile(const std::string& filename,
                                 uint64_t size_bytes, uint32_t address,
                                 uint16_t port,
                                 const PublishOptions& options) {
-  uint64_t file_id = FileId(filename, size_bytes, address);
-  ++stats_.files_published;
+  return PublishFiles({FileToPublish{filename, size_bytes, address, port}},
+                      options)[0];
+}
 
-  auto publish = [&](const pier::Schema& schema, Tuple t) {
-    stats_.tuple_bytes += t.WireSize();
-    ++stats_.tuples_published;
-    pier_->Publish(schema, std::move(t), options.expiry);
-  };
+std::vector<uint64_t> Publisher::PublishFiles(
+    const std::vector<FileToPublish>& files, const PublishOptions& options) {
+  std::vector<uint64_t> ids;
+  ids.reserve(files.size());
+  std::vector<Tuple> items, inverted, cached;
+  items.reserve(files.size());
 
-  publish(ItemSchema(),
-          Tuple({Value(file_id), Value(filename), Value(size_bytes),
-                 Value(uint64_t{address}), Value(uint64_t{port})}));
-
-  for (const auto& kw : ExtractUniqueKeywords(filename)) {
-    if (options.inverted) {
-      publish(InvertedSchema(), Tuple({Value(kw), Value(file_id)}));
-    }
-    if (options.inverted_cache) {
-      publish(InvertedCacheSchema(),
-              Tuple({Value(kw), Value(file_id), Value(filename)}));
+  for (const FileToPublish& f : files) {
+    uint64_t file_id = FileId(f.filename, f.size_bytes, f.address);
+    ids.push_back(file_id);
+    ++stats_.files_published;
+    // Share one filename payload across the Item tuple and every
+    // InvertedCache tuple of this file.
+    Value filename = Value(f.filename);
+    items.push_back(Tuple({Value(file_id), filename, Value(f.size_bytes),
+                           Value(uint64_t{f.address}),
+                           Value(uint64_t{f.port})}));
+    for (const auto& kw : ExtractUniqueKeywords(f.filename)) {
+      if (options.inverted) {
+        inverted.push_back(Tuple({Value(kw), Value(file_id)}));
+      }
+      if (options.inverted_cache) {
+        cached.push_back(Tuple({Value(kw), Value(file_id), filename}));
+      }
     }
   }
-  return file_id;
+
+  auto publish = [&](const pier::Schema& schema, std::vector<Tuple> tuples) {
+    if (tuples.empty()) return;
+    for (const Tuple& t : tuples) stats_.tuple_bytes += t.WireSize();
+    stats_.tuples_published += tuples.size();
+    pier_->PublishBatch(schema, std::move(tuples), options.expiry);
+  };
+  publish(ItemSchema(), std::move(items));
+  publish(InvertedSchema(), std::move(inverted));
+  publish(InvertedCacheSchema(), std::move(cached));
+  return ids;
 }
 
 }  // namespace pierstack::piersearch

@@ -27,6 +27,14 @@ struct PublisherStats {
   uint64_t tuple_bytes = 0;  ///< Application-level bytes across all tuples.
 };
 
+/// One file handed to the batch publisher.
+struct FileToPublish {
+  std::string filename;
+  uint64_t size_bytes = 0;
+  uint32_t address = 0;  ///< Host actually sharing the file.
+  uint16_t port = 6346;
+};
+
 class Publisher {
  public:
   explicit Publisher(pier::PierNode* pier) : pier_(pier) {}
@@ -37,6 +45,13 @@ class Publisher {
   uint64_t PublishFile(const std::string& filename, uint64_t size_bytes,
                        uint32_t address, uint16_t port,
                        const PublishOptions& options);
+
+  /// Publishes a whole library at once with per-destination rehash
+  /// coalescing: all Inverted tuples sharing a keyword travel in one
+  /// PutBatch message (PierNode::PublishBatch) instead of one routed
+  /// message each. Returns the fileIDs, index-aligned with `files`.
+  std::vector<uint64_t> PublishFiles(const std::vector<FileToPublish>& files,
+                                     const PublishOptions& options);
 
   const PublisherStats& stats() const { return stats_; }
 

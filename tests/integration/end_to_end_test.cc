@@ -116,6 +116,9 @@ TEST(EndToEndTest, HybridImprovesRecallOverGnutellaAlone) {
   // The DHT fallback must answer strictly more rare queries than flooding
   // alone (the paper's headline deployment result).
   EXPECT_GT(hybrid_found, gnutella_found);
+  // No stored tuple may be lost to deserialize failures anywhere in the
+  // publish -> store -> scan/fetch pipeline.
+  EXPECT_EQ(d.pier_metrics.tuples_dropped_deserialize, 0u);
 }
 
 TEST(EndToEndTest, HybridResultsAreCorrect) {
@@ -144,6 +147,7 @@ TEST(EndToEndTest, HybridResultsAreCorrect) {
     }
   }
   EXPECT_GT(checked, 5u);
+  EXPECT_EQ(d.pier_metrics.tuples_dropped_deserialize, 0u);
 }
 
 TEST(EndToEndTest, PublishedBytesAccounted) {

@@ -109,6 +109,59 @@ TEST(ShjTest, NoFalseMatchesOnHashCollisions) {
   EXPECT_TRUE(shj.InsertRight(Tuple({Value(std::string("beta"))})).empty());
 }
 
+TEST(ShjTest, No64BitHashCollisionFalseMatch) {
+  // uint64 x and int64 y hash identically when x == y ^ 0x11 (the int64
+  // hash mixes in 0x11), giving a genuine engineered 64-bit collision.
+  // The join must bucket them together yet reject the value mismatch.
+  Value left_key{uint64_t{0x12}};
+  Value right_key{int64_t{3}};
+  ASSERT_EQ(left_key.Hash(), right_key.Hash());
+  ASSERT_FALSE(left_key == right_key);
+
+  SymmetricHashJoin shj(0, 0);
+  EXPECT_TRUE(shj.InsertLeft(Tuple({left_key, Value(uint64_t{1})})).empty());
+  EXPECT_TRUE(
+      shj.InsertRight(Tuple({right_key, Value(uint64_t{2})})).empty());
+  // Equal keys on the colliding bucket still join.
+  auto out = shj.InsertRight(Tuple({left_key, Value(uint64_t{3})}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(3).AsUint64(), 3u);
+}
+
+TEST(ShjTest, ReserveKeepsResultsIdentical) {
+  SymmetricHashJoin plain(1, 0), reserved(1, 0);
+  reserved.Reserve(64, 64);
+  std::vector<Tuple> out_plain, out_reserved;
+  for (uint64_t i = 0; i < 64; ++i) {
+    auto a = plain.InsertLeft(T2(i, i % 8));
+    auto b = reserved.InsertLeft(T2(i, i % 8));
+    ASSERT_EQ(a.size(), b.size());
+    auto c = plain.InsertRight(T2(i % 8, i));
+    auto d = reserved.InsertRight(T2(i % 8, i));
+    ASSERT_EQ(c.size(), d.size());
+  }
+  EXPECT_EQ(plain.left_size(), reserved.left_size());
+}
+
+TEST(JoinTableTest, DuplicateHashChainsSurviveGrowth) {
+  // Many entries under one hash force probing chains across several slot
+  // regrowths; every stored tuple must stay reachable.
+  JoinTable table;
+  const uint64_t kHash = 0xdeadbeefULL;
+  for (uint64_t i = 0; i < 100; ++i) {
+    table.Insert(kHash, T2(i, i));
+    table.Insert(kHash + 1 + i, T2(900 + i, i));  // interleaved noise
+  }
+  size_t seen = 0;
+  table.ForEachMatch(kHash, [&](const Tuple& t) {
+    EXPECT_LT(t.at(0).AsUint64(), 100u);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(table.CountHash(kHash), 100u);
+  EXPECT_EQ(table.size(), 200u);
+}
+
 // Property: streaming SHJ over random insert orders produces exactly the
 // same join result as the blocking HashJoin.
 class ShjEquivalence : public ::testing::TestWithParam<uint64_t> {};

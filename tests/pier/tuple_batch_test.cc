@@ -1,0 +1,165 @@
+// TupleBatch: the batched wire format and its one-shot arena decoder.
+#include "pier/tuple_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pierstack::pier {
+namespace {
+
+Tuple PostingTuple(uint64_t i) {
+  return Tuple({Value(std::string("madonna")), Value(i),
+                Value("madonna track " + std::to_string(i) + ".mp3"),
+                Value(uint64_t{4 << 20})});
+}
+
+TEST(TupleBatchTest, RoundTripAllValueTypes) {
+  TupleBatch batch;
+  batch.Add(Tuple({Value(uint64_t{0}), Value(UINT64_MAX)}));
+  batch.Add(Tuple({Value(int64_t{-42}), Value(int64_t{7})}));
+  batch.Add(Tuple({Value(3.25), Value(-0.0), Value(1e300)}));
+  batch.Add(Tuple({Value(std::string("")), Value(std::string("keyword")),
+                   Value(std::string(300, 'x'))}));
+  batch.Add(Tuple());  // zero-arity row
+  batch.Add(Tuple({Value(uint64_t{1}), Value(std::string("mixed")),
+                   Value(2.5), Value(int64_t{-1})}));
+
+  auto image = batch.Serialize();
+  EXPECT_EQ(image.size(), batch.WireSize());
+  auto back = TupleBatch::Deserialize(image);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(back.value()[i], batch[i]) << "tuple " << i;
+  }
+}
+
+TEST(TupleBatchTest, EmptyBatch) {
+  TupleBatch empty;
+  auto image = empty.Serialize();
+  EXPECT_EQ(image.size(), 1u);  // just the count varint
+  auto back = TupleBatch::Deserialize(image);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(TupleBatchTest, TruncatedBytesAreCorrupt) {
+  TupleBatch batch;
+  for (uint64_t i = 0; i < 4; ++i) batch.Add(PostingTuple(i));
+  auto image = batch.Serialize();
+  for (size_t cut = 0; cut < image.size(); ++cut) {
+    auto r = TupleBatch::Deserialize(image.data(), cut);
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(TupleBatchTest, TrailingBytesAreCorrupt) {
+  TupleBatch batch;
+  batch.Add(PostingTuple(1));
+  auto image = batch.Serialize();
+  image.push_back(0x00);
+  auto r = TupleBatch::Deserialize(image);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TupleBatchTest, LossyDecodeSalvagesPrefixAndCountsDrops) {
+  TupleBatch batch;
+  for (uint64_t i = 0; i < 10; ++i) batch.Add(PostingTuple(i));
+  auto image = batch.Serialize();
+  // Clean image: nothing dropped.
+  size_t dropped = SIZE_MAX;
+  auto clean = TupleBatch::DeserializeLossy(image, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(clean.size(), 10u);
+  // Truncated image: the decodable prefix survives, the tail is counted.
+  size_t cut = image.size() / 2;
+  auto salvaged =
+      TupleBatch::DeserializeLossy(image.data(), cut, &dropped);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(salvaged.size() + dropped, 10u);
+  for (size_t i = 0; i < salvaged.size(); ++i) {
+    EXPECT_EQ(salvaged[i], batch[i]);
+  }
+}
+
+TEST(TupleBatchTest, DecodedStringsShareOneArena) {
+  TupleBatch batch;
+  for (uint64_t i = 0; i < 16; ++i) batch.Add(PostingTuple(i));
+  auto back = TupleBatch::Deserialize(batch.Serialize());
+  ASSERT_TRUE(back.ok());
+  // Every string value of the batch references the same shared blob, and
+  // the repeated keyword column reuses the same slice bytes.
+  const auto& owner = back.value()[0].at(0).string_owner();
+  for (const Tuple& t : back.value()) {
+    EXPECT_EQ(t.at(0).string_owner(), owner);
+    EXPECT_EQ(t.at(2).string_owner(), owner);
+    EXPECT_EQ(t.at(0).AsString(), "madonna");
+  }
+}
+
+TEST(TupleBatchTest, ImageIsCountPlusConcatenatedFrames) {
+  // The contract LocalStore::GetBatch relies on: a batch image can be
+  // assembled from individually serialized tuples.
+  std::vector<Tuple> tuples;
+  for (uint64_t i = 0; i < 5; ++i) tuples.push_back(PostingTuple(i));
+  BytesWriter w;
+  w.PutVarint(tuples.size());
+  for (const auto& t : tuples) {
+    auto frame = t.Serialize();
+    w.PutBytes(frame.data(), frame.size());
+  }
+  auto back = TupleBatch::Deserialize(w.data());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(back.value()[i], tuples[i]);
+  }
+}
+
+TEST(TupleBatchTest, RandomBatchesRoundTrip) {
+  Rng rng(0xbadcafe);
+  for (int trial = 0; trial < 200; ++trial) {
+    TupleBatch batch;
+    size_t n = rng.NextBelow(20);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Value> vals;
+      size_t arity = rng.NextBelow(5);
+      for (size_t j = 0; j < arity; ++j) {
+        switch (rng.NextBelow(4)) {
+          case 0:
+            vals.push_back(Value(rng.Next()));
+            break;
+          case 1:
+            vals.push_back(Value(static_cast<int64_t>(rng.Next())));
+            break;
+          case 2:
+            vals.push_back(Value(rng.NextDouble()));
+            break;
+          default: {
+            std::string s;
+            size_t len = rng.NextBelow(24);
+            for (size_t k = 0; k < len; ++k) {
+              s.push_back(static_cast<char>(rng.NextBelow(256)));
+            }
+            vals.push_back(Value(std::move(s)));
+          }
+        }
+      }
+      batch.Add(Tuple(std::move(vals)));
+    }
+    auto image = batch.Serialize();
+    ASSERT_EQ(image.size(), batch.WireSize());
+    auto back = TupleBatch::Deserialize(image);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back.value().size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(back.value()[i], batch[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pierstack::pier
