@@ -30,6 +30,7 @@
 #include "pier/ops.h"
 #include "pier/tuple_batch.h"
 #include "piersearch/publisher.h"
+#include "piersearch/schemas.h"
 #include "piersearch/search_engine.h"
 
 using namespace pierstack;
@@ -368,6 +369,47 @@ static void BM_TupleSerialize_Batch(benchmark::State& state) {
 }
 BENCHMARK(BM_TupleSerialize_Batch)->Arg(512);
 
+/// Shared scaffolding of the end-to-end network benches: a 10ms-latency
+/// simulated network, a static DHT deployment, and one PierNode per DHT
+/// node. All three publish/fetch benches must measure the same topology.
+struct BenchCluster {
+  sim::Simulator simulator;
+  sim::Network network;
+  dht::DhtDeployment dht;
+  pier::PierMetrics metrics;
+  std::vector<std::unique_ptr<pier::PierNode>> piers;
+
+  explicit BenchCluster(size_t nodes)
+      : network(&simulator,
+                std::make_unique<sim::ConstantLatency>(
+                    10 * sim::kMillisecond),
+                7),
+        dht(&network, nodes, dht::DhtOptions{}, 11) {
+    for (size_t i = 0; i < dht.size(); ++i) {
+      piers.push_back(
+          std::make_unique<pier::PierNode>(dht.node(i), &metrics));
+    }
+  }
+};
+
+/// Seed-style per-tuple publish of one file — one routed Put per tuple —
+/// the baseline both network benches compare the coalesced pipeline
+/// against (Publisher::PublishFile now rides the standing rehash queues,
+/// so it cannot serve as the baseline itself).
+static void PublishPerTuple(pier::PierNode* pier,
+                            const piersearch::FileToPublish& f) {
+  uint64_t file_id = FileId(f.filename, f.size_bytes, f.address);
+  pier->Publish(piersearch::ItemSchema(),
+                pier::Tuple({pier::Value(file_id), pier::Value(f.filename),
+                             pier::Value(f.size_bytes),
+                             pier::Value(uint64_t{f.address}),
+                             pier::Value(uint64_t{f.port})}));
+  for (const auto& kw : ExtractUniqueKeywords(f.filename)) {
+    pier->Publish(piersearch::InvertedSchema(),
+                  pier::Tuple({pier::Value(kw), pier::Value(file_id)}));
+  }
+}
+
 // End-to-end join chain over a real DHT cluster: publish a library, run
 // two-keyword searches, and report network cost alongside throughput. The
 // PerTuple variant publishes with one routed message per tuple (the seed
@@ -377,18 +419,10 @@ static void JoinChainRun(benchmark::State& state, bool batched) {
   const size_t kFiles = 400, kNodes = 16, kQueries = 25;
   uint64_t net_messages = 0, net_bytes = 0, results = 0;
   for (auto _ : state) {
-    sim::Simulator simulator;
-    sim::Network network(&simulator,
-                         std::make_unique<sim::ConstantLatency>(
-                             10 * sim::kMillisecond),
-                         7);
-    dht::DhtDeployment dht(&network, kNodes, dht::DhtOptions{}, 11);
-    pier::PierMetrics metrics;
-    std::vector<std::unique_ptr<pier::PierNode>> piers;
-    for (size_t i = 0; i < dht.size(); ++i) {
-      piers.push_back(
-          std::make_unique<pier::PierNode>(dht.node(i), &metrics));
-    }
+    BenchCluster c(kNodes);
+    auto& simulator = c.simulator;
+    auto& network = c.network;
+    auto& piers = c.piers;
     piersearch::Publisher publisher(piers[0].get());
     piersearch::PublishOptions popts;
     std::vector<piersearch::FileToPublish> files;
@@ -400,11 +434,9 @@ static void JoinChainRun(benchmark::State& state, bool batched) {
     }
     if (batched) {
       publisher.PublishFiles(files, popts);
+      piers[0]->FlushPublishQueues();
     } else {
-      for (const auto& f : files) {
-        publisher.PublishFile(f.filename, f.size_bytes, f.address, f.port,
-                              popts);
-      }
+      for (const auto& f : files) PublishPerTuple(piers[0].get(), f);
     }
     simulator.Run();
     piersearch::SearchEngine engine(piers[1].get());
@@ -439,6 +471,126 @@ static void BM_JoinChain_BatchedPublish(benchmark::State& state) {
   JoinChainRun(state, /*batched=*/true);
 }
 BENCHMARK(BM_JoinChain_BatchedPublish)->Unit(benchmark::kMillisecond);
+
+// Answer-fetch path: resolve a published answer set's Item tuples. The
+// PerResult variant issues one GetBatch round-trip per fileID (the seed
+// path of SearchEngine::FetchItems); OwnerCoalesced groups the ids by
+// resolved owner with one MultiGet scatter (FetchMany), costing one routed
+// get per owner. Identical tuples fetched, a fraction of the messages.
+static void FetchItemsRun(benchmark::State& state, bool coalesced) {
+  const size_t kItems = 192, kNodes = 16;
+  uint64_t net_messages = 0, net_bytes = 0, fetched = 0;
+  for (auto _ : state) {
+    BenchCluster c(kNodes);
+    auto& simulator = c.simulator;
+    auto& network = c.network;
+    auto& piers = c.piers;
+    piersearch::Publisher publisher(piers[0].get());
+    piersearch::PublishOptions popts;
+    popts.inverted = false;  // Item tuples only — this is the fetch bench
+    std::vector<piersearch::FileToPublish> files;
+    for (size_t i = 0; i < kItems; ++i) {
+      files.push_back(piersearch::FileToPublish{
+          "fetchable track number " + std::to_string(i) + ".mp3", 1 << 20,
+          static_cast<uint32_t>(i % kNodes), 6346});
+    }
+    std::vector<uint64_t> ids = publisher.PublishFiles(files, popts);
+    piers[0]->FlushPublishQueues();
+    simulator.Run();
+    uint64_t base_msgs = network.metrics().total.messages;
+    uint64_t base_bytes = network.metrics().total.bytes;
+    if (coalesced) {
+      std::vector<pier::Value> keys;
+      for (uint64_t id : ids) keys.emplace_back(pier::Value(id));
+      piers[1]->FetchMany(piersearch::ItemSchema(), std::move(keys),
+                          [&](Status s, std::vector<pier::Tuple> tuples) {
+                            if (s.ok()) fetched += tuples.size();
+                          });
+    } else {
+      for (uint64_t id : ids) {
+        piers[1]->Fetch(piersearch::ItemSchema(), pier::Value(id),
+                        [&](Status s, std::vector<pier::Tuple> tuples) {
+                          if (s.ok()) fetched += tuples.size();
+                        });
+      }
+    }
+    simulator.Run();
+    net_messages += network.metrics().total.messages - base_msgs;
+    net_bytes += network.metrics().total.bytes - base_bytes;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kItems));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["net_messages"] = per_iter(net_messages);
+  state.counters["net_bytes"] = per_iter(net_bytes);
+  state.counters["fetched"] = per_iter(fetched);
+}
+
+static void BM_FetchItems_PerResult(benchmark::State& state) {
+  FetchItemsRun(state, /*coalesced=*/false);
+}
+BENCHMARK(BM_FetchItems_PerResult)->Unit(benchmark::kMillisecond);
+
+static void BM_FetchItems_OwnerCoalesced(benchmark::State& state) {
+  FetchItemsRun(state, /*coalesced=*/true);
+}
+BENCHMARK(BM_FetchItems_OwnerCoalesced)->Unit(benchmark::kMillisecond);
+
+// Publish path under call-at-a-time workloads (the QRS snoop shape: one
+// file per upcall). PerTupleCalls replicates the seed path — every tuple
+// its own routed Put. StandingQueues publishes the same files one call at
+// a time through the rehash queues, which coalesce ACROSS calls into
+// per-destination PutBatch messages.
+static void PublishPathRun(benchmark::State& state, bool standing) {
+  const size_t kFiles = 256, kNodes = 16;
+  uint64_t net_messages = 0, net_bytes = 0, stored = 0;
+  for (auto _ : state) {
+    BenchCluster c(kNodes);
+    auto& simulator = c.simulator;
+    auto& network = c.network;
+    auto& piers = c.piers;
+    piersearch::Publisher publisher(piers[0].get());
+    piersearch::PublishOptions popts;
+    for (size_t i = 0; i < kFiles; ++i) {
+      piersearch::FileToPublish f{
+          "artist" + std::to_string(i % 20) + " snooped rare " +
+              std::to_string(i) + ".mp3",
+          1 << 20, static_cast<uint32_t>(i % kNodes), 6346};
+      if (standing) {
+        // One call per file; cross-call coalescing in the rehash queues.
+        publisher.PublishFile(f.filename, f.size_bytes, f.address, f.port,
+                              popts);
+      } else {
+        PublishPerTuple(piers[0].get(), f);
+      }
+    }
+    if (standing) piers[0]->FlushPublishQueues();
+    simulator.Run();
+    net_messages += network.metrics().total.messages;
+    net_bytes += network.metrics().total.bytes;
+    for (size_t i = 0; i < c.dht.size(); ++i) {
+      stored += c.dht.node(i)->store().TotalEntries(simulator.now());
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kFiles));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["net_messages"] = per_iter(net_messages);
+  state.counters["net_bytes"] = per_iter(net_bytes);
+  state.counters["stored"] = per_iter(stored);
+}
+
+static void BM_PublishPath_PerTupleCalls(benchmark::State& state) {
+  PublishPathRun(state, /*standing=*/false);
+}
+BENCHMARK(BM_PublishPath_PerTupleCalls)->Unit(benchmark::kMillisecond);
+
+static void BM_PublishPath_StandingQueues(benchmark::State& state) {
+  PublishPathRun(state, /*standing=*/true);
+}
+BENCHMARK(BM_PublishPath_StandingQueues)->Unit(benchmark::kMillisecond);
 
 static void BM_ChordNextHop(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

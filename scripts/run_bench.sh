@@ -3,19 +3,24 @@
 # repo root: the raw google-benchmark results plus the batching speedup
 # ratios the perf trajectory is tracked by (see bench/README.md).
 #
-#   scripts/run_bench.sh [--smoke] [build_dir]
+#   scripts/run_bench.sh [--smoke] [--check] [build_dir]
 #
 # --smoke runs one short repetition (CI); default runs the full suite.
+# --check fails (exit 1) when any speedup_vs_pre_refactor ratio in the
+#         written BENCH_core.json is missing or below 2x — the CI
+#         bench-regression gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 REPO_ROOT=$(pwd)
 
 SMOKE=0
+CHECK=0
 BUILD_DIR=build
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE=1 ;;
+    --check) CHECK=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -51,9 +56,34 @@ def items_per_sec(name):
     b = by_name.get(name)
     return b.get("items_per_second") if b else None
 
+def counter(name, key):
+    b = by_name.get(name)
+    return b.get(key) if b else None
+
 def ratio(new, old):
     a, b = items_per_sec(new), items_per_sec(old)
     return round(a / b, 2) if a and b else None
+
+def section(per, new, keys):
+    out = {}
+    for mode, name in (("per_tuple", per), ("batched", new)):
+        b = by_name.get(name)
+        if b:
+            out[mode] = {k: b.get(k) for k in keys}
+    if "per_tuple" in out and "batched" in out and \
+            out["batched"].get("net_messages"):
+        out["message_reduction"] = round(
+            out["per_tuple"]["net_messages"] /
+            out["batched"]["net_messages"], 2)
+    return out
+
+chain = section("BM_JoinChain_PerTuplePublish", "BM_JoinChain_BatchedPublish",
+                ("net_messages", "net_bytes", "results"))
+fetch = section("BM_FetchItems_PerResult", "BM_FetchItems_OwnerCoalesced",
+                ("net_messages", "net_bytes", "fetched"))
+publish = section("BM_PublishPath_PerTupleCalls",
+                  "BM_PublishPath_StandingQueues",
+                  ("net_messages", "net_bytes", "stored"))
 
 ratios = {
     "shj_insert_with_matches": ratio(
@@ -65,28 +95,18 @@ ratios = {
     "tuple_serialize_batch": ratio(
         "BM_TupleSerialize_Batch/512",
         "BM_TupleSerialize_PerTuple/512"),
+    # Message-reduction ratios, single-sourced from the sections above
+    # (deterministic: counted, not timed).
+    "fetch_coalescing_messages": fetch.get("message_reduction"),
+    "rehash_queue_messages": publish.get("message_reduction"),
 }
-
-chain = {}
-for mode, name in (("per_tuple", "BM_JoinChain_PerTuplePublish"),
-                   ("batched", "BM_JoinChain_BatchedPublish")):
-    b = by_name.get(name)
-    if b:
-        chain[mode] = {
-            "net_messages": b.get("net_messages"),
-            "net_bytes": b.get("net_bytes"),
-            "results": b.get("results"),
-        }
-if "per_tuple" in chain and "batched" in chain and \
-        chain["batched"].get("net_messages"):
-    chain["message_reduction"] = round(
-        chain["per_tuple"]["net_messages"] /
-        chain["batched"]["net_messages"], 2)
 
 out = {
     "context": raw.get("context", {}),
     "speedup_vs_pre_refactor": ratios,
     "join_chain": chain,
+    "fetch_coalescing": fetch,
+    "rehash_queues": publish,
     "benchmarks": raw.get("benchmarks", []),
 }
 with open(out_path, "w") as f:
@@ -94,9 +114,36 @@ with open(out_path, "w") as f:
 
 print("BENCH_core.json written:")
 print("  speedups vs pre-refactor per-tuple path:", ratios)
-if chain:
-    print("  join chain:", {k: v for k, v in chain.items()
-                            if k == "message_reduction"})
+for label, s in (("join chain", chain), ("fetch coalescing", fetch),
+                 ("rehash queues", publish)):
+    if "message_reduction" in s:
+        print("  %s message reduction: %sx" % (label,
+                                               s["message_reduction"]))
 EOF
 
 rm -f "$RAW"
+
+if [ "$CHECK" = "1" ]; then
+  python3 - "$REPO_ROOT/BENCH_core.json" <<'EOF'
+import json, sys
+
+# Bench-regression gate: every tracked speedup ratio must exist and stay
+# at or above 2x the pre-refactor path.
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+
+failed = []
+for name, value in sorted(bench.get("speedup_vs_pre_refactor", {}).items()):
+    if value is None:
+        failed.append("%s: missing (bench did not run?)" % name)
+    elif value < 2.0:
+        failed.append("%s: %.2fx < 2x" % (name, value))
+
+if failed:
+    print("bench-regression gate FAILED:")
+    for line in failed:
+        print("  " + line)
+    sys.exit(1)
+print("bench-regression gate passed: all speedup ratios >= 2x")
+EOF
+fi

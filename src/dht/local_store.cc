@@ -11,8 +11,9 @@ namespace {
 /// Emits a TupleBatch image (count prefix + concatenated frames) from the
 /// live entries a range walk yields.
 template <typename It>
-std::vector<uint8_t> BatchImage(It lo, It hi, sim::SimTime now,
-                                bool alive(const StoredValue&, sim::SimTime)) {
+std::vector<uint8_t> AssembleImage(It lo, It hi, sim::SimTime now,
+                                   bool alive(const StoredValue&,
+                                              sim::SimTime)) {
   size_t count = 0, bytes = 0;
   for (It it = lo; it != hi; ++it) {
     if (!alive(it->second, now)) continue;
@@ -33,10 +34,31 @@ bool AliveFn(const StoredValue& v, sim::SimTime now) {
   return v.expiry == 0 || v.expiry > now;
 }
 
+/// The canonical empty batch image ({count = 0}), shared by every miss.
+const BatchImage& EmptyImage() {
+  static const BatchImage empty =
+      std::make_shared<const std::vector<uint8_t>>(1, uint8_t{0});
+  return empty;
+}
+
 }  // namespace
+
+void LocalStore::InvalidateImage(const std::string& ns, Key key) {
+  auto cit = image_cache_.find(ns);
+  if (cit == image_cache_.end()) return;
+  if (cit->second.erase(key) > 0) ++cache_stats_.invalidations;
+}
+
+void LocalStore::InvalidateNamespace(const std::string& ns) {
+  auto cit = image_cache_.find(ns);
+  if (cit == image_cache_.end()) return;
+  cache_stats_.invalidations += cit->second.size();
+  image_cache_.erase(cit);
+}
 
 bool LocalStore::Put(const std::string& ns, Key key,
                      std::vector<uint8_t> value, sim::SimTime expiry) {
+  InvalidateImage(ns, key);
   auto& space = spaces_[ns];
   auto [lo, hi] = space.equal_range(key);
   for (auto it = lo; it != hi; ++it) {
@@ -75,22 +97,54 @@ std::vector<const StoredValue*> LocalStore::Scan(const std::string& ns,
   return out;
 }
 
-std::vector<uint8_t> LocalStore::GetBatch(const std::string& ns, Key key,
-                                          sim::SimTime now) const {
+BatchImage LocalStore::GetBatch(const std::string& ns, Key key,
+                                sim::SimTime now) {
+  auto cit = image_cache_.find(ns);
+  if (cit != image_cache_.end()) {
+    auto hit = cit->second.find(key);
+    if (hit != cit->second.end()) {
+      if (hit->second.valid_until == 0 || now < hit->second.valid_until) {
+        ++cache_stats_.hits;
+        return hit->second.image;
+      }
+      // An entry baked into the image expired: rebuild below.
+      cit->second.erase(hit);
+      ++cache_stats_.invalidations;
+    }
+  }
+  ++cache_stats_.misses;
+  // Probes of never-stored namespaces must not grow the cache map.
   auto sit = spaces_.find(ns);
-  if (sit == spaces_.end()) return {0};  // empty batch: count = 0
+  if (sit == spaces_.end()) return EmptyImage();
   auto [lo, hi] = sit->second.equal_range(key);
-  return BatchImage(lo, hi, now, AliveFn);
+  sim::SimTime valid_until = 0;
+  for (auto it = lo; it != hi; ++it) {
+    if (!Alive(it->second, now)) continue;
+    if (it->second.expiry != 0 &&
+        (valid_until == 0 || it->second.expiry < valid_until)) {
+      valid_until = it->second.expiry;
+    }
+  }
+  auto image = std::make_shared<const std::vector<uint8_t>>(
+      AssembleImage(lo, hi, now, AliveFn));
+  auto& cache = image_cache_[ns];
+  if (cache.size() >= kMaxCachedImagesPerNs) {
+    cache_stats_.invalidations += cache.size();
+    cache.clear();
+  }
+  cache.emplace(key, CachedImage{image, valid_until});
+  return image;
 }
 
 std::vector<uint8_t> LocalStore::ScanBatch(const std::string& ns,
                                            sim::SimTime now) const {
   auto sit = spaces_.find(ns);
   if (sit == spaces_.end()) return {0};
-  return BatchImage(sit->second.begin(), sit->second.end(), now, AliveFn);
+  return AssembleImage(sit->second.begin(), sit->second.end(), now, AliveFn);
 }
 
 size_t LocalStore::Erase(const std::string& ns, Key key) {
+  InvalidateImage(ns, key);
   auto sit = spaces_.find(ns);
   if (sit == spaces_.end()) return 0;
   auto [lo, hi] = sit->second.equal_range(key);
@@ -105,6 +159,7 @@ size_t LocalStore::Erase(const std::string& ns, Key key) {
 
 std::vector<StoredValue> LocalStore::ExtractRange(const std::string& ns,
                                                   Key from, Key to) {
+  InvalidateNamespace(ns);
   std::vector<StoredValue> out;
   auto sit = spaces_.find(ns);
   if (sit == spaces_.end()) return out;
@@ -122,6 +177,7 @@ std::vector<StoredValue> LocalStore::ExtractRange(const std::string& ns,
 }
 
 std::vector<StoredValue> LocalStore::ExtractAll(const std::string& ns) {
+  InvalidateNamespace(ns);
   std::vector<StoredValue> out;
   auto sit = spaces_.find(ns);
   if (sit == spaces_.end()) return out;
@@ -142,6 +198,9 @@ std::vector<std::string> LocalStore::Namespaces() const {
 }
 
 size_t LocalStore::PurgeExpired(sim::SimTime now) {
+  // Cached images never include entries dead at their build time, and
+  // `valid_until` retires them before any baked-in entry dies, so the purge
+  // itself does not change what GetBatch serves — no invalidation needed.
   size_t dropped = 0;
   for (auto& [ns, space] : spaces_) {
     for (auto it = space.begin(); it != space.end();) {

@@ -4,12 +4,20 @@
 // node-local slice of that storage. Values are opaque byte strings plus the
 // ring key they were published under; entries may carry an expiry time
 // (soft state) and are purged lazily.
+//
+// Batched reads hand out shared immutable TupleBatch images. Hot posting
+// lists are probed far more often than they change, so the assembled image
+// of each (ns, key) is cached and re-served by shared pointer until a Put,
+// Erase, extraction, or the expiry of a contained entry invalidates it —
+// repeated probes cost a hash lookup instead of a re-concatenation.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dht/id.h"
@@ -22,6 +30,18 @@ struct StoredValue {
   Key key = 0;                    ///< Ring key it was published under.
   std::vector<uint8_t> value;     ///< Opaque payload (serialized tuple).
   sim::SimTime expiry = 0;        ///< 0 = never expires.
+};
+
+/// A shared immutable TupleBatch image (count prefix + frames). Handing
+/// these out by pointer lets the reply path and the cache alias one
+/// allocation instead of copying posting-list bytes per probe.
+using BatchImage = std::shared_ptr<const std::vector<uint8_t>>;
+
+/// Image-cache counters (tests and diagnostics).
+struct ImageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
 };
 
 /// Node-local namespaced store.
@@ -46,12 +66,14 @@ class LocalStore {
   /// Batched Get: one contiguous pier::TupleBatch image (varint live-entry
   /// count, then the stored frames back-to-back). Because each stored
   /// value is a standalone tuple frame, the image is assembled by
-  /// concatenation and decoded by the caller in a single pass instead of
-  /// one Deserialize call per entry.
-  std::vector<uint8_t> GetBatch(const std::string& ns, Key key,
-                                sim::SimTime now) const;
+  /// concatenation alone and decoded by the caller in a single pass. The
+  /// assembled image is cached per (ns, key): repeated probes of a hot
+  /// posting list return the same shared image until a write or the expiry
+  /// of a contained entry invalidates it.
+  BatchImage GetBatch(const std::string& ns, Key key, sim::SimTime now);
 
-  /// Batched Scan: the whole namespace as one TupleBatch image.
+  /// Batched Scan: the whole namespace as one TupleBatch image (uncached —
+  /// namespace-wide scans are cold-path).
   std::vector<uint8_t> ScanBatch(const std::string& ns,
                                  sim::SimTime now) const;
 
@@ -79,9 +101,28 @@ class LocalStore {
   /// Total payload bytes currently held (including expired-but-unpurged).
   size_t TotalBytes() const { return total_bytes_; }
 
+  const ImageCacheStats& image_cache_stats() const { return cache_stats_; }
+
  private:
+  /// One cached batch image. `valid_until` is the earliest expiry among the
+  /// entries baked into the image (0 = none expire): past it the image
+  /// would include dead entries, so it self-invalidates.
+  struct CachedImage {
+    BatchImage image;
+    sim::SimTime valid_until = 0;
+  };
+
+  /// Bound on cached images per namespace; crossing it drops the whole
+  /// namespace cache (cheap, and refill is one concatenation per hot key).
+  static constexpr size_t kMaxCachedImagesPerNs = 1024;
+
+  void InvalidateImage(const std::string& ns, Key key);
+  void InvalidateNamespace(const std::string& ns);
+
   // ns -> (key -> values). std::map on key so ExtractRange can walk ranges.
   std::map<std::string, std::multimap<Key, StoredValue>> spaces_;
+  std::map<std::string, std::unordered_map<Key, CachedImage>> image_cache_;
+  ImageCacheStats cache_stats_;
   size_t total_bytes_ = 0;
 
   static bool Alive(const StoredValue& v, sim::SimTime now) {

@@ -132,11 +132,17 @@ void DhtNode::Crash() {
 void DhtNode::Route(Key target, int app_type,
                     std::shared_ptr<const void> body, size_t body_bytes,
                     uint64_t req_id) {
+  RouteAs(info(), target, app_type, std::move(body), body_bytes, req_id);
+}
+
+void DhtNode::RouteAs(const NodeInfo& origin, Key target, int app_type,
+                      std::shared_ptr<const void> body, size_t body_bytes,
+                      uint64_t req_id) {
   if (crashed_) return;
   ++metrics_->routes_initiated;
   RouteMsg m;
   m.target = target;
-  m.origin = info();
+  m.origin = origin;
   m.app_type = app_type;
   m.req_id = req_id;
   m.app_bytes = body_bytes;
@@ -210,6 +216,9 @@ void DhtNode::DeliverLocally(const RouteMsg& msg) {
       return;
     case kAppGetBatch:
       HandleGetBatchUpcall(msg);
+      return;
+    case kAppGetMulti:
+      HandleGetMultiUpcall(msg);
       return;
     case kAppJoinLookup:
       HandleJoinLookupUpcall(msg);
@@ -301,6 +310,42 @@ void DhtNode::GetBatch(const std::string& ns, Key key,
   size_t bytes = ns.size() + 10;
   auto body = std::make_shared<const GetBody>(GetBody{ns, key});
   Route(key, kAppGetBatch, body, bytes, req_id);
+}
+
+sim::EventId DhtNode::ArmMultiGetTimeout(uint64_t req_id) {
+  return network_->simulator()->ScheduleAfter(
+      options_.get_timeout, [this, req_id]() {
+        auto it = pending_multi_gets_.find(req_id);
+        if (it == pending_multi_gets_.end()) return;
+        MultiGetCallback cb = std::move(it->second.callback);
+        std::vector<MultiGetItem> items = std::move(it->second.items);
+        pending_multi_gets_.erase(it);
+        cb(Status::TimedOut("dht multi get"), std::move(items));
+      });
+}
+
+void DhtNode::MultiGet(const std::string& ns, std::vector<Key> keys,
+                       MultiGetCallback callback) {
+  assert(callback != nullptr);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  if (keys.empty()) {
+    callback(Status::OK(), {});
+    return;
+  }
+  ++metrics_->multi_gets;
+  metrics_->multi_get_keys += keys.size();
+  uint64_t req_id = NextReqId();
+  PendingMultiGet pending;
+  pending.callback = std::move(callback);
+  pending.awaiting = keys.size();
+  pending.timeout = ArmMultiGetTimeout(req_id);
+  pending_multi_gets_[req_id] = std::move(pending);
+  size_t bytes = ns.size() + 10 + 8 * keys.size();
+  Key first = keys.front();
+  auto body = std::make_shared<const MultiGetBody>(
+      MultiGetBody{ns, std::move(keys)});
+  Route(first, kAppGetMulti, body, bytes, req_id);
 }
 
 void DhtNode::Lookup(Key target, LookupCallback callback) {
@@ -414,11 +459,45 @@ void DhtNode::HandleGetBatchUpcall(const RouteMsg& msg) {
   reply.req_id = msg.req_id;
   reply.batch =
       store_.GetBatch(get.ns, get.key, network_->simulator()->now());
-  size_t bytes = reply.batch.size() + 12;
+  size_t bytes = reply.batch->size() + 12;
   SendDirect(msg.origin.host,
              sim::Message::Make<GetBatchReplyBody>(kGetBatchReply,
                                                    "dht.reply", bytes,
                                                    std::move(reply)));
+}
+
+void DhtNode::HandleGetMultiUpcall(const RouteMsg& msg) {
+  const auto& get = msg.body<MultiGetBody>();
+  sim::SimTime now = network_->simulator()->now();
+  // Answer every key we own. The routed target key is answered here
+  // unconditionally — routing decided we own it, and peeling it guarantees
+  // the forwarded remainder shrinks even when our own view is stale.
+  MultiGetReplyBody reply;
+  reply.req_id = msg.req_id;
+  std::vector<Key> rest;
+  size_t reply_bytes = 12;
+  for (Key k : get.keys) {
+    if (k == msg.target || routing_->IsOwner(k)) {
+      BatchImage image = store_.GetBatch(get.ns, k, now);
+      reply_bytes += 8 + image->size();
+      reply.items.push_back(MultiGetItem{k, std::move(image)});
+    } else {
+      rest.push_back(k);
+    }
+  }
+  SendDirect(msg.origin.host,
+             sim::Message::Make<MultiGetReplyBody>(kMultiGetReply,
+                                                   "dht.reply", reply_bytes,
+                                                   std::move(reply)));
+  if (rest.empty()) return;
+  // Forward the unanswered keys as one message to the next key's owner,
+  // preserving the original requester as the reply target.
+  ++metrics_->multi_gets;
+  size_t bytes = get.ns.size() + 10 + 8 * rest.size();
+  Key next = rest.front();
+  auto body = std::make_shared<const MultiGetBody>(
+      MultiGetBody{get.ns, std::move(rest)});
+  RouteAs(msg.origin, next, kAppGetMulti, body, bytes, msg.req_id);
 }
 
 void DhtNode::HandleJoinLookupUpcall(const RouteMsg& msg) {
@@ -537,6 +616,32 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       GetBatchCallback cb = std::move(it->second.callback);
       pending_batch_gets_.erase(it);
       cb(Status::OK(), reply.batch);
+      return;
+    }
+    case kMultiGetReply: {
+      const auto& reply = msg.as<MultiGetReplyBody>();
+      auto it = pending_multi_gets_.find(reply.req_id);
+      if (it == pending_multi_gets_.end()) return;
+      PendingMultiGet& pending = it->second;
+      for (const auto& item : reply.items) pending.items.push_back(item);
+      if (reply.items.size() > pending.awaiting) {
+        pending.awaiting = 0;
+      } else {
+        pending.awaiting -= reply.items.size();
+      }
+      if (pending.awaiting > 0) {
+        // The owner chain answers sequentially, so end-to-end latency
+        // scales with the owner count; treat the timeout as a progress
+        // watchdog and re-arm it on every partial reply.
+        network_->simulator()->Cancel(pending.timeout);
+        pending.timeout = ArmMultiGetTimeout(reply.req_id);
+        return;
+      }
+      network_->simulator()->Cancel(pending.timeout);
+      MultiGetCallback cb = std::move(pending.callback);
+      std::vector<MultiGetItem> items = std::move(pending.items);
+      pending_multi_gets_.erase(it);
+      cb(Status::OK(), std::move(items));
       return;
     }
     case kReplicaPutBatch: {

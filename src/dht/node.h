@@ -53,6 +53,7 @@ enum RoutedApp : int {
   kAppLookup = 5,
   kAppPutBatch = 6,
   kAppGetBatch = 7,
+  kAppGetMulti = 8,
   kAppUserBase = 100,
 };
 
@@ -68,6 +69,10 @@ struct DhtMetrics {
   uint64_t batch_puts = 0;        ///< PutBatch messages (any value count).
   uint64_t batch_put_values = 0;  ///< Values carried by PutBatch messages.
   uint64_t batch_gets = 0;
+  /// Routed MultiGet messages (initial sends + owner-to-owner forwards):
+  /// one per distinct owner visited, the coalesced answer-fetch cost.
+  uint64_t multi_gets = 0;
+  uint64_t multi_get_keys = 0;    ///< Keys requested across MultiGet calls.
 
   double MeanHops() const {
     return routes_delivered == 0
@@ -99,9 +104,18 @@ class DhtNode : public sim::Host {
   using GetCallback =
       std::function<void(Status, std::vector<std::vector<uint8_t>>)>;
   /// Batched get: the owner's values under (ns, key) as one contiguous
-  /// pier::TupleBatch image (count prefix + concatenated frames).
-  using GetBatchCallback =
-      std::function<void(Status, std::vector<uint8_t> batch)>;
+  /// pier::TupleBatch image (count prefix + concatenated frames), shared
+  /// straight out of the owner's image cache (null on timeout).
+  using GetBatchCallback = std::function<void(Status, BatchImage batch)>;
+  /// One key's answer within a MultiGet reply.
+  struct MultiGetItem {
+    Key key = 0;
+    BatchImage batch;
+  };
+  /// Fires once every requested key has been answered (or on timeout, with
+  /// the items gathered so far).
+  using MultiGetCallback =
+      std::function<void(Status, std::vector<MultiGetItem>)>;
   using PutCallback = std::function<void(Status)>;
   using LookupCallback = std::function<void(Status, NodeInfo owner,
                                             uint32_t hops)>;
@@ -170,6 +184,16 @@ class DhtNode : public sim::Host {
   /// deserialize per value.
   void GetBatch(const std::string& ns, Key key, GetBatchCallback callback);
 
+  /// Owner-coalesced multi-key Get: fetches the batch images of many keys
+  /// with one routed message per distinct owner. The request routes to the
+  /// first key's owner, which answers every requested key it owns in one
+  /// reply and forwards the remainder as one re-routed message to the next
+  /// key's owner — a chained scatter that visits each owner exactly once,
+  /// so a K-owner key set costs exactly K routed get messages instead of
+  /// one per key. Duplicate keys are collapsed before routing.
+  void MultiGet(const std::string& ns, std::vector<Key> keys,
+                MultiGetCallback callback);
+
   /// Resolves the current owner of `target`.
   void Lookup(Key target, LookupCallback callback);
 
@@ -213,6 +237,7 @@ class DhtNode : public sim::Host {
     kPredecessorPing = 14,
     kGetBatchReply = 15,
     kReplicaPutBatch = 16,
+    kMultiGetReply = 17,
   };
 
  private:
@@ -266,7 +291,15 @@ class DhtNode : public sim::Host {
   };
   struct GetBatchReplyBody {
     uint64_t req_id;
-    std::vector<uint8_t> batch;  ///< TupleBatch image.
+    BatchImage batch;  ///< TupleBatch image, shared with the owner's cache.
+  };
+  struct MultiGetBody {
+    std::string ns;
+    std::vector<Key> keys;  ///< Keys still awaiting an owner.
+  };
+  struct MultiGetReplyBody {
+    uint64_t req_id;
+    std::vector<MultiGetItem> items;  ///< This owner's share of the keys.
   };
   struct LookupReplyBody {
     uint64_t req_id;
@@ -286,6 +319,7 @@ class DhtNode : public sim::Host {
   void StoreBatchFrames(const PutBatchBody& put);
   void HandleGetUpcall(const RouteMsg& msg);
   void HandleGetBatchUpcall(const RouteMsg& msg);
+  void HandleGetMultiUpcall(const RouteMsg& msg);
   void HandleJoinLookupUpcall(const RouteMsg& msg);
   void HandleFingerLookupUpcall(const RouteMsg& msg);
   void HandleLookupUpcall(const RouteMsg& msg);
@@ -296,6 +330,17 @@ class DhtNode : public sim::Host {
   void DoStabilize();
   void DoFixFinger();
   void OnStabilizeTimeout(uint64_t seq, sim::HostId suspect);
+
+  /// Route() with an explicit origin — MultiGet forwards keep the original
+  /// requester as the reply target while re-routing the remaining keys.
+  void RouteAs(const NodeInfo& origin, Key target, int app_type,
+               std::shared_ptr<const void> body, size_t body_bytes,
+               uint64_t req_id);
+
+  /// (Re-)arms the progress watchdog of a pending MultiGet: fires
+  /// get_timeout after the last sign of progress, resolving with the items
+  /// gathered so far.
+  sim::EventId ArmMultiGetTimeout(uint64_t req_id);
 
   uint64_t NextReqId() { return next_req_id_++; }
   size_t RouteHeaderBytes() const { return 40; }
@@ -322,6 +367,13 @@ class DhtNode : public sim::Host {
     sim::EventId timeout = sim::kInvalidEventId;
   };
   std::map<uint64_t, PendingBatchGet> pending_batch_gets_;
+  struct PendingMultiGet {
+    MultiGetCallback callback;
+    size_t awaiting = 0;  ///< Keys not yet answered by any owner.
+    std::vector<MultiGetItem> items;
+    sim::EventId timeout = sim::kInvalidEventId;
+  };
+  std::map<uint64_t, PendingMultiGet> pending_multi_gets_;
   std::map<uint64_t, PutCallback> pending_puts_;
   struct PendingLookup {
     LookupCallback callback;

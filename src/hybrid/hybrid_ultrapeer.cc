@@ -31,12 +31,19 @@ void HybridUltrapeer::OnSnoopedHits(Guid guid,
                    results_so_far > 0 ? results_so_far : size_t{0});
   if (count >= config_.qrs_threshold) return;
   // QRS: these results belong (so far) to a small result set — publish
-  // them into the DHT as rare items.
+  // them into the DHT as rare items, in one batch per snoop event. The
+  // tuples land in PierNode's standing rehash queues, so consecutive snoop
+  // events coalesce into shared PutBatch messages across calls too.
+  std::vector<piersearch::FileToPublish> files;
+  files.reserve(results.size());
   for (const auto& r : results) {
     if (!published_file_ids_.insert(r.file_id).second) continue;
-    publisher_.PublishFile(r.filename, r.size_bytes, r.owner, /*port=*/6346,
-                           config_.publish);
-    ++stats_.rare_results_published;
+    files.push_back(piersearch::FileToPublish{r.filename, r.size_bytes,
+                                              r.owner, /*port=*/6346});
+  }
+  if (!files.empty()) {
+    publisher_.PublishFiles(files, config_.publish);
+    stats_.rare_results_published += files.size();
   }
   // Bound the bookkeeping.
   if (snooped_counts_.size() > 100000) {

@@ -1,5 +1,6 @@
 #include "pier/node.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <unordered_map>
@@ -18,6 +19,63 @@ dht::Key DhtKeyFor(const std::string& ns, const Value& key) {
 
 }  // namespace
 
+/// Aggregate ack of one PublishBatch call: `remaining` counts outstanding
+/// obligations — standing queues still holding this call's tuples plus
+/// flushed batches not yet acked. The callback fires once, after the call
+/// finished enqueuing (`armed`) and every obligation resolved. Resolutions
+/// are usually asynchronous (simulator events), but a flush on a departed
+/// node fails its subscribers synchronously — hence the explicit
+/// fired/armed handshake instead of ordering assumptions.
+struct PublishAck {
+  size_t remaining = 0;
+  bool armed = false;
+  bool fired = false;
+  Status first_error;
+  dht::DhtNode::PutCallback callback;
+
+  void Resolve(Status s) {
+    if (!s.ok() && first_error.ok()) first_error = s;
+    --remaining;
+    MaybeFire();
+  }
+  void MaybeFire() {
+    if (armed && !fired && remaining == 0) {
+      fired = true;
+      callback(first_error);
+    }
+  }
+};
+
+std::vector<uint8_t> EncodeJoinEntries(
+    const std::vector<JoinResultEntry>& entries) {
+  BytesWriter w;
+  w.PutVarint(entries.size());
+  for (const JoinResultEntry& e : entries) {
+    w.PutVarint(1 + e.payload.arity());
+    e.join_key.SerializeTo(&w);
+    for (const Value& v : e.payload) v.SerializeTo(&w);
+  }
+  return w.Take();
+}
+
+std::vector<JoinResultEntry> DecodeJoinEntries(
+    const std::vector<uint8_t>& image, size_t* dropped) {
+  TupleBatch batch = TupleBatch::DeserializeLossy(image, dropped);
+  std::vector<JoinResultEntry> entries;
+  entries.reserve(batch.size());
+  for (Tuple& t : batch.TakeTuples()) {
+    if (t.arity() == 0) {
+      ++*dropped;
+      continue;
+    }
+    JoinResultEntry e;
+    e.join_key = t.at(0);
+    e.payload = t.SubTuple(1);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
 PierNode::PierNode(dht::DhtNode* dht, PierMetrics* metrics)
     : dht_(dht), metrics_(metrics) {
   assert(dht != nullptr && metrics != nullptr);
@@ -30,6 +88,13 @@ PierNode::PierNode(dht::DhtNode* dht, PierMetrics* metrics)
   });
 }
 
+PierNode::~PierNode() {
+  // Ship everything still queued (resolving pending acks through the DHT
+  // node, which outlives us) and cancel the flush timers that capture
+  // `this` so none fires into a destroyed node.
+  FlushPublishQueues();
+}
+
 void PierNode::Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry,
                        dht::DhtNode::PutCallback callback) {
   ++metrics_->tuples_published;
@@ -37,8 +102,92 @@ void PierNode::Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry,
   std::vector<uint8_t> bytes = tuple.Serialize();
   metrics_->publish_bytes += bytes.size();
   dht::Key key = DhtKeyFor(schema.table_name(), tuple.IndexValue(schema));
+  // Preserve this node's publish ordering across the two paths: a standing
+  // queue still holding tuples for this destination must ship before the
+  // direct Put, or a queued older expiry could later roll back the refresh
+  // this Put applies.
+  auto it = rehash_queues_.find(std::make_pair(schema.table_name(), key));
+  if (it != rehash_queues_.end()) FlushAndErase(it);
   dht_->Put(schema.table_name(), key, std::move(bytes), expiry,
             std::move(callback));
+}
+
+void PierNode::FlushQueue(const std::pair<std::string, dht::Key>& dest,
+                          RehashQueue* q) {
+  if (q->flush_timer != sim::kInvalidEventId) {
+    dht_->network()->simulator()->Cancel(q->flush_timer);
+    q->flush_timer = sim::kInvalidEventId;
+  }
+  if (q->count == 0) return;
+  if (!dht_->joined()) {
+    // The node crashed or left between enqueue and flush: the batch cannot
+    // ship, and without a put timeout the acks would hang forever — fail
+    // them now instead.
+    for (const auto& ack : q->subscribers) {
+      ack->Resolve(Status::Unavailable("node departed before flush"));
+    }
+  } else {
+    ++metrics_->publish_messages;
+    dht::DhtNode::PutCallback sub;
+    if (!q->subscribers.empty()) {
+      sub = [subs = std::move(q->subscribers)](Status s) {
+        for (const auto& ack : subs) ack->Resolve(s);
+      };
+    }
+    dht_->PutBatch(dest.first, dest.second, q->frames.Take(), q->count,
+                   q->expiry, std::move(sub));
+  }
+  q->frames = BytesWriter();
+  q->count = 0;
+  q->subscribers.clear();
+}
+
+PierNode::QueueMap::iterator PierNode::FlushAndErase(QueueMap::iterator it) {
+  FlushQueue(it->first, &it->second);
+  return rehash_queues_.erase(it);
+}
+
+void PierNode::EnqueueRehash(const std::string& ns, dht::Key key,
+                             const Tuple& tuple, size_t wire_size,
+                             sim::SimTime expiry,
+                             const std::shared_ptr<PublishAck>& ack) {
+  auto it = rehash_queues_.try_emplace(std::make_pair(ns, key)).first;
+  RehashQueue& q = it->second;
+  // PutBatch carries one expiry for the whole message; a differing expiry
+  // starts a fresh batch.
+  if (q.count > 0 && q.expiry != expiry) FlushQueue(it->first, &q);
+  q.expiry = expiry;
+  if (ack) {
+    bool registered = false;
+    for (const auto& s : q.subscribers) {
+      if (s == ack) {
+        registered = true;
+        break;
+      }
+    }
+    if (!registered) {
+      q.subscribers.push_back(ack);
+      ++ack->remaining;
+    }
+  }
+  q.frames.PutVarint(wire_size);
+  tuple.SerializeTo(&q.frames);
+  ++q.count;
+  if (q.count >= batch_options_.max_batch_tuples ||
+      q.frames.size() >= batch_options_.max_batch_bytes) {
+    FlushAndErase(it);
+    return;
+  }
+  if (q.flush_timer == sim::kInvalidEventId) {
+    q.flush_timer = dht_->network()->simulator()->ScheduleAfter(
+        batch_options_.flush_interval,
+        [this, dest = it->first]() {
+          auto qit = rehash_queues_.find(dest);
+          if (qit == rehash_queues_.end()) return;
+          qit->second.flush_timer = sim::kInvalidEventId;
+          FlushAndErase(qit);
+        });
+  }
 }
 
 void PierNode::PublishBatch(const Schema& schema, std::vector<Tuple> tuples,
@@ -48,66 +197,37 @@ void PierNode::PublishBatch(const Schema& schema, std::vector<Tuple> tuples,
     if (callback) callback(Status::OK());
     return;
   }
-  // Aggregate ack: remember the first failure, fire once after the last
-  // batch answers.
-  struct AckState {
-    size_t remaining = 0;
-    Status first_error;
-    dht::DhtNode::PutCallback callback;
-  };
-  std::shared_ptr<AckState> acks;
+  std::shared_ptr<PublishAck> ack;
   if (callback) {
-    acks = std::make_shared<AckState>();
-    acks->callback = std::move(callback);
+    ack = std::make_shared<PublishAck>();
+    ack->callback = std::move(callback);
   }
-
-  // One frame buffer per destination key: each tuple appends its length
-  // prefix + frame in place, so the whole group ships (and is built) as a
-  // single allocation instead of one buffer per tuple.
-  struct Group {
-    BytesWriter frames;
-    size_t count = 0;
-  };
-  auto flush = [&](dht::Key key, Group* g) {
-    if (g->count == 0) return;
-    ++metrics_->publish_messages;
-    dht::DhtNode::PutCallback sub;
-    if (acks) {
-      ++acks->remaining;
-      sub = [acks](Status s) {
-        if (!s.ok() && acks->first_error.ok()) acks->first_error = s;
-        if (--acks->remaining == 0) acks->callback(acks->first_error);
-      };
-    }
-    dht_->PutBatch(schema.table_name(), key, g->frames.Take(), g->count,
-                   expiry, std::move(sub));
-    *g = Group{};
-  };
-
-  std::unordered_map<dht::Key, Group> groups;
   for (const Tuple& t : tuples) {
     ++metrics_->tuples_published;
     size_t wire = t.WireSize();
     metrics_->publish_bytes += wire;
-    dht::Key key = DhtKeyFor(schema.table_name(), t.IndexValue(schema));
-    Group& g = groups[key];
-    g.frames.PutVarint(wire);
-    t.SerializeTo(&g.frames);
-    ++g.count;
-    if (g.count >= batch_options_.max_batch_tuples ||
-        g.frames.size() >= batch_options_.max_batch_bytes) {
-      flush(key, &g);
-    }
+    EnqueueRehash(schema.table_name(),
+                  DhtKeyFor(schema.table_name(), t.IndexValue(schema)), t,
+                  wire, expiry, ack);
   }
-  for (auto& [key, g] : groups) flush(key, &g);
+  if (ack) {
+    ack->armed = true;
+    ack->MaybeFire();  // all obligations may have failed synchronously
+  }
+}
+
+void PierNode::FlushPublishQueues() {
+  for (auto it = rehash_queues_.begin(); it != rehash_queues_.end();) {
+    it = FlushAndErase(it);
+  }
 }
 
 std::vector<Tuple> PierNode::DecodeLocalBatch(const std::string& ns,
                                               dht::Key key) {
   sim::SimTime now = dht_->network()->simulator()->now();
-  std::vector<uint8_t> image = dht_->store().GetBatch(ns, key, now);
+  dht::BatchImage image = dht_->store().GetBatch(ns, key, now);
   size_t dropped = 0;
-  TupleBatch batch = TupleBatch::DeserializeLossy(image, &dropped);
+  TupleBatch batch = TupleBatch::DeserializeLossy(*image, &dropped);
   metrics_->tuples_dropped_deserialize += dropped;
   return batch.TakeTuples();
 }
@@ -135,13 +255,13 @@ void PierNode::Fetch(const Schema& schema, const Value& key,
   dht_->GetBatch(
       schema.table_name(), k,
       [metrics = metrics_, callback = std::move(callback), key, index_field](
-          Status s, std::vector<uint8_t> image) {
+          Status s, dht::BatchImage image) {
         if (!s.ok()) {
           callback(s, {});
           return;
         }
         size_t dropped = 0;
-        TupleBatch batch = TupleBatch::DeserializeLossy(image, &dropped);
+        TupleBatch batch = TupleBatch::DeserializeLossy(*image, &dropped);
         metrics->tuples_dropped_deserialize += dropped;
         std::vector<Tuple> tuples;
         tuples.reserve(batch.size());
@@ -151,6 +271,56 @@ void PierNode::Fetch(const Schema& schema, const Value& key,
           tuples.push_back(std::move(t));
         }
         callback(Status::OK(), std::move(tuples));
+      });
+}
+
+void PierNode::FetchMany(const Schema& schema, std::vector<Value> keys,
+                         FetchCallback callback) {
+  if (keys.empty()) {
+    callback(Status::OK(), {});
+    return;
+  }
+  ++metrics_->multi_fetches;
+  // Distinct values may collide onto one ring key (64-bit hash); keep every
+  // requested value per key so the collision filter admits all of them.
+  auto wanted = std::make_shared<
+      std::unordered_map<dht::Key, std::vector<Value>>>();
+  std::vector<dht::Key> dht_keys;
+  dht_keys.reserve(keys.size());
+  for (Value& v : keys) {
+    dht::Key k = DhtKeyFor(schema.table_name(), v);
+    auto [it, fresh] = wanted->try_emplace(k);
+    if (fresh) dht_keys.push_back(k);
+    it->second.push_back(std::move(v));
+  }
+  size_t index_field = schema.index_field();
+  dht_->MultiGet(
+      schema.table_name(), std::move(dht_keys),
+      [metrics = metrics_, callback = std::move(callback), wanted,
+       index_field](Status s, std::vector<dht::DhtNode::MultiGetItem> items) {
+        std::vector<Tuple> tuples;
+        for (const auto& item : items) {
+          if (!item.batch) continue;
+          size_t dropped = 0;
+          TupleBatch batch = TupleBatch::DeserializeLossy(*item.batch,
+                                                          &dropped);
+          metrics->tuples_dropped_deserialize += dropped;
+          auto want = wanted->find(item.key);
+          if (want == wanted->end()) continue;
+          for (Tuple& t : batch.TakeTuples()) {
+            if (t.arity() <= index_field) continue;
+            const Value& got = t.at(index_field);
+            bool requested = false;
+            for (const Value& v : want->second) {
+              if (got == v) {
+                requested = true;
+                break;
+              }
+            }
+            if (requested) tuples.push_back(std::move(t));
+          }
+        }
+        callback(s, std::move(tuples));
       });
 }
 
@@ -181,13 +351,18 @@ void PierNode::ExecuteJoin(DistributedJoin join, JoinCallback callback,
   uint64_t qid = NextQid();
   PendingJoin pending;
   pending.callback = std::move(callback);
+  pending.limit = join.limit;
   pending.timeout =
       dht_->network()->simulator()->ScheduleAfter(timeout, [this, qid]() {
         auto it = pending_joins_.find(qid);
         if (it == pending_joins_.end()) return;
         JoinCallback cb = std::move(it->second.callback);
+        // Hand over the chunk replies that did arrive — with chunked
+        // streaming a timeout usually means one lost chunk, not nothing.
+        // (OnDirect caps the accumulator at the limit.)
+        std::vector<JoinResultEntry> partial = std::move(it->second.entries);
         pending_joins_.erase(it);
-        cb(Status::TimedOut("distributed join"), {});
+        cb(Status::TimedOut("distributed join"), std::move(partial));
       });
   pending_joins_[qid] = std::move(pending);
 
@@ -195,6 +370,8 @@ void PierNode::ExecuteJoin(DistributedJoin join, JoinCallback callback,
   msg.qid = qid;
   msg.join = std::make_shared<const DistributedJoin>(std::move(join));
   msg.stage_idx = 0;
+  msg.entries_image = EncodeJoinEntries({});
+  msg.weight = kFullJoinWeight;
   msg.origin = dht_->info();
   const JoinStage& first = msg.join->stages[0];
   dht::Key target = DhtKeyFor(first.ns, first.key);
@@ -205,17 +382,14 @@ void PierNode::ExecuteJoin(DistributedJoin join, JoinCallback callback,
               qid);
 }
 
-size_t PierNode::EntryWireSize(const JoinResultEntry& e) {
-  return e.join_key.WireSize() + e.payload.WireSize();
-}
-
 size_t PierNode::StageMsgWireSize(const JoinStageMsg& m) {
-  size_t bytes = 32;  // qid, stage idx, origin, limit
+  size_t bytes = 40;  // qid, stage idx, weight, origin, limit
   for (const auto& s : m.join->stages) {
     bytes += s.ns.size() + s.key.WireSize() + 6;
     for (const auto& f : s.substring_filter) bytes += f.size() + 1;
   }
-  for (const auto& e : m.incoming) bytes += EntryWireSize(e);
+  // The entry list is a real TupleBatch image: its charged size is exact.
+  bytes += m.entries_image.size();
   return bytes;
 }
 
@@ -249,6 +423,67 @@ std::vector<JoinResultEntry> PierNode::LocalStageEntries(
   return out;
 }
 
+void PierNode::SendJoinReply(const dht::NodeInfo& origin, uint64_t qid,
+                             const std::vector<JoinResultEntry>& entries,
+                             uint64_t weight) {
+  // Stream the answer directly to the query node (bypasses the overlay).
+  DirectEnvelope env;
+  env.subtype = kJoinReply;
+  env.qid = qid;
+  env.entries_image = EncodeJoinEntries(entries);
+  env.weight = weight;
+  size_t bytes = 24 + env.entries_image.size();
+  dht_->SendDirect(origin.host,
+                   sim::Message::Make<DirectEnvelope>(
+                       dht::DhtNode::kDirectApp, "pier.answer", bytes,
+                       std::move(env)));
+}
+
+void PierNode::ForwardToStage(const JoinStageMsg& prev,
+                              std::vector<JoinResultEntry> surviving) {
+  const DistributedJoin& join = *prev.join;
+  size_t next_idx = prev.stage_idx + 1;
+  const JoinStage& next_stage = join.stages[next_idx];
+  dht::Key target = DhtKeyFor(next_stage.ns, next_stage.key);
+
+  // Past the flush threshold, the entry list streams onward in chunks so a
+  // huge intermediate posting list does not ship as one message. The
+  // termination weight divides across chunks (and is never created or
+  // destroyed), so the query node completes exactly when every chunk's
+  // reply arrived — robust to reply reordering.
+  size_t per_chunk = std::max<size_t>(1, batch_options_.max_stage_entries);
+  size_t chunks = (surviving.size() + per_chunk - 1) / per_chunk;
+  if (chunks > prev.weight) {
+    // Weight exhausted (pathologically deep split chain): stop splitting
+    // and ship the WHOLE list as one chunk — never truncate it.
+    chunks = 1;
+    per_chunk = surviving.size();
+  }
+  uint64_t base = prev.weight / chunks;
+  uint64_t extra = prev.weight % chunks;
+
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t begin = c * per_chunk;
+    size_t end = std::min(surviving.size(), begin + per_chunk);
+    std::vector<JoinResultEntry> chunk(
+        std::make_move_iterator(surviving.begin() + begin),
+        std::make_move_iterator(surviving.begin() + end));
+    JoinStageMsg next;
+    next.qid = prev.qid;
+    next.join = prev.join;
+    next.stage_idx = next_idx;
+    next.entries_image = EncodeJoinEntries(chunk);
+    next.weight = base + (c == 0 ? extra : 0);
+    next.origin = prev.origin;
+    metrics_->posting_entries_shipped += chunk.size();
+    ++metrics_->join_stage_messages;
+    size_t bytes = StageMsgWireSize(next);
+    dht_->Route(target, kAppJoinStage,
+                std::make_shared<const JoinStageMsg>(std::move(next)), bytes,
+                prev.qid);
+  }
+}
+
 void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
   const auto& stage_msg = msg.body<JoinStageMsg>();
   const DistributedJoin& join = *stage_msg.join;
@@ -260,53 +495,37 @@ void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
   if (stage_msg.stage_idx == 0) {
     surviving = std::move(local);
   } else {
+    size_t dropped = 0;
+    std::vector<JoinResultEntry> incoming =
+        DecodeJoinEntries(stage_msg.entries_image, &dropped);
+    metrics_->tuples_dropped_deserialize += dropped;
     // Symmetric hash join between the shipped entries (left) and the local
     // posting list (right); the surviving payload is the incoming one.
     SymmetricHashJoin shj(/*left_col=*/0, /*right_col=*/0);
-    shj.Reserve(stage_msg.incoming.size(), local.size());
+    shj.Reserve(incoming.size(), local.size());
     for (const auto& e : local) {
       shj.InsertRight(Tuple(std::vector<Value>{e.join_key}));
     }
-    for (const auto& e : stage_msg.incoming) {
+    for (auto& e : incoming) {
       auto joined = shj.InsertLeft(Tuple(std::vector<Value>{e.join_key}));
       // Duplicate local postings for the same key yield duplicate joins;
       // the chain semantics are set-based, so take at most one.
-      if (!joined.empty()) surviving.push_back(e);
+      if (!joined.empty()) surviving.push_back(std::move(e));
     }
   }
 
   bool last = stage_msg.stage_idx + 1 == join.stages.size();
   // The cap applies to the final answer only; truncating an intermediate
-  // posting list could drop entries that survive later stages.
+  // posting list could drop entries that survive later stages. (Chunked
+  // last-stage arrivals are capped per chunk here and again at the query
+  // node once the stream completes.)
   if (last && surviving.size() > join.limit) surviving.resize(join.limit);
   if (last || surviving.empty()) {
-    // Stream the answer directly to the query node (bypasses the overlay).
-    DirectEnvelope env;
-    env.subtype = kJoinReply;
-    env.qid = stage_msg.qid;
-    env.entries = std::move(surviving);
-    size_t bytes = 16;
-    for (const auto& e : env.entries) bytes += EntryWireSize(e);
-    dht_->SendDirect(stage_msg.origin.host,
-                     sim::Message::Make<DirectEnvelope>(
-                         dht::DhtNode::kDirectApp, "pier.answer", bytes,
-                         std::move(env)));
+    SendJoinReply(stage_msg.origin, stage_msg.qid, surviving,
+                  stage_msg.weight);
     return;
   }
-
-  JoinStageMsg next;
-  next.qid = stage_msg.qid;
-  next.join = stage_msg.join;
-  next.stage_idx = stage_msg.stage_idx + 1;
-  next.incoming = std::move(surviving);
-  next.origin = stage_msg.origin;
-  metrics_->posting_entries_shipped += next.incoming.size();
-  ++metrics_->join_stage_messages;
-  const JoinStage& next_stage = join.stages[next.stage_idx];
-  size_t bytes = StageMsgWireSize(next);
-  dht_->Route(DhtKeyFor(next_stage.ns, next_stage.key), kAppJoinStage,
-              std::make_shared<const JoinStageMsg>(std::move(next)), bytes,
-              stage_msg.qid);
+  ForwardToStage(stage_msg, std::move(surviving));
 }
 
 void PierNode::OnSizeProbe(const dht::RouteMsg& msg) {
@@ -330,10 +549,26 @@ void PierNode::OnDirect(sim::HostId /*from*/, const sim::Message& msg) {
   if (env.subtype == kJoinReply) {
     auto it = pending_joins_.find(env.qid);
     if (it == pending_joins_.end()) return;
-    dht_->network()->simulator()->Cancel(it->second.timeout);
-    JoinCallback cb = std::move(it->second.callback);
+    PendingJoin& pending = it->second;
+    size_t dropped = 0;
+    std::vector<JoinResultEntry> entries =
+        DecodeJoinEntries(env.entries_image, &dropped);
+    metrics_->tuples_dropped_deserialize += dropped;
+    // The accumulator may outlive this reply's decode arena by many chunk
+    // round-trips; materialize so a few retained entries don't pin whole
+    // reply batches.
+    for (JoinResultEntry& e : entries) {
+      if (pending.entries.size() >= pending.limit) break;
+      pending.entries.push_back(JoinResultEntry{
+          e.join_key.Materialize(), e.payload.Materialize()});
+    }
+    pending.weight_received += env.weight;
+    if (pending.weight_received < kFullJoinWeight) return;
+    dht_->network()->simulator()->Cancel(pending.timeout);
+    JoinCallback cb = std::move(pending.callback);
+    std::vector<JoinResultEntry> results = std::move(pending.entries);
     pending_joins_.erase(it);
-    cb(Status::OK(), env.entries);
+    cb(Status::OK(), std::move(results));
   } else if (env.subtype == kProbeReply) {
     auto it = pending_probes_.find(env.qid);
     if (it == pending_probes_.end()) return;

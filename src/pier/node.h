@@ -3,9 +3,15 @@
 // Responsibilities (paper Sections 2–3):
 //  * table storage: every tuple is published into the DHT under its
 //    schema's index field (Put) and scanned from the owner's LocalStore,
+//  * rehash queues: standing per-destination send buffers that coalesce
+//    published tuples ACROSS calls into PutBatch messages, flushed by size
+//    or a simulator-clock interval (real PIER's rehash-queue design),
 //  * distributed query execution: the keyword-join chain — the query plan
 //    of Figure 2 — routed via the DHT with a symmetric hash join per hop,
-//    plus the single-site InvertedCache variant of Figure 3,
+//    plus the single-site InvertedCache variant of Figure 3. Stage-to-stage
+//    entry lists travel as exact TupleBatch wire images and stream in
+//    chunks past a flush threshold, with weight-throwing termination so
+//    the query node knows when the chunked answer stream is complete,
 //  * result streaming: final answers travel directly to the query node,
 //    bypassing the overlay ("With the exception of query answers, all
 //    messages are sent via the DHT routing layer").
@@ -15,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dht/node.h"
@@ -33,17 +40,23 @@ struct PierMetrics {
   uint64_t posting_entries_shipped = 0; ///< Entries rehashed between stages.
   uint64_t probe_messages = 0;
   uint64_t fetches = 0;
+  uint64_t multi_fetches = 0;           ///< FetchMany calls (owner-coalesced).
   /// Stored tuples lost to deserialize failures across ScanLocal / Fetch /
   /// join stages. Non-zero means stored state was corrupted somewhere —
   /// the integration suite asserts this stays 0.
   uint64_t tuples_dropped_deserialize = 0;
 };
 
-/// Flush thresholds for per-destination publish coalescing: a destination
-/// group is flushed as one PutBatch message when it reaches either bound.
+/// Rehash-queue and join-stage flush thresholds. A standing destination
+/// queue ships as one PutBatch message when it reaches either size bound,
+/// or when `flush_interval` elapses since its first pending tuple; a join
+/// stage's surviving entry list streams onward in chunks of at most
+/// `max_stage_entries`.
 struct BatchOptions {
   size_t max_batch_tuples = 256;
   size_t max_batch_bytes = 48 * 1024;
+  sim::SimTime flush_interval = 50 * sim::kMillisecond;
+  size_t max_stage_entries = 1024;
 };
 
 /// One stage of a distributed join chain (one keyword, in PIERSearch).
@@ -74,6 +87,18 @@ struct DistributedJoin {
   size_t limit = SIZE_MAX;  ///< Cap on result entries returned.
 };
 
+/// Encodes an entry list as a TupleBatch wire image — one row per entry,
+/// laid out [join_key, payload...] — so stage messages and answer replies
+/// are charged their exact encoded size and round-trip through the real
+/// codec. DecodeJoinEntries counts undecodable rows into `*dropped`.
+std::vector<uint8_t> EncodeJoinEntries(
+    const std::vector<JoinResultEntry>& entries);
+std::vector<JoinResultEntry> DecodeJoinEntries(
+    const std::vector<uint8_t>& image, size_t* dropped);
+
+/// Ack aggregate of one PublishBatch call (defined in node.cc).
+struct PublishAck;
+
 class PierNode {
  public:
   using JoinCallback =
@@ -84,23 +109,33 @@ class PierNode {
   /// Attaches PIER to a DHT node. Claims the DHT node's upcall slots for
   /// PIER app types and its direct-message handler.
   PierNode(dht::DhtNode* dht, PierMetrics* metrics);
+  ~PierNode();
 
   dht::DhtNode* dht() { return dht_; }
   sim::HostId host() const { return dht_->host(); }
 
-  /// Publishes a tuple into the DHT under its schema's index field.
+  /// Publishes a tuple into the DHT under its schema's index field with an
+  /// immediate per-tuple Put (no coalescing — the pre-rehash-queue path,
+  /// kept for comparison benches and latency-critical one-offs).
   void Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry = 0,
                dht::DhtNode::PutCallback callback = nullptr);
 
-  /// Publishes many tuples with per-destination coalescing: tuples are
-  /// grouped by their DHT key and each group ships as one PutBatch
-  /// message (split by the BatchOptions flush thresholds). Same storage
-  /// semantics as per-tuple Publish, a fraction of the messages. The
-  /// callback, when given, fires once after every batch is acked (first
-  /// error wins).
+  /// Publishes tuples through the standing rehash queues: each tuple joins
+  /// its destination's send buffer, which ships as one PutBatch message
+  /// when it fills (BatchOptions size bounds) or when the flush interval
+  /// elapses — so tuples coalesce across PublishBatch calls, not just
+  /// within one (e.g. the QRS snoop path publishing file-by-file). Same
+  /// storage semantics as per-tuple Publish. The callback, when given,
+  /// fires once after every batch carrying this call's tuples is acked
+  /// (first error wins).
   void PublishBatch(const Schema& schema, std::vector<Tuple> tuples,
                     sim::SimTime expiry = 0,
                     dht::DhtNode::PutCallback callback = nullptr);
+
+  /// Force-ships every standing rehash queue now (shutdown, barrier before
+  /// a measurement, or a latency-sensitive caller that cannot wait out the
+  /// flush interval).
+  void FlushPublishQueues();
 
   void set_batch_options(const BatchOptions& options) {
     batch_options_ = options;
@@ -113,6 +148,13 @@ class PierNode {
 
   /// Fetches all tuples of `schema` keyed by `key` from the owner node.
   void Fetch(const Schema& schema, const Value& key, FetchCallback callback);
+
+  /// Owner-coalesced multi-key fetch: all tuples of `schema` keyed by any
+  /// of `keys`, grouped by resolved owner so a K-owner key set costs K
+  /// routed get messages with one TupleBatch reply per owner (see
+  /// dht::DhtNode::MultiGet) instead of one Fetch round-trip per key.
+  void FetchMany(const Schema& schema, std::vector<Value> keys,
+                 FetchCallback callback);
 
   /// Asks the owner of (ns, key) for its posting-list size — the optimizer
   /// probe behind the "smaller posting lists first" ordering.
@@ -131,12 +173,20 @@ class PierNode {
   // Direct message subtypes (within dht::DhtNode::kDirectApp).
   static constexpr int kJoinReply = 1;
   static constexpr int kProbeReply = 2;
+  /// Termination weight of a whole join (Mattern weight-throwing): the
+  /// initial stage message carries it all; every chunk split divides it;
+  /// every reply returns its share. The query node is done when the
+  /// returned weights sum back to the full amount — correct under
+  /// arbitrary reordering of chunked replies.
+  static constexpr uint64_t kFullJoinWeight = uint64_t{1} << 62;
 
   struct JoinStageMsg {
     uint64_t qid;
     std::shared_ptr<const DistributedJoin> join;
     size_t stage_idx;
-    std::vector<JoinResultEntry> incoming;
+    /// Incoming entry list as its exact TupleBatch wire image.
+    std::vector<uint8_t> entries_image;
+    uint64_t weight;
     dht::NodeInfo origin;
   };
   struct SizeProbeMsg {
@@ -147,13 +197,45 @@ class PierNode {
   struct DirectEnvelope {
     int subtype;
     uint64_t qid;
-    std::vector<JoinResultEntry> entries;  // kJoinReply
-    size_t posting_size = 0;               // kProbeReply
+    std::vector<uint8_t> entries_image;  // kJoinReply
+    uint64_t weight = 0;                 // kJoinReply
+    size_t posting_size = 0;             // kProbeReply
+  };
+
+  /// One standing rehash queue: the pending PutBatch frame buffer for one
+  /// (namespace, destination key).
+  struct RehashQueue {
+    BytesWriter frames;
+    size_t count = 0;
+    sim::SimTime expiry = 0;
+    sim::EventId flush_timer = sim::kInvalidEventId;
+    /// Ack aggregates of the PublishBatch calls with tuples in this queue
+    /// since its last flush.
+    std::vector<std::shared_ptr<PublishAck>> subscribers;
   };
 
   void OnJoinStage(const dht::RouteMsg& msg);
   void OnSizeProbe(const dht::RouteMsg& msg);
   void OnDirect(sim::HostId from, const sim::Message& msg);
+
+  using QueueMap = std::map<std::pair<std::string, dht::Key>, RehashQueue>;
+
+  void EnqueueRehash(const std::string& ns, dht::Key key, const Tuple& tuple,
+                     size_t wire_size, sim::SimTime expiry,
+                     const std::shared_ptr<PublishAck>& ack);
+  void FlushQueue(const std::pair<std::string, dht::Key>& dest,
+                  RehashQueue* q);
+  /// Flushes and drops the queue's map node (queues are re-created on
+  /// demand, so drained destinations don't accumulate). Returns the next
+  /// iterator.
+  QueueMap::iterator FlushAndErase(QueueMap::iterator it);
+
+  /// Sends the (possibly chunked) surviving entries to the next stage.
+  void ForwardToStage(const JoinStageMsg& prev,
+                      std::vector<JoinResultEntry> surviving);
+  void SendJoinReply(const dht::NodeInfo& origin, uint64_t qid,
+                     const std::vector<JoinResultEntry>& entries,
+                     uint64_t weight);
 
   /// Tuples of (ns, key) passing the stage's filters, as JoinResultEntries.
   std::vector<JoinResultEntry> LocalStageEntries(const JoinStage& stage);
@@ -162,7 +244,6 @@ class PierNode {
   /// undecodable tuples into tuples_dropped_deserialize.
   std::vector<Tuple> DecodeLocalBatch(const std::string& ns, dht::Key key);
 
-  static size_t EntryWireSize(const JoinResultEntry& e);
   static size_t StageMsgWireSize(const JoinStageMsg& m);
 
   uint64_t NextQid() { return next_qid_++; }
@@ -172,9 +253,17 @@ class PierNode {
   BatchOptions batch_options_;
   uint64_t next_qid_ = 1;
 
+  /// (namespace, destination key) -> standing send buffer. Nodes exist
+  /// only while tuples are pending: every flush outside EnqueueRehash
+  /// erases the drained node, bounding the map by in-flight destinations.
+  QueueMap rehash_queues_;
+
   struct PendingJoin {
     JoinCallback callback;
     sim::EventId timeout = sim::kInvalidEventId;
+    std::vector<JoinResultEntry> entries;  ///< Accumulated chunk replies.
+    uint64_t weight_received = 0;
+    size_t limit = SIZE_MAX;
   };
   std::map<uint64_t, PendingJoin> pending_joins_;
   struct PendingProbe {

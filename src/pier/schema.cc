@@ -18,6 +18,14 @@ size_t Schema::FieldIndex(const std::string& name) const {
   return SIZE_MAX;
 }
 
+Tuple Tuple::Materialize() const {
+  if (len_ == 0) return Tuple();
+  std::vector<Value> values;
+  values.reserve(len_);
+  for (const Value& v : *this) values.push_back(v.Materialize());
+  return Tuple(std::move(values));
+}
+
 Tuple Tuple::Concat(const Tuple& l, const Tuple& r) {
   std::vector<Value> vals;
   vals.reserve(l.arity() + r.arity());

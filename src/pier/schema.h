@@ -87,6 +87,23 @@ class Tuple {
     return at(schema.index_field());
   }
 
+  /// The suffix of this tuple starting at column `from`, sharing the same
+  /// payload (no copy) — e.g. the payload columns after a join key.
+  Tuple SubTuple(size_t from) const {
+    assert(from <= len_);
+    Tuple t;
+    t.values_ = values_;
+    t.begin_ = begin_ + static_cast<uint32_t>(from);
+    t.len_ = len_ - static_cast<uint32_t>(from);
+    return t;
+  }
+
+  /// A compacted deep copy that owns exactly its own row: slice tuples of a
+  /// large decode arena stop pinning the arena (columns and string blob)
+  /// when only a few rows are retained long-term (result accumulators,
+  /// caches). Cheap handle-copy semantics are preserved on the result.
+  Tuple Materialize() const;
+
   /// left ++ right row concatenation (join output).
   static Tuple Concat(const Tuple& l, const Tuple& r);
 

@@ -61,6 +61,14 @@ class Value {
 
   bool is_string() const { return type() == ValueType::kString; }
 
+  /// A copy that owns exactly its own bytes: a string value backed by a
+  /// shared batch arena is re-homed into a fresh allocation, so retaining
+  /// the copy no longer pins the arena. Non-strings return themselves.
+  Value Materialize() const {
+    if (!is_string()) return *this;
+    return Value(std::string(AsString()));
+  }
+
   /// Stable 64-bit hash (DHT publishing key, join bucketing).
   uint64_t Hash() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_set>
 
 #include "common/tokenizer.h"
 #include "piersearch/schemas.h"
@@ -123,40 +124,45 @@ void SearchEngine::OnJoinDone(const SearchOptions& options,
 void SearchEngine::FetchItems(std::vector<uint64_t> file_ids,
                               const SearchOptions& options,
                               SearchCallback callback) {
-  if (file_ids.empty()) {
+  // Dedupe before truncating: duplicate join keys must not push distinct
+  // results past the max_results cut.
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> unique;
+  unique.reserve(file_ids.size());
+  for (uint64_t id : file_ids) {
+    if (seen.insert(id).second) unique.push_back(id);
+  }
+  if (unique.size() > options.max_results) {
+    unique.resize(options.max_results);
+  }
+  if (unique.empty()) {
     callback(Status::OK(), {});
     return;
   }
-  if (file_ids.size() > options.max_results) {
-    file_ids.resize(options.max_results);
-  }
-  struct FetchState {
-    size_t remaining;
-    std::vector<SearchHit> hits;
-  };
-  auto state = std::make_shared<FetchState>();
-  state->remaining = file_ids.size();
-  for (uint64_t id : file_ids) {
-    pier_->Fetch(
-        ItemSchema(), Value(id),
-        [state, callback](Status s, std::vector<Tuple> tuples) {
-          if (s.ok()) {
-            for (const auto& t : tuples) {
-              if (t.arity() < 5) continue;
-              SearchHit h;
-              h.file_id = t.at(kItemFileId).AsUint64();
-              h.filename = t.at(kItemFilename).AsString();
-              h.size_bytes = t.at(kItemFilesize).AsUint64();
-              h.address = static_cast<uint32_t>(t.at(kItemAddress).AsUint64());
-              h.port = static_cast<uint16_t>(t.at(kItemPort).AsUint64());
-              state->hits.push_back(std::move(h));
-            }
-          }
-          if (--state->remaining == 0) {
-            callback(Status::OK(), std::move(state->hits));
-          }
-        });
-  }
+  std::vector<Value> keys;
+  keys.reserve(unique.size());
+  for (uint64_t id : unique) keys.emplace_back(Value(id));
+  pier_->FetchMany(
+      ItemSchema(), std::move(keys),
+      [callback = std::move(callback)](Status s, std::vector<Tuple> tuples) {
+        // Best-effort like the per-id loop this replaced: a slow or dead
+        // owner must not zero out the hits the other owners delivered —
+        // FetchMany hands over whatever arrived alongside the error.
+        (void)s;
+        std::vector<SearchHit> hits;
+        hits.reserve(tuples.size());
+        for (const auto& t : tuples) {
+          if (t.arity() < 5) continue;
+          SearchHit h;
+          h.file_id = t.at(kItemFileId).AsUint64();
+          h.filename = std::string(t.at(kItemFilename).AsString());
+          h.size_bytes = t.at(kItemFilesize).AsUint64();
+          h.address = static_cast<uint32_t>(t.at(kItemAddress).AsUint64());
+          h.port = static_cast<uint16_t>(t.at(kItemPort).AsUint64());
+          hits.push_back(std::move(h));
+        }
+        callback(Status::OK(), std::move(hits));
+      });
 }
 
 }  // namespace pierstack::piersearch

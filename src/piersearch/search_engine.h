@@ -61,14 +61,20 @@ class SearchEngine {
 
   uint64_t searches_started() const { return searches_started_; }
 
+  /// Resolves fileIDs to full Item hits — the plans' final join. The ids
+  /// are de-duplicated (duplicate join keys must not evict distinct
+  /// results when truncating to max_results), capped, and fetched with one
+  /// owner-coalesced FetchMany: K distinct Item owners cost K routed get
+  /// messages instead of one round-trip per id.
+  void FetchItems(std::vector<uint64_t> file_ids,
+                  const SearchOptions& options, SearchCallback callback);
+
  private:
   void RunPlan(std::vector<std::string> terms, const SearchOptions& options,
                SearchCallback callback);
   void OnJoinDone(const SearchOptions& options, SearchCallback callback,
                   Status status,
                   std::vector<pier::JoinResultEntry> entries);
-  void FetchItems(std::vector<uint64_t> file_ids,
-                  const SearchOptions& options, SearchCallback callback);
 
   pier::PierNode* pier_;
   uint64_t searches_started_ = 0;

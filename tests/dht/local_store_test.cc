@@ -147,5 +147,86 @@ TEST(LocalStoreTest, NamespacesList) {
   EXPECT_EQ(ns.size(), 2u);
 }
 
+// --- GetBatch image cache ---------------------------------------------------
+
+TEST(LocalStoreImageCacheTest, RepeatedProbesShareOneImage) {
+  LocalStore store;
+  store.Put("inv", 7, Bytes("aa"));
+  store.Put("inv", 7, Bytes("bb"));
+  BatchImage first = store.GetBatch("inv", 7, 0);
+  BatchImage second = store.GetBatch("inv", 7, 0);
+  // Cache hit: literally the same allocation, no re-assembly.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(store.image_cache_stats().misses, 1u);
+  EXPECT_EQ(store.image_cache_stats().hits, 1u);
+}
+
+TEST(LocalStoreImageCacheTest, PutInvalidates) {
+  LocalStore store;
+  store.Put("inv", 7, Bytes("aa"));
+  BatchImage before = store.GetBatch("inv", 7, 0);
+  store.Put("inv", 7, Bytes("bb"));
+  BatchImage after = store.GetBatch("inv", 7, 0);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_GT(after->size(), before->size());  // new value baked in
+  EXPECT_GE(store.image_cache_stats().invalidations, 1u);
+  // Other keys keep their cached images.
+  store.Put("inv", 8, Bytes("cc"));
+  BatchImage other = store.GetBatch("inv", 8, 0);
+  BatchImage again = store.GetBatch("inv", 7, 0);
+  EXPECT_EQ(after.get(), again.get());
+  (void)other;
+}
+
+TEST(LocalStoreImageCacheTest, RepublishRefreshInvalidates) {
+  LocalStore store;
+  store.Put("inv", 7, Bytes("aa"), /*expiry=*/100);
+  BatchImage before = store.GetBatch("inv", 7, 50);
+  // Refreshing the same payload's expiry must rebuild (valid_until moves).
+  store.Put("inv", 7, Bytes("aa"), /*expiry=*/500);
+  BatchImage after = store.GetBatch("inv", 7, 200);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(*before, *after);  // same live set, same bytes
+}
+
+TEST(LocalStoreImageCacheTest, ExpiryOfContainedEntrySelfInvalidates) {
+  LocalStore store;
+  store.Put("inv", 7, Bytes("forever"));
+  store.Put("inv", 7, Bytes("soft"), /*expiry=*/100);
+  BatchImage live = store.GetBatch("inv", 7, 10);
+  // Before the soft entry dies the image is served from cache.
+  EXPECT_EQ(store.GetBatch("inv", 7, 99).get(), live.get());
+  // At its expiry the image is stale and must be rebuilt without it.
+  BatchImage rebuilt = store.GetBatch("inv", 7, 100);
+  EXPECT_NE(rebuilt.get(), live.get());
+  EXPECT_LT(rebuilt->size(), live->size());
+  EXPECT_EQ((*rebuilt)[0], 1u);  // count prefix: one live entry left
+}
+
+TEST(LocalStoreImageCacheTest, EraseAndExtractInvalidate) {
+  LocalStore store;
+  store.Put("inv", 7, Bytes("aa"));
+  BatchImage before = store.GetBatch("inv", 7, 0);
+  store.Erase("inv", 7);
+  BatchImage gone = store.GetBatch("inv", 7, 0);
+  EXPECT_EQ((*gone)[0], 0u);  // empty batch
+
+  store.Put("inv", 9, Bytes("bb"));
+  BatchImage nine = store.GetBatch("inv", 9, 0);
+  store.ExtractAll("inv");
+  EXPECT_EQ((*store.GetBatch("inv", 9, 0))[0], 0u);
+  (void)before;
+  (void)nine;
+}
+
+TEST(LocalStoreImageCacheTest, MissServesSharedEmptyImage) {
+  LocalStore store;
+  BatchImage a = store.GetBatch("nothing", 1, 0);
+  BatchImage b = store.GetBatch("nothing", 2, 0);
+  ASSERT_EQ(a->size(), 1u);
+  EXPECT_EQ((*a)[0], 0u);
+  EXPECT_EQ(a.get(), b.get());  // canonical empty image, no allocations
+}
+
 }  // namespace
 }  // namespace pierstack::dht

@@ -1,0 +1,194 @@
+// Join-stage wire format: entry lists travel as exact TupleBatch images,
+// and large intermediate lists stream stage-to-stage in chunks with
+// weight-throwing completion at the query node.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dht/builder.h"
+#include "pier/node.h"
+#include "pier/tuple_batch.h"
+
+namespace pierstack::pier {
+namespace {
+
+const Schema& InvSchema() {
+  static const Schema* s = new Schema(
+      "inverted",
+      {{"keyword", ValueType::kString}, {"fileID", ValueType::kUint64}}, 0);
+  return *s;
+}
+
+std::vector<JoinResultEntry> SampleEntries() {
+  std::vector<JoinResultEntry> entries;
+  for (uint64_t i = 0; i < 5; ++i) {
+    JoinResultEntry e;
+    e.join_key = Value(i);
+    e.payload = Tuple({Value(i), Value("payload file " + std::to_string(i) +
+                                       ".mp3")});
+    entries.push_back(std::move(e));
+  }
+  JoinResultEntry bare;  // key-only entry (no payload), the chain default
+  bare.join_key = Value(std::string("stringkey"));
+  entries.push_back(std::move(bare));
+  return entries;
+}
+
+TEST(JoinWireTest, EncodeDecodeRoundTrips) {
+  auto entries = SampleEntries();
+  std::vector<uint8_t> image = EncodeJoinEntries(entries);
+  size_t dropped = 0;
+  auto back = DecodeJoinEntries(image, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(back.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(back[i].join_key, entries[i].join_key) << i;
+    EXPECT_EQ(back[i].payload, entries[i].payload) << i;
+  }
+}
+
+TEST(JoinWireTest, ImageSizeIsExactTupleBatchWireSize) {
+  auto entries = SampleEntries();
+  // The image must be byte-identical in size to a TupleBatch of
+  // [join_key, payload...] rows — the charged bytes are the encoded bytes.
+  TupleBatch reference;
+  for (const auto& e : entries) {
+    std::vector<Value> row;
+    row.push_back(e.join_key);
+    for (const Value& v : e.payload) row.push_back(v);
+    reference.Add(Tuple(std::move(row)));
+  }
+  std::vector<uint8_t> image = EncodeJoinEntries(entries);
+  EXPECT_EQ(image.size(), reference.WireSize());
+  EXPECT_EQ(image, reference.Serialize());
+}
+
+TEST(JoinWireTest, EmptyListEncodesAsEmptyBatch) {
+  std::vector<uint8_t> image = EncodeJoinEntries({});
+  EXPECT_EQ(image, std::vector<uint8_t>{0});
+  size_t dropped = 0;
+  EXPECT_TRUE(DecodeJoinEntries(image, &dropped).empty());
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(JoinWireTest, CorruptTailCountsDropped) {
+  auto entries = SampleEntries();
+  std::vector<uint8_t> image = EncodeJoinEntries(entries);
+  image.resize(image.size() / 2);  // truncate mid-frame
+  size_t dropped = 0;
+  auto back = DecodeJoinEntries(image, &dropped);
+  EXPECT_LT(back.size(), entries.size());
+  EXPECT_EQ(back.size() + dropped, entries.size());
+}
+
+struct Cluster {
+  sim::Simulator simulator;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<dht::DhtDeployment> dht;
+  PierMetrics metrics;
+  std::vector<std::unique_ptr<PierNode>> piers;
+
+  explicit Cluster(size_t n, size_t max_stage_entries = 1024) {
+    network = std::make_unique<sim::Network>(
+        &simulator,
+        std::make_unique<sim::ConstantLatency>(5 * sim::kMillisecond), 17);
+    dht = std::make_unique<dht::DhtDeployment>(network.get(), n,
+                                               dht::DhtOptions{}, 555);
+    BatchOptions opts;
+    opts.max_stage_entries = max_stage_entries;
+    for (size_t i = 0; i < n; ++i) {
+      piers.push_back(std::make_unique<PierNode>(dht->node(i), &metrics));
+      piers.back()->set_batch_options(opts);
+    }
+  }
+
+  void PublishPostings(const std::string& kw, uint64_t lo, uint64_t hi) {
+    std::vector<Tuple> tuples;
+    for (uint64_t f = lo; f < hi; ++f) {
+      tuples.push_back(Tuple({Value(kw), Value(f)}));
+    }
+    piers[0]->PublishBatch(InvSchema(), std::move(tuples));
+    piers[0]->FlushPublishQueues();
+    simulator.Run();
+  }
+
+  DistributedJoin TwoStage(size_t limit = SIZE_MAX) {
+    DistributedJoin join;
+    for (const char* kw : {"alpha", "beta"}) {
+      JoinStage stage;
+      stage.ns = "inverted";
+      stage.key = Value(std::string(kw));
+      join.stages.push_back(std::move(stage));
+    }
+    join.limit = limit;
+    return join;
+  }
+};
+
+TEST(JoinWireTest, ChunkedStageStreamingReturnsCompleteAnswer) {
+  // alpha {0..100}, beta {50..150} → intersection {50..100} (50 entries).
+  // With a 8-entry stage flush threshold, stage 0's 100 surviving entries
+  // stream to stage 1 as 13 chunks; every chunk's reply must be awaited.
+  Cluster chunked(16, /*max_stage_entries=*/8);
+  chunked.PublishPostings("alpha", 0, 100);
+  chunked.PublishPostings("beta", 50, 150);
+  std::set<uint64_t> ids;
+  int completions = 0;
+  chunked.piers[3]->ExecuteJoin(chunked.TwoStage(),
+                                [&](Status s, auto entries) {
+                                  ++completions;
+                                  ASSERT_TRUE(s.ok());
+                                  for (const auto& e : entries) {
+                                    ids.insert(e.join_key.AsUint64());
+                                  }
+                                });
+  chunked.simulator.Run();
+  EXPECT_EQ(completions, 1);  // weight conservation: fires exactly once
+  std::set<uint64_t> expect;
+  for (uint64_t f = 50; f < 100; ++f) expect.insert(f);
+  EXPECT_EQ(ids, expect);
+  // 1 initial + ceil(100/8) = 13 forwarded chunks.
+  EXPECT_EQ(chunked.metrics.join_stage_messages, 14u);
+  EXPECT_EQ(chunked.metrics.posting_entries_shipped, 100u);
+  EXPECT_EQ(chunked.metrics.tuples_dropped_deserialize, 0u);
+}
+
+TEST(JoinWireTest, ChunkedAndUnchunkedAnswersMatch) {
+  Cluster chunked(16, 8), whole(16, 1024);
+  for (Cluster* c : {&chunked, &whole}) {
+    c->PublishPostings("alpha", 0, 60);
+    c->PublishPostings("beta", 30, 90);
+  }
+  auto run = [](Cluster* c) {
+    std::set<uint64_t> ids;
+    c->piers[1]->ExecuteJoin(c->TwoStage(), [&](Status s, auto entries) {
+      EXPECT_TRUE(s.ok());
+      for (const auto& e : entries) ids.insert(e.join_key.AsUint64());
+    });
+    c->simulator.Run();
+    return ids;
+  };
+  auto a = run(&chunked), b = run(&whole);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 30u);
+  EXPECT_GT(chunked.metrics.join_stage_messages,
+            whole.metrics.join_stage_messages);
+}
+
+TEST(JoinWireTest, LimitHoldsAcrossChunks) {
+  Cluster c(16, /*max_stage_entries=*/8);
+  c.PublishPostings("alpha", 0, 80);
+  c.PublishPostings("beta", 0, 80);
+  size_t got = 0;
+  c.piers[2]->ExecuteJoin(c.TwoStage(/*limit=*/10),
+                          [&](Status s, auto entries) {
+                            ASSERT_TRUE(s.ok());
+                            got = entries.size();
+                          });
+  c.simulator.Run();
+  EXPECT_EQ(got, 10u);
+}
+
+}  // namespace
+}  // namespace pierstack::pier

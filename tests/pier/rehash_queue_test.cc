@@ -1,0 +1,184 @@
+// Standing rehash queues: per-destination send buffers must coalesce
+// publishes ACROSS PublishBatch calls, flush on size immediately and on
+// the flush interval otherwise, and aggregate acks correctly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "dht/builder.h"
+#include "pier/node.h"
+
+namespace pierstack::pier {
+namespace {
+
+const Schema& InvSchema() {
+  static const Schema* s = new Schema(
+      "inverted",
+      {{"keyword", ValueType::kString}, {"fileID", ValueType::kUint64}}, 0);
+  return *s;
+}
+
+struct Cluster {
+  sim::Simulator simulator;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<dht::DhtDeployment> dht;
+  PierMetrics metrics;
+  std::vector<std::unique_ptr<PierNode>> piers;
+
+  explicit Cluster(size_t n) {
+    network = std::make_unique<sim::Network>(
+        &simulator,
+        std::make_unique<sim::ConstantLatency>(5 * sim::kMillisecond), 17);
+    dht = std::make_unique<dht::DhtDeployment>(network.get(), n,
+                                               dht::DhtOptions{}, 555);
+    for (size_t i = 0; i < n; ++i) {
+      piers.push_back(std::make_unique<PierNode>(dht->node(i), &metrics));
+    }
+  }
+
+  size_t StoredUnder(const std::string& kw) {
+    std::set<uint64_t> ids;
+    for (auto& pier : piers) {
+      for (const Tuple& t : pier->ScanLocal(InvSchema(), Value(kw))) {
+        ids.insert(t.at(1).AsUint64());
+      }
+    }
+    return ids.size();
+  }
+};
+
+TEST(RehashQueueTest, CoalescesAcrossCalls) {
+  Cluster c(16);
+  // 30 calls of one tuple each, all to the same keyword — the QRS snoop
+  // shape. The standing queue must merge them into ONE PutBatch message.
+  for (uint64_t f = 0; f < 30; ++f) {
+    c.piers[0]->PublishBatch(InvSchema(),
+                             {Tuple({Value(std::string("snooped")),
+                                     Value(f)})});
+  }
+  c.simulator.Run();
+  EXPECT_EQ(c.metrics.publish_messages, 1u);
+  EXPECT_EQ(c.metrics.tuples_published, 30u);
+  EXPECT_EQ(c.StoredUnder("snooped"), 30u);
+  EXPECT_EQ(c.dht->metrics().batch_puts, 1u);
+  EXPECT_EQ(c.dht->metrics().batch_put_values, 30u);
+}
+
+TEST(RehashQueueTest, SizeFlushShipsImmediatelyTimeFlushWaits) {
+  Cluster c(8);
+  BatchOptions opts;
+  opts.max_batch_tuples = 4;
+  opts.flush_interval = 200 * sim::kMillisecond;
+  c.piers[0]->set_batch_options(opts);
+
+  // Queue "slow" gets 2 tuples (below the size bound): it may only ship on
+  // the interval. Queue "fast" gets 4: it must ship at once.
+  c.piers[0]->PublishBatch(
+      InvSchema(), {Tuple({Value(std::string("slow")), Value(uint64_t{1})}),
+                    Tuple({Value(std::string("slow")), Value(uint64_t{2})})});
+  std::vector<Tuple> fast;
+  for (uint64_t f = 0; f < 4; ++f) {
+    fast.push_back(Tuple({Value(std::string("fast")), Value(f)}));
+  }
+  c.piers[0]->PublishBatch(InvSchema(), std::move(fast));
+
+  // Well before the interval: only the size-triggered flush is visible.
+  c.simulator.RunFor(50 * sim::kMillisecond);
+  EXPECT_EQ(c.metrics.publish_messages, 1u);
+  EXPECT_EQ(c.StoredUnder("fast"), 4u);
+  EXPECT_EQ(c.StoredUnder("slow"), 0u);
+
+  // Past the interval: the time-based flush shipped the rest.
+  c.simulator.RunFor(300 * sim::kMillisecond);
+  EXPECT_EQ(c.metrics.publish_messages, 2u);
+  EXPECT_EQ(c.StoredUnder("slow"), 2u);
+}
+
+TEST(RehashQueueTest, OversizedStreamSplitsByThreshold) {
+  Cluster c(8);
+  BatchOptions opts;
+  opts.max_batch_tuples = 4;
+  c.piers[0]->set_batch_options(opts);
+  // 10 tuples to one destination across several calls: 2 size flushes + 1
+  // interval flush for the remainder.
+  for (uint64_t f = 0; f < 10; ++f) {
+    c.piers[0]->PublishBatch(InvSchema(),
+                             {Tuple({Value(std::string("solo")), Value(f)})});
+  }
+  c.simulator.Run();
+  EXPECT_EQ(c.metrics.publish_messages, 3u);
+  EXPECT_EQ(c.StoredUnder("solo"), 10u);
+}
+
+TEST(RehashQueueTest, DifferingExpiryStartsFreshBatch) {
+  Cluster c(8);
+  c.piers[0]->PublishBatch(
+      InvSchema(), {Tuple({Value(std::string("kw")), Value(uint64_t{1})})},
+      /*expiry=*/0);
+  c.piers[0]->PublishBatch(
+      InvSchema(), {Tuple({Value(std::string("kw")), Value(uint64_t{2})})},
+      /*expiry=*/10 * sim::kSecond);
+  c.simulator.Run();
+  // One batch per expiry class; both tuples stored.
+  EXPECT_EQ(c.metrics.publish_messages, 2u);
+  EXPECT_EQ(c.StoredUnder("kw"), 2u);
+}
+
+TEST(RehashQueueTest, AckSpansQueuesAndFiresOnce) {
+  Cluster c(8);
+  BatchOptions opts;
+  opts.max_batch_tuples = 2;
+  c.piers[0]->set_batch_options(opts);
+  // 5 tuples over 2 destinations: "a" flushes by size mid-call (2 + 1
+  // pending), "b" stays pending — the ack must wait for the in-flight
+  // batch AND both interval flushes.
+  std::vector<Tuple> tuples;
+  for (uint64_t f = 0; f < 3; ++f) {
+    tuples.push_back(Tuple({Value(std::string("a")), Value(f)}));
+  }
+  for (uint64_t f = 0; f < 2; ++f) {
+    tuples.push_back(Tuple({Value(std::string("b")), Value(f)}));
+  }
+  int acks = 0;
+  Status last = Status::Internal("never fired");
+  c.piers[0]->PublishBatch(InvSchema(), std::move(tuples), 0, [&](Status s) {
+    ++acks;
+    last = s;
+  });
+  c.simulator.Run();
+  EXPECT_EQ(acks, 1);
+  EXPECT_TRUE(last.ok());
+  EXPECT_EQ(c.StoredUnder("a"), 3u);
+  EXPECT_EQ(c.StoredUnder("b"), 2u);
+}
+
+TEST(RehashQueueTest, DirectPublishFlushesQueuedDestinationFirst) {
+  // A queued short-expiry publish must ship BEFORE a later direct Publish
+  // of the same tuple — otherwise the stale queued expiry would roll back
+  // the refresh when the queue flushed.
+  Cluster c(8);
+  Tuple t({Value(std::string("kw")), Value(uint64_t{1})});
+  c.piers[0]->PublishBatch(InvSchema(), {t}, /*expiry=*/100 * sim::kMillisecond);
+  c.piers[0]->Publish(InvSchema(), t, /*expiry=*/0);  // refresh: permanent
+  c.simulator.RunUntil(5 * sim::kSecond);
+  EXPECT_EQ(c.StoredUnder("kw"), 1u);  // survived well past 100ms
+}
+
+TEST(RehashQueueTest, ExplicitFlushShipsPendingNow) {
+  Cluster c(8);
+  c.piers[0]->PublishBatch(InvSchema(),
+                           {Tuple({Value(std::string("kw")),
+                                   Value(uint64_t{1})})});
+  EXPECT_EQ(c.metrics.publish_messages, 0u);  // still queued
+  c.piers[0]->FlushPublishQueues();
+  EXPECT_EQ(c.metrics.publish_messages, 1u);
+  c.simulator.Run();
+  EXPECT_EQ(c.StoredUnder("kw"), 1u);
+  // The cancelled interval timer must not double-flush.
+  EXPECT_EQ(c.metrics.publish_messages, 1u);
+}
+
+}  // namespace
+}  // namespace pierstack::pier

@@ -250,6 +250,67 @@ TEST(PierSearchTest, PublisherStatsTrackTuplesAndBytes) {
   EXPECT_GT(pub2.stats().tuple_bytes, pub.stats().tuple_bytes);
 }
 
+TEST(PierSearchTest, AnswerFetchCostsOneRoutedGetPerOwner) {
+  // The owner-coalesced fetch contract, end to end: resolving an N-result
+  // answer set whose Item tuples live on K distinct owners must issue
+  // exactly K routed get messages.
+  Cluster c(32);
+  Publisher pub(c.pier(0));
+  PublishOptions opts;  // inverted only
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(pub.PublishFile(
+        "shared album track" + std::to_string(i) + ".mp3", 1000,
+        static_cast<uint32_t>(i), 6346, opts));
+  }
+  c.simulator.Run();
+
+  std::set<sim::HostId> owners;
+  for (uint64_t id : ids) {
+    dht::Key k = HashCombine(Fnv1a64(ItemSchema().table_name()),
+                             pier::Value(id).Hash());
+    owners.insert(c.dht->ExpectedOwner(k)->host());
+  }
+  ASSERT_GT(owners.size(), 1u);
+  ASSERT_LT(owners.size(), ids.size());
+
+  uint64_t before = c.dht->metrics().multi_gets;
+  SearchEngine engine(c.pier(3));
+  size_t got = 0;
+  engine.Search("shared album", SearchOptions{}, [&](Status s, auto hits) {
+    ASSERT_TRUE(s.ok());
+    got = hits.size();
+  });
+  c.simulator.Run();
+  EXPECT_EQ(got, ids.size());
+  EXPECT_EQ(c.dht->metrics().multi_gets - before, owners.size());
+}
+
+TEST(PierSearchTest, FetchItemsDedupesBeforeTruncating) {
+  Cluster c(16);
+  // Two distinct items, fetched with duplicated join keys and a cap of 2:
+  // without dedupe-first, {1, 1} would evict item 2 at the truncation.
+  for (uint64_t id : {uint64_t{1}, uint64_t{2}}) {
+    c.pier(0)->Publish(
+        ItemSchema(),
+        pier::Tuple({pier::Value(id),
+                     pier::Value("file" + std::to_string(id) + ".mp3"),
+                     pier::Value(uint64_t{100}), pier::Value(uint64_t{9}),
+                     pier::Value(uint64_t{6346})}));
+  }
+  c.simulator.Run();
+  SearchEngine engine(c.pier(2));
+  SearchOptions opts;
+  opts.max_results = 2;
+  std::set<uint64_t> got;
+  engine.FetchItems({1, 1, 1, 2}, opts, [&](Status s, auto hits) {
+    ASSERT_TRUE(s.ok());
+    for (const auto& h : hits) got.insert(h.file_id);
+  });
+  c.simulator.Run();
+  EXPECT_EQ(got, (std::set<uint64_t>{1, 2}));
+}
+
 TEST(PierSearchTest, SoftStateExpires) {
   Cluster c(16);
   Publisher pub(c.pier(0));
