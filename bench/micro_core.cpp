@@ -371,7 +371,7 @@ BENCHMARK(BM_TupleSerialize_Batch)->Arg(512);
 
 /// Shared scaffolding of the end-to-end network benches: a 10ms-latency
 /// simulated network, a static DHT deployment, and one PierNode per DHT
-/// node. All three publish/fetch benches must measure the same topology.
+/// node. All publish/fetch benches must measure the same topology.
 struct BenchCluster {
   sim::Simulator simulator;
   sim::Network network;
@@ -379,12 +379,12 @@ struct BenchCluster {
   pier::PierMetrics metrics;
   std::vector<std::unique_ptr<pier::PierNode>> piers;
 
-  explicit BenchCluster(size_t nodes)
+  explicit BenchCluster(size_t nodes, dht::DhtOptions dopts = {})
       : network(&simulator,
                 std::make_unique<sim::ConstantLatency>(
                     10 * sim::kMillisecond),
                 7),
-        dht(&network, nodes, dht::DhtOptions{}, 11) {
+        dht(&network, nodes, dopts, 11) {
     for (size_t i = 0; i < dht.size(); ++i) {
       piers.push_back(
           std::make_unique<pier::PierNode>(dht.node(i), &metrics));
@@ -591,6 +591,191 @@ static void BM_PublishPath_StandingQueues(benchmark::State& state) {
   PublishPathRun(state, /*standing=*/true);
 }
 BENCHMARK(BM_PublishPath_StandingQueues)->Unit(benchmark::kMillisecond);
+
+// Answer fetch under replication: the same FetchMany over a replicated
+// item table, with the chained owner scatter (KOwnerBaseline) vs replica
+// peeling (ReplicaAware) — the remainder hops straight to the farthest
+// in-arc replica, so one visit answers several owners' key ranges.
+// Identical tuples fetched, fewer routed hops.
+static void ReplicaFetchRun(benchmark::State& state, bool replica_aware) {
+  const size_t kItems = 192, kNodes = 24;
+  uint64_t routed_hops = 0, net_messages = 0, fetched = 0, peels = 0;
+  for (auto _ : state) {
+    dht::DhtOptions dopts;
+    dopts.replication = 2;
+    dopts.replica_aware_multiget = replica_aware;
+    BenchCluster c(kNodes, dopts);
+    auto& piers = c.piers;
+    piersearch::Publisher publisher(piers[0].get());
+    piersearch::PublishOptions popts;
+    popts.inverted = false;
+    std::vector<piersearch::FileToPublish> files;
+    for (size_t i = 0; i < kItems; ++i) {
+      files.push_back(piersearch::FileToPublish{
+          "replicated track number " + std::to_string(i) + ".mp3", 1 << 20,
+          static_cast<uint32_t>(i % kNodes), 6346});
+    }
+    std::vector<uint64_t> ids = publisher.PublishFiles(files, popts);
+    piers[0]->FlushPublishQueues();
+    c.simulator.Run();
+    uint64_t base_hops = c.network.metrics().by_tag["dht.route"].messages;
+    uint64_t base_msgs = c.network.metrics().total.messages;
+    std::vector<pier::Value> keys;
+    for (uint64_t id : ids) keys.emplace_back(pier::Value(id));
+    piers[1]->FetchMany(piersearch::ItemSchema(), std::move(keys),
+                        [&](Status s, std::vector<pier::Tuple> tuples) {
+                          if (s.ok()) fetched += tuples.size();
+                        });
+    c.simulator.Run();
+    routed_hops +=
+        c.network.metrics().by_tag["dht.route"].messages - base_hops;
+    net_messages += c.network.metrics().total.messages - base_msgs;
+    peels += c.dht.metrics().replica_peels;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kItems));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["routed_hops"] = per_iter(routed_hops);
+  state.counters["net_messages"] = per_iter(net_messages);
+  state.counters["fetched"] = per_iter(fetched);
+  state.counters["replica_peels"] = per_iter(peels);
+}
+
+static void BM_ReplicaFetch_KOwnerBaseline(benchmark::State& state) {
+  ReplicaFetchRun(state, /*replica_aware=*/false);
+}
+BENCHMARK(BM_ReplicaFetch_KOwnerBaseline)->Unit(benchmark::kMillisecond);
+
+static void BM_ReplicaFetch_ReplicaAware(benchmark::State& state) {
+  ReplicaFetchRun(state, /*replica_aware=*/true);
+}
+BENCHMARK(BM_ReplicaFetch_ReplicaAware)->Unit(benchmark::kMillisecond);
+
+// Publish-ack latency under the rehash flush policies. Bursts of
+// call-at-a-time publishes (the QRS snoop shape) land on idle
+// destinations; the fixed policy holds every sub-threshold queue for the
+// full flush interval, the pressure-driven policy ships the moment the
+// idle-path threshold fills. Deterministic: simulated clock, constant
+// latency.
+static void AdaptiveFlushRun(benchmark::State& state, bool adaptive) {
+  const size_t kKeywords = 10, kPerKeyword = 16, kNodes = 16;
+  double total_latency_ms = 0;
+  uint64_t acked = 0, net_messages = 0, adaptive_flushes = 0;
+  for (auto _ : state) {
+    BenchCluster c(kNodes);
+    pier::BatchOptions bopts;
+    bopts.adaptive_flush = adaptive;
+    for (auto& p : c.piers) p->set_batch_options(bopts);
+    // One keyword burst every 100ms so each burst meets a drained path.
+    for (size_t k = 0; k < kKeywords; ++k) {
+      c.simulator.ScheduleAfter(k * 100 * sim::kMillisecond, [&, k]() {
+        for (uint64_t f = 0; f < kPerKeyword; ++f) {
+          sim::SimTime sent = c.simulator.now();
+          c.piers[0]->PublishBatch(
+              piersearch::InvertedSchema(),
+              {pier::Tuple({pier::Value("burstkw" + std::to_string(k)),
+                            pier::Value(f)})},
+              /*expiry=*/0, [&, sent](Status s) {
+                if (!s.ok()) return;
+                total_latency_ms +=
+                    static_cast<double>(c.simulator.now() - sent) /
+                    static_cast<double>(sim::kMillisecond);
+                ++acked;
+              });
+        }
+      });
+    }
+    c.simulator.Run();
+    net_messages += c.network.metrics().total.messages;
+    adaptive_flushes += c.metrics.adaptive_flushes;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(kKeywords * kPerKeyword));
+  state.counters["mean_ack_latency_ms"] =
+      acked == 0 ? 0.0 : total_latency_ms / static_cast<double>(acked);
+  state.counters["net_messages"] =
+      static_cast<double>(net_messages) /
+      static_cast<double>(state.iterations());
+  state.counters["adaptive_flushes"] =
+      static_cast<double>(adaptive_flushes) /
+      static_cast<double>(state.iterations());
+}
+
+static void BM_AdaptiveFlush_FixedBounds(benchmark::State& state) {
+  AdaptiveFlushRun(state, /*adaptive=*/false);
+}
+BENCHMARK(BM_AdaptiveFlush_FixedBounds)->Unit(benchmark::kMillisecond);
+
+static void BM_AdaptiveFlush_PressureDriven(benchmark::State& state) {
+  AdaptiveFlushRun(state, /*adaptive=*/true);
+}
+BENCHMARK(BM_AdaptiveFlush_PressureDriven)->Unit(benchmark::kMillisecond);
+
+// Slow-owner backpressure: a 50-chunk join stream into a stage owner with
+// a 20ms receive delay. Unpaced, the whole stream piles onto the owner's
+// queue (peak in-flight bytes ~ the full entry list); credit-paced, the
+// producer holds chunks until the owner acks, bounding the peak near the
+// credit window. Same final join answer either way.
+static void CreditJoinRun(benchmark::State& state, size_t credit_window) {
+  const size_t kNodes = 16, kAlpha = 400, kBeta = 500;
+  uint64_t peak_bytes = 0, results = 0, stalls = 0;
+  for (auto _ : state) {
+    BenchCluster c(kNodes);
+    pier::BatchOptions bopts;
+    bopts.max_stage_entries = 8;
+    bopts.stage_credit_chunks = credit_window;
+    for (auto& p : c.piers) p->set_batch_options(bopts);
+    auto publish = [&](const char* kw, uint64_t lo, uint64_t hi) {
+      std::vector<pier::Tuple> tuples;
+      for (uint64_t f = lo; f < hi; ++f) {
+        tuples.push_back(pier::Tuple({pier::Value(std::string(kw)),
+                                      pier::Value(f)}));
+      }
+      c.piers[0]->PublishBatch(piersearch::InvertedSchema(),
+                               std::move(tuples));
+      c.piers[0]->FlushPublishQueues();
+      c.simulator.Run();
+    };
+    publish("alpha", 0, kAlpha);
+    publish("beta", 0, kBeta);
+    dht::Key beta_key = HashCombine(
+        Fnv1a64("inverted"), pier::Value(std::string("beta")).Hash());
+    sim::HostId slow = c.dht.ExpectedOwner(beta_key)->host();
+    c.network.SetProcessingDelay(slow, 20 * sim::kMillisecond);
+    c.network.ResetLoadWatermarks();
+    pier::DistributedJoin join;
+    for (const char* kw : {"alpha", "beta"}) {
+      pier::JoinStage stage;
+      stage.ns = "inverted";
+      stage.key = pier::Value(std::string(kw));
+      join.stages.push_back(std::move(stage));
+    }
+    c.piers[3]->ExecuteJoin(std::move(join), [&](Status s, auto entries) {
+      if (s.ok()) results += entries.size();
+    });
+    c.simulator.Run();
+    peak_bytes += c.network.LoadOf(slow).peak_in_flight_bytes;
+    stalls += c.metrics.credits_stalled;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kAlpha));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["peak_inflight_bytes"] = per_iter(peak_bytes);
+  state.counters["results"] = per_iter(results);
+  state.counters["credits_stalled"] = per_iter(stalls);
+}
+
+static void BM_CreditJoin_Unpaced(benchmark::State& state) {
+  CreditJoinRun(state, /*credit_window=*/0);
+}
+BENCHMARK(BM_CreditJoin_Unpaced)->Unit(benchmark::kMillisecond);
+
+static void BM_CreditJoin_Credited(benchmark::State& state) {
+  CreditJoinRun(state, /*credit_window=*/2);
+}
+BENCHMARK(BM_CreditJoin_Credited)->Unit(benchmark::kMillisecond);
 
 static void BM_ChordNextHop(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

@@ -136,4 +136,21 @@ std::vector<std::pair<double, double>> MeanByGroup(
   return out;
 }
 
+void CounterSet::Set(const std::string& name, uint64_t value) {
+  entries_[name] = value;
+}
+
+void CounterSet::Increment(const std::string& name, uint64_t delta) {
+  entries_[name] += delta;
+}
+
+uint64_t CounterSet::Value(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+bool CounterSet::Has(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
 }  // namespace pierstack

@@ -76,4 +76,28 @@ class LogHistogram {
 std::vector<std::pair<double, double>> MeanByGroup(
     const std::vector<std::pair<double, double>>& xy);
 
+/// Flat named-counter bag: the common currency for surfacing subsystem
+/// counters (transport, DHT, PIER) to tests and reports without each layer
+/// exporting its own metrics struct. Names are dotted, e.g.
+/// "pier.adaptive_flushes".
+class CounterSet {
+ public:
+  /// Sets `name` to `value` (overwrites).
+  void Set(const std::string& name, uint64_t value);
+
+  /// Adds `delta` to `name` (creating it at 0 first).
+  void Increment(const std::string& name, uint64_t delta = 1);
+
+  /// Value of `name`, or 0 if it was never set.
+  uint64_t Value(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  /// All counters, sorted by name.
+  const std::map<std::string, uint64_t>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, uint64_t> entries_;
+};
+
 }  // namespace pierstack

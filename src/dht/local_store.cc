@@ -46,14 +46,42 @@ const BatchImage& EmptyImage() {
 void LocalStore::InvalidateImage(const std::string& ns, Key key) {
   auto cit = image_cache_.find(ns);
   if (cit == image_cache_.end()) return;
-  if (cit->second.erase(key) > 0) ++cache_stats_.invalidations;
+  auto it = cit->second.images.find(key);
+  if (it == cit->second.images.end()) return;
+  size_t sz = it->second.image->size();
+  cit->second.bytes -= sz;
+  image_bytes_ -= sz;
+  cit->second.images.erase(it);
+  ++cache_stats_.invalidations;
 }
 
 void LocalStore::InvalidateNamespace(const std::string& ns) {
   auto cit = image_cache_.find(ns);
   if (cit == image_cache_.end()) return;
-  cache_stats_.invalidations += cit->second.size();
+  cache_stats_.invalidations += cit->second.images.size();
+  DropNamespaceCache(&cit->second);
   image_cache_.erase(cit);
+}
+
+void LocalStore::DropNamespaceCache(NamespaceCache* cache) {
+  image_bytes_ -= cache->bytes;
+  cache->bytes = 0;
+  cache->images.clear();
+}
+
+void LocalStore::EvictImagesForSpace(NamespaceCache* cache, size_t needed) {
+  while (!cache->images.empty() &&
+         cache->bytes + needed > max_image_bytes_per_ns_) {
+    auto victim = cache->images.begin();
+    for (auto it = cache->images.begin(); it != cache->images.end(); ++it) {
+      if (it->second.seq < victim->second.seq) victim = it;
+    }
+    size_t sz = victim->second.image->size();
+    cache->bytes -= sz;
+    image_bytes_ -= sz;
+    cache->images.erase(victim);
+    ++cache_stats_.size_evictions;
+  }
 }
 
 bool LocalStore::Put(const std::string& ns, Key key,
@@ -85,6 +113,16 @@ std::vector<const StoredValue*> LocalStore::Get(const std::string& ns, Key key,
   return out;
 }
 
+bool LocalStore::Has(const std::string& ns, Key key, sim::SimTime now) const {
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return false;
+  auto [lo, hi] = sit->second.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (Alive(it->second, now)) return true;
+  }
+  return false;
+}
+
 std::vector<const StoredValue*> LocalStore::Scan(const std::string& ns,
                                                  sim::SimTime now) const {
   std::vector<const StoredValue*> out;
@@ -101,14 +139,17 @@ BatchImage LocalStore::GetBatch(const std::string& ns, Key key,
                                 sim::SimTime now) {
   auto cit = image_cache_.find(ns);
   if (cit != image_cache_.end()) {
-    auto hit = cit->second.find(key);
-    if (hit != cit->second.end()) {
+    auto hit = cit->second.images.find(key);
+    if (hit != cit->second.images.end()) {
       if (hit->second.valid_until == 0 || now < hit->second.valid_until) {
         ++cache_stats_.hits;
         return hit->second.image;
       }
       // An entry baked into the image expired: rebuild below.
-      cit->second.erase(hit);
+      size_t sz = hit->second.image->size();
+      cit->second.bytes -= sz;
+      image_bytes_ -= sz;
+      cit->second.images.erase(hit);
       ++cache_stats_.invalidations;
     }
   }
@@ -127,12 +168,18 @@ BatchImage LocalStore::GetBatch(const std::string& ns, Key key,
   }
   auto image = std::make_shared<const std::vector<uint8_t>>(
       AssembleImage(lo, hi, now, AliveFn));
+  // An image over the whole byte budget is served but never cached — one
+  // giant posting list must not monopolize (or thrash) the cache.
+  if (image->size() > max_image_bytes_per_ns_) return image;
   auto& cache = image_cache_[ns];
-  if (cache.size() >= kMaxCachedImagesPerNs) {
-    cache_stats_.invalidations += cache.size();
-    cache.clear();
+  if (cache.images.size() >= kMaxCachedImagesPerNs) {
+    cache_stats_.invalidations += cache.images.size();
+    DropNamespaceCache(&cache);
   }
-  cache.emplace(key, CachedImage{image, valid_until});
+  EvictImagesForSpace(&cache, image->size());
+  cache.bytes += image->size();
+  image_bytes_ += image->size();
+  cache.images.emplace(key, CachedImage{image, valid_until, ++image_seq_});
   return image;
 }
 

@@ -42,6 +42,7 @@ struct ImageCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t invalidations = 0;
+  uint64_t size_evictions = 0;  ///< Images evicted by the byte bound.
 };
 
 /// Node-local namespaced store.
@@ -58,6 +59,10 @@ class LocalStore {
   /// All live values stored under (ns, key).
   std::vector<const StoredValue*> Get(const std::string& ns, Key key,
                                       sim::SimTime now) const;
+
+  /// True iff at least one live value is stored under (ns, key) — the
+  /// allocation-free presence probe.
+  bool Has(const std::string& ns, Key key, sim::SimTime now) const;
 
   /// All live values in a namespace (local scan).
   std::vector<const StoredValue*> Scan(const std::string& ns,
@@ -98,32 +103,62 @@ class LocalStore {
   /// Number of live entries across all namespaces.
   size_t TotalEntries(sim::SimTime now) const;
 
-  /// Total payload bytes currently held (including expired-but-unpurged).
-  size_t TotalBytes() const { return total_bytes_; }
+  /// Total bytes currently held: stored payloads (including
+  /// expired-but-unpurged) PLUS the cached batch images — on a node hosting
+  /// huge posting lists the images roughly double the footprint, so memory
+  /// accounting must see them.
+  size_t TotalBytes() const { return total_bytes_ + image_bytes_; }
+
+  /// Bytes held by cached batch images alone.
+  size_t ImageCacheBytes() const { return image_bytes_; }
+
+  /// Caps the cached-image bytes per namespace; images are evicted (oldest
+  /// insertion first) until the new image fits. Images larger than the cap
+  /// are served but not cached.
+  void set_max_image_cache_bytes_per_ns(size_t bytes) {
+    max_image_bytes_per_ns_ = bytes;
+  }
 
   const ImageCacheStats& image_cache_stats() const { return cache_stats_; }
 
  private:
   /// One cached batch image. `valid_until` is the earliest expiry among the
   /// entries baked into the image (0 = none expire): past it the image
-  /// would include dead entries, so it self-invalidates.
+  /// would include dead entries, so it self-invalidates. `seq` orders
+  /// insertions for size eviction (oldest first).
   struct CachedImage {
     BatchImage image;
     sim::SimTime valid_until = 0;
+    uint64_t seq = 0;
+  };
+
+  /// Per-namespace image cache plus its byte accounting.
+  struct NamespaceCache {
+    std::unordered_map<Key, CachedImage> images;
+    size_t bytes = 0;
   };
 
   /// Bound on cached images per namespace; crossing it drops the whole
   /// namespace cache (cheap, and refill is one concatenation per hot key).
   static constexpr size_t kMaxCachedImagesPerNs = 1024;
+  /// Default byte bound per namespace cache (see set_max_image_cache_...).
+  static constexpr size_t kDefaultMaxImageBytesPerNs = 4 << 20;
 
   void InvalidateImage(const std::string& ns, Key key);
   void InvalidateNamespace(const std::string& ns);
+  void DropNamespaceCache(NamespaceCache* cache);
+  /// Evicts oldest-inserted images from `cache` until at least `needed`
+  /// bytes fit under the per-namespace cap.
+  void EvictImagesForSpace(NamespaceCache* cache, size_t needed);
 
   // ns -> (key -> values). std::map on key so ExtractRange can walk ranges.
   std::map<std::string, std::multimap<Key, StoredValue>> spaces_;
-  std::map<std::string, std::unordered_map<Key, CachedImage>> image_cache_;
+  std::map<std::string, NamespaceCache> image_cache_;
   ImageCacheStats cache_stats_;
   size_t total_bytes_ = 0;
+  size_t image_bytes_ = 0;
+  size_t max_image_bytes_per_ns_ = kDefaultMaxImageBytesPerNs;
+  uint64_t image_seq_ = 0;
 
   static bool Alive(const StoredValue& v, sim::SimTime now) {
     return v.expiry == 0 || v.expiry > now;

@@ -469,15 +469,27 @@ void DhtNode::HandleGetBatchUpcall(const RouteMsg& msg) {
 void DhtNode::HandleGetMultiUpcall(const RouteMsg& msg) {
   const auto& get = msg.body<MultiGetBody>();
   sim::SimTime now = network_->simulator()->now();
-  // Answer every key we own. The routed target key is answered here
-  // unconditionally — routing decided we own it, and peeling it guarantees
-  // the forwarded remainder shrinks even when our own view is stale.
+  // Answer every key we own, plus — on a replica handoff — every arc key
+  // (arc_start, self] this node holds replica data for. An arc key with
+  // an EMPTY local store is NOT answered here: the gap may be replication
+  // lag (the owner stores first, replica copies follow one hop later), so
+  // it continues to its owner for the authoritative empty answer — the
+  // replica-aware scatter never returns less than the owner walk. On a
+  // normally routed message the target key is answered unconditionally:
+  // routing decided we own it, and peeling it guarantees the forwarded
+  // remainder shrinks even when our own view is stale.
   MultiGetReplyBody reply;
   reply.req_id = msg.req_id;
   std::vector<Key> rest;
   size_t reply_bytes = 12;
   for (Key k : get.keys) {
-    if (k == msg.target || routing_->IsOwner(k)) {
+    bool is_owner = routing_->IsOwner(k);
+    bool answer = is_owner || (k == msg.target && !get.arc_valid);
+    if (!answer && get.arc_valid && InOpenClosed(get.arc_start, id(), k)) {
+      answer = store_.Has(get.ns, k, now);
+    }
+    if (answer) {
+      if (!is_owner) ++metrics_->replica_peels;
       BatchImage image = store_.GetBatch(get.ns, k, now);
       reply_bytes += 8 + image->size();
       reply.items.push_back(MultiGetItem{k, std::move(image)});
@@ -485,11 +497,16 @@ void DhtNode::HandleGetMultiUpcall(const RouteMsg& msg) {
       rest.push_back(k);
     }
   }
-  SendDirect(msg.origin.host,
-             sim::Message::Make<MultiGetReplyBody>(kMultiGetReply,
-                                                   "dht.reply", reply_bytes,
-                                                   std::move(reply)));
+  // A handoff receiver holding none of the arc keys has nothing to say;
+  // don't spend a reply message on an empty item list.
+  if (!reply.items.empty() || rest.empty()) {
+    SendDirect(msg.origin.host,
+               sim::Message::Make<MultiGetReplyBody>(kMultiGetReply,
+                                                     "dht.reply", reply_bytes,
+                                                     std::move(reply)));
+  }
   if (rest.empty()) return;
+  if (ForwardMultiGetViaReplica(msg, get.ns, rest)) return;
   // Forward the unanswered keys as one message to the next key's owner,
   // preserving the original requester as the reply target.
   ++metrics_->multi_gets;
@@ -498,6 +515,59 @@ void DhtNode::HandleGetMultiUpcall(const RouteMsg& msg) {
   auto body = std::make_shared<const MultiGetBody>(
       MultiGetBody{get.ns, std::move(rest)});
   RouteAs(msg.origin, next, kAppGetMulti, body, bytes, msg.req_id);
+}
+
+bool DhtNode::ForwardMultiGetViaReplica(const RouteMsg& msg,
+                                        const std::string& ns,
+                                        const std::vector<Key>& rest) {
+  if (options_.replication <= 1 || !options_.replica_aware_multiget) {
+    return false;
+  }
+  ChordRouting* c = chord();
+  if (c == nullptr) return false;
+  // Every key in (self, succ_j] for j <= replication is owned by one of
+  // succ_1..succ_j, and succ_j is within that owner's replica set (the
+  // owner's replication-1 successors) — so succ_j answers the whole arc
+  // authoritatively. Hand the remainder one hop to the farthest such
+  // successor whose arc still covers the next key: one message peels up to
+  // `replication` owners' key ranges instead of one.
+  // Copied: a failed send below removes the peer from the live list.
+  std::vector<NodeInfo> succs = c->successor_list();
+  size_t max_j = std::min(succs.size(), options_.replication);
+  Key next_key = rest.front();
+  for (size_t j = max_j; j >= 1; --j) {
+    const NodeInfo& target = succs[j - 1];
+    if (!target.valid() || target.host == host()) continue;
+    if (!InOpenClosed(id(), target.id, next_key)) {
+      // A shorter arc cannot contain next_key either.
+      return false;
+    }
+    RouteMsg handoff;
+    handoff.target = next_key;
+    handoff.origin = msg.origin;
+    handoff.hops = msg.hops + 1;
+    handoff.app_type = kAppGetMulti;
+    handoff.req_id = msg.req_id;
+    handoff.final_hop = true;  // the arc makes delivery authoritative
+    handoff.app_bytes = ns.size() + 19 + 8 * rest.size();
+    handoff.app_body = std::make_shared<const MultiGetBody>(
+        MultiGetBody{ns, rest, /*arc_valid=*/true, /*arc_start=*/id()});
+    size_t bytes = RouteHeaderBytes() + handoff.app_bytes;
+    if (SendDirect(target.host,
+                   sim::Message::Make<RouteMsg>(kRouteStep, "dht.route",
+                                                bytes, std::move(handoff)))) {
+      // Counted only on the send that actually left: a refused attempt
+      // must not inflate the per-visit scatter cost the benches gate on.
+      ++metrics_->multi_gets;
+      ++metrics_->routes_initiated;
+      ++metrics_->replica_skips;
+      return true;
+    }
+    // Connection refused: the successor is down. Drop it and try the next
+    // shorter arc with the repaired list.
+    routing_->RemovePeer(target.host);
+  }
+  return false;
 }
 
 void DhtNode::HandleJoinLookupUpcall(const RouteMsg& msg) {
@@ -801,6 +871,13 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       // Unknown control message: drop (forward compatibility).
       return;
   }
+}
+
+void ExportTransportCounters(const DhtMetrics& m, CounterSet* out) {
+  out->Set("dht.multi_gets", m.multi_gets);
+  out->Set("dht.multi_get_keys", m.multi_get_keys);
+  out->Set("dht.replica_peels", m.replica_peels);
+  out->Set("dht.replica_skips", m.replica_skips);
 }
 
 }  // namespace pierstack::dht

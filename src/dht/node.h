@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "dht/local_store.h"
 #include "dht/routing.h"
@@ -73,6 +74,12 @@ struct DhtMetrics {
   /// one per distinct owner visited, the coalesced answer-fetch cost.
   uint64_t multi_gets = 0;
   uint64_t multi_get_keys = 0;    ///< Keys requested across MultiGet calls.
+  /// MultiGet keys answered by a replica holder instead of the key's owner
+  /// (replica-aware scatter shortcut; 0 when replication == 1).
+  uint64_t replica_peels = 0;
+  /// One-hop replica handoffs taken by the MultiGet scatter in place of an
+  /// owner-by-owner walk.
+  uint64_t replica_skips = 0;
 
   double MeanHops() const {
     return routes_delivered == 0
@@ -86,6 +93,12 @@ struct DhtMetrics {
 struct DhtOptions {
   OverlayKind overlay = OverlayKind::kChord;
   size_t replication = 1;  ///< Copies per key (1 = owner only).
+  /// With replication > 1, let the MultiGet scatter peel keys at replica
+  /// holders: each visited node hands the remainder one hop to the farthest
+  /// successor still inside every remaining arc key's replica set, which
+  /// answers up to `replication` owners' key ranges at once. Off = always
+  /// walk the primary owner chain (the K-owner baseline).
+  bool replica_aware_multiget = true;
   uint32_t max_route_hops = 128;
   /// Run periodic ring maintenance (stabilize + fix-fingers) on statically
   /// bootstrapped nodes. Off by default so static simulations quiesce;
@@ -210,6 +223,14 @@ class DhtNode : public sim::Host {
   /// which callers may use as a failure signal.
   bool SendDirect(sim::HostId to, sim::Message msg);
 
+  /// Pressure probe of the next hop toward `target`'s owner — the best
+  /// local estimate of the congestion a routed message to that key meets
+  /// first. Applications (PIER's adaptive rehash flush) drive their batch
+  /// policies from this instead of compile-time constants.
+  sim::DestinationLoad NextHopLoad(Key target) const {
+    return network_->LoadOf(routing_->NextHop(target).host);
+  }
+
   // --- sim::Host ---------------------------------------------------------
   void HandleMessage(sim::HostId from, const sim::Message& msg) override;
 
@@ -296,6 +317,11 @@ class DhtNode : public sim::Host {
   struct MultiGetBody {
     std::string ns;
     std::vector<Key> keys;  ///< Keys still awaiting an owner.
+    /// Set on a replica handoff: the receiver is owner-or-replica for every
+    /// key in (arc_start, receiver.id] and must answer those keys
+    /// authoritatively (empty included) even though it does not own them.
+    bool arc_valid = false;
+    Key arc_start = 0;
   };
   struct MultiGetReplyBody {
     uint64_t req_id;
@@ -320,6 +346,14 @@ class DhtNode : public sim::Host {
   void HandleGetUpcall(const RouteMsg& msg);
   void HandleGetBatchUpcall(const RouteMsg& msg);
   void HandleGetMultiUpcall(const RouteMsg& msg);
+  /// Replica-aware scatter shortcut: hands the unanswered keys one hop to
+  /// the farthest successor that can answer the next key from its replica
+  /// set (plus everything between). Returns false when no successor
+  /// qualifies (replication 1, option off, next key beyond the replica
+  /// arc, or all candidates down) — the caller falls back to routing the
+  /// remainder to the next key's owner.
+  bool ForwardMultiGetViaReplica(const RouteMsg& msg, const std::string& ns,
+                                 const std::vector<Key>& rest);
   void HandleJoinLookupUpcall(const RouteMsg& msg);
   void HandleFingerLookupUpcall(const RouteMsg& msg);
   void HandleLookupUpcall(const RouteMsg& msg);
@@ -387,5 +421,9 @@ class DhtNode : public sim::Host {
   uint64_t stabilize_rounds_ = 0;
   size_t next_finger_ = 0;
 };
+
+/// Surfaces the DHT transport counters into a CounterSet under "dht."
+/// names — the cross-layer reporting currency (see common/stats.h).
+void ExportTransportCounters(const DhtMetrics& m, CounterSet* out);
 
 }  // namespace pierstack::dht

@@ -93,6 +93,12 @@ PierNode::~PierNode() {
   // node, which outlives us) and cancel the flush timers that capture
   // `this` so none fires into a destroyed node.
   FlushPublishQueues();
+  // Stall timers capture `this` too; drop the streams they watch.
+  for (auto& [id, stream] : chunk_streams_) {
+    if (stream.stall_timer != sim::kInvalidEventId) {
+      dht_->network()->simulator()->Cancel(stream.stall_timer);
+    }
+  }
 }
 
 void PierNode::Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry,
@@ -147,6 +153,21 @@ PierNode::QueueMap::iterator PierNode::FlushAndErase(QueueMap::iterator it) {
   return rehash_queues_.erase(it);
 }
 
+size_t PierNode::FlushThresholdTuples(dht::Key key) const {
+  if (!batch_options_.adaptive_flush) return batch_options_.max_batch_tuples;
+  // Probe the pressure toward the queue's destination (the next routing
+  // hop is the congestion a flushed PutBatch meets first). An idle path
+  // means a flush costs nothing to pipeline — ship small batches for
+  // latency. Every in-flight message doubles the patience, growing batches
+  // toward the fixed ceiling while earlier sends drain.
+  sim::DestinationLoad load = dht_->NextHopLoad(key);
+  uint32_t level = std::min<uint32_t>(load.in_flight_messages, 16);
+  // Floor at 1 so a zero min (misconfiguration) degrades to per-tuple
+  // batching instead of flushing on every enqueue below the ceiling.
+  size_t floor = std::max<size_t>(batch_options_.min_batch_tuples, 1);
+  return std::min(floor << level, batch_options_.max_batch_tuples);
+}
+
 void PierNode::EnqueueRehash(const std::string& ns, dht::Key key,
                              const Tuple& tuple, size_t wire_size,
                              sim::SimTime expiry,
@@ -170,11 +191,16 @@ void PierNode::EnqueueRehash(const std::string& ns, dht::Key key,
       ++ack->remaining;
     }
   }
+  if (q.count == 0) q.flush_threshold = FlushThresholdTuples(key);
   q.frames.PutVarint(wire_size);
   tuple.SerializeTo(&q.frames);
   ++q.count;
-  if (q.count >= batch_options_.max_batch_tuples ||
+  if (q.count >= q.flush_threshold ||
       q.frames.size() >= batch_options_.max_batch_bytes) {
+    if (q.count < batch_options_.max_batch_tuples &&
+        q.frames.size() < batch_options_.max_batch_bytes) {
+      ++metrics_->adaptive_flushes;  // the load probe fired, not a ceiling
+    }
     FlushAndErase(it);
     return;
   }
@@ -384,6 +410,7 @@ void PierNode::ExecuteJoin(DistributedJoin join, JoinCallback callback,
 
 size_t PierNode::StageMsgWireSize(const JoinStageMsg& m) {
   size_t bytes = 40;  // qid, stage idx, weight, origin, limit
+  if (m.stream_id != 0) bytes += 20;  // credit stream handle + producer
   for (const auto& s : m.join->stages) {
     bytes += s.ns.size() + s.key.WireSize() + 6;
     for (const auto& f : s.substring_filter) bytes += f.size() + 1;
@@ -450,7 +477,8 @@ void PierNode::ForwardToStage(const JoinStageMsg& prev,
   // huge intermediate posting list does not ship as one message. The
   // termination weight divides across chunks (and is never created or
   // destroyed), so the query node completes exactly when every chunk's
-  // reply arrived — robust to reply reordering.
+  // reply arrived — robust to reply reordering. Unsent chunks park their
+  // weight share here until credit releases them.
   size_t per_chunk = std::max<size_t>(1, batch_options_.max_stage_entries);
   size_t chunks = (surviving.size() + per_chunk - 1) / per_chunk;
   if (chunks > prev.weight) {
@@ -462,26 +490,89 @@ void PierNode::ForwardToStage(const JoinStageMsg& prev,
   uint64_t base = prev.weight / chunks;
   uint64_t extra = prev.weight % chunks;
 
+  ChunkStream stream;
+  stream.qid = prev.qid;
+  stream.join = prev.join;
+  stream.stage_idx = next_idx;
+  stream.origin = prev.origin;
+  stream.target = target;
+  stream.chunks.reserve(chunks);
+  stream.weights.reserve(chunks);
   for (size_t c = 0; c < chunks; ++c) {
     size_t begin = c * per_chunk;
     size_t end = std::min(surviving.size(), begin + per_chunk);
-    std::vector<JoinResultEntry> chunk(
+    stream.chunks.emplace_back(
         std::make_move_iterator(surviving.begin() + begin),
         std::make_move_iterator(surviving.begin() + end));
-    JoinStageMsg next;
-    next.qid = prev.qid;
-    next.join = prev.join;
-    next.stage_idx = next_idx;
-    next.entries_image = EncodeJoinEntries(chunk);
-    next.weight = base + (c == 0 ? extra : 0);
-    next.origin = prev.origin;
-    metrics_->posting_entries_shipped += chunk.size();
-    ++metrics_->join_stage_messages;
-    size_t bytes = StageMsgWireSize(next);
-    dht_->Route(target, kAppJoinStage,
-                std::make_shared<const JoinStageMsg>(std::move(next)), bytes,
-                prev.qid);
+    stream.weights.push_back(base + (c == 0 ? extra : 0));
   }
+
+  size_t window = batch_options_.stage_credit_chunks;
+  if (window == 0 || chunks <= window) {
+    // Fits in one credit window (or pacing is off): ship everything now,
+    // no stream registered, no ack chatter.
+    for (size_t c = 0; c < chunks; ++c) SendChunk(&stream, c, /*stream_id=*/0);
+    return;
+  }
+  stream.credits = window;
+  uint64_t stream_id = next_stream_id_++;
+  auto [it, inserted] = chunk_streams_.emplace(stream_id, std::move(stream));
+  (void)inserted;
+  PumpStream(it);
+}
+
+void PierNode::SendChunk(ChunkStream* stream, size_t idx,
+                         uint64_t stream_id) {
+  JoinStageMsg next;
+  next.qid = stream->qid;
+  next.join = stream->join;
+  next.stage_idx = stream->stage_idx;
+  next.entries_image = EncodeJoinEntries(stream->chunks[idx]);
+  next.weight = stream->weights[idx];
+  next.origin = stream->origin;
+  if (stream_id != 0) {
+    // Paced chunks carry the stream handle so the stage owner's ack can
+    // find its way back and release the next send.
+    next.stream_id = stream_id;
+    next.producer = dht_->info();
+  }
+  metrics_->posting_entries_shipped += stream->chunks[idx].size();
+  ++metrics_->join_stage_messages;
+  stream->chunks[idx].clear();
+  size_t bytes = StageMsgWireSize(next);
+  dht_->Route(stream->target, kAppJoinStage,
+              std::make_shared<const JoinStageMsg>(std::move(next)), bytes,
+              stream->qid);
+}
+
+void PierNode::PumpStream(std::map<uint64_t, ChunkStream>::iterator it) {
+  uint64_t stream_id = it->first;
+  ChunkStream& stream = it->second;
+  while (stream.next < stream.chunks.size() && stream.credits > 0) {
+    --stream.credits;
+    SendChunk(&stream, stream.next++, stream_id);
+  }
+  if (stream.stall_timer != sim::kInvalidEventId) {
+    dht_->network()->simulator()->Cancel(stream.stall_timer);
+    stream.stall_timer = sim::kInvalidEventId;
+  }
+  if (stream.next >= stream.chunks.size()) {
+    chunk_streams_.erase(it);
+    return;
+  }
+  // Out of credit with chunks pending: the downstream owner is backed up.
+  // Pause here — its acks resume the stream — and bound the wait so a dead
+  // owner cannot leak the stream forever.
+  ++metrics_->credits_stalled;
+  stream.stall_timer = dht_->network()->simulator()->ScheduleAfter(
+      batch_options_.credit_stall_timeout, [this, stream_id]() {
+        auto sit = chunk_streams_.find(stream_id);
+        if (sit == chunk_streams_.end()) return;
+        // The unsent chunks' weight never reaches the query node; its
+        // timeout delivers the partial results that did arrive.
+        ++metrics_->credit_streams_expired;
+        chunk_streams_.erase(sit);
+      });
 }
 
 void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
@@ -514,6 +605,10 @@ void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
     }
   }
 
+  // Credit-paced chunk: ack it so the producer releases the next one. The
+  // grant leaves AFTER this stage's own processing (including forwarding
+  // the survivors), so a backed-up stage's service time paces its
+  // upstream.
   bool last = stage_msg.stage_idx + 1 == join.stages.size();
   // The cap applies to the final answer only; truncating an intermediate
   // posting list could drop entries that survive later stages. (Chunked
@@ -523,9 +618,28 @@ void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
   if (last || surviving.empty()) {
     SendJoinReply(stage_msg.origin, stage_msg.qid, surviving,
                   stage_msg.weight);
-    return;
+  } else {
+    ForwardToStage(stage_msg, std::move(surviving));
   }
-  ForwardToStage(stage_msg, std::move(surviving));
+  if (stage_msg.stream_id != 0 && stage_msg.producer.valid()) {
+    DirectEnvelope env;
+    env.subtype = kChunkCredit;
+    env.qid = stage_msg.qid;
+    env.stream_id = stage_msg.stream_id;
+    env.credits = 1;
+    dht_->SendDirect(stage_msg.producer.host,
+                     sim::Message::Make<DirectEnvelope>(
+                         dht::DhtNode::kDirectApp, "pier.credit", 21,
+                         std::move(env)));
+  }
+}
+
+void PierNode::OnChunkCredit(const DirectEnvelope& env) {
+  auto it = chunk_streams_.find(env.stream_id);
+  if (it == chunk_streams_.end()) return;  // completed or expired stream
+  metrics_->credit_grants += env.credits;
+  it->second.credits += env.credits;
+  PumpStream(it);
 }
 
 void PierNode::OnSizeProbe(const dht::RouteMsg& msg) {
@@ -576,7 +690,16 @@ void PierNode::OnDirect(sim::HostId /*from*/, const sim::Message& msg) {
     ProbeCallback cb = std::move(it->second.callback);
     pending_probes_.erase(it);
     cb(Status::OK(), env.posting_size);
+  } else if (env.subtype == kChunkCredit) {
+    OnChunkCredit(env);
   }
+}
+
+void ExportTransportCounters(const PierMetrics& m, CounterSet* out) {
+  out->Set("pier.adaptive_flushes", m.adaptive_flushes);
+  out->Set("pier.credits_stalled", m.credits_stalled);
+  out->Set("pier.credit_grants", m.credit_grants);
+  out->Set("pier.credit_streams_expired", m.credit_streams_expired);
 }
 
 }  // namespace pierstack::pier

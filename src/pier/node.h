@@ -45,18 +45,53 @@ struct PierMetrics {
   /// join stages. Non-zero means stored state was corrupted somewhere —
   /// the integration suite asserts this stays 0.
   uint64_t tuples_dropped_deserialize = 0;
+  /// Rehash-queue flushes triggered by the load-adaptive threshold (below
+  /// the fixed max_batch_tuples ceiling): the destination looked idle, so
+  /// the queue shipped early for latency.
+  uint64_t adaptive_flushes = 0;
+  /// Join chunk streams that paused emission because the downstream stage
+  /// owner had not granted credit yet — each count is one backpressure
+  /// stall episode, not one withheld chunk.
+  uint64_t credits_stalled = 0;
+  /// Credit-window grants received in chunk acks.
+  uint64_t credit_grants = 0;
+  /// Chunk streams dropped because no credit arrived within the stall
+  /// timeout (the downstream owner died); the query completes via its own
+  /// timeout with partial results.
+  uint64_t credit_streams_expired = 0;
 };
 
-/// Rehash-queue and join-stage flush thresholds. A standing destination
-/// queue ships as one PutBatch message when it reaches either size bound,
-/// or when `flush_interval` elapses since its first pending tuple; a join
-/// stage's surviving entry list streams onward in chunks of at most
-/// `max_stage_entries`.
+/// Rehash-queue and join-stage flush/pacing policy.
+///
+/// A standing destination queue ships as one PutBatch message when it
+/// reaches a size bound, or when `flush_interval` elapses since its first
+/// pending tuple. With `adaptive_flush` on (the default) the tuple bound is
+/// load-adaptive: the sender probes the pressure toward the destination
+/// (sim::Network's per-destination in-flight signals via the next routing
+/// hop) and flushes at `min_batch_tuples` when the path is idle — latency —
+/// doubling its patience with every in-flight message until the fixed
+/// `max_batch_tuples` / `max_batch_bytes` ceilings — throughput under load.
+/// The old constants are thus the ceiling of the adaptive range and the
+/// exact policy when `adaptive_flush` is off.
+///
+/// A join stage's surviving entry list streams onward in chunks of at most
+/// `max_stage_entries`. When the chunk count exceeds `stage_credit_chunks`,
+/// emission is credit-paced: the producer sends a window of chunks and
+/// waits for the stage owner's acks (each granting one more chunk) before
+/// sending more, so a slow owner backpressures its upstream instead of
+/// being buried. 0 disables pacing (the unpaced pre-credit behavior).
 struct BatchOptions {
   size_t max_batch_tuples = 256;
   size_t max_batch_bytes = 48 * 1024;
   sim::SimTime flush_interval = 50 * sim::kMillisecond;
   size_t max_stage_entries = 1024;
+  bool adaptive_flush = true;
+  size_t min_batch_tuples = 16;
+  size_t stage_credit_chunks = 4;
+  /// A credit-starved stream is dropped after this long without a grant
+  /// (downstream owner presumed dead); the join's own timeout then returns
+  /// partial results, exactly as for any lost chunk.
+  sim::SimTime credit_stall_timeout = 10 * sim::kSecond;
 };
 
 /// One stage of a distributed join chain (one keyword, in PIERSearch).
@@ -173,6 +208,7 @@ class PierNode {
   // Direct message subtypes (within dht::DhtNode::kDirectApp).
   static constexpr int kJoinReply = 1;
   static constexpr int kProbeReply = 2;
+  static constexpr int kChunkCredit = 3;
   /// Termination weight of a whole join (Mattern weight-throwing): the
   /// initial stage message carries it all; every chunk split divides it;
   /// every reply returns its share. The query node is done when the
@@ -188,6 +224,11 @@ class PierNode {
     std::vector<uint8_t> entries_image;
     uint64_t weight;
     dht::NodeInfo origin;
+    /// Credit-paced chunk stream this message belongs to (0 = unpaced).
+    /// The receiving stage owner acks each chunk with a kChunkCredit
+    /// direct message to `producer`, granting the next send.
+    uint64_t stream_id = 0;
+    dht::NodeInfo producer;
   };
   struct SizeProbeMsg {
     uint64_t qid;
@@ -200,6 +241,8 @@ class PierNode {
     std::vector<uint8_t> entries_image;  // kJoinReply
     uint64_t weight = 0;                 // kJoinReply
     size_t posting_size = 0;             // kProbeReply
+    uint64_t stream_id = 0;              // kChunkCredit
+    uint32_t credits = 0;                // kChunkCredit
   };
 
   /// One standing rehash queue: the pending PutBatch frame buffer for one
@@ -208,21 +251,44 @@ class PierNode {
     BytesWriter frames;
     size_t count = 0;
     sim::SimTime expiry = 0;
+    /// Load-adaptive tuple bound, probed once per fill cycle (at the first
+    /// enqueue after the queue drains) — queues are erased on flush, so
+    /// every batch re-probes without paying a routing lookup per tuple.
+    size_t flush_threshold = 0;
     sim::EventId flush_timer = sim::kInvalidEventId;
     /// Ack aggregates of the PublishBatch calls with tuples in this queue
     /// since its last flush.
     std::vector<std::shared_ptr<PublishAck>> subscribers;
   };
 
+  /// One credit-paced chunk stream: the pending tail of one stage-to-stage
+  /// entry list, drained as the downstream owner grants credit.
+  struct ChunkStream {
+    uint64_t qid = 0;
+    std::shared_ptr<const DistributedJoin> join;
+    size_t stage_idx = 0;
+    dht::NodeInfo origin;
+    dht::Key target = 0;
+    std::vector<std::vector<JoinResultEntry>> chunks;  ///< Unsent tail.
+    std::vector<uint64_t> weights;  ///< Parallel to `chunks`.
+    size_t next = 0;                ///< First unsent chunk index.
+    size_t credits = 0;
+    sim::EventId stall_timer = sim::kInvalidEventId;
+  };
+
   void OnJoinStage(const dht::RouteMsg& msg);
   void OnSizeProbe(const dht::RouteMsg& msg);
   void OnDirect(sim::HostId from, const sim::Message& msg);
+  void OnChunkCredit(const DirectEnvelope& env);
 
   using QueueMap = std::map<std::pair<std::string, dht::Key>, RehashQueue>;
 
   void EnqueueRehash(const std::string& ns, dht::Key key, const Tuple& tuple,
                      size_t wire_size, sim::SimTime expiry,
                      const std::shared_ptr<PublishAck>& ack);
+  /// The load-adaptive tuple flush bound for a queue headed to `key`'s
+  /// owner (max_batch_tuples when adaptive_flush is off).
+  size_t FlushThresholdTuples(dht::Key key) const;
   void FlushQueue(const std::pair<std::string, dht::Key>& dest,
                   RehashQueue* q);
   /// Flushes and drops the queue's map node (queues are re-created on
@@ -230,9 +296,17 @@ class PierNode {
   /// iterator.
   QueueMap::iterator FlushAndErase(QueueMap::iterator it);
 
-  /// Sends the (possibly chunked) surviving entries to the next stage.
+  /// Sends the (possibly chunked) surviving entries to the next stage,
+  /// credit-paced past stage_credit_chunks.
   void ForwardToStage(const JoinStageMsg& prev,
                       std::vector<JoinResultEntry> surviving);
+  /// Emits chunk `idx` of `stream` toward its target stage; a non-zero
+  /// `stream_id` marks it credit-paced (the receiver acks it).
+  void SendChunk(ChunkStream* stream, size_t idx, uint64_t stream_id);
+  /// Drains `stream` while it has credit; pauses (recording the stall and
+  /// arming the stall timer) when credit runs out, completes it otherwise.
+  /// The map node is erased on completion — `it` is invalid after.
+  void PumpStream(std::map<uint64_t, ChunkStream>::iterator it);
   void SendJoinReply(const dht::NodeInfo& origin, uint64_t qid,
                      const std::vector<JoinResultEntry>& entries,
                      uint64_t weight);
@@ -271,6 +345,13 @@ class PierNode {
     sim::EventId timeout = sim::kInvalidEventId;
   };
   std::map<uint64_t, PendingProbe> pending_probes_;
+  /// Outbound credit-paced chunk streams by stream id.
+  std::map<uint64_t, ChunkStream> chunk_streams_;
+  uint64_t next_stream_id_ = 1;
 };
+
+/// Surfaces the PIER transport counters into a CounterSet under "pier."
+/// names — the cross-layer reporting currency (see common/stats.h).
+void ExportTransportCounters(const PierMetrics& m, CounterSet* out);
 
 }  // namespace pierstack::pier

@@ -62,7 +62,45 @@ HostId Network::AddHost(Host* host) {
   assert(host != nullptr);
   hosts_.push_back(host);
   up_.push_back(true);
+  processing_delay_.push_back(0);
+  loads_.push_back(DestinationLoad{});
   return static_cast<HostId>(hosts_.size() - 1);
+}
+
+void Network::SetProcessingDelay(HostId id, SimTime delay) {
+  assert(id < processing_delay_.size());
+  processing_delay_[id] = delay;
+}
+
+DestinationLoad Network::LoadOf(HostId id) const {
+  return id < loads_.size() ? loads_[id] : DestinationLoad{};
+}
+
+void Network::ResetLoadWatermarks() {
+  for (DestinationLoad& l : loads_) {
+    l.peak_in_flight_bytes = l.in_flight_bytes;
+  }
+}
+
+void Network::ChargeInFlight(HostId to, size_t bytes) {
+  DestinationLoad& l = loads_[to];
+  l.in_flight_messages += 1;
+  l.in_flight_bytes += bytes;
+  if (l.in_flight_bytes > l.peak_in_flight_bytes) {
+    l.peak_in_flight_bytes = l.in_flight_bytes;
+  }
+}
+
+void Network::SettleInFlight(HostId to, size_t bytes,
+                             SimTime observed_delay) {
+  DestinationLoad& l = loads_[to];
+  assert(l.in_flight_messages > 0 && l.in_flight_bytes >= bytes);
+  l.in_flight_messages -= 1;
+  l.in_flight_bytes -= bytes;
+  // EWMA with 1/8 gain, seeded by the first observation.
+  l.smoothed_latency = l.smoothed_latency == 0
+                           ? observed_delay
+                           : (7 * l.smoothed_latency + observed_delay) / 8;
 }
 
 void Network::RemoveHost(HostId id) {
@@ -90,8 +128,13 @@ bool Network::Send(HostId from, HostId to, Message msg) {
   if (latency_ && from != to) {
     delay = latency_->Latency(from, to, msg.wire_bytes, &rng_);
   }
+  delay += processing_delay_[to];
+  ChargeInFlight(to, msg.wire_bytes);
   simulator_->ScheduleAfter(
-      delay, [this, from, to, m = std::move(msg)]() {
+      delay, [this, from, to, delay, m = std::move(msg)]() {
+        // The message leaves the destination's queue whether or not the
+        // host survived to receive it.
+        SettleInFlight(to, m.wire_bytes, delay);
         // Re-check liveness at delivery time: the host may have left while
         // the message was in flight.
         if (!IsHostUp(to)) {

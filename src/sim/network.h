@@ -1,9 +1,11 @@
-// Simulated message-passing network with latency models and per-category
-// traffic accounting.
+// Simulated message-passing network with latency models, per-category
+// traffic accounting, and per-destination pressure signals.
 //
 // All inter-node communication in the repository flows through
 // Network::Send, so the bandwidth/overhead numbers the benches report
-// (Figures 8, 10, 13–15; Section 7) are derived from one place.
+// (Figures 8, 10, 13–15; Section 7) are derived from one place — and so
+// senders can probe a destination's queue occupancy (DestinationLoad) to
+// adapt batching and pacing to observed load.
 #pragma once
 
 #include <cstdint>
@@ -115,6 +117,21 @@ struct TrafficCounter {
   uint64_t bytes = 0;
 };
 
+/// Pressure signals for one destination host, maintained by Network::Send
+/// and the delivery path. `in_flight_*` count messages accepted but not yet
+/// handed to the receiver (the simulated send/receive queue occupancy);
+/// `smoothed_latency` is an EWMA of observed delivery delays, including any
+/// receiver processing delay. Senders probe this to adapt batch sizes and
+/// pacing to destination load instead of compile-time constants.
+struct DestinationLoad {
+  uint32_t in_flight_messages = 0;
+  size_t in_flight_bytes = 0;
+  /// High-water mark of in_flight_bytes since the last watermark reset —
+  /// what an unpaced sender managed to pile onto this destination.
+  size_t peak_in_flight_bytes = 0;
+  sim::SimTime smoothed_latency = 0;  ///< EWMA; 0 until the first delivery.
+};
+
 /// Aggregated network metrics, by category tag and in total.
 struct NetworkMetrics {
   TrafficCounter total;
@@ -144,6 +161,19 @@ class Network {
   void SetHostUp(HostId id, bool up);
   bool IsHostUp(HostId id) const;
 
+  /// Adds a fixed per-message receive delay at `id` — models a slow host
+  /// whose handler queue drains at bounded speed. Delivery of every message
+  /// addressed to it is postponed by `delay` past the wire latency.
+  void SetProcessingDelay(HostId id, SimTime delay);
+
+  /// Cheap per-destination pressure probe (see DestinationLoad). Returns a
+  /// zero-value load for unknown hosts.
+  DestinationLoad LoadOf(HostId id) const;
+
+  /// Resets every destination's peak_in_flight_bytes watermark to its
+  /// current in-flight level (benches bracket a measured phase with this).
+  void ResetLoadWatermarks();
+
   /// Sends `msg` from `from` to `to`; delivery is scheduled at
   /// now + latency. Self-sends are delivered with zero delay.
   ///
@@ -160,11 +190,18 @@ class Network {
   size_t host_count() const { return hosts_.size(); }
 
  private:
+  /// Charges an accepted message against the destination's pressure
+  /// signals; the returned delivery path settles it.
+  void ChargeInFlight(HostId to, size_t bytes);
+  void SettleInFlight(HostId to, size_t bytes, SimTime observed_delay);
+
   Simulator* simulator_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   std::vector<Host*> hosts_;    // index = HostId; null = removed
   std::vector<bool> up_;
+  std::vector<SimTime> processing_delay_;  // index = HostId
+  std::vector<DestinationLoad> loads_;     // index = HostId
   NetworkMetrics metrics_;
 };
 

@@ -117,5 +117,20 @@ TEST(MeanByGroupTest, GroupsAndAverages) {
 
 TEST(MeanByGroupTest, Empty) { EXPECT_TRUE(MeanByGroup({}).empty()); }
 
+TEST(CounterSetTest, SetIncrementAndLookup) {
+  CounterSet counters;
+  EXPECT_FALSE(counters.Has("pier.adaptive_flushes"));
+  EXPECT_EQ(counters.Value("pier.adaptive_flushes"), 0u);
+  counters.Set("pier.adaptive_flushes", 7);
+  counters.Increment("pier.adaptive_flushes", 3);
+  counters.Increment("dht.replica_peels");
+  EXPECT_TRUE(counters.Has("pier.adaptive_flushes"));
+  EXPECT_EQ(counters.Value("pier.adaptive_flushes"), 10u);
+  EXPECT_EQ(counters.Value("dht.replica_peels"), 1u);
+  ASSERT_EQ(counters.entries().size(), 2u);
+  // entries() is name-sorted: stable iteration for reports.
+  EXPECT_EQ(counters.entries().begin()->first, "dht.replica_peels");
+}
+
 }  // namespace
 }  // namespace pierstack

@@ -228,5 +228,72 @@ TEST(LocalStoreImageCacheTest, MissServesSharedEmptyImage) {
   EXPECT_EQ(a.get(), b.get());  // canonical empty image, no allocations
 }
 
+// --- Image-cache memory accounting ------------------------------------------
+
+TEST(LocalStoreImageCacheTest, CachedImageBytesChargedIntoTotalBytes) {
+  LocalStore store;
+  store.Put("inv", 7, Bytes("aaaa"));
+  store.Put("inv", 7, Bytes("bb"));
+  size_t payload_bytes = store.TotalBytes();
+  EXPECT_EQ(payload_bytes, 6u);
+  BatchImage image = store.GetBatch("inv", 7, 0);
+  // The cached image (count prefix + both frames) now counts as held
+  // memory alongside the payloads it duplicates.
+  EXPECT_EQ(store.ImageCacheBytes(), image->size());
+  EXPECT_EQ(store.TotalBytes(), payload_bytes + image->size());
+  // Invalidation releases the charge.
+  store.Put("inv", 7, Bytes("c"));
+  EXPECT_EQ(store.ImageCacheBytes(), 0u);
+  EXPECT_EQ(store.TotalBytes(), 7u);
+}
+
+TEST(LocalStoreImageCacheTest, EvictsOldestImagesWhenOverByteBudget) {
+  LocalStore store;
+  store.set_max_image_cache_bytes_per_ns(64);
+  // Three posting lists of ~30 bytes each: caching the third must push the
+  // first (oldest) image out to stay under the 64-byte budget.
+  for (Key k = 1; k <= 3; ++k) {
+    store.Put("inv", k, std::vector<uint8_t>(29, uint8_t(k)));
+    store.GetBatch("inv", k, 0);
+  }
+  EXPECT_EQ(store.image_cache_stats().size_evictions, 1u);
+  EXPECT_LE(store.ImageCacheBytes(), 64u);
+  // Keys 2 and 3 still hit; key 1 was the eviction victim.
+  uint64_t hits_before = store.image_cache_stats().hits;
+  store.GetBatch("inv", 2, 0);
+  store.GetBatch("inv", 3, 0);
+  EXPECT_EQ(store.image_cache_stats().hits, hits_before + 2);
+  uint64_t misses_before = store.image_cache_stats().misses;
+  store.GetBatch("inv", 1, 0);
+  EXPECT_EQ(store.image_cache_stats().misses, misses_before + 1);
+}
+
+TEST(LocalStoreImageCacheTest, OversizedImageServedButNotCached) {
+  LocalStore store;
+  store.set_max_image_cache_bytes_per_ns(16);
+  store.Put("inv", 7, std::vector<uint8_t>(64, 0x7));
+  BatchImage image = store.GetBatch("inv", 7, 0);
+  EXPECT_EQ(image->size(), 65u);  // count prefix + frame
+  // A list bigger than the whole budget must not thrash the cache.
+  EXPECT_EQ(store.ImageCacheBytes(), 0u);
+  EXPECT_EQ(store.TotalBytes(), 64u);
+  // Serving it again re-assembles (miss), still without caching.
+  store.GetBatch("inv", 7, 0);
+  EXPECT_EQ(store.image_cache_stats().hits, 0u);
+  EXPECT_EQ(store.image_cache_stats().misses, 2u);
+}
+
+TEST(LocalStoreImageCacheTest, NamespaceDropReleasesImageBytes) {
+  LocalStore store;
+  store.Put("inv", 1, Bytes("abc"));
+  store.Put("inv", 2, Bytes("defg"));
+  store.GetBatch("inv", 1, 0);
+  store.GetBatch("inv", 2, 0);
+  EXPECT_GT(store.ImageCacheBytes(), 0u);
+  store.ExtractAll("inv");  // namespace-wide invalidation
+  EXPECT_EQ(store.ImageCacheBytes(), 0u);
+  EXPECT_EQ(store.TotalBytes(), 0u);
+}
+
 }  // namespace
 }  // namespace pierstack::dht

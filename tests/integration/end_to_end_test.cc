@@ -5,10 +5,13 @@
 #include <memory>
 #include <set>
 
+#include "common/hashing.h"
+#include "common/stats.h"
 #include "dht/builder.h"
 #include "gnutella/topology.h"
 #include "hybrid/hybrid_ultrapeer.h"
 #include "hybrid/schemes.h"
+#include "pier/node.h"
 #include "workload/trace.h"
 
 namespace pierstack {
@@ -160,6 +163,103 @@ TEST(EndToEndTest, PublishedBytesAccounted) {
   EXPECT_GT(stats.tuple_bytes, 0u);
   // Network accounting saw the publish traffic.
   EXPECT_GT(d.network->metrics().by_tag.count("dht.route"), 0u);
+}
+
+// The load-adaptive transport in one deployment: adaptive rehash flushes
+// while publishing, replica peels while fetching, credit stalls while a
+// slow stage owner consumes a chunked join — all surfaced through one
+// CounterSet (the common/stats reporting currency).
+TEST(EndToEndTest, TransportCountersSurfaced) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator,
+                       std::make_unique<sim::ConstantLatency>(
+                           5 * sim::kMillisecond),
+                       29);
+  dht::DhtOptions dopts;
+  dopts.replication = 2;
+  dht::DhtDeployment dht(&network, 24, dopts, 4242);
+  pier::PierMetrics pier_metrics;
+  pier::BatchOptions bopts;
+  bopts.max_stage_entries = 8;
+  bopts.stage_credit_chunks = 2;
+  std::vector<std::unique_ptr<pier::PierNode>> piers;
+  for (size_t i = 0; i < dht.size(); ++i) {
+    piers.push_back(
+        std::make_unique<pier::PierNode>(dht.node(i), &pier_metrics));
+    piers.back()->set_batch_options(bopts);
+  }
+
+  const pier::Schema inv("inverted",
+                         {{"keyword", pier::ValueType::kString},
+                          {"fileID", pier::ValueType::kUint64}},
+                         0);
+  const pier::Schema items("items",
+                           {{"fileID", pier::ValueType::kUint64},
+                            {"name", pier::ValueType::kString}},
+                           0);
+
+  // Publish enough postings per keyword that the idle-path adaptive
+  // threshold fires, plus item rows to fetch back.
+  std::vector<pier::Value> item_keys;
+  for (const char* kw : {"alpha", "beta"}) {
+    std::vector<pier::Tuple> postings;
+    for (uint64_t f = 0; f < 120; ++f) {
+      postings.push_back(
+          pier::Tuple({pier::Value(std::string(kw)), pier::Value(f)}));
+    }
+    piers[0]->PublishBatch(inv, std::move(postings));
+  }
+  std::vector<pier::Tuple> rows;
+  for (uint64_t f = 0; f < 48; ++f) {
+    item_keys.push_back(pier::Value(f));
+    rows.push_back(pier::Tuple(
+        {pier::Value(f), pier::Value("file " + std::to_string(f))}));
+  }
+  piers[0]->PublishBatch(items, std::move(rows));
+  piers[0]->FlushPublishQueues();
+  simulator.Run();
+
+  // Owner-coalesced fetch over the replicated item table: the scatter must
+  // peel at replicas.
+  size_t fetched = 0;
+  piers[2]->FetchMany(items, item_keys,
+                      [&](Status s, std::vector<pier::Tuple> tuples) {
+                        ASSERT_TRUE(s.ok()) << s.ToString();
+                        fetched = tuples.size();
+                      });
+  simulator.Run();
+  EXPECT_EQ(fetched, item_keys.size());
+
+  // Chunked join against a slowed stage owner: credit pacing must stall at
+  // least once and still complete with the exact intersection.
+  dht::Key beta_key =
+      HashCombine(Fnv1a64("inverted"), pier::Value(std::string("beta")).Hash());
+  network.SetProcessingDelay(dht.ExpectedOwner(beta_key)->host(),
+                             20 * sim::kMillisecond);
+  pier::DistributedJoin join;
+  for (const char* kw : {"alpha", "beta"}) {
+    pier::JoinStage stage;
+    stage.ns = "inverted";
+    stage.key = pier::Value(std::string(kw));
+    join.stages.push_back(std::move(stage));
+  }
+  size_t results = 0;
+  piers[5]->ExecuteJoin(std::move(join), [&](Status s, auto entries) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    results = entries.size();
+  });
+  simulator.Run();
+  EXPECT_EQ(results, 120u);
+
+  CounterSet counters;
+  pier::ExportTransportCounters(pier_metrics, &counters);
+  dht::ExportTransportCounters(dht.metrics(), &counters);
+  EXPECT_GT(counters.Value("pier.adaptive_flushes"), 0u);
+  EXPECT_GT(counters.Value("pier.credits_stalled"), 0u);
+  EXPECT_GT(counters.Value("dht.replica_peels"), 0u);
+  EXPECT_GT(counters.Value("dht.replica_skips"), 0u);
+  EXPECT_EQ(counters.Value("pier.credit_streams_expired"), 0u);
+  EXPECT_EQ(pier_metrics.tuples_dropped_deserialize, 0u);
 }
 
 }  // namespace

@@ -51,6 +51,11 @@ struct Cluster {
 
 TEST(RehashQueueTest, CoalescesAcrossCalls) {
   Cluster c(16);
+  // Fixed-bound policy: the adaptive threshold would ship an eager batch
+  // mid-stream; this test pins the pure cross-call coalescing behavior.
+  BatchOptions fixed;
+  fixed.adaptive_flush = false;
+  c.piers[0]->set_batch_options(fixed);
   // 30 calls of one tuple each, all to the same keyword — the QRS snoop
   // shape. The standing queue must merge them into ONE PutBatch message.
   for (uint64_t f = 0; f < 30; ++f) {
@@ -164,6 +169,91 @@ TEST(RehashQueueTest, DirectPublishFlushesQueuedDestinationFirst) {
   c.piers[0]->Publish(InvSchema(), t, /*expiry=*/0);  // refresh: permanent
   c.simulator.RunUntil(5 * sim::kSecond);
   EXPECT_EQ(c.StoredUnder("kw"), 1u);  // survived well past 100ms
+}
+
+// --- Load-adaptive flush policy ---------------------------------------------
+
+TEST(AdaptiveFlushTest, IdleDestinationFlushesEagerly) {
+  Cluster c(16);
+  BatchOptions opts;
+  opts.min_batch_tuples = 8;
+  opts.flush_interval = 500 * sim::kMillisecond;
+  c.piers[0]->set_batch_options(opts);
+  // Nothing in flight toward the destination: the 8th tuple must ship
+  // immediately instead of waiting for 256 tuples or the 500ms timer.
+  for (uint64_t f = 0; f < 8; ++f) {
+    c.piers[0]->PublishBatch(InvSchema(),
+                             {Tuple({Value(std::string("eager")), Value(f)})});
+  }
+  EXPECT_EQ(c.metrics.publish_messages, 1u);
+  EXPECT_EQ(c.metrics.adaptive_flushes, 1u);
+  c.simulator.Run();
+  EXPECT_EQ(c.StoredUnder("eager"), 8u);
+}
+
+TEST(AdaptiveFlushTest, PressureGrowsBatchesTowardCeiling) {
+  Cluster c(16);
+  BatchOptions opts;
+  opts.min_batch_tuples = 8;
+  c.piers[0]->set_batch_options(opts);
+  // 64 tuples to one destination in one burst. The first flush goes out at
+  // 8 (idle path); each flush left in flight doubles the threshold, so the
+  // burst ships as exponentially growing batches (8, 16, 32, ...) instead
+  // of 8 fixed-size ones — slow-start-shaped adaptation.
+  std::vector<Tuple> burst;
+  for (uint64_t f = 0; f < 64; ++f) {
+    burst.push_back(Tuple({Value(std::string("busy")), Value(f)}));
+  }
+  c.piers[0]->PublishBatch(InvSchema(), std::move(burst));
+  // 8 + 16 + 32 = 56 shipped in 3 growing batches; 8 await the timer.
+  EXPECT_EQ(c.metrics.publish_messages, 3u);
+  c.simulator.Run();
+  EXPECT_EQ(c.metrics.publish_messages, 4u);
+  EXPECT_EQ(c.StoredUnder("busy"), 64u);
+}
+
+TEST(AdaptiveFlushTest, CeilingConstantsStillBound) {
+  Cluster c(16);
+  BatchOptions opts;
+  opts.min_batch_tuples = 8;
+  opts.max_batch_tuples = 16;  // ceiling below the adaptive ramp
+  c.piers[0]->set_batch_options(opts);
+  std::vector<Tuple> burst;
+  for (uint64_t f = 0; f < 40; ++f) {
+    burst.push_back(Tuple({Value(std::string("capped")), Value(f)}));
+  }
+  c.piers[0]->PublishBatch(InvSchema(), std::move(burst));
+  c.simulator.Run();
+  // 8, then capped at 16 per batch: 8 + 16 + 16 = 40 -> 3 messages, and
+  // only the first was an adaptive (below-ceiling) flush.
+  EXPECT_EQ(c.metrics.publish_messages, 3u);
+  EXPECT_EQ(c.metrics.adaptive_flushes, 1u);
+  EXPECT_EQ(c.StoredUnder("capped"), 40u);
+}
+
+TEST(AdaptiveFlushTest, AdaptiveAndFixedStoreIdenticalState) {
+  Cluster adaptive(16), fixed(16);
+  BatchOptions fopts;
+  fopts.adaptive_flush = false;
+  fixed.piers[0]->set_batch_options(fopts);
+  for (Cluster* c : {&adaptive, &fixed}) {
+    for (uint64_t f = 0; f < 120; ++f) {
+      c->piers[0]->PublishBatch(
+          InvSchema(),
+          {Tuple({Value("kw" + std::to_string(f % 5)), Value(f)})});
+    }
+    c->simulator.Run();
+  }
+  for (int k = 0; k < 5; ++k) {
+    std::string kw = "kw" + std::to_string(k);
+    EXPECT_EQ(adaptive.StoredUnder(kw), fixed.StoredUnder(kw)) << kw;
+    EXPECT_EQ(adaptive.StoredUnder(kw), 24u) << kw;
+  }
+  // The policy changes message pacing, never the stored tuples.
+  EXPECT_EQ(adaptive.metrics.tuples_published,
+            fixed.metrics.tuples_published);
+  EXPECT_GT(adaptive.metrics.adaptive_flushes, 0u);
+  EXPECT_EQ(fixed.metrics.adaptive_flushes, 0u);
 }
 
 TEST(RehashQueueTest, ExplicitFlushShipsPendingNow) {

@@ -155,6 +155,75 @@ TEST_F(NetworkTest, CoordinateLatencyChargesBytes) {
   EXPECT_EQ(big - small, 10 * kMillisecond);
 }
 
+TEST_F(NetworkTest, DestinationLoadTracksInFlightAndSettles) {
+  Network net(&sim, std::make_unique<ConstantLatency>(10 * kMillisecond), 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 100, Payload{"1"}));
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 50, Payload{"2"}));
+  DestinationLoad mid = net.LoadOf(hb);
+  EXPECT_EQ(mid.in_flight_messages, 2u);
+  EXPECT_EQ(mid.in_flight_bytes, 150u);
+  EXPECT_EQ(mid.peak_in_flight_bytes, 150u);
+  EXPECT_EQ(mid.smoothed_latency, 0u);  // nothing delivered yet
+  sim.Run();
+  DestinationLoad after = net.LoadOf(hb);
+  EXPECT_EQ(after.in_flight_messages, 0u);
+  EXPECT_EQ(after.in_flight_bytes, 0u);
+  EXPECT_EQ(after.peak_in_flight_bytes, 150u);  // watermark survives
+  EXPECT_EQ(after.smoothed_latency, 10 * kMillisecond);
+  net.ResetLoadWatermarks();
+  EXPECT_EQ(net.LoadOf(hb).peak_in_flight_bytes, 0u);
+  // The sender's own load is untouched by its sends.
+  EXPECT_EQ(net.LoadOf(ha).in_flight_messages, 0u);
+}
+
+TEST_F(NetworkTest, InFlightSettlesEvenWhenHostDiesMidFlight) {
+  Network net(&sim, std::make_unique<ConstantLatency>(5 * kMillisecond), 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 64, Payload{"doomed"}));
+  sim.ScheduleAt(1 * kMillisecond, [&] { net.SetHostUp(hb, false); });
+  sim.Run();
+  EXPECT_EQ(net.LoadOf(hb).in_flight_messages, 0u);
+  EXPECT_EQ(net.LoadOf(hb).in_flight_bytes, 0u);
+}
+
+TEST_F(NetworkTest, SmoothedLatencyIsAnEwma) {
+  // Processing delay shifts per-message delivery delay; the EWMA follows
+  // with 1/8 gain.
+  Network net(&sim, std::make_unique<ConstantLatency>(8 * kMillisecond), 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 1, Payload{}));
+  sim.Run();
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 8 * kMillisecond);
+  net.SetProcessingDelay(hb, 8 * kMillisecond);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 1, Payload{}));
+  sim.Run();
+  // (7*8ms + 16ms) / 8 = 9ms.
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 9 * kMillisecond);
+}
+
+TEST_F(NetworkTest, ProcessingDelayPostponesDelivery) {
+  Network net(&sim, std::make_unique<ConstantLatency>(10 * kMillisecond), 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.SetProcessingDelay(hb, 30 * kMillisecond);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 1, Payload{"slow"}));
+  sim.RunUntil(39 * kMillisecond);
+  EXPECT_TRUE(b.received.empty());
+  sim.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(sim.now(), 40 * kMillisecond);
+  // The slow host's inbound queue held the message the whole time.
+  EXPECT_EQ(net.LoadOf(hb).peak_in_flight_bytes, 1u);
+}
+
 TEST_F(NetworkTest, MessagesOrderedPerLinkWithEqualLatency) {
   Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
   Recorder a, b;
