@@ -725,6 +725,9 @@ static void CreditJoinRun(benchmark::State& state, size_t credit_window) {
     pier::BatchOptions bopts;
     bopts.max_stage_entries = 8;
     bopts.stage_credit_chunks = credit_window;
+    // This pair measures the FIXED window contract; the service-rate
+    // derived window would deepen it on the stale-fast EWMA.
+    bopts.adaptive_credit = false;
     for (auto& p : c.piers) p->set_batch_options(bopts);
     auto publish = [&](const char* kw, uint64_t lo, uint64_t hi) {
       std::vector<pier::Tuple> tuples;
@@ -776,6 +779,79 @@ static void BM_CreditJoin_Credited(benchmark::State& state) {
   CreditJoinRun(state, /*credit_window=*/2);
 }
 BENCHMARK(BM_CreditJoin_Credited)->Unit(benchmark::kMillisecond);
+
+// Declarative-plan execution vs the legacy hardwired join path: the same
+// published library, the same 25 two-term searches — once through direct
+// ExecuteJoin calls shaped exactly like the pre-plan SearchEngine, once
+// compiled to QueryPlans and run through ExecutePlan (what SearchEngine
+// does now). The plan path must return identical result counts at message
+// parity: run_bench.sh gates plan_chain_message_parity >= 0.9x.
+static void PlanExecRun(benchmark::State& state, bool plan_api) {
+  const size_t kFiles = 400, kNodes = 16, kQueries = 25;
+  uint64_t net_messages = 0, net_bytes = 0, results = 0;
+  for (auto _ : state) {
+    BenchCluster c(kNodes);
+    piersearch::Publisher publisher(c.piers[0].get());
+    piersearch::PublishOptions popts;
+    std::vector<piersearch::FileToPublish> files;
+    for (size_t i = 0; i < kFiles; ++i) {
+      files.push_back(piersearch::FileToPublish{
+          "artist" + std::to_string(i % 20) + " album" +
+              std::to_string(i % 50) + " track" + std::to_string(i) + ".mp3",
+          1 << 20, static_cast<uint32_t>(i % kNodes), 6346});
+    }
+    publisher.PublishFiles(files, popts);
+    c.piers[0]->FlushPublishQueues();
+    c.simulator.Run();
+    uint64_t base_msgs = c.network.metrics().total.messages;
+    uint64_t base_bytes = c.network.metrics().total.bytes;
+    piersearch::SearchEngine engine(c.piers[1].get());
+    piersearch::SearchOptions sopts;
+    sopts.fetch_items = false;
+    for (size_t q = 0; q < kQueries; ++q) {
+      std::string a = "artist" + std::to_string(q % 20);
+      std::string b = "album" + std::to_string(q % 50);
+      if (plan_api) {
+        engine.Search(a + " " + b, sopts, [&](Status s, auto hits) {
+          if (s.ok()) results += hits.size();
+        });
+      } else {
+        pier::DistributedJoin join;
+        join.limit = sopts.max_results;
+        for (const std::string& term : {a, b}) {
+          pier::JoinStage stage;
+          stage.ns = piersearch::InvertedSchema().table_name();
+          stage.key = pier::Value(term);
+          join.stages.push_back(std::move(stage));
+        }
+        c.piers[1]->ExecuteJoin(std::move(join),
+                                [&](Status s, auto entries) {
+                                  if (s.ok()) results += entries.size();
+                                });
+      }
+    }
+    c.simulator.Run();
+    net_messages += c.network.metrics().total.messages - base_msgs;
+    net_bytes += c.network.metrics().total.bytes - base_bytes;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kQueries));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["net_messages"] = per_iter(net_messages);
+  state.counters["net_bytes"] = per_iter(net_bytes);
+  state.counters["results"] = per_iter(results);
+}
+
+static void BM_PlanExec_LegacyJoin(benchmark::State& state) {
+  PlanExecRun(state, /*plan_api=*/false);
+}
+BENCHMARK(BM_PlanExec_LegacyJoin)->Unit(benchmark::kMillisecond);
+
+static void BM_PlanExec_PlanCompiled(benchmark::State& state) {
+  PlanExecRun(state, /*plan_api=*/true);
+}
+BENCHMARK(BM_PlanExec_PlanCompiled)->Unit(benchmark::kMillisecond);
 
 static void BM_ChordNextHop(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

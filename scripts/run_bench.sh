@@ -7,8 +7,11 @@
 #
 # --smoke runs one short repetition (CI); default runs the full suite.
 # --check fails (exit 1) when any speedup_vs_pre_refactor ratio in the
-#         written BENCH_core.json is missing or below 2x — the CI
-#         bench-regression gate.
+#         written BENCH_core.json is missing or below 2x, when a
+#         transport_adaptive ratio drops below its floor, or when the
+#         plan-execution path costs more than ~1.1x the legacy join's
+#         messages (plan_chain_message_parity < 0.9) or changes the
+#         answer set — the CI bench-regression gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -113,6 +116,25 @@ transport = {
         counter("BM_CreditJoin_Credited", "results")),
 }
 
+# Declarative plan execution (PR 4): the compiled-plan search path must
+# match the legacy hardwired ExecuteJoin chain — identical answers, message
+# count within 10% (ratio = legacy / plan, gated at >= 0.9).
+def plan_parity():
+    legacy = counter("BM_PlanExec_LegacyJoin", "net_messages")
+    plan = counter("BM_PlanExec_PlanCompiled", "net_messages")
+    return round(legacy / plan, 2) if legacy and plan else None
+
+plan_exec = {
+    "plan_chain_message_parity": plan_parity(),
+    "plan_chain_identical_results": (
+        counter("BM_PlanExec_LegacyJoin", "results") ==
+        counter("BM_PlanExec_PlanCompiled", "results")),
+    "legacy": {k: counter("BM_PlanExec_LegacyJoin", k)
+               for k in ("net_messages", "net_bytes", "results")},
+    "plan": {k: counter("BM_PlanExec_PlanCompiled", k)
+             for k in ("net_messages", "net_bytes", "results")},
+}
+
 ratios = {
     "shj_insert_with_matches": ratio(
         "BM_ShjInsertWithMatches_SharedPayload/4096",
@@ -133,6 +155,7 @@ out = {
     "context": raw.get("context", {}),
     "speedup_vs_pre_refactor": ratios,
     "transport_adaptive": transport,
+    "plan_exec": plan_exec,
     "join_chain": chain,
     "fetch_coalescing": fetch,
     "rehash_queues": publish,
@@ -144,6 +167,9 @@ with open(out_path, "w") as f:
 print("BENCH_core.json written:")
 print("  speedups vs pre-refactor per-tuple path:", ratios)
 print("  adaptive-transport ratios:", transport)
+print("  plan-exec parity:", {k: plan_exec[k] for k in
+                              ("plan_chain_message_parity",
+                               "plan_chain_identical_results")})
 for label, s in (("join chain", chain), ("fetch coalescing", fetch),
                  ("rehash queues", publish)):
     if "message_reduction" in s:
@@ -190,12 +216,24 @@ for name in ("replica_fetch_identical_results",
     if transport.get(name) is not True:
         failed.append("%s: adaptive variant changed the answer set" % name)
 
+# Plan-execution parity gate: the declarative path may not regress the
+# join chain's message cost past 10%, and must answer identically.
+plan_exec = bench.get("plan_exec", {})
+parity = plan_exec.get("plan_chain_message_parity")
+if parity is None:
+    failed.append("plan_chain_message_parity: missing (bench did not run?)")
+elif parity < 0.9:
+    failed.append("plan_chain_message_parity: %.2fx < 0.9x" % parity)
+if plan_exec.get("plan_chain_identical_results") is not True:
+    failed.append("plan_chain_identical_results: plan path changed the "
+                  "answer set")
+
 if failed:
     print("bench-regression gate FAILED:")
     for line in failed:
         print("  " + line)
     sys.exit(1)
 print("bench-regression gate passed: speedups >= 2x, transport ratios "
-      "at floor, identical answer sets")
+      "at floor, plan-exec parity >= 0.9x, identical answer sets")
 EOF
 fi

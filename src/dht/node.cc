@@ -158,6 +158,22 @@ void DhtNode::ForwardOrDeliver(RouteMsg msg) {
     DeliverLocally(msg);
     return;
   }
+  // Replica-aware single-key reads: a read routing through a node that
+  // already replicates (ns, key) is answered here instead of spending the
+  // remaining hops to the owner — the single-key analogue of the MultiGet
+  // peel. Gated on actually holding data: an empty store might be
+  // replication lag, so the request continues to the owner for the
+  // authoritative (possibly empty) answer.
+  if ((msg.app_type == kAppGet || msg.app_type == kAppGetBatch) &&
+      options_.replication > 1 && options_.replica_aware_reads &&
+      joined_ && !routing_->IsOwner(msg.target)) {
+    const auto& get = msg.body<GetBody>();
+    if (store_.Has(get.ns, get.key, network_->simulator()->now())) {
+      ++metrics_->replica_peels;
+      DeliverLocally(msg);
+      return;
+    }
+  }
   // Send failures act as a failure detector (TCP connect refused): drop the
   // dead peer from the tables and retry with the repaired state.
   for (int attempt = 0; attempt < 8; ++attempt) {

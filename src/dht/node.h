@@ -99,6 +99,13 @@ struct DhtOptions {
   /// answers up to `replication` owners' key ranges at once. Off = always
   /// walk the primary owner chain (the K-owner baseline).
   bool replica_aware_multiget = true;
+  /// With replication > 1, single-key Get/GetBatch requests stop at the
+  /// first replica met on the routing path: an intermediate hop that holds
+  /// data under (ns, key) answers in the owner's stead (the same
+  /// Has-gated peel rule as the MultiGet arc answer — a hop with an EMPTY
+  /// store never short-circuits, so replication lag still resolves at the
+  /// owner authoritatively). Off = always route to the primary owner.
+  bool replica_aware_reads = true;
   uint32_t max_route_hops = 128;
   /// Run periodic ring maintenance (stabilize + fix-fingers) on statically
   /// bootstrapped nodes. Off by default so static simulations quiesce;

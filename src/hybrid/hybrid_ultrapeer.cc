@@ -90,12 +90,15 @@ void HybridUltrapeer::Query(const std::string& text, HitCallback on_hit,
           if (done) done();
           return;
         }
-        // Timed out with nothing: re-issue through PIERSearch.
+        // Timed out with nothing: re-issue through PIERSearch, letting the
+        // deployment's plan hook reshape the compiled query plan.
         state->fell_back = true;
         ++stats_.dht_reissued;
         up_->EndQuery(guid);
+        piersearch::SearchOptions search = config_.search;
+        if (config_.plan_rewrite) search.plan_rewrite = config_.plan_rewrite;
         engine_.Search(
-            text, config_.search,
+            text, search,
             [this, state, on_hit, done, simulator](
                 Status s, std::vector<piersearch::SearchHit> hits) {
               state->finished = true;

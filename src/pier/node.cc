@@ -6,7 +6,6 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "common/tokenizer.h"
 #include "pier/tuple_batch.h"
 
 namespace pierstack::pier {
@@ -302,6 +301,13 @@ void PierNode::Fetch(const Schema& schema, const Value& key,
 
 void PierNode::FetchMany(const Schema& schema, std::vector<Value> keys,
                          FetchCallback callback) {
+  FetchManyByField(schema.table_name(), schema.index_field(),
+                   std::move(keys), std::move(callback));
+}
+
+void PierNode::FetchManyByField(const std::string& ns, size_t index_field,
+                                std::vector<Value> keys,
+                                FetchCallback callback) {
   if (keys.empty()) {
     callback(Status::OK(), {});
     return;
@@ -314,14 +320,13 @@ void PierNode::FetchMany(const Schema& schema, std::vector<Value> keys,
   std::vector<dht::Key> dht_keys;
   dht_keys.reserve(keys.size());
   for (Value& v : keys) {
-    dht::Key k = DhtKeyFor(schema.table_name(), v);
+    dht::Key k = DhtKeyFor(ns, v);
     auto [it, fresh] = wanted->try_emplace(k);
     if (fresh) dht_keys.push_back(k);
     it->second.push_back(std::move(v));
   }
-  size_t index_field = schema.index_field();
   dht_->MultiGet(
-      schema.table_name(), std::move(dht_keys),
+      ns, std::move(dht_keys),
       [metrics = metrics_, callback = std::move(callback), wanted,
        index_field](Status s, std::vector<dht::DhtNode::MultiGetItem> items) {
         std::vector<Tuple> tuples;
@@ -373,11 +378,42 @@ void PierNode::ProbePostingSize(const std::string& ns, const Value& key,
 void PierNode::ExecuteJoin(DistributedJoin join, JoinCallback callback,
                            sim::SimTime timeout) {
   assert(!join.stages.empty());
+  // Thin adapter: lower the legacy join description into the plan engine's
+  // staged form — substring filters become serializable Expr trees with
+  // identical match semantics (Contains is the FilenameMatchesQuery rule).
+  auto staged = std::make_shared<StagedQuery>();
+  staged->limit = join.limit;
+  staged->cap_results = true;
+  staged->stages.reserve(join.stages.size());
+  for (JoinStage& s : join.stages) {
+    ExecStage e;
+    e.ns = std::move(s.ns);
+    e.key = std::move(s.key);
+    e.key_col = s.key_col;
+    e.join_col = s.join_col;
+    e.payload_cols = std::move(s.payload_cols);
+    if (!s.substring_filter.empty()) {
+      std::vector<Expr> terms;
+      terms.reserve(s.substring_filter.size());
+      for (std::string& f : s.substring_filter) {
+        terms.push_back(
+            Expr::Contains(Expr::Column(s.filter_col), std::move(f)));
+      }
+      e.filter = Expr::And(std::move(terms));
+    }
+    staged->stages.push_back(std::move(e));
+  }
+  ExecuteStaged(std::move(staged), std::move(callback), timeout);
+}
+
+void PierNode::ExecuteStaged(std::shared_ptr<const StagedQuery> query,
+                             JoinCallback callback, sim::SimTime timeout) {
+  assert(!query->stages.empty());
   ++metrics_->joins_executed;
   uint64_t qid = NextQid();
   PendingJoin pending;
   pending.callback = std::move(callback);
-  pending.limit = join.limit;
+  pending.limit = query->cap_results ? query->limit : SIZE_MAX;
   pending.timeout =
       dht_->network()->simulator()->ScheduleAfter(timeout, [this, qid]() {
         auto it = pending_joins_.find(qid);
@@ -394,12 +430,12 @@ void PierNode::ExecuteJoin(DistributedJoin join, JoinCallback callback,
 
   JoinStageMsg msg;
   msg.qid = qid;
-  msg.join = std::make_shared<const DistributedJoin>(std::move(join));
+  msg.query = std::move(query);
   msg.stage_idx = 0;
   msg.entries_image = EncodeJoinEntries({});
   msg.weight = kFullJoinWeight;
   msg.origin = dht_->info();
-  const JoinStage& first = msg.join->stages[0];
+  const ExecStage& first = msg.query->stages[0];
   dht::Key target = DhtKeyFor(first.ns, first.key);
   ++metrics_->join_stage_messages;
   size_t bytes = StageMsgWireSize(msg);
@@ -411,30 +447,20 @@ void PierNode::ExecuteJoin(DistributedJoin join, JoinCallback callback,
 size_t PierNode::StageMsgWireSize(const JoinStageMsg& m) {
   size_t bytes = 40;  // qid, stage idx, weight, origin, limit
   if (m.stream_id != 0) bytes += 20;  // credit stream handle + producer
-  for (const auto& s : m.join->stages) {
-    bytes += s.ns.size() + s.key.WireSize() + 6;
-    for (const auto& f : s.substring_filter) bytes += f.size() + 1;
-  }
+  for (const ExecStage& s : m.query->stages) bytes += s.WireSize();
   // The entry list is a real TupleBatch image: its charged size is exact.
   bytes += m.entries_image.size();
   return bytes;
 }
 
 std::vector<JoinResultEntry> PierNode::LocalStageEntries(
-    const JoinStage& stage) {
+    const ExecStage& stage) {
   std::vector<JoinResultEntry> out;
   dht::Key k = DhtKeyFor(stage.ns, stage.key);
   for (Tuple& t : DecodeLocalBatch(stage.ns, k)) {
     if (t.arity() <= stage.key_col || t.arity() <= stage.join_col) continue;
     if (!(t.at(stage.key_col) == stage.key)) continue;
-    if (!stage.substring_filter.empty()) {
-      if (stage.filter_col >= t.arity()) continue;
-      if (!t.at(stage.filter_col).is_string()) continue;
-      if (!FilenameMatchesQuery(t.at(stage.filter_col).AsString(),
-                                stage.substring_filter)) {
-        continue;
-      }
-    }
+    if (!stage.filter.is_true() && !stage.filter.Matches(t)) continue;
     JoinResultEntry e;
     e.join_key = t.at(stage.join_col);
     if (!stage.payload_cols.empty()) {
@@ -468,9 +494,9 @@ void PierNode::SendJoinReply(const dht::NodeInfo& origin, uint64_t qid,
 
 void PierNode::ForwardToStage(const JoinStageMsg& prev,
                               std::vector<JoinResultEntry> surviving) {
-  const DistributedJoin& join = *prev.join;
+  const StagedQuery& query = *prev.query;
   size_t next_idx = prev.stage_idx + 1;
-  const JoinStage& next_stage = join.stages[next_idx];
+  const ExecStage& next_stage = query.stages[next_idx];
   dht::Key target = DhtKeyFor(next_stage.ns, next_stage.key);
 
   // Past the flush threshold, the entry list streams onward in chunks so a
@@ -492,7 +518,7 @@ void PierNode::ForwardToStage(const JoinStageMsg& prev,
 
   ChunkStream stream;
   stream.qid = prev.qid;
-  stream.join = prev.join;
+  stream.query = prev.query;
   stream.stage_idx = next_idx;
   stream.origin = prev.origin;
   stream.target = target;
@@ -507,7 +533,7 @@ void PierNode::ForwardToStage(const JoinStageMsg& prev,
     stream.weights.push_back(base + (c == 0 ? extra : 0));
   }
 
-  size_t window = batch_options_.stage_credit_chunks;
+  size_t window = CreditWindowChunks(target);
   if (window == 0 || chunks <= window) {
     // Fits in one credit window (or pacing is off): ship everything now,
     // no stream registered, no ack chatter.
@@ -521,11 +547,34 @@ void PierNode::ForwardToStage(const JoinStageMsg& prev,
   PumpStream(it);
 }
 
+size_t PierNode::CreditWindowChunks(dht::Key target) {
+  size_t base = batch_options_.stage_credit_chunks;
+  if (base == 0 || !batch_options_.adaptive_credit) return base;
+  // Observed service rate of the path toward the consuming stage owner
+  // (the next routing hop, same probe the adaptive flush drives on). No
+  // measurement yet means no trust: stay at the constant floor. Every
+  // halving of observed latency below the reference earns a doubling of
+  // the pipeline, up to the fixed ceiling — fast consumers drain deep
+  // windows without ever being buried, slow ones keep the tight window
+  // that bounds their in-flight backlog.
+  sim::DestinationLoad load = dht_->NextHopLoad(target);
+  if (load.smoothed_latency == 0) return base;
+  size_t window = base;
+  sim::SimTime lat = load.smoothed_latency;
+  while (lat * 2 <= batch_options_.credit_latency_ref &&
+         window < batch_options_.max_stage_credit_chunks) {
+    lat *= 2;
+    window = std::min(window * 2, batch_options_.max_stage_credit_chunks);
+  }
+  if (window > base) ++metrics_->credit_window_boosts;
+  return window;
+}
+
 void PierNode::SendChunk(ChunkStream* stream, size_t idx,
                          uint64_t stream_id) {
   JoinStageMsg next;
   next.qid = stream->qid;
-  next.join = stream->join;
+  next.query = stream->query;
   next.stage_idx = stream->stage_idx;
   next.entries_image = EncodeJoinEntries(stream->chunks[idx]);
   next.weight = stream->weights[idx];
@@ -577,8 +626,8 @@ void PierNode::PumpStream(std::map<uint64_t, ChunkStream>::iterator it) {
 
 void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
   const auto& stage_msg = msg.body<JoinStageMsg>();
-  const DistributedJoin& join = *stage_msg.join;
-  const JoinStage& stage = join.stages[stage_msg.stage_idx];
+  const StagedQuery& query = *stage_msg.query;
+  const ExecStage& stage = query.stages[stage_msg.stage_idx];
 
   std::vector<JoinResultEntry> local = LocalStageEntries(stage);
 
@@ -609,12 +658,16 @@ void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
   // grant leaves AFTER this stage's own processing (including forwarding
   // the survivors), so a backed-up stage's service time paces its
   // upstream.
-  bool last = stage_msg.stage_idx + 1 == join.stages.size();
+  bool last = stage_msg.stage_idx + 1 == query.stages.size();
   // The cap applies to the final answer only; truncating an intermediate
-  // posting list could drop entries that survive later stages. (Chunked
+  // posting list could drop entries that survive later stages, and a plan
+  // whose finishers need the full surviving set (cap_results off — e.g. a
+  // TopK over a fetched column) must not truncate at all. (Chunked
   // last-stage arrivals are capped per chunk here and again at the query
   // node once the stream completes.)
-  if (last && surviving.size() > join.limit) surviving.resize(join.limit);
+  if (last && query.cap_results && surviving.size() > query.limit) {
+    surviving.resize(query.limit);
+  }
   if (last || surviving.empty()) {
     SendJoinReply(stage_msg.origin, stage_msg.qid, surviving,
                   stage_msg.weight);
@@ -700,6 +753,8 @@ void ExportTransportCounters(const PierMetrics& m, CounterSet* out) {
   out->Set("pier.credits_stalled", m.credits_stalled);
   out->Set("pier.credit_grants", m.credit_grants);
   out->Set("pier.credit_streams_expired", m.credit_streams_expired);
+  out->Set("pier.credit_window_boosts", m.credit_window_boosts);
+  out->Set("pier.plans_executed", m.plans_executed);
 }
 
 }  // namespace pierstack::pier

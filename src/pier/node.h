@@ -6,12 +6,16 @@
 //  * rehash queues: standing per-destination send buffers that coalesce
 //    published tuples ACROSS calls into PutBatch messages, flushed by size
 //    or a simulator-clock interval (real PIER's rehash-queue design),
-//  * distributed query execution: the keyword-join chain — the query plan
-//    of Figure 2 — routed via the DHT with a symmetric hash join per hop,
-//    plus the single-site InvertedCache variant of Figure 3. Stage-to-stage
-//    entry lists travel as exact TupleBatch wire images and stream in
-//    chunks past a flush threshold, with weight-throwing termination so
-//    the query node knows when the chunked answer stream is complete,
+//  * distributed query execution: declarative plans (pier/plan.h) are
+//    compiled into a chain of distributed stages (pier/plan_exec.h) —
+//    index scans with serializable Expr filters, symmetric-hash-joined
+//    hop by hop, Figure 2's query plan being the undecorated special case
+//    and Figure 3's single-site InvertedCache plan the one-stage one.
+//    Stage-to-stage entry lists travel as exact TupleBatch wire images and
+//    stream in chunks past a flush threshold, credit-paced with a window
+//    seeded from the consumer's observed service rate, with
+//    weight-throwing termination so the query node knows when the chunked
+//    answer stream is complete,
 //  * result streaming: final answers travel directly to the query node,
 //    bypassing the overlay ("With the exception of query answers, all
 //    messages are sent via the DHT routing layer").
@@ -26,6 +30,8 @@
 
 #include "dht/node.h"
 #include "pier/ops.h"
+#include "pier/plan.h"
+#include "pier/plan_exec.h"
 #include "pier/schema.h"
 
 namespace pierstack::pier {
@@ -36,6 +42,7 @@ struct PierMetrics {
   uint64_t publish_bytes = 0;           ///< Application bytes (tuples only).
   uint64_t publish_messages = 0;        ///< DHT put messages issued.
   uint64_t joins_executed = 0;
+  uint64_t plans_executed = 0;          ///< ExecutePlan invocations.
   uint64_t join_stage_messages = 0;
   uint64_t posting_entries_shipped = 0; ///< Entries rehashed between stages.
   uint64_t probe_messages = 0;
@@ -55,6 +62,10 @@ struct PierMetrics {
   uint64_t credits_stalled = 0;
   /// Credit-window grants received in chunk acks.
   uint64_t credit_grants = 0;
+  /// Chunk streams whose initial credit window was deepened past the
+  /// configured constant because the consumer's observed service rate
+  /// (smoothed delivery latency) earned a longer pipeline.
+  uint64_t credit_window_boosts = 0;
   /// Chunk streams dropped because no credit arrived within the stall
   /// timeout (the downstream owner died); the query completes via its own
   /// timeout with partial results.
@@ -75,11 +86,21 @@ struct PierMetrics {
 /// exact policy when `adaptive_flush` is off.
 ///
 /// A join stage's surviving entry list streams onward in chunks of at most
-/// `max_stage_entries`. When the chunk count exceeds `stage_credit_chunks`,
+/// `max_stage_entries`. When the chunk count exceeds the credit window,
 /// emission is credit-paced: the producer sends a window of chunks and
 /// waits for the stage owner's acks (each granting one more chunk) before
 /// sending more, so a slow owner backpressures its upstream instead of
-/// being buried. 0 disables pacing (the unpaced pre-credit behavior).
+/// being buried. `stage_credit_chunks` = 0 disables pacing (the unpaced
+/// pre-credit behavior).
+///
+/// With `adaptive_credit` on (the default) the initial window is seeded
+/// from the consumer's observed service rate instead of the constant: the
+/// producer probes the smoothed delivery latency toward the stage's next
+/// hop (sim::DestinationLoad's EWMA) and doubles the window for every
+/// halving of observed latency below `credit_latency_ref`, up to
+/// `max_stage_credit_chunks` — fast owners earn deeper pipelines
+/// automatically. The constant stays the floor (slow or unmeasured paths
+/// never drop below it) and `max_stage_credit_chunks` the ceiling.
 struct BatchOptions {
   size_t max_batch_tuples = 256;
   size_t max_batch_bytes = 48 * 1024;
@@ -88,6 +109,9 @@ struct BatchOptions {
   bool adaptive_flush = true;
   size_t min_batch_tuples = 16;
   size_t stage_credit_chunks = 4;
+  bool adaptive_credit = true;
+  size_t max_stage_credit_chunks = 32;
+  sim::SimTime credit_latency_ref = 40 * sim::kMillisecond;
   /// A credit-starved stream is dropped after this long without a grant
   /// (downstream owner presumed dead); the join's own timeout then returns
   /// partial results, exactly as for any lost chunk.
@@ -95,6 +119,8 @@ struct BatchOptions {
 };
 
 /// One stage of a distributed join chain (one keyword, in PIERSearch).
+/// Legacy description consumed by the ExecuteJoin adapter, which lowers it
+/// into a plan ExecStage (substring filters become Expr::Contains trees).
 struct JoinStage {
   std::string ns;            ///< Table namespace, e.g. "inverted".
   Value key;                 ///< DHT key value, e.g. Value("madonna").
@@ -138,6 +164,7 @@ class PierNode {
  public:
   using JoinCallback =
       std::function<void(Status, std::vector<JoinResultEntry>)>;
+  using PlanCallback = std::function<void(Status, std::vector<Tuple>)>;
   using FetchCallback = std::function<void(Status, std::vector<Tuple>)>;
   using ProbeCallback = std::function<void(Status, size_t posting_size)>;
 
@@ -191,13 +218,32 @@ class PierNode {
   void FetchMany(const Schema& schema, std::vector<Value> keys,
                  FetchCallback callback);
 
+  /// FetchMany without a Schema object: all tuples of namespace `ns` whose
+  /// column `index_field` equals one of `keys` — what serialized plans
+  /// carry (a FetchJoin node names the table, not a C++ Schema).
+  void FetchManyByField(const std::string& ns, size_t index_field,
+                        std::vector<Value> keys, FetchCallback callback);
+
   /// Asks the owner of (ns, key) for its posting-list size — the optimizer
   /// probe behind the "smaller posting lists first" ordering.
   void ProbePostingSize(const std::string& ns, const Value& key,
                         ProbeCallback callback);
 
+  /// Runs a declarative query plan (pier/plan.h): compiles it into a chain
+  /// of distributed stages, walks the chain over the rehash/credit/chunk
+  /// transport, applies the plan's query-node finishers (aggregates, top-k,
+  /// limits) and — when the plan ends in a FetchJoin — resolves the
+  /// surviving join keys through one owner-coalesced fetch, all within
+  /// `timeout`. The callback receives the final rows: [join_key,
+  /// payload...] rows for plans without a FetchJoin, fetched tuples
+  /// otherwise.
+  void ExecutePlan(QueryPlan plan, PlanCallback callback,
+                   sim::SimTime timeout = 30 * sim::kSecond);
+
   /// Runs a distributed join chain; the callback fires with the surviving
-  /// entries (or a timeout error).
+  /// entries (or a timeout error). Thin adapter over the plan engine: the
+  /// stages are lowered to ExecStages and executed exactly as a compiled
+  /// plan chain would be.
   void ExecuteJoin(DistributedJoin join, JoinCallback callback,
                    sim::SimTime timeout = 30 * sim::kSecond);
 
@@ -218,7 +264,7 @@ class PierNode {
 
   struct JoinStageMsg {
     uint64_t qid;
-    std::shared_ptr<const DistributedJoin> join;
+    std::shared_ptr<const StagedQuery> query;
     size_t stage_idx;
     /// Incoming entry list as its exact TupleBatch wire image.
     std::vector<uint8_t> entries_image;
@@ -265,7 +311,7 @@ class PierNode {
   /// entry list, drained as the downstream owner grants credit.
   struct ChunkStream {
     uint64_t qid = 0;
-    std::shared_ptr<const DistributedJoin> join;
+    std::shared_ptr<const StagedQuery> query;
     size_t stage_idx = 0;
     dht::NodeInfo origin;
     dht::Key target = 0;
@@ -275,6 +321,11 @@ class PierNode {
     size_t credits = 0;
     sim::EventId stall_timer = sim::kInvalidEventId;
   };
+
+  /// The shared distributed engine behind ExecutePlan and ExecuteJoin:
+  /// runs the staged chain, accumulating chunked replies at this node.
+  void ExecuteStaged(std::shared_ptr<const StagedQuery> query,
+                     JoinCallback callback, sim::SimTime timeout);
 
   void OnJoinStage(const dht::RouteMsg& msg);
   void OnSizeProbe(const dht::RouteMsg& msg);
@@ -297,9 +348,13 @@ class PierNode {
   QueueMap::iterator FlushAndErase(QueueMap::iterator it);
 
   /// Sends the (possibly chunked) surviving entries to the next stage,
-  /// credit-paced past stage_credit_chunks.
+  /// credit-paced past the adaptive credit window.
   void ForwardToStage(const JoinStageMsg& prev,
                       std::vector<JoinResultEntry> surviving);
+  /// The initial credit window for a chunk stream toward `target`'s stage
+  /// owner: the configured constant, deepened by the consumer's observed
+  /// service rate when adaptive_credit is on (see BatchOptions).
+  size_t CreditWindowChunks(dht::Key target);
   /// Emits chunk `idx` of `stream` toward its target stage; a non-zero
   /// `stream_id` marks it credit-paced (the receiver acks it).
   void SendChunk(ChunkStream* stream, size_t idx, uint64_t stream_id);
@@ -311,8 +366,8 @@ class PierNode {
                      const std::vector<JoinResultEntry>& entries,
                      uint64_t weight);
 
-  /// Tuples of (ns, key) passing the stage's filters, as JoinResultEntries.
-  std::vector<JoinResultEntry> LocalStageEntries(const JoinStage& stage);
+  /// Tuples of (ns, key) passing the stage's filter, as JoinResultEntries.
+  std::vector<JoinResultEntry> LocalStageEntries(const ExecStage& stage);
 
   /// One-shot decode of a locally stored (ns, key) posting list; counts
   /// undecodable tuples into tuples_dropped_deserialize.

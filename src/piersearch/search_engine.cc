@@ -3,17 +3,68 @@
 #include <algorithm>
 #include <memory>
 #include <unordered_set>
+#include <utility>
 
 #include "common/tokenizer.h"
 #include "piersearch/schemas.h"
 
 namespace pierstack::piersearch {
 
-using pier::DistributedJoin;
-using pier::JoinResultEntry;
-using pier::JoinStage;
+using pier::Expr;
+using pier::PlanBuilder;
+using pier::QueryPlan;
 using pier::Tuple;
 using pier::Value;
+
+QueryPlan BuildDistributedJoinPlan(const std::vector<std::string>& terms,
+                                   const SearchOptions& options) {
+  // Figure 2: one IndexScan per keyword chained with RehashJoins on the
+  // fileID attribute, then the final Item join and the answer cap.
+  PlanBuilder b;
+  b.IndexScan(InvertedSchema().table_name(), Value(terms[0]), kInvKeyword,
+              kInvFileId);
+  for (size_t i = 1; i < terms.size(); ++i) {
+    b.RehashJoin(InvertedSchema().table_name(), Value(terms[i]), kInvKeyword,
+                 kInvFileId);
+  }
+  if (options.fetch_items) {
+    b.FetchJoin(ItemSchema().table_name(), kItemFileId);
+  }
+  b.Limit(options.max_results);
+  return b.Build();
+}
+
+QueryPlan BuildInvertedCachePlan(const std::vector<std::string>& terms,
+                                 const SearchOptions& options) {
+  // Figure 3: the whole query runs at a single node hosting one term; the
+  // remaining terms push down as a substring filter over the cached
+  // fulltext, and (fileID, fulltext) travel back as the entry payload.
+  PlanBuilder b;
+  b.IndexScan(InvertedCacheSchema().table_name(), Value(terms[0]),
+              kIcKeyword, kIcFileId);
+  if (terms.size() > 1) {
+    std::vector<Expr> conjuncts;
+    conjuncts.reserve(terms.size() - 1);
+    for (size_t i = 1; i < terms.size(); ++i) {
+      conjuncts.push_back(
+          Expr::Contains(Expr::Column(kIcFulltext), terms[i]));
+    }
+    b.Filter(Expr::And(std::move(conjuncts)));
+  }
+  b.Project({kIcFileId, kIcFulltext});
+  if (options.fetch_items) {
+    b.FetchJoin(ItemSchema().table_name(), kItemFileId);
+  }
+  b.Limit(options.max_results);
+  return b.Build();
+}
+
+QueryPlan BuildSearchPlan(const std::vector<std::string>& terms,
+                          const SearchOptions& options) {
+  return options.strategy == SearchStrategy::kInvertedCache
+             ? BuildInvertedCachePlan(terms, options)
+             : BuildDistributedJoinPlan(terms, options);
+}
 
 void SearchEngine::Search(const std::string& query_text,
                           const SearchOptions& options,
@@ -24,101 +75,87 @@ void SearchEngine::Search(const std::string& query_text,
     return;
   }
   ++searches_started_;
+  QueryPlan plan = BuildSearchPlan(terms, options);
   if (!options.order_by_posting_size || terms.size() == 1) {
-    RunPlan(std::move(terms), options, std::move(callback));
+    RunPlan(std::move(plan), options, std::move(callback));
     return;
   }
-  // Optimizer probe: learn each keyword's posting size, then order the
-  // chain smallest-first (paper: "optimized to compute smaller posting
-  // lists first").
-  const std::string& ns = options.strategy == SearchStrategy::kInvertedCache
-                              ? InvertedCacheSchema().table_name()
-                              : InvertedSchema().table_name();
+  // Optimizer probes: learn each candidate key's posting size, then run
+  // the "smaller posting lists first" rewrite pass over the plan (paper:
+  // "optimized to compute smaller posting lists first").
+  auto targets = pier::CollectProbeTargets(plan);
+  if (targets.empty()) {
+    RunPlan(std::move(plan), options, std::move(callback));
+    return;
+  }
   struct ProbeState {
     size_t remaining;
-    std::vector<std::pair<size_t, std::string>> sized;  // (size, term)
+    QueryPlan plan;
+    std::map<std::pair<std::string, Value>, size_t> sizes;
   };
   auto state = std::make_shared<ProbeState>();
-  state->remaining = terms.size();
-  for (const auto& term : terms) {
+  state->remaining = targets.size();
+  state->plan = std::move(plan);
+  for (const auto& [ns, key] : targets) {
     pier_->ProbePostingSize(
-        ns, Value(term),
-        [this, state, term, options, callback](Status s, size_t size) mutable {
-          state->sized.emplace_back(s.ok() ? size : SIZE_MAX, term);
+        ns, key,
+        [this, state, ns = ns, key = key, options,
+         callback](Status s, size_t size) mutable {
+          // A failed probe sorts last, exactly like the pre-plan path.
+          state->sizes[{ns, key}] = s.ok() ? size : SIZE_MAX;
           if (--state->remaining > 0) return;
-          std::stable_sort(state->sized.begin(), state->sized.end(),
-                           [](const auto& a, const auto& b) {
-                             return a.first < b.first;
-                           });
-          std::vector<std::string> ordered;
-          ordered.reserve(state->sized.size());
-          for (auto& [sz, t] : state->sized) ordered.push_back(std::move(t));
-          RunPlan(std::move(ordered), options, std::move(callback));
+          pier::ReorderByPostingSize(
+              &state->plan,
+              [&state](const std::string& pns, const Value& pkey) {
+                auto it = state->sizes.find({pns, pkey});
+                return it == state->sizes.end() ? SIZE_MAX : it->second;
+              });
+          RunPlan(std::move(state->plan), options, std::move(callback));
         });
   }
 }
 
-void SearchEngine::RunPlan(std::vector<std::string> terms,
-                           const SearchOptions& options,
+void SearchEngine::RunPlan(QueryPlan plan, const SearchOptions& options,
                            SearchCallback callback) {
-  DistributedJoin join;
-  join.limit = options.max_results;
-  if (options.strategy == SearchStrategy::kInvertedCache) {
-    // Single-site plan: all terms but the routing one become substring
-    // selections over the cached fulltext.
-    JoinStage stage;
-    stage.ns = InvertedCacheSchema().table_name();
-    stage.key = Value(terms[0]);
-    stage.key_col = kIcKeyword;
-    stage.join_col = kIcFileId;
-    stage.payload_cols = {kIcFileId, kIcFulltext};
-    stage.filter_col = kIcFulltext;
-    stage.substring_filter.assign(terms.begin() + 1, terms.end());
-    join.stages.push_back(std::move(stage));
-  } else {
-    for (const auto& term : terms) {
-      JoinStage stage;
-      stage.ns = InvertedSchema().table_name();
-      stage.key = Value(term);
-      stage.key_col = kInvKeyword;
-      stage.join_col = kInvFileId;
-      join.stages.push_back(std::move(stage));
-    }
-  }
-  pier_->ExecuteJoin(
-      std::move(join),
-      [this, options, callback = std::move(callback)](
-          Status s, std::vector<JoinResultEntry> entries) mutable {
-        OnJoinDone(options, std::move(callback), s, std::move(entries));
+  if (options.plan_rewrite) options.plan_rewrite(&plan);
+  bool fetched = options.fetch_items;
+  pier_->ExecutePlan(
+      std::move(plan),
+      [fetched, callback = std::move(callback)](
+          Status s, std::vector<Tuple> rows) mutable {
+        if (!s.ok()) {
+          callback(s, {});
+          return;
+        }
+        std::vector<SearchHit> hits;
+        hits.reserve(rows.size());
+        for (const Tuple& t : rows) {
+          SearchHit h;
+          if (fetched) {
+            // Item tuples out of the plan's FetchJoin.
+            if (t.arity() < 5) continue;
+            h.file_id = t.at(kItemFileId).AsUint64();
+            h.filename = std::string(t.at(kItemFilename).AsString());
+            h.size_bytes = t.at(kItemFilesize).AsUint64();
+            h.address = static_cast<uint32_t>(t.at(kItemAddress).AsUint64());
+            h.port = static_cast<uint16_t>(t.at(kItemPort).AsUint64());
+          } else {
+            // Entry rows [fileID, payload...]; the InvertedCache payload
+            // carries the fulltext (= filename) at column 2.
+            if (t.arity() < 1 ||
+                t.at(0).type() != pier::ValueType::kUint64) {
+              continue;
+            }
+            h.file_id = t.at(0).AsUint64();
+            if (t.arity() >= 3 && t.at(2).is_string()) {
+              h.filename = std::string(t.at(2).AsString());
+            }
+          }
+          hits.push_back(std::move(h));
+        }
+        callback(Status::OK(), std::move(hits));
       },
       options.timeout);
-}
-
-void SearchEngine::OnJoinDone(const SearchOptions& options,
-                              SearchCallback callback, Status status,
-                              std::vector<JoinResultEntry> entries) {
-  if (!status.ok()) {
-    callback(status, {});
-    return;
-  }
-  if (!options.fetch_items) {
-    std::vector<SearchHit> hits;
-    hits.reserve(entries.size());
-    for (const auto& e : entries) {
-      SearchHit h;
-      h.file_id = e.join_key.AsUint64();
-      if (e.payload.arity() >= 2 && e.payload.at(1).is_string()) {
-        h.filename = e.payload.at(1).AsString();
-      }
-      hits.push_back(std::move(h));
-    }
-    callback(Status::OK(), std::move(hits));
-    return;
-  }
-  std::vector<uint64_t> ids;
-  ids.reserve(entries.size());
-  for (const auto& e : entries) ids.push_back(e.join_key.AsUint64());
-  FetchItems(std::move(ids), options, std::move(callback));
 }
 
 void SearchEngine::FetchItems(std::vector<uint64_t> file_ids,
@@ -142,9 +179,26 @@ void SearchEngine::FetchItems(std::vector<uint64_t> file_ids,
   std::vector<Value> keys;
   keys.reserve(unique.size());
   for (uint64_t id : unique) keys.emplace_back(Value(id));
+  // The fetch leg honors the query deadline: without this watchdog only
+  // the join leg was timeout-bounded and a dead Item owner could hang the
+  // query indefinitely.
+  sim::Simulator* simulator = pier_->dht()->network()->simulator();
+  auto done = std::make_shared<bool>(false);
+  auto shared_cb =
+      std::make_shared<SearchCallback>(std::move(callback));
+  sim::EventId watchdog = simulator->ScheduleAfter(
+      options.timeout, [done, shared_cb]() {
+        if (*done) return;
+        *done = true;
+        (*shared_cb)(Status::TimedOut("item fetch"), {});
+      });
   pier_->FetchMany(
       ItemSchema(), std::move(keys),
-      [callback = std::move(callback)](Status s, std::vector<Tuple> tuples) {
+      [simulator, done, shared_cb, watchdog](Status s,
+                                             std::vector<Tuple> tuples) {
+        if (*done) return;  // the watchdog already failed the query
+        *done = true;
+        simulator->Cancel(watchdog);
         // Best-effort like the per-id loop this replaced: a slow or dead
         // owner must not zero out the hits the other owners delivered —
         // FetchMany hands over whatever arrived alongside the error.
@@ -161,7 +215,7 @@ void SearchEngine::FetchItems(std::vector<uint64_t> file_ids,
           h.port = static_cast<uint16_t>(t.at(kItemPort).AsUint64());
           hits.push_back(std::move(h));
         }
-        callback(Status::OK(), std::move(hits));
+        (*shared_cb)(Status::OK(), std::move(hits));
       });
 }
 

@@ -1,12 +1,15 @@
 // SearchEngine: PIERSearch's query side (Figure 1's Search Engine).
 //
-// Two strategies (paper Section 3.2):
-//  * kDistributedJoin — the Figure 2 plan: ship posting lists along the
-//    chain of keyword owners, symmetric-hash-joining at each hop, then
-//    fetch Item tuples for the surviving fileIDs.
-//  * kInvertedCache  — the Figure 3 plan: send the whole query to a single
-//    node hosting one of the terms; remaining terms are applied there as
-//    substring selections over the cached fulltext.
+// Both strategies (paper Section 3.2) are *compiled into declarative query
+// plans* (pier/plan.h) and executed through PierNode::ExecutePlan:
+//  * kDistributedJoin — the Figure 2 plan: an IndexScan/RehashJoin chain
+//    along the keyword owners, symmetric-hash-joining at each hop, ending
+//    in a FetchJoin that resolves Item tuples for the surviving fileIDs.
+//  * kInvertedCache  — the Figure 3 plan: one IndexScan at a single node
+//    hosting one of the terms, the remaining terms pushed down as a
+//    serializable Contains filter over the cached fulltext.
+// The paper's "smaller posting lists first" optimization runs as a plan
+// rewrite (pier::ReorderByPostingSize) fed by posting-size probes.
 #pragma once
 
 #include <functional>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "pier/node.h"
+#include "pier/plan.h"
 
 namespace pierstack::piersearch {
 
@@ -34,17 +38,33 @@ struct SearchHit {
 
 struct SearchOptions {
   SearchStrategy strategy = SearchStrategy::kDistributedJoin;
-  /// Probe posting-list sizes first and visit keywords smallest-first (the
-  /// paper's SHJ optimization; also picks the cheapest single site for the
-  /// InvertedCache plan instead of the first term).
+  /// Probe posting-list sizes first and rewrite the plan smallest-first
+  /// (the paper's SHJ optimization; also picks the cheapest single site
+  /// for the InvertedCache plan instead of the first term).
   bool order_by_posting_size = false;
-  /// Fetch full Item tuples for matches (the plans' final join). Off, the
-  /// engine returns fileIDs only (filename present only with
+  /// Fetch full Item tuples for matches (the plans' final FetchJoin). Off,
+  /// the engine returns fileIDs only (filename present only with
   /// InvertedCache's fulltext).
   bool fetch_items = true;
   size_t max_results = 200;
   sim::SimTime timeout = 30 * sim::kSecond;
+  /// Applied to the compiled plan right before execution (after any
+  /// posting-size rewrite) — the hook deployments use to reshape queries
+  /// without a new strategy enum (e.g. HybridConfig::plan_rewrite grafts
+  /// TopK or tighter limits onto reissued queries).
+  std::function<void(pier::QueryPlan*)> plan_rewrite;
 };
+
+/// Compiles `terms` into the strategy's query plan — the plan constructors
+/// that replaced the hardwired ExecuteJoin call paths. Exposed for tests,
+/// benches, and deployments that want to rewrite the plan before running
+/// it through PierNode::ExecutePlan.
+pier::QueryPlan BuildDistributedJoinPlan(
+    const std::vector<std::string>& terms, const SearchOptions& options);
+pier::QueryPlan BuildInvertedCachePlan(
+    const std::vector<std::string>& terms, const SearchOptions& options);
+pier::QueryPlan BuildSearchPlan(const std::vector<std::string>& terms,
+                                const SearchOptions& options);
 
 class SearchEngine {
  public:
@@ -61,21 +81,22 @@ class SearchEngine {
 
   uint64_t searches_started() const { return searches_started_; }
 
+  /// Runs an already-built plan with the engine's hit mapping — the
+  /// escape hatch for plan shapes the strategy enum cannot express.
+  void RunPlan(pier::QueryPlan plan, const SearchOptions& options,
+               SearchCallback callback);
+
   /// Resolves fileIDs to full Item hits — the plans' final join. The ids
   /// are de-duplicated (duplicate join keys must not evict distinct
   /// results when truncating to max_results), capped, and fetched with one
   /// owner-coalesced FetchMany: K distinct Item owners cost K routed get
-  /// messages instead of one round-trip per id.
+  /// messages instead of one round-trip per id. The fetch leg is bounded
+  /// by `options.timeout` — a dead Item owner fails the query with
+  /// TimedOut instead of hanging it past its deadline.
   void FetchItems(std::vector<uint64_t> file_ids,
                   const SearchOptions& options, SearchCallback callback);
 
  private:
-  void RunPlan(std::vector<std::string> terms, const SearchOptions& options,
-               SearchCallback callback);
-  void OnJoinDone(const SearchOptions& options, SearchCallback callback,
-                  Status status,
-                  std::vector<pier::JoinResultEntry> entries);
-
   pier::PierNode* pier_;
   uint64_t searches_started_ = 0;
 };

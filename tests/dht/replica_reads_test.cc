@@ -1,0 +1,123 @@
+// Replica-aware single-key reads: with replication > 1, a Get/GetBatch
+// routing through a node that already replicates the key stops there — the
+// single-key analogue of the MultiGet peel — without ever changing the
+// answer, and an empty replica store never short-circuits (replication lag
+// must still resolve at the owner).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hashing.h"
+#include "dht/builder.h"
+
+namespace pierstack::dht {
+namespace {
+
+struct Cluster {
+  sim::Simulator simulator;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<DhtDeployment> dht;
+
+  explicit Cluster(size_t n, DhtOptions options) {
+    network = std::make_unique<sim::Network>(
+        &simulator,
+        std::make_unique<sim::ConstantLatency>(5 * sim::kMillisecond), 41);
+    dht = std::make_unique<DhtDeployment>(network.get(), n, options, 909);
+  }
+};
+
+DhtOptions Replicated(size_t replication, bool replica_reads) {
+  DhtOptions o;
+  o.replication = replication;
+  o.replica_aware_reads = replica_reads;
+  return o;
+}
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+void PutAll(Cluster* c, size_t keys) {
+  for (uint64_t k = 0; k < keys; ++k) {
+    c->dht->node(0)->Put("t", Mix64(k), Bytes("v" + std::to_string(k)));
+  }
+  c->simulator.Run();
+}
+
+/// Issues one Get per key from a rotating set of nodes; returns how many
+/// answered with the exact expected value.
+size_t GetAll(Cluster* c, size_t keys) {
+  size_t correct = 0;
+  for (uint64_t k = 0; k < keys; ++k) {
+    c->dht->node((k * 7 + 3) % c->dht->size())
+        ->Get("t", Mix64(k), [&correct, k](Status s, auto values) {
+          if (!s.ok() || values.size() != 1) return;
+          if (values[0] == Bytes("v" + std::to_string(k))) ++correct;
+        });
+  }
+  c->simulator.Run();
+  return correct;
+}
+
+TEST(ReplicaReadsTest, ReadsPeelAtPathReplicasWithIdenticalAnswers) {
+  const size_t kKeys = 60;
+  Cluster aware(32, Replicated(3, true));
+  Cluster baseline(32, Replicated(3, false));
+  for (Cluster* c : {&aware, &baseline}) PutAll(c, kKeys);
+
+  EXPECT_EQ(GetAll(&aware, kKeys), kKeys);
+  EXPECT_EQ(GetAll(&baseline, kKeys), kKeys);
+
+  // Some reads stopped at an in-path replica; the baseline walked every
+  // route to the owner.
+  EXPECT_GT(aware.dht->metrics().replica_peels, 0u);
+  EXPECT_EQ(baseline.dht->metrics().replica_peels, 0u);
+  // Shorter routes overall: strictly fewer forwarding hops for the same
+  // answers.
+  EXPECT_LT(aware.dht->metrics().total_hops,
+            baseline.dht->metrics().total_hops);
+}
+
+TEST(ReplicaReadsTest, GetBatchPeelsToo) {
+  const size_t kKeys = 60;
+  Cluster c(32, Replicated(3, true));
+  PutAll(&c, kKeys);
+  size_t answered = 0;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    c.dht->node((k * 5 + 1) % c.dht->size())
+        ->GetBatch("t", Mix64(k), [&answered](Status s, BatchImage batch) {
+          if (s.ok() && batch && !batch->empty()) ++answered;
+        });
+  }
+  c.simulator.Run();
+  EXPECT_EQ(answered, kKeys);
+  EXPECT_GT(c.dht->metrics().replica_peels, 0u);
+}
+
+TEST(ReplicaReadsTest, EmptyReplicaNeverShortCircuits) {
+  // Reads for keys that were never stored must still resolve at the owner
+  // as authoritative empties, not peel into wrong-but-fast answers.
+  Cluster c(32, Replicated(3, true));
+  PutAll(&c, 10);
+  size_t empties = 0;
+  for (uint64_t k = 100; k < 130; ++k) {
+    c.dht->node(k % c.dht->size())
+        ->Get("t", Mix64(k), [&empties](Status s, auto values) {
+          if (s.ok() && values.empty()) ++empties;
+        });
+  }
+  c.simulator.Run();
+  EXPECT_EQ(empties, 30u);
+}
+
+TEST(ReplicaReadsTest, ReplicationOneIsUnaffected) {
+  Cluster c(24, Replicated(1, true));
+  PutAll(&c, 40);
+  EXPECT_EQ(GetAll(&c, 40), 40u);
+  EXPECT_EQ(c.dht->metrics().replica_peels, 0u);
+}
+
+}  // namespace
+}  // namespace pierstack::dht

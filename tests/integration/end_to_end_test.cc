@@ -182,6 +182,10 @@ TEST(EndToEndTest, TransportCountersSurfaced) {
   pier::BatchOptions bopts;
   bopts.max_stage_entries = 8;
   bopts.stage_credit_chunks = 2;
+  // Pin the fixed credit window: this test asserts the stall/grant
+  // contract at exactly this window; the service-rate-derived window has
+  // its own coverage in pier_credit_flow_test.
+  bopts.adaptive_credit = false;
   std::vector<std::unique_ptr<pier::PierNode>> piers;
   for (size_t i = 0; i < dht.size(); ++i) {
     piers.push_back(

@@ -81,6 +81,10 @@ BatchOptions ChunkyOptions(size_t credit_window) {
   BatchOptions opts;
   opts.max_stage_entries = 8;  // 400 stage-0 survivors -> 50 chunks
   opts.stage_credit_chunks = credit_window;
+  // These tests assert the fixed-window contract at exactly
+  // `credit_window`; the service-rate-derived window is covered by the
+  // AdaptiveCredit tests below.
+  opts.adaptive_credit = false;
   return opts;
 }
 
@@ -144,6 +148,88 @@ TEST(CreditFlowTest, SmallStreamsSkipPacingEntirely) {
   EXPECT_EQ(c.metrics.credits_stalled, 0u);
   EXPECT_EQ(c.metrics.credit_grants, 0u);
   EXPECT_EQ(c.network->metrics().by_tag.count("pier.credit"), 0u);
+}
+
+/// Two keywords owned by the two distinct nodes of a 2-node cluster, so
+/// the stage-0 producer's next hop toward stage 1 IS the consuming owner
+/// and the service-rate probe reads the consumer's true latency.
+std::pair<std::string, std::string> DistinctOwnerKeywords(Cluster* c) {
+  const char* candidates[] = {"alpha", "beta",  "gamma", "delta",
+                              "epsilon", "zeta", "theta", "kappa"};
+  for (const char* a : candidates) {
+    for (const char* b : candidates) {
+      if (a != b && c->OwnerOf(a) != c->OwnerOf(b)) return {a, b};
+    }
+  }
+  ADD_FAILURE() << "no keyword pair with distinct owners";
+  return {"alpha", "beta"};
+}
+
+std::set<uint64_t> RunTwoKeywordJoin(Cluster* c, const std::string& kw0,
+                                     const std::string& kw1) {
+  DistributedJoin join;
+  for (const std::string* kw : {&kw0, &kw1}) {
+    JoinStage stage;
+    stage.ns = "inverted";
+    stage.key = Value(*kw);
+    join.stages.push_back(std::move(stage));
+  }
+  std::set<uint64_t> ids;
+  bool done = false;
+  c->piers[0]->ExecuteJoin(std::move(join), [&](Status s, auto entries) {
+    done = true;
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    for (const auto& e : entries) ids.insert(e.join_key.AsUint64());
+  });
+  c->simulator.Run();
+  EXPECT_TRUE(done);
+  return ids;
+}
+
+TEST(CreditFlowTest, AdaptiveWindowDeepensPipelineTowardFastOwner) {
+  // Same chunky join, same fast (5ms) network: the fixed window stalls on
+  // every chunk past it, while the service-rate-derived window reads the
+  // low smoothed latency toward the consumer (warmed by the publish
+  // traffic) and opens a deeper pipeline — measurably fewer stall
+  // episodes, identical answers.
+  BatchOptions fixed = ChunkyOptions(2);
+  BatchOptions adaptive = ChunkyOptions(2);
+  adaptive.adaptive_credit = true;
+  adaptive.max_stage_credit_chunks = 16;
+  Cluster base(2, fixed), derived(2, adaptive);
+  std::set<uint64_t> answers[2];
+  size_t i = 0;
+  for (Cluster* c : {&base, &derived}) {
+    auto [kw0, kw1] = DistinctOwnerKeywords(c);
+    c->PublishPostings(kw0, 0, 400);
+    c->PublishPostings(kw1, 0, 500);
+    answers[i++] = RunTwoKeywordJoin(c, kw0, kw1);
+  }
+  EXPECT_EQ(answers[0], answers[1]);
+  EXPECT_EQ(answers[1].size(), 400u);
+  EXPECT_GT(derived.metrics.credit_window_boosts, 0u);
+  EXPECT_EQ(base.metrics.credit_window_boosts, 0u);
+  EXPECT_LT(derived.metrics.credits_stalled, base.metrics.credits_stalled);
+}
+
+TEST(CreditFlowTest, AdaptiveWindowHoldsFloorTowardSlowOwner) {
+  // A consumer whose observed service latency sits above the reference
+  // must NOT earn a deeper window: the constant stays the floor and the
+  // backpressure contract (stalls at the base window) is preserved.
+  BatchOptions adaptive = ChunkyOptions(2);
+  adaptive.adaptive_credit = true;
+  adaptive.credit_latency_ref = 40 * sim::kMillisecond;
+  Cluster c(2, adaptive);
+  auto [kw0, kw1] = DistinctOwnerKeywords(&c);
+  // Slow the consumer BEFORE any traffic so the warmed EWMA reflects its
+  // true service rate (5ms wire + 30ms processing > ref/2).
+  c.network->SetProcessingDelay(c.OwnerOf(kw1), 30 * sim::kMillisecond);
+  c.PublishPostings(kw0, 0, 200);
+  c.PublishPostings(kw1, 0, 200);
+  auto ids = RunTwoKeywordJoin(&c, kw0, kw1);
+  EXPECT_EQ(ids.size(), 200u);
+  EXPECT_EQ(c.metrics.credit_window_boosts, 0u);
+  EXPECT_GT(c.metrics.credits_stalled, 0u);
 }
 
 TEST(CreditFlowTest, StarvedStreamExpiresAndJoinTimesOutWithPartial) {
