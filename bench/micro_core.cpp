@@ -12,6 +12,8 @@
 //   ./build/micro_core
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -369,6 +371,16 @@ static void BM_TupleSerialize_Batch(benchmark::State& state) {
 }
 BENCHMARK(BM_TupleSerialize_Batch)->Arg(512);
 
+/// Legacy-comparison benches measure message/hop contracts recorded before
+/// the load-balanced routing layer; they pin the classic policy so the
+/// owner location cache and congestion detours cannot skew their gated
+/// ratios (the same pinning precedent as adaptive_credit=false). The
+/// BM_Routing_* pair below measures the routing layer itself.
+static dht::DhtOptions ClassicRoutingOpts(dht::DhtOptions dopts = {}) {
+  dopts.routing_policy = dht::RoutingPolicyKind::kClassicChord;
+  return dopts;
+}
+
 /// Shared scaffolding of the end-to-end network benches: a 10ms-latency
 /// simulated network, a static DHT deployment, and one PierNode per DHT
 /// node. All publish/fetch benches must measure the same topology.
@@ -379,7 +391,8 @@ struct BenchCluster {
   pier::PierMetrics metrics;
   std::vector<std::unique_ptr<pier::PierNode>> piers;
 
-  explicit BenchCluster(size_t nodes, dht::DhtOptions dopts = {})
+  explicit BenchCluster(size_t nodes,
+                        dht::DhtOptions dopts = ClassicRoutingOpts())
       : network(&simulator,
                 std::make_unique<sim::ConstantLatency>(
                     10 * sim::kMillisecond),
@@ -604,7 +617,7 @@ static void ReplicaFetchRun(benchmark::State& state, bool replica_aware) {
     dht::DhtOptions dopts;
     dopts.replication = 2;
     dopts.replica_aware_multiget = replica_aware;
-    BenchCluster c(kNodes, dopts);
+    BenchCluster c(kNodes, ClassicRoutingOpts(dopts));
     auto& piers = c.piers;
     piersearch::Publisher publisher(piers[0].get());
     piersearch::PublishOptions popts;
@@ -852,6 +865,200 @@ static void BM_PlanExec_PlanCompiled(benchmark::State& state) {
   PlanExecRun(state, /*plan_api=*/true);
 }
 BENCHMARK(BM_PlanExec_PlanCompiled)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Routing-layer benches (owner location cache + congestion-biased finger
+// choice). SteadyState: the same fetch/publish workload repeated against
+// warm destinations — with the location cache every routed message
+// converges to ~one hop, so the "dht.route" message count (one per overlay
+// hop) collapses vs the classic ring walk at identical answers. HotSpot:
+// a burst of gets whose greedy first hop is a buried node — the
+// congestion-aware policy detours around it, cutting delivery latency at
+// identical answers. Both gated in scripts/run_bench.sh --check.
+// ---------------------------------------------------------------------------
+static void RoutingSteadyStateRun(benchmark::State& state, bool cached) {
+  const size_t kItems = 64, kNodes = 64, kRounds = 3;
+  uint64_t routed_hops = 0, fetched = 0, cache_hits = 0;
+  for (auto _ : state) {
+    dht::DhtOptions dopts;
+    dopts.routing_policy = cached
+                               ? dht::RoutingPolicyKind::kCongestionAware
+                               : dht::RoutingPolicyKind::kClassicChord;
+    BenchCluster c(kNodes, dopts);
+    piersearch::Publisher publisher(c.piers[0].get());
+    piersearch::PublishOptions popts;
+    popts.inverted = false;
+    std::vector<piersearch::FileToPublish> files;
+    for (size_t i = 0; i < kItems; ++i) {
+      files.push_back(piersearch::FileToPublish{
+          "steady state track " + std::to_string(i) + ".mp3", 1 << 20,
+          static_cast<uint32_t>(i % kNodes), 6346});
+    }
+    std::vector<uint64_t> ids = publisher.PublishFiles(files, popts);
+    c.piers[0]->FlushPublishQueues();
+    c.simulator.Run();
+    std::vector<pier::Value> keys;
+    for (uint64_t id : ids) keys.emplace_back(pier::Value(id));
+    bool count_fetches = false;
+    auto fetch_round = [&]() {
+      std::vector<pier::Value> round_keys = keys;
+      c.piers[1]->FetchMany(piersearch::ItemSchema(), std::move(round_keys),
+                            [&](Status s, std::vector<pier::Tuple> tuples) {
+                              if (s.ok() && count_fetches) {
+                                fetched += tuples.size();
+                              }
+                            });
+      c.simulator.Run();
+    };
+    auto publish_round = [&]() {
+      // Soft-state refresh: the same items re-published (dedup at the
+      // owner refreshes expiry) — the standing-rehash-queue steady state.
+      publisher.PublishFiles(files, popts);
+      c.piers[0]->FlushPublishQueues();
+      c.simulator.Run();
+    };
+    // Warmup round (uncounted): replies and hints teach the fetcher's and
+    // publisher's owner caches. The classic variant learns nothing.
+    fetch_round();
+    publish_round();
+    uint64_t base = c.network.metrics().by_tag["dht.route"].messages;
+    count_fetches = true;
+    for (size_t r = 0; r < kRounds; ++r) {
+      publish_round();
+      fetch_round();
+    }
+    routed_hops += c.network.metrics().by_tag["dht.route"].messages - base;
+    cache_hits += c.dht.metrics().route_cache_hits;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(kItems * kRounds));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["routed_hops"] = per_iter(routed_hops);
+  state.counters["fetched"] = per_iter(fetched);
+  state.counters["route_cache_hits"] = per_iter(cache_hits);
+}
+
+static void BM_Routing_SteadyStateClassic(benchmark::State& state) {
+  RoutingSteadyStateRun(state, /*cached=*/false);
+}
+BENCHMARK(BM_Routing_SteadyStateClassic)->Unit(benchmark::kMillisecond);
+
+static void BM_Routing_SteadyStateCached(benchmark::State& state) {
+  RoutingSteadyStateRun(state, /*cached=*/true);
+}
+BENCHMARK(BM_Routing_SteadyStateCached)->Unit(benchmark::kMillisecond);
+
+/// (origin index, key) pairs whose greedy route enters the hot node as a
+/// genuinely bypassable INTERMEDIATE hop: the origin's classic first hop
+/// is the hot node, another finger also makes ring progress, and several
+/// ring members sit strictly between the hot node and the key so other
+/// nodes' fingers can leap past it. (A key in the arc right after the hot
+/// node is unroutable around — in Chord the owner's predecessor is on
+/// every path.) The ring layout is seed-deterministic, so the scan runs
+/// once on a scratch cluster and applies to every measured iteration.
+static const std::vector<std::pair<size_t, dht::Key>>& HotSpotScenarios(
+    size_t nodes, size_t hot_index, size_t want) {
+  static std::vector<std::pair<size_t, dht::Key>> scenarios;
+  static size_t memo_nodes = 0, memo_hot = 0, memo_want = 0;
+  if (!scenarios.empty()) {
+    // The memo is keyed on one topology; a second hot-spot bench with
+    // different parameters must not silently reuse it. A live check, not
+    // an assert — the measured binary is a Release (NDEBUG) build.
+    if (nodes != memo_nodes || hot_index != memo_hot || want != memo_want) {
+      fprintf(stderr,
+              "HotSpotScenarios: memo reused with different parameters\n");
+      std::abort();
+    }
+    return scenarios;
+  }
+  memo_nodes = nodes;
+  memo_hot = hot_index;
+  memo_want = want;
+  BenchCluster c(nodes);
+  dht::DhtNode* hot_node = c.dht.node(hot_index);
+  sim::HostId hot = hot_node->host();
+  for (uint64_t i = 1; scenarios.size() < want && i < 50000; ++i) {
+    dht::Key k = Mix64(i);
+    if (c.dht.ExpectedOwner(k)->host() == hot) continue;
+    size_t between = 0;
+    for (size_t n = 0; n < c.dht.size(); ++n) {
+      if (dht::InOpenOpen(hot_node->id(), k, c.dht.node(n)->id())) ++between;
+    }
+    if (between < 3) continue;
+    for (size_t oi = 0; oi < c.dht.size(); ++oi) {
+      if (oi == hot_index) continue;
+      auto& table = c.dht.node(oi)->routing();
+      if (table.IsOwner(k)) continue;
+      if (table.NextHop(k).host != hot) continue;
+      std::vector<dht::NodeInfo> cands;
+      table.AppendProgressCandidates(k, &cands);
+      bool has_alternative = false;
+      for (const auto& cand : cands) {
+        if (cand.host != hot) has_alternative = true;
+      }
+      if (has_alternative) {
+        scenarios.emplace_back(oi, k);
+        break;
+      }
+    }
+  }
+  return scenarios;
+}
+
+static void RoutingHotSpotRun(benchmark::State& state, bool aware) {
+  const size_t kNodes = 32, kHotIndex = 13, kKeys = 24;
+  const auto& scenarios = HotSpotScenarios(kNodes, kHotIndex, kKeys);
+  double total_latency_ms = 0;
+  uint64_t answered = 0, detours = 0;
+  for (auto _ : state) {
+    dht::DhtOptions dopts;
+    dopts.routing_policy = aware
+                               ? dht::RoutingPolicyKind::kCongestionAware
+                               : dht::RoutingPolicyKind::kClassicChord;
+    dopts.owner_location_cache = false;  // isolate the finger-choice effect
+    BenchCluster c(kNodes, dopts);
+    sim::HostId hot = c.dht.node(kHotIndex)->host();
+    for (const auto& [oi, k] : scenarios) c.dht.node(5)->Put("ns", k, {1});
+    c.simulator.Run();
+    // Bury the hot node (service time 20 wire-hops deep), then fire the
+    // whole get burst at once: classic pays the hot node's service delay
+    // on every route; aware routes around it on spare fingers.
+    c.network.SetProcessingDelay(hot, 200 * sim::kMillisecond);
+    for (const auto& [oi, k] : scenarios) {
+      sim::SimTime sent = c.simulator.now();
+      c.dht.node(oi)->Get("ns", k, [&, sent](Status s, auto values) {
+        if (s.ok() && !values.empty()) {
+          ++answered;
+          total_latency_ms +=
+              static_cast<double>(c.simulator.now() - sent) /
+              static_cast<double>(sim::kMillisecond);
+        }
+      });
+    }
+    c.simulator.Run();
+    detours += c.dht.metrics().congestion_detours;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kKeys));
+  state.counters["mean_get_latency_ms"] =
+      answered == 0 ? 0.0
+                    : total_latency_ms / static_cast<double>(answered);
+  state.counters["answered"] =
+      static_cast<double>(answered) / static_cast<double>(state.iterations());
+  state.counters["congestion_detours"] =
+      static_cast<double>(detours) / static_cast<double>(state.iterations());
+}
+
+static void BM_Routing_HotSpotClassic(benchmark::State& state) {
+  RoutingHotSpotRun(state, /*aware=*/false);
+}
+BENCHMARK(BM_Routing_HotSpotClassic)->Unit(benchmark::kMillisecond);
+
+static void BM_Routing_HotSpotDetour(benchmark::State& state) {
+  RoutingHotSpotRun(state, /*aware=*/true);
+}
+BENCHMARK(BM_Routing_HotSpotDetour)->Unit(benchmark::kMillisecond);
 
 static void BM_ChordNextHop(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

@@ -8,9 +8,9 @@
 # --smoke runs one short repetition (CI); default runs the full suite.
 # --check fails (exit 1) when any speedup_vs_pre_refactor ratio in the
 #         written BENCH_core.json is missing or below 2x, when a
-#         transport_adaptive ratio drops below its floor, or when the
-#         plan-execution path costs more than ~1.1x the legacy join's
-#         messages (plan_chain_message_parity < 0.9) or changes the
+#         transport_adaptive or routing ratio drops below its floor, or
+#         when the plan-execution path costs more than ~1.1x the legacy
+#         join's messages (plan_chain_message_parity < 0.9) or changes the
 #         answer set — the CI bench-regression gate.
 set -euo pipefail
 
@@ -135,6 +135,30 @@ plan_exec = {
              for k in ("net_messages", "net_bytes", "results")},
 }
 
+# Load-balanced routing layer (PR 5): the owner location cache must
+# collapse steady-state fetch/publish ring walks to ~one hop per routed
+# message (counted "dht.route" messages, identical answer sets), and the
+# congestion-aware finger choice must route a get burst around a buried
+# node with a measurable latency win at identical answers.
+routing = {
+    "steady_state_hops": counter_ratio(
+        "BM_Routing_SteadyStateClassic", "BM_Routing_SteadyStateCached",
+        "routed_hops"),
+    "steady_state_identical_results": (
+        counter("BM_Routing_SteadyStateClassic", "fetched") ==
+        counter("BM_Routing_SteadyStateCached", "fetched")),
+    "steady_state_cache_hits": counter(
+        "BM_Routing_SteadyStateCached", "route_cache_hits"),
+    "hot_spot_latency": counter_ratio(
+        "BM_Routing_HotSpotClassic", "BM_Routing_HotSpotDetour",
+        "mean_get_latency_ms"),
+    "hot_spot_detours": counter(
+        "BM_Routing_HotSpotDetour", "congestion_detours"),
+    "hot_spot_identical_results": (
+        counter("BM_Routing_HotSpotClassic", "answered") ==
+        counter("BM_Routing_HotSpotDetour", "answered")),
+}
+
 ratios = {
     "shj_insert_with_matches": ratio(
         "BM_ShjInsertWithMatches_SharedPayload/4096",
@@ -155,6 +179,7 @@ out = {
     "context": raw.get("context", {}),
     "speedup_vs_pre_refactor": ratios,
     "transport_adaptive": transport,
+    "routing": routing,
     "plan_exec": plan_exec,
     "join_chain": chain,
     "fetch_coalescing": fetch,
@@ -167,6 +192,7 @@ with open(out_path, "w") as f:
 print("BENCH_core.json written:")
 print("  speedups vs pre-refactor per-tuple path:", ratios)
 print("  adaptive-transport ratios:", transport)
+print("  routing ratios:", routing)
 print("  plan-exec parity:", {k: plan_exec[k] for k in
                               ("plan_chain_message_parity",
                                "plan_chain_identical_results")})
@@ -216,6 +242,27 @@ for name in ("replica_fetch_identical_results",
     if transport.get(name) is not True:
         failed.append("%s: adaptive variant changed the answer set" % name)
 
+# Routing-layer floors (counted hops / sim-clock latency, deterministic
+# under the fixed seeds; floors carry margin under the observed values:
+# steady-state hops ~2.8x, hot-spot latency ~2.6x).
+routing = bench.get("routing", {})
+routing_floors = {
+    "steady_state_hops": 2.0,
+    "hot_spot_latency": 1.5,
+}
+for name, floor in sorted(routing_floors.items()):
+    value = routing.get(name)
+    if value is None:
+        failed.append("%s: missing (bench did not run?)" % name)
+    elif value < floor:
+        failed.append("%s: %.2fx < %sx" % (name, value, floor))
+if not routing.get("hot_spot_detours"):
+    failed.append("hot_spot_detours: congestion-aware run took no detours")
+for name in ("steady_state_identical_results",
+             "hot_spot_identical_results"):
+    if routing.get(name) is not True:
+        failed.append("%s: routing variant changed the answer set" % name)
+
 # Plan-execution parity gate: the declarative path may not regress the
 # join chain's message cost past 10%, and must answer identically.
 plan_exec = bench.get("plan_exec", {})
@@ -233,7 +280,8 @@ if failed:
     for line in failed:
         print("  " + line)
     sys.exit(1)
-print("bench-regression gate passed: speedups >= 2x, transport ratios "
-      "at floor, plan-exec parity >= 0.9x, identical answer sets")
+print("bench-regression gate passed: speedups >= 2x, transport and "
+      "routing ratios at floor, plan-exec parity >= 0.9x, identical "
+      "answer sets")
 EOF
 fi

@@ -117,6 +117,21 @@ NodeInfo BambooRouting::NextHop(Key target) const {
   return best;
 }
 
+void BambooRouting::AppendProgressCandidates(
+    Key target, std::vector<NodeInfo>* out) const {
+  Key mine = RingDistance(self_.id, target);
+  int my_prefix = SharedPrefixDigits(self_.id, target);
+  auto consider = [&](const NodeInfo& cand) {
+    if (!cand.valid() || cand.host == self_.host) return;
+    if (RingDistance(cand.id, target) >= mine) return;
+    if (SharedPrefixDigits(cand.id, target) < my_prefix) return;
+    out->push_back(cand);
+  };
+  for (const auto& p : leaves_cw_) consider(p);
+  for (const auto& p : leaves_ccw_) consider(p);
+  for (const auto& e : table_) consider(e);
+}
+
 std::vector<NodeInfo> BambooRouting::ReplicaTargets(size_t k) const {
   // Alternate cw/ccw leaves, nearest first — Bamboo replicates onto the
   // leaf set.

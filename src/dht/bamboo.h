@@ -28,6 +28,16 @@ class BambooRouting : public RoutingTable {
   void BuildStatic(const std::vector<NodeInfo>& sorted_members) override;
   bool IsOwner(Key target) const override;
   NodeInfo NextHop(Key target) const override;
+  /// Leaves and table entries that are strictly numerically closer to the
+  /// target than self AND share at least as many leading digits with it.
+  /// The prefix constraint keeps the (prefix-length, distance) potential
+  /// lexicographically decreasing even when a policy mixes these detours
+  /// with classic prefix-extending hops — so biased routing never loops.
+  void AppendProgressCandidates(Key target,
+                                std::vector<NodeInfo>* out) const override;
+  Key RouteDistance(Key peer_id, Key target) const override {
+    return RingDistance(peer_id, target);
+  }
   std::vector<NodeInfo> ReplicaTargets(size_t k) const override;
   void RemovePeer(sim::HostId host) override;
   std::vector<NodeInfo> KnownPeers() const override;

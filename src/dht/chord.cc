@@ -81,6 +81,17 @@ NodeInfo ChordRouting::NextHop(Key target) const {
   return best;
 }
 
+void ChordRouting::AppendProgressCandidates(Key target,
+                                            std::vector<NodeInfo>* out) const {
+  auto consider = [&](const NodeInfo& cand) {
+    if (!cand.valid() || cand.host == self_.host) return;
+    if (!InOpenOpen(self_.id, target, cand.id)) return;
+    out->push_back(cand);
+  };
+  for (const auto& f : fingers_) consider(f);
+  for (const auto& s : successors_) consider(s);
+}
+
 std::vector<NodeInfo> ChordRouting::ReplicaTargets(size_t k) const {
   std::vector<NodeInfo> out;
   for (const auto& s : successors_) {

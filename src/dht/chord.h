@@ -27,6 +27,14 @@ class ChordRouting : public RoutingTable {
   void BuildStatic(const std::vector<NodeInfo>& sorted_members) override;
   bool IsOwner(Key target) const override;
   NodeInfo NextHop(Key target) const override;
+  /// Fingers and successors strictly inside (self, target): every one of
+  /// them strictly shrinks the clockwise distance to the target, so any
+  /// choice among them terminates.
+  void AppendProgressCandidates(Key target,
+                                std::vector<NodeInfo>* out) const override;
+  Key RouteDistance(Key peer_id, Key target) const override {
+    return ClockwiseDistance(peer_id, target);
+  }
   std::vector<NodeInfo> ReplicaTargets(size_t k) const override;
   void RemovePeer(sim::HostId host) override;
   std::vector<NodeInfo> KnownPeers() const override;

@@ -26,8 +26,12 @@ std::unique_ptr<RoutingTable> MakeRouting(OverlayKind kind, NodeInfo self) {
 
 }  // namespace
 
+/// Wire-size estimate of an OwnerHint riding a reply (owner + arc + flag).
+constexpr size_t kOwnerHintBytes = 29;
+
 struct AckBody {
   uint64_t req_id;
+  OwnerHint hint;
 };
 
 struct NotifyBody {
@@ -47,11 +51,14 @@ struct LeaveBody {
 
 DhtNode::DhtNode(sim::Network* network, Key id, const DhtOptions& options,
                  DhtMetrics* metrics)
-    : network_(network), options_(options), metrics_(metrics) {
+    : network_(network), options_(options), metrics_(metrics),
+      route_cache_(options.route_cache_capacity) {
   assert(network != nullptr);
   assert(metrics != nullptr);
   sim::HostId host = network->AddHost(this);
   routing_ = MakeRouting(options.overlay, NodeInfo{id, host});
+  policy_ = MakeNextHopPolicy(options.routing_policy, options.congestion);
+  load_probe_ = [this](sim::HostId h) { return network_->LoadOf(h); };
 }
 
 DhtNode::~DhtNode() = default;
@@ -64,6 +71,9 @@ ChordRouting* DhtNode::chord() const {
 
 void DhtNode::BootstrapStatic(const std::vector<NodeInfo>& sorted_members) {
   routing_->BuildStatic(sorted_members);
+  // A static rebuild is a membership epoch change: every learned arc may
+  // name a superseded owner, so the cache restarts cold.
+  route_cache_.Clear();
   bool was_joined = joined_;
   joined_ = true;
   if (options_.maintenance && !was_joined) StartMaintenanceTimers();
@@ -174,6 +184,15 @@ void DhtNode::ForwardOrDeliver(RouteMsg msg) {
       return;
     }
   }
+  // Origin-side owner cache: a learned arc covering the target turns the
+  // whole ring walk into one direct hop (ring routing stays the fallback
+  // on miss, stale entry, or refused send). Maintenance lookups keep the
+  // real ring path — they exist to exercise and repair it.
+  if (msg.hops == 0 && !routing_->IsOwner(msg.target) &&
+      msg.app_type != kAppJoinLookup && msg.app_type != kAppFingerLookup &&
+      OwnerCacheEnabled() && joined_) {
+    if (TryCacheFastPath(msg)) return;
+  }
   // Send failures act as a failure detector (TCP connect refused): drop the
   // dead peer from the tables and retry with the repaired state.
   for (int attempt = 0; attempt < 8; ++attempt) {
@@ -192,8 +211,14 @@ void DhtNode::ForwardOrDeliver(RouteMsg msg) {
       }
     }
     if (!next.valid()) {
-      next = routing_->NextHop(msg.target);
-      if (next.host == host()) {
+      // Pluggable next-hop choice (dht/routing.h): the classic policy is
+      // the table's distance-only pick; the congestion-aware policy may
+      // detour around a backed-up hop, always within the progress set.
+      NextHopChoice choice = policy_->Choose(*routing_, msg.target,
+                                             load_probe_);
+      if (choice.detour) ++metrics_->congestion_detours;
+      next = choice.next;
+      if (!next.valid() || next.host == host()) {
         DeliverLocally(msg);
         return;
       }
@@ -211,15 +236,57 @@ void DhtNode::ForwardOrDeliver(RouteMsg msg) {
                                                     bytes, std::move(out)))) {
       return;
     }
-    routing_->RemovePeer(next.host);
+    DropPeer(next.host);
   }
   ++metrics_->routes_dropped;
+}
+
+bool DhtNode::TryCacheFastPath(const RouteMsg& msg) {
+  NodeInfo cached = route_cache_.Lookup(msg.target);
+  if (!cached.valid() || cached.host == host()) {
+    ++metrics_->route_cache_misses;
+    return false;
+  }
+  RouteMsg out = msg;
+  out.hops += 1;
+  out.via_cache = true;
+  // The saving is only provable if the prediction holds, so it is CLAIMED
+  // here and COUNTED by the receiver on a hop-1 delivery.
+  out.cache_skipped_hop = routing_->NextHop(msg.target).host != cached.host;
+  size_t bytes = RouteHeaderBytes() + out.app_bytes;
+  // NOT marked final_hop: if the entry is stale the receiver's own
+  // ownership check fails and it forwards the message along the ring —
+  // the fast path can mis-predict, never mis-deliver.
+  if (network_->Send(host(), cached.host,
+                     sim::Message::Make<RouteMsg>(kRouteStep, "dht.route",
+                                                  bytes, std::move(out)))) {
+    ++metrics_->route_cache_hits;  // a fast path actually taken
+    return true;
+  }
+  // Connection refused: the remembered owner is gone. Invalidate and let
+  // the caller ring-route with the repaired tables — for accounting this
+  // send is a (stale-detecting) miss, not a hit.
+  ++metrics_->route_cache_misses;
+  ++metrics_->route_cache_stale;
+  DropPeer(cached.host);
+  return false;
 }
 
 void DhtNode::DeliverLocally(const RouteMsg& msg) {
   ++metrics_->routes_delivered;
   metrics_->total_hops += msg.hops;
   metrics_->max_hops = std::max(metrics_->max_hops, msg.hops);
+  if (msg.via_cache) {
+    if (msg.hops == 1) {
+      // The prediction held; the claimed skipped hop is now proven.
+      if (msg.cache_skipped_hop) ++metrics_->hops_saved;
+    } else {
+      // Fast path landed on a stale-but-alive owner and had to continue
+      // along the ring — a misprediction (the reply/hint re-teaches the
+      // origin).
+      ++metrics_->route_cache_stale;
+    }
+  }
   switch (msg.app_type) {
     case kAppPut:
       HandlePutUpcall(msg);
@@ -246,11 +313,75 @@ void DhtNode::DeliverLocally(const RouteMsg& msg) {
       HandleLookupUpcall(msg);
       return;
     default: {
+      // App upcalls (PIER join stages, size probes) reply outside the DHT,
+      // so the owner teaches the origin with a standalone hint.
+      MaybeSendOwnerHint(msg);
       auto it = upcalls_.find(msg.app_type);
       if (it != upcalls_.end()) it->second(msg);
       return;
     }
   }
+}
+
+OwnerHint DhtNode::OwnerHintFor(Key target) const {
+  OwnerHint h;
+  if (!OwnerCacheEnabled() || !joined_ || !routing_->IsOwner(target)) {
+    // Replica peels and best-effort deliveries answer without owning; they
+    // must not teach an arc they cannot speak for.
+    return h;
+  }
+  h.owner = routing_->self();
+  ChordRouting* c = chord();
+  if (c != nullptr && c->predecessor().valid()) {
+    // The whole owned arc: one learned reply covers every key this node is
+    // responsible for.
+    h.arc_start = c->predecessor().id;
+    h.arc_end = id();
+  } else {
+    // Ownership span unknown (Bamboo's numeric-closeness, or a Chord node
+    // mid-join): teach the single routed key only.
+    h.arc_start = target - 1;
+    h.arc_end = target;
+  }
+  h.valid = true;
+  return h;
+}
+
+void DhtNode::LearnOwner(const OwnerHint& hint) {
+  if (!OwnerCacheEnabled() || !hint.valid || hint.owner.host == host()) {
+    return;
+  }
+  if (route_cache_.Teach(hint)) ++metrics_->route_cache_stale;
+}
+
+void DhtNode::MaybeSendOwnerHint(const RouteMsg& msg) {
+  // One-hop deliveries have nothing to save (a correctly predicted fast
+  // path always lands here with hops == 1, so it is covered too); a
+  // MULTI-hop delivery is worth teaching even when it started as a cache
+  // fast path — that is exactly the stale-but-alive misprediction the
+  // hint heals. Self-sends are local.
+  if (msg.hops <= 1) return;
+  if (!msg.origin.valid() || msg.origin.host == host()) return;
+  OwnerHint h = OwnerHintFor(msg.target);
+  if (!h.valid) return;
+  SendDirect(msg.origin.host,
+             sim::Message::Make<OwnerHint>(kOwnerHint, "dht.hint",
+                                           kOwnerHintBytes, h));
+}
+
+void DhtNode::DropPeer(sim::HostId host) {
+  routing_->RemovePeer(host);
+  route_cache_.ForgetHost(host);
+}
+
+sim::DestinationLoad DhtNode::NextHopLoad(Key target) const {
+  if (OwnerCacheEnabled() && joined_ && !routing_->IsOwner(target)) {
+    NodeInfo cached = route_cache_.Lookup(target);
+    if (cached.valid() && cached.host != host()) {
+      return network_->LoadOf(cached.host);
+    }
+  }
+  return network_->LoadOf(routing_->NextHop(target).host);
 }
 
 void DhtNode::Put(const std::string& ns, Key key, std::vector<uint8_t> value,
@@ -349,7 +480,6 @@ void DhtNode::MultiGet(const std::string& ns, std::vector<Key> keys,
     callback(Status::OK(), {});
     return;
   }
-  ++metrics_->multi_gets;
   metrics_->multi_get_keys += keys.size();
   uint64_t req_id = NextReqId();
   PendingMultiGet pending;
@@ -357,11 +487,38 @@ void DhtNode::MultiGet(const std::string& ns, std::vector<Key> keys,
   pending.awaiting = keys.size();
   pending.timeout = ArmMultiGetTimeout(req_id);
   pending_multi_gets_[req_id] = std::move(pending);
-  size_t bytes = ns.size() + 10 + 8 * keys.size();
-  Key first = keys.front();
-  auto body = std::make_shared<const MultiGetBody>(
-      MultiGetBody{ns, std::move(keys)});
-  Route(first, kAppGetMulti, body, bytes, req_id);
+
+  // With a warm owner location cache, split the key set by remembered
+  // owner: each group routes as its own scatter whose first hop is the
+  // cached owner direct — K known owners cost K one-hop messages instead
+  // of a K-segment ring walk. Keys in uncached arcs (and every key under
+  // the classic policy) ride one chained scatter exactly as before; a
+  // stale group simply forwards from the mispredicted node, shrinking
+  // back to the chained walk.
+  std::map<sim::HostId, std::vector<Key>> by_owner;
+  std::vector<Key> uncached;
+  if (OwnerCacheEnabled() && joined_) {
+    for (Key k : keys) {
+      NodeInfo owner = route_cache_.Lookup(k);
+      if (owner.valid() && owner.host != host()) {
+        by_owner[owner.host].push_back(k);
+      } else {
+        uncached.push_back(k);
+      }
+    }
+  } else {
+    uncached = std::move(keys);
+  }
+  auto send_scatter = [&](std::vector<Key> group) {
+    ++metrics_->multi_gets;
+    size_t bytes = ns.size() + 10 + 8 * group.size();
+    Key first = group.front();
+    auto body = std::make_shared<const MultiGetBody>(
+        MultiGetBody{ns, std::move(group)});
+    Route(first, kAppGetMulti, body, bytes, req_id);
+  };
+  for (auto& [owner_host, group] : by_owner) send_scatter(std::move(group));
+  if (!uncached.empty()) send_scatter(std::move(uncached));
 }
 
 void DhtNode::Lookup(Key target, LookupCallback callback) {
@@ -401,9 +558,14 @@ void DhtNode::HandlePutUpcall(const RouteMsg& msg) {
     ReplicateEntry(put.ns, put.key, put.value, put.expiry);
   }
   if (put.want_ack) {
+    OwnerHint hint = OwnerHintFor(msg.target);
     SendDirect(msg.origin.host,
-               sim::Message::Make<AckBody>(kPutAck, "dht.reply", 9,
-                                           AckBody{msg.req_id}));
+               sim::Message::Make<AckBody>(
+                   kPutAck, "dht.reply",
+                   9 + (hint.valid ? kOwnerHintBytes : 0),
+                   AckBody{msg.req_id, hint}));
+  } else {
+    MaybeSendOwnerHint(msg);
   }
 }
 
@@ -436,9 +598,14 @@ void DhtNode::HandlePutBatchUpcall(const RouteMsg& msg) {
     }
   }
   if (put.want_ack) {
+    OwnerHint hint = OwnerHintFor(msg.target);
     SendDirect(msg.origin.host,
-               sim::Message::Make<AckBody>(kPutAck, "dht.reply", 9,
-                                           AckBody{msg.req_id}));
+               sim::Message::Make<AckBody>(
+                   kPutAck, "dht.reply",
+                   9 + (hint.valid ? kOwnerHintBytes : 0),
+                   AckBody{msg.req_id, hint}));
+  } else {
+    MaybeSendOwnerHint(msg);
   }
 }
 
@@ -458,7 +625,8 @@ void DhtNode::HandleGetUpcall(const RouteMsg& msg) {
   const auto& get = msg.body<GetBody>();
   GetReplyBody reply;
   reply.req_id = msg.req_id;
-  size_t bytes = 16;
+  reply.hint = OwnerHintFor(msg.target);
+  size_t bytes = 16 + (reply.hint.valid ? kOwnerHintBytes : 0);
   for (const StoredValue* v :
        store_.Get(get.ns, get.key, network_->simulator()->now())) {
     bytes += v->value.size() + 4;
@@ -473,9 +641,11 @@ void DhtNode::HandleGetBatchUpcall(const RouteMsg& msg) {
   const auto& get = msg.body<GetBody>();
   GetBatchReplyBody reply;
   reply.req_id = msg.req_id;
+  reply.hint = OwnerHintFor(msg.target);
   reply.batch =
       store_.GetBatch(get.ns, get.key, network_->simulator()->now());
-  size_t bytes = reply.batch->size() + 12;
+  size_t bytes =
+      reply.batch->size() + 12 + (reply.hint.valid ? kOwnerHintBytes : 0);
   SendDirect(msg.origin.host,
              sim::Message::Make<GetBatchReplyBody>(kGetBatchReply,
                                                    "dht.reply", bytes,
@@ -496,8 +666,12 @@ void DhtNode::HandleGetMultiUpcall(const RouteMsg& msg) {
   // remainder shrinks even when our own view is stale.
   MultiGetReplyBody reply;
   reply.req_id = msg.req_id;
+  // A normally routed visit answers as the target key's owner; the reply
+  // teaches the requester this owner's arc (handoff receivers answer from
+  // replica state and teach nothing).
+  if (!get.arc_valid) reply.hint = OwnerHintFor(msg.target);
   std::vector<Key> rest;
-  size_t reply_bytes = 12;
+  size_t reply_bytes = 12 + (reply.hint.valid ? kOwnerHintBytes : 0);
   for (Key k : get.keys) {
     bool is_owner = routing_->IsOwner(k);
     bool answer = is_owner || (k == msg.target && !get.arc_valid);
@@ -581,7 +755,7 @@ bool DhtNode::ForwardMultiGetViaReplica(const RouteMsg& msg,
     }
     // Connection refused: the successor is down. Drop it and try the next
     // shorter arc with the repaired list.
-    routing_->RemovePeer(target.host);
+    DropPeer(target.host);
   }
   return false;
 }
@@ -607,10 +781,12 @@ void DhtNode::HandleFingerLookupUpcall(const RouteMsg& msg) {
 }
 
 void DhtNode::HandleLookupUpcall(const RouteMsg& msg) {
+  OwnerHint hint = OwnerHintFor(msg.target);
   SendDirect(msg.origin.host,
              sim::Message::Make<LookupReplyBody>(
-                 kLookupReply, "dht.reply", 12 + kNodeInfoBytes,
-                 LookupReplyBody{msg.req_id, info(), msg.hops}));
+                 kLookupReply, "dht.reply",
+                 12 + kNodeInfoBytes + (hint.valid ? kOwnerHintBytes : 0),
+                 LookupReplyBody{msg.req_id, info(), msg.hops, hint}));
 }
 
 void DhtNode::StartMaintenanceTimers() {
@@ -652,7 +828,7 @@ void DhtNode::DoStabilize() {
       return;
     }
     // Connection refused: successor is down; fall back along the list.
-    routing_->RemovePeer(succ.host);
+    DropPeer(succ.host);
     succ = c->successor();
   }
 }
@@ -662,7 +838,7 @@ void DhtNode::OnStabilizeTimeout(uint64_t seq, sim::HostId suspect) {
   if (seq <= last_stabilize_reply_) return;  // that round was answered
   // The successor did not answer: declare it failed and fall back to the
   // next entry of the successor list.
-  routing_->RemovePeer(suspect);
+  DropPeer(suspect);
 }
 
 void DhtNode::DoFixFinger() {
@@ -684,8 +860,13 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       ForwardOrDeliver(msg.as<RouteMsg>());
       return;
     }
+    case kOwnerHint: {
+      LearnOwner(msg.as<OwnerHint>());
+      return;
+    }
     case kGetReply: {
       const auto& reply = msg.as<GetReplyBody>();
+      LearnOwner(reply.hint);
       auto it = pending_gets_.find(reply.req_id);
       if (it == pending_gets_.end()) return;
       network_->simulator()->Cancel(it->second.timeout);
@@ -696,6 +877,7 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
     }
     case kGetBatchReply: {
       const auto& reply = msg.as<GetBatchReplyBody>();
+      LearnOwner(reply.hint);
       auto it = pending_batch_gets_.find(reply.req_id);
       if (it == pending_batch_gets_.end()) return;
       network_->simulator()->Cancel(it->second.timeout);
@@ -706,6 +888,7 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
     }
     case kMultiGetReply: {
       const auto& reply = msg.as<MultiGetReplyBody>();
+      LearnOwner(reply.hint);
       auto it = pending_multi_gets_.find(reply.req_id);
       if (it == pending_multi_gets_.end()) return;
       PendingMultiGet& pending = it->second;
@@ -736,6 +919,7 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
     }
     case kPutAck: {
       const auto& ack = msg.as<AckBody>();
+      LearnOwner(ack.hint);
       auto it = pending_puts_.find(ack.req_id);
       if (it == pending_puts_.end()) return;
       PutCallback cb = std::move(it->second);
@@ -745,6 +929,7 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
     }
     case kLookupReply: {
       const auto& reply = msg.as<LookupReplyBody>();
+      LearnOwner(reply.hint);
       auto it = pending_lookups_.find(reply.req_id);
       if (it == pending_lookups_.end()) return;
       network_->simulator()->Cancel(it->second.timeout);
@@ -866,7 +1051,7 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       ChordRouting* c = chord();
       if (c == nullptr) return;
       const auto& leave = msg.as<LeaveBody>();
-      routing_->RemovePeer(leave.departing.host);
+      DropPeer(leave.departing.host);
       if (leave.to_predecessor) {
         std::vector<NodeInfo> list = leave.successor_list;
         c->SetSuccessorList(std::move(list));
@@ -894,6 +1079,11 @@ void ExportTransportCounters(const DhtMetrics& m, CounterSet* out) {
   out->Set("dht.multi_get_keys", m.multi_get_keys);
   out->Set("dht.replica_peels", m.replica_peels);
   out->Set("dht.replica_skips", m.replica_skips);
+  out->Set("dht.route_cache_hits", m.route_cache_hits);
+  out->Set("dht.route_cache_misses", m.route_cache_misses);
+  out->Set("dht.route_cache_stale", m.route_cache_stale);
+  out->Set("dht.hops_saved", m.hops_saved);
+  out->Set("dht.congestion_detours", m.congestion_detours);
 }
 
 }  // namespace pierstack::dht

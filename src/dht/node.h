@@ -16,6 +16,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "dht/local_store.h"
+#include "dht/route_cache.h"
 #include "dht/routing.h"
 #include "sim/network.h"
 
@@ -37,6 +38,16 @@ struct RouteMsg {
   /// This keeps delivery correct while the receiver's own predecessor
   /// pointer is stale (mid-join or after a crash).
   bool final_hop = false;
+  /// Set when the origin short-circuited the first hop through its owner
+  /// location cache. NOT a delivery marker: a stale receiver forwards the
+  /// message along the ring like any other. A delivery with via_cache and
+  /// hops > 1 is a detected misprediction (counted stale; the owner's
+  /// hint re-teaches the origin).
+  bool via_cache = false;
+  /// Set with via_cache when the origin's classic ring first hop was NOT
+  /// the cached owner: if the prediction holds (delivered at hop 1), the
+  /// fast path provably skipped at least one ring hop.
+  bool cache_skipped_hop = false;
   std::shared_ptr<const void> app_body;
 
   template <typename T>
@@ -80,6 +91,24 @@ struct DhtMetrics {
   /// One-hop replica handoffs taken by the MultiGet scatter in place of an
   /// owner-by-owner walk.
   uint64_t replica_skips = 0;
+  /// Routes whose origin short-circuited the first hop to a cached owner
+  /// (the one-hop fast path; ring routing remains the fallback).
+  uint64_t route_cache_hits = 0;
+  /// Routes that had to start on the ring because no cached arc covered
+  /// the target.
+  uint64_t route_cache_misses = 0;
+  /// Cache entries proven wrong: refused fast-path sends, mispredicted
+  /// fast paths delivered past hop 1 (stale-but-alive old owners), and
+  /// hints that replaced a different remembered owner for the same arc.
+  uint64_t route_cache_stale = 0;
+  /// Ring hops provably avoided by cache hits. Conservative lower bound:
+  /// counts 1 per CORRECTLY predicted fast path (delivered at hop 1)
+  /// whose classic first hop was not already the owner (the true saving
+  /// per hit is the full ring path minus one).
+  uint64_t hops_saved = 0;
+  /// Next-hop choices where congestion bias overrode the classic
+  /// distance-only pick (the hop routed AROUND a backed-up peer).
+  uint64_t congestion_detours = 0;
 
   double MeanHops() const {
     return routes_delivered == 0
@@ -106,6 +135,20 @@ struct DhtOptions {
   /// store never short-circuits, so replication lag still resolves at the
   /// owner authoritatively). Off = always route to the primary owner.
   bool replica_aware_reads = true;
+  /// Next-hop policy (dht/routing.h): kCongestionAware scores ring-progress
+  /// candidates by remaining distance plus destination pressure and routes
+  /// around backed-up hops; kClassicChord is the legacy distance-only path
+  /// bit-for-bit (and forces the owner location cache off). The default is
+  /// env-overridable so a CI leg can run the whole suite on the legacy
+  /// path (PIERSTACK_ROUTING_POLICY=classic).
+  RoutingPolicyKind routing_policy = DefaultRoutingPolicyKind();
+  /// Learn (key arc → owner address) from routed replies/acks and try a
+  /// direct one-hop send before ring routing (see dht/route_cache.h).
+  /// Ignored — forced off — under kClassicChord.
+  bool owner_location_cache = true;
+  size_t route_cache_capacity = 256;
+  /// Congestion-penalty tuning for kCongestionAware.
+  CongestionPolicyOptions congestion;
   uint32_t max_route_hops = 128;
   /// Run periodic ring maintenance (stabilize + fix-fingers) on statically
   /// bootstrapped nodes. Off by default so static simulations quiesce;
@@ -232,10 +275,21 @@ class DhtNode : public sim::Host {
 
   /// Pressure probe of the next hop toward `target`'s owner — the best
   /// local estimate of the congestion a routed message to that key meets
-  /// first. Applications (PIER's adaptive rehash flush) drive their batch
+  /// first. With a warm owner location cache the next hop IS the owner, so
+  /// the probe reads the actual destination's pressure. Applications
+  /// (PIER's adaptive rehash flush, credit windows) drive their batch
   /// policies from this instead of compile-time constants.
-  sim::DestinationLoad NextHopLoad(Key target) const {
-    return network_->LoadOf(routing_->NextHop(target).host);
+  sim::DestinationLoad NextHopLoad(Key target) const;
+
+  /// The learned owner map (diagnostics; tests seed stale entries here).
+  RouteCache& route_cache() { return route_cache_; }
+  const RouteCache& route_cache() const { return route_cache_; }
+
+  /// True when this node learns and uses owner locations (the cache option
+  /// is on and the policy is not the legacy classic path).
+  bool OwnerCacheEnabled() const {
+    return options_.owner_location_cache &&
+           options_.routing_policy != RoutingPolicyKind::kClassicChord;
   }
 
   // --- sim::Host ---------------------------------------------------------
@@ -266,6 +320,10 @@ class DhtNode : public sim::Host {
     kGetBatchReply = 15,
     kReplicaPutBatch = 16,
     kMultiGetReply = 17,
+    /// Standalone owner hint for routed deliveries that send no reply the
+    /// hint could ride on (un-acked puts, app upcalls). One per multi-hop
+    /// cold delivery; the taught origin goes direct afterwards.
+    kOwnerHint = 18,
   };
 
  private:
@@ -316,10 +374,12 @@ class DhtNode : public sim::Host {
   struct GetReplyBody {
     uint64_t req_id;
     std::vector<std::vector<uint8_t>> values;
+    OwnerHint hint;  ///< Teaches the requester the answering owner's arc.
   };
   struct GetBatchReplyBody {
     uint64_t req_id;
     BatchImage batch;  ///< TupleBatch image, shared with the owner's cache.
+    OwnerHint hint;
   };
   struct MultiGetBody {
     std::string ns;
@@ -333,17 +393,37 @@ class DhtNode : public sim::Host {
   struct MultiGetReplyBody {
     uint64_t req_id;
     std::vector<MultiGetItem> items;  ///< This owner's share of the keys.
+    OwnerHint hint;
   };
   struct LookupReplyBody {
     uint64_t req_id;
     NodeInfo owner;
     uint32_t hops;
+    OwnerHint hint;
   };
 
   ChordRouting* chord() const;
 
   void ForwardOrDeliver(RouteMsg msg);
+  /// Origin-side owner-cache fast path: when a cached arc covers the
+  /// target, sends the message straight to the remembered owner (one hop)
+  /// and returns true. A refused send invalidates the entry and returns
+  /// false — the caller ring-routes as if the cache had missed.
+  bool TryCacheFastPath(const RouteMsg& msg);
   void DeliverLocally(const RouteMsg& msg);
+  /// The hint this node may attach to replies for a delivery of `target`:
+  /// valid only when this node answers as the key's owner (replica peels
+  /// teach nothing), covering the owned arc when the predecessor is known
+  /// and the single routed key otherwise.
+  OwnerHint OwnerHintFor(Key target) const;
+  /// Folds a received hint into the route cache (metrics-counted).
+  void LearnOwner(const OwnerHint& hint);
+  /// Teaches msg.origin via a standalone kOwnerHint when the delivery was
+  /// multi-hop, not already cache-routed, and produces no hinted reply.
+  void MaybeSendOwnerHint(const RouteMsg& msg);
+  /// RemovePeer plus owner-cache invalidation — every failure-detector
+  /// site must drop a dead host from BOTH routing structures.
+  void DropPeer(sim::HostId host);
   void HandlePutUpcall(const RouteMsg& msg);
   void HandlePutBatchUpcall(const RouteMsg& msg);
   /// Splits a PutBatch frame buffer and stores each value. A malformed
@@ -390,6 +470,9 @@ class DhtNode : public sim::Host {
   DhtOptions options_;
   DhtMetrics* metrics_;
   std::unique_ptr<RoutingTable> routing_;
+  std::unique_ptr<NextHopPolicy> policy_;
+  RouteCache route_cache_;
+  LoadProbe load_probe_;
   LocalStore store_;
   bool joined_ = false;
   bool crashed_ = false;

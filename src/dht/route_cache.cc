@@ -1,0 +1,50 @@
+#include "dht/route_cache.h"
+
+namespace pierstack::dht {
+
+NodeInfo RouteCache::Lookup(Key target) const {
+  if (arcs_.empty()) return NodeInfo{};
+  // The covering arc (if any) has its end at or clockwise of the target;
+  // probe a few successive arc ends so a stale exact-key entry sitting
+  // inside a wider live arc doesn't mask it.
+  constexpr int kProbes = 3;
+  auto it = arcs_.lower_bound(target);
+  for (int i = 0; i < kProbes; ++i) {
+    if (it == arcs_.end()) it = arcs_.begin();
+    if (InOpenClosed(it->second.arc_start, it->first, target)) {
+      return it->second.owner;
+    }
+    ++it;
+  }
+  return NodeInfo{};
+}
+
+bool RouteCache::Teach(const OwnerHint& hint) {
+  if (!hint.valid || !hint.owner.valid()) return false;
+  auto it = arcs_.find(hint.arc_end);
+  bool replaced_other_owner =
+      it != arcs_.end() && it->second.owner.host != hint.owner.host;
+  arcs_[hint.arc_end] = Entry{hint.arc_start, hint.owner, seq_++};
+  if (arcs_.size() > capacity_) {
+    // Evict the oldest-taught arc. Linear scan: the cache is small and
+    // eviction only runs past capacity.
+    auto oldest = arcs_.begin();
+    for (auto e = arcs_.begin(); e != arcs_.end(); ++e) {
+      if (e->second.seq < oldest->second.seq) oldest = e;
+    }
+    arcs_.erase(oldest);
+  }
+  return replaced_other_owner;
+}
+
+void RouteCache::ForgetHost(sim::HostId host) {
+  for (auto it = arcs_.begin(); it != arcs_.end();) {
+    if (it->second.owner.host == host) {
+      it = arcs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace pierstack::dht

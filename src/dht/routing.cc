@@ -1,0 +1,140 @@
+#include "dht/routing.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+namespace pierstack::dht {
+
+namespace {
+
+/// Bit width of a ring distance — the expected-remaining-hops proxy
+/// (halving the distance per hop is what greedy O(log N) routing does).
+int DistanceBits(Key d) {
+  int bits = 0;
+  while (d != 0) {
+    ++bits;
+    d >>= 1;
+  }
+  return bits;
+}
+
+/// The classic policy: delegate to the table's own greedy pick.
+class ClassicGreedyPolicy : public NextHopPolicy {
+ public:
+  NextHopChoice Choose(const RoutingTable& table, Key target,
+                       const LoadProbe&) const override {
+    return NextHopChoice{table.NextHop(target), false};
+  }
+};
+
+class CongestionAwarePolicy : public NextHopPolicy {
+ public:
+  explicit CongestionAwarePolicy(const CongestionPolicyOptions& opts)
+      : opts_(opts) {}
+
+  NextHopChoice Choose(const RoutingTable& table, Key target,
+                       const LoadProbe& probe) const override {
+    NodeInfo classic = table.NextHop(target);
+    if (classic.host == table.self().host) {
+      // The table says deliver locally (owner, or best-effort on a stale
+      // table); a policy never overrides delivery.
+      return NextHopChoice{classic, false};
+    }
+    double classic_penalty = CongestionPenaltyHops(probe(classic.host));
+    if (classic_penalty <= 0) {
+      // The classic pick is not backed up: route exactly like classic
+      // Chord/Bamboo. Detours exist to dodge congestion, not to second-
+      // guess the overlay's own distance metric.
+      return NextHopChoice{classic, false};
+    }
+    candidates_.clear();
+    table.AppendProgressCandidates(target, &candidates_);
+    double classic_score =
+        static_cast<double>(
+            DistanceBits(table.RouteDistance(classic.id, target))) +
+        classic_penalty;
+    NodeInfo best;
+    double best_score = 0;
+    Key best_dist = 0;
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      const NodeInfo& cand = candidates_[i];
+      if (!cand.valid() || cand.host == classic.host) continue;
+      // Candidates may repeat (fingers, successors and leaves overlap);
+      // probe each host once.
+      bool seen = false;
+      for (size_t j = 0; j < i && !seen; ++j) {
+        seen = candidates_[j].host == cand.host;
+      }
+      if (seen) continue;
+      Key dist = table.RouteDistance(cand.id, target);
+      double score = static_cast<double>(DistanceBits(dist)) +
+                     CongestionPenaltyHops(probe(cand.host));
+      // Deterministic tie-break: smaller remaining distance, then id.
+      if (!best.valid() || score < best_score ||
+          (score == best_score &&
+           (dist < best_dist || (dist == best_dist && cand.id < best.id)))) {
+        best = cand;
+        best_score = score;
+        best_dist = dist;
+      }
+    }
+    if (best.valid() && best_score < classic_score) {
+      return NextHopChoice{best, true};
+    }
+    // All alternatives are at least as bad (or none exist): the greedy
+    // fallback guarantee — never worse than classic routing.
+    return NextHopChoice{classic, false};
+  }
+
+ private:
+  double CongestionPenaltyHops(const sim::DestinationLoad& load) const {
+    double hops = 0;
+    if (load.in_flight_messages > opts_.inflight_message_slack) {
+      hops += opts_.hops_per_inflight_message *
+              static_cast<double>(load.in_flight_messages -
+                                  opts_.inflight_message_slack);
+    }
+    if (load.in_flight_bytes > opts_.inflight_byte_slack &&
+        opts_.inflight_bytes_per_hop > 0) {
+      hops += static_cast<double>(load.in_flight_bytes -
+                                  opts_.inflight_byte_slack) /
+              static_cast<double>(opts_.inflight_bytes_per_hop);
+    }
+    if (opts_.latency_per_hop > 0 &&
+        load.smoothed_latency > opts_.latency_slack) {
+      hops += static_cast<double>(load.smoothed_latency -
+                                  opts_.latency_slack) /
+              static_cast<double>(opts_.latency_per_hop);
+    }
+    return hops;
+  }
+
+  CongestionPolicyOptions opts_;
+  /// Scratch candidate buffer — Choose is on the per-message fast path and
+  /// must not allocate once warmed. Policies are per-node, single-threaded.
+  mutable std::vector<NodeInfo> candidates_;
+};
+
+}  // namespace
+
+RoutingPolicyKind DefaultRoutingPolicyKind() {
+  const char* env = std::getenv("PIERSTACK_ROUTING_POLICY");
+  if (env != nullptr && std::string_view(env) == "classic") {
+    return RoutingPolicyKind::kClassicChord;
+  }
+  return RoutingPolicyKind::kCongestionAware;
+}
+
+std::unique_ptr<NextHopPolicy> MakeNextHopPolicy(
+    RoutingPolicyKind kind, const CongestionPolicyOptions& opts) {
+  switch (kind) {
+    case RoutingPolicyKind::kClassicChord:
+      return std::make_unique<ClassicGreedyPolicy>();
+    case RoutingPolicyKind::kCongestionAware:
+      return std::make_unique<CongestionAwarePolicy>(opts);
+  }
+  return nullptr;
+}
+
+}  // namespace pierstack::dht

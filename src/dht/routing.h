@@ -1,12 +1,26 @@
-// Routing table abstraction shared by the two structured overlays.
+// Routing module shared by the two structured overlays: the per-node
+// routing *table* abstraction plus the pluggable next-hop *policy* that
+// picks among its candidates.
 //
 // The paper's system runs on the Bamboo DHT but depends only on generic
 // key-based routing (O(log N) hops) and key→owner agreement. We provide two
-// interchangeable implementations — a Chord-style ring (chord.h) and a
-// Bamboo/Pastry-style prefix router (bamboo.h) — so the overlay choice can
-// be ablated.
+// interchangeable table implementations — a Chord-style ring (chord.h) and
+// a Bamboo/Pastry-style prefix router (bamboo.h) — so the overlay choice
+// can be ablated, and two next-hop policies:
+//
+//  * kClassicChord — the table's own greedy pick, purely by ID distance
+//    (the legacy behavior, bit-for-bit).
+//  * kCongestionAware — Bamboo-style load-balanced routing: among the
+//    peers that make strict ring progress toward the target, score each
+//    candidate by remaining-distance (an expected-hops proxy) plus a
+//    congestion penalty from the destination's sim::DestinationLoad
+//    (queued messages/bytes + decayed latency EWMA), and route around
+//    backed-up hops. Every candidate makes strict progress in the
+//    overlay's own metric, so biased routing terminates and never loops;
+//    with no live load signal it degrades to the classic greedy pick.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -19,6 +33,20 @@ enum class OverlayKind {
   kChord,
   kBamboo,
 };
+
+/// Which next-hop policy a node routes with.
+enum class RoutingPolicyKind {
+  /// The overlay table's own greedy, distance-only choice — the legacy
+  /// routing path, preserved exactly (owner-location cache disabled too).
+  kClassicChord,
+  /// Congestion-biased choice over the progress-candidate set.
+  kCongestionAware,
+};
+
+/// The deployment-wide default: kCongestionAware, unless the environment
+/// variable PIERSTACK_ROUTING_POLICY is set to "classic" (the CI matrix leg
+/// that proves the legacy routing path stays green runs tier-1 under it).
+RoutingPolicyKind DefaultRoutingPolicyKind();
 
 /// Per-node routing state: next-hop selection plus ownership test.
 class RoutingTable {
@@ -40,6 +68,23 @@ class RoutingTable {
   /// node is known — best-effort delivery on stale tables).
   virtual NodeInfo NextHop(Key target) const = 0;
 
+  /// Appends every known peer a policy may forward a message for `target`
+  /// to: each candidate makes STRICT progress toward the target in the
+  /// overlay's own routing metric, so any choice among them terminates and
+  /// never loops. NOTE: the classic NextHop pick is NOT guaranteed to be
+  /// in this set — a Bamboo prefix hop can extend the shared prefix while
+  /// being numerically farther than self — so policies must score the
+  /// classic pick separately rather than expect it among the candidates.
+  /// Candidates may repeat (fingers and successors overlap); policies
+  /// dedupe by host.
+  virtual void AppendProgressCandidates(Key target,
+                                        std::vector<NodeInfo>* out) const = 0;
+
+  /// The overlay's routing distance from a peer at `peer_id` to `target` —
+  /// what greedy routing minimizes (clockwise distance on Chord, numeric
+  /// ring distance on Bamboo). Smaller = fewer expected remaining hops.
+  virtual Key RouteDistance(Key peer_id, Key target) const = 0;
+
   /// Nodes that should hold replicas of this node's keys (closest k peers
   /// in the overlay's own metric), excluding self. May return fewer than k.
   virtual std::vector<NodeInfo> ReplicaTargets(size_t k) const = 0;
@@ -50,5 +95,50 @@ class RoutingTable {
   /// All distinct peers currently known (for diagnostics/tests).
   virtual std::vector<NodeInfo> KnownPeers() const = 0;
 };
+
+/// Pressure probe a policy scores candidates with; wired to
+/// sim::Network::LoadOf by DhtNode.
+using LoadProbe = std::function<sim::DestinationLoad(sim::HostId)>;
+
+/// Tunables of the congestion-aware policy. All penalties are expressed in
+/// "expected extra hops", the same currency as the remaining-distance
+/// proxy, so a detour is taken exactly when the queueing it avoids is worth
+/// more than the ring progress it gives up.
+struct CongestionPolicyOptions {
+  /// In-flight messages a destination may queue before it counts as backed
+  /// up (plain request/reply pipelining is not congestion).
+  uint32_t inflight_message_slack = 2;
+  /// Each queued message past the slack costs one expected hop.
+  double hops_per_inflight_message = 1.0;
+  /// In-flight bytes tolerated before the byte penalty starts.
+  size_t inflight_byte_slack = 32 * 1024;
+  /// Each this-many queued bytes past the slack cost one expected hop.
+  size_t inflight_bytes_per_hop = 16 * 1024;
+  /// Smoothed delivery latency tolerated before the latency penalty starts
+  /// (the network's ordinary base latency is not congestion).
+  sim::SimTime latency_slack = 50 * sim::kMillisecond;
+  /// Each this much smoothed delivery latency past the slack (the decayed
+  /// EWMA — catches slow hosts whose queue happens to be empty right now)
+  /// costs one expected hop.
+  sim::SimTime latency_per_hop = 100 * sim::kMillisecond;
+};
+
+/// One next-hop decision.
+struct NextHopChoice {
+  NodeInfo next;        ///< self() means deliver locally (same as NextHop).
+  bool detour = false;  ///< True when load bias overrode the classic pick.
+};
+
+/// Pluggable next-hop selection over a RoutingTable's candidates.
+class NextHopPolicy {
+ public:
+  virtual ~NextHopPolicy() = default;
+  virtual NextHopChoice Choose(const RoutingTable& table, Key target,
+                               const LoadProbe& probe) const = 0;
+};
+
+/// Builds the policy for `kind`. `opts` applies to kCongestionAware.
+std::unique_ptr<NextHopPolicy> MakeNextHopPolicy(
+    RoutingPolicyKind kind, const CongestionPolicyOptions& opts = {});
 
 }  // namespace pierstack::dht

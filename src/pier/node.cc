@@ -155,7 +155,8 @@ PierNode::QueueMap::iterator PierNode::FlushAndErase(QueueMap::iterator it) {
 size_t PierNode::FlushThresholdTuples(dht::Key key) const {
   if (!batch_options_.adaptive_flush) return batch_options_.max_batch_tuples;
   // Probe the pressure toward the queue's destination (the next routing
-  // hop is the congestion a flushed PutBatch meets first). An idle path
+  // hop — the cached owner itself once the location cache is warm — is
+  // the congestion a flushed PutBatch meets first). An idle path
   // means a flush costs nothing to pipeline — ship small batches for
   // latency. Every in-flight message doubles the patience, growing batches
   // toward the fixed ceiling while earlier sends drain.

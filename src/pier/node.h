@@ -79,7 +79,9 @@ struct PierMetrics {
 /// pending tuple. With `adaptive_flush` on (the default) the tuple bound is
 /// load-adaptive: the sender probes the pressure toward the destination
 /// (sim::Network's per-destination in-flight signals via the next routing
-/// hop) and flushes at `min_batch_tuples` when the path is idle — latency —
+/// hop — with a warm owner location cache the next hop IS the owner, so
+/// the probe reads the actual destination) and flushes at
+/// `min_batch_tuples` when the path is idle — latency —
 /// doubling its patience with every in-flight message until the fixed
 /// `max_batch_tuples` / `max_batch_bytes` ceilings — throughput under load.
 /// The old constants are thus the ceiling of the adaptive range and the

@@ -38,6 +38,13 @@ SimTime CoordinateLatency::Latency(HostId from, HostId to, size_t bytes,
   return delay;
 }
 
+SimTime DecayedLatency(SimTime latency, SimTime elapsed, SimTime half_life) {
+  if (latency == 0 || half_life == 0) return latency;
+  SimTime halvings = elapsed / half_life;
+  if (halvings >= 64) return 0;
+  return latency >> halvings;
+}
+
 void NetworkMetrics::Record(const char* tag, size_t bytes) {
   total.messages += 1;
   total.bytes += bytes;
@@ -73,7 +80,16 @@ void Network::SetProcessingDelay(HostId id, SimTime delay) {
 }
 
 DestinationLoad Network::LoadOf(HostId id) const {
-  return id < loads_.size() ? loads_[id] : DestinationLoad{};
+  if (id >= loads_.size()) return DestinationLoad{};
+  DestinationLoad l = loads_[id];
+  // Idle decay applied on read; the returned copy is stamped as-of-now so
+  // a holder re-decaying it later cannot double-count the pre-read idle
+  // interval.
+  sim::SimTime now = simulator_->now();
+  l.smoothed_latency = DecayedLatency(
+      l.smoothed_latency, now - l.latency_updated_at, load_decay_half_life_);
+  l.latency_updated_at = now;
+  return l;
 }
 
 void Network::ResetLoadWatermarks() {
@@ -97,10 +113,15 @@ void Network::SettleInFlight(HostId to, size_t bytes,
   assert(l.in_flight_messages > 0 && l.in_flight_bytes >= bytes);
   l.in_flight_messages -= 1;
   l.in_flight_bytes -= bytes;
-  // EWMA with 1/8 gain, seeded by the first observation.
-  l.smoothed_latency = l.smoothed_latency == 0
-                           ? observed_delay
-                           : (7 * l.smoothed_latency + observed_delay) / 8;
+  // Decay the stored history to now first, then fold in the observation:
+  // EWMA with 1/8 gain, seeded by the first (or post-idle) observation.
+  SimTime now = simulator_->now();
+  SimTime history = DecayedLatency(l.smoothed_latency,
+                                   now - l.latency_updated_at,
+                                   load_decay_half_life_);
+  l.smoothed_latency =
+      history == 0 ? observed_delay : (7 * history + observed_delay) / 8;
+  l.latency_updated_at = now;
 }
 
 void Network::RemoveHost(HostId id) {

@@ -123,6 +123,12 @@ struct TrafficCounter {
 /// `smoothed_latency` is an EWMA of observed delivery delays, including any
 /// receiver processing delay. Senders probe this to adapt batch sizes and
 /// pacing to destination load instead of compile-time constants.
+///
+/// The latency EWMA is time-decayed on read: while a destination sits idle
+/// the signal halves every `Network` decay half-life, so one historical
+/// burst cannot permanently bias adaptive flush, credit windows, or
+/// congestion-aware routing. A value decayed all the way to 0 reads as
+/// "unmeasured" again, which every consumer treats conservatively.
 struct DestinationLoad {
   uint32_t in_flight_messages = 0;
   size_t in_flight_bytes = 0;
@@ -130,7 +136,13 @@ struct DestinationLoad {
   /// what an unpaced sender managed to pile onto this destination.
   size_t peak_in_flight_bytes = 0;
   sim::SimTime smoothed_latency = 0;  ///< EWMA; 0 until the first delivery.
+  /// Time of the last EWMA update; the decay clock (internal to Network,
+  /// but exposed so probes can be re-decayed by holders of a stale copy).
+  sim::SimTime latency_updated_at = 0;
 };
+
+/// `latency` halved once per elapsed `half_life` (0 half-life = no decay).
+SimTime DecayedLatency(SimTime latency, SimTime elapsed, SimTime half_life);
 
 /// Aggregated network metrics, by category tag and in total.
 struct NetworkMetrics {
@@ -167,8 +179,16 @@ class Network {
   void SetProcessingDelay(HostId id, SimTime delay);
 
   /// Cheap per-destination pressure probe (see DestinationLoad). Returns a
-  /// zero-value load for unknown hosts.
+  /// zero-value load for unknown hosts. The smoothed-latency signal is
+  /// returned time-decayed (see set_load_decay_half_life).
   DestinationLoad LoadOf(HostId id) const;
+
+  /// Half-life of the idle decay applied to each destination's smoothed
+  /// latency (0 disables decay — the sticky pre-decay behavior).
+  void set_load_decay_half_life(SimTime half_life) {
+    load_decay_half_life_ = half_life;
+  }
+  SimTime load_decay_half_life() const { return load_decay_half_life_; }
 
   /// Resets every destination's peak_in_flight_bytes watermark to its
   /// current in-flight level (benches bracket a measured phase with this).
@@ -202,6 +222,7 @@ class Network {
   std::vector<bool> up_;
   std::vector<SimTime> processing_delay_;  // index = HostId
   std::vector<DestinationLoad> loads_;     // index = HostId
+  SimTime load_decay_half_life_ = 5 * kSecond;
   NetworkMetrics metrics_;
 };
 

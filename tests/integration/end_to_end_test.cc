@@ -177,6 +177,10 @@ TEST(EndToEndTest, TransportCountersSurfaced) {
                        29);
   dht::DhtOptions dopts;
   dopts.replication = 2;
+  // The routing-layer counters asserted below need the load-balanced
+  // policy; pin it so the classic CI leg (env override) still runs this
+  // test as written.
+  dopts.routing_policy = dht::RoutingPolicyKind::kCongestionAware;
   dht::DhtDeployment dht(&network, 24, dopts, 4242);
   pier::PierMetrics pier_metrics;
   pier::BatchOptions bopts;
@@ -234,6 +238,17 @@ TEST(EndToEndTest, TransportCountersSurfaced) {
   simulator.Run();
   EXPECT_EQ(fetched, item_keys.size());
 
+  // The same fetch again: the first round's replies taught the fetcher the
+  // owners' arcs, so the warm scatter must hit the owner location cache.
+  fetched = 0;
+  piers[2]->FetchMany(items, item_keys,
+                      [&](Status s, std::vector<pier::Tuple> tuples) {
+                        ASSERT_TRUE(s.ok()) << s.ToString();
+                        fetched = tuples.size();
+                      });
+  simulator.Run();
+  EXPECT_EQ(fetched, item_keys.size());
+
   // Chunked join against a slowed stage owner: credit pacing must stall at
   // least once and still complete with the exact intersection.
   dht::Key beta_key =
@@ -255,6 +270,32 @@ TEST(EndToEndTest, TransportCountersSurfaced) {
   simulator.Run();
   EXPECT_EQ(results, 120u);
 
+  // Hot-spot routing: bury one node under a processing delay, then fire a
+  // burst of puts whose greedy first hop is that node while an alternative
+  // finger makes progress too — the congestion-aware policy must detour.
+  dht::DhtNode* hot_origin = dht.node(8);
+  sim::HostId hot = dht.ExpectedOwner(beta_key)->host();
+  network.SetProcessingDelay(hot, 80 * sim::kMillisecond);
+  std::vector<dht::Key> hot_keys;
+  for (uint64_t i = 1; i < 50000 && hot_keys.size() < 30; ++i) {
+    dht::Key k = Mix64(i ^ 0x9e3779b97f4a7c15ull);
+    auto& table = hot_origin->routing();
+    if (table.IsOwner(k)) continue;
+    if (table.NextHop(k).host != hot) continue;
+    std::vector<dht::NodeInfo> cands;
+    table.AppendProgressCandidates(k, &cands);
+    bool has_alternative = false;
+    for (const auto& c : cands) {
+      if (c.host != hot) has_alternative = true;
+    }
+    if (has_alternative) hot_keys.push_back(k);
+  }
+  ASSERT_GT(hot_keys.size(), 5u);
+  for (dht::Key k : hot_keys) {
+    hot_origin->Put("hotspot", k, {1, 2, 3});
+  }
+  simulator.Run();
+
   CounterSet counters;
   pier::ExportTransportCounters(pier_metrics, &counters);
   dht::ExportTransportCounters(dht.metrics(), &counters);
@@ -262,6 +303,12 @@ TEST(EndToEndTest, TransportCountersSurfaced) {
   EXPECT_GT(counters.Value("pier.credits_stalled"), 0u);
   EXPECT_GT(counters.Value("dht.replica_peels"), 0u);
   EXPECT_GT(counters.Value("dht.replica_skips"), 0u);
+  // The routing layer's own counters, all live in one deployment: the warm
+  // fetch hit the owner location cache (saving ring hops) and the hot-spot
+  // burst routed around the buried node.
+  EXPECT_GT(counters.Value("dht.route_cache_hits"), 0u);
+  EXPECT_GT(counters.Value("dht.hops_saved"), 0u);
+  EXPECT_GT(counters.Value("dht.congestion_detours"), 0u);
   EXPECT_EQ(counters.Value("pier.credit_streams_expired"), 0u);
   EXPECT_EQ(pier_metrics.tuples_dropped_deserialize, 0u);
 }

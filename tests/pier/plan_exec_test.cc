@@ -52,8 +52,12 @@ struct Cluster {
     network = std::make_unique<sim::Network>(
         &simulator,
         std::make_unique<sim::ConstantLatency>(5 * sim::kMillisecond), 31);
-    dht = std::make_unique<dht::DhtDeployment>(network.get(), n,
-                                               dht::DhtOptions{}, 777);
+    // This suite asserts exact message parity between two back-to-back
+    // engine runs; pin the classic routing path so the owner location
+    // cache (warmed by the first run) cannot skew the second.
+    dht::DhtOptions dopts;
+    dopts.routing_policy = dht::RoutingPolicyKind::kClassicChord;
+    dht = std::make_unique<dht::DhtDeployment>(network.get(), n, dopts, 777);
     for (size_t i = 0; i < n; ++i) {
       piers.push_back(std::make_unique<PierNode>(dht->node(i), &metrics));
     }

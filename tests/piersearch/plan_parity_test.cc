@@ -27,8 +27,12 @@ struct Cluster {
     network = std::make_unique<sim::Network>(
         &simulator,
         std::make_unique<sim::ConstantLatency>(5 * sim::kMillisecond), 23);
-    dht = std::make_unique<dht::DhtDeployment>(network.get(), n,
-                                               dht::DhtOptions{}, 321);
+    // Message-parity suite: pin the classic routing path so the owner
+    // location cache (warmed by whichever strategy runs first) cannot
+    // skew the legacy-vs-plan message comparison.
+    dht::DhtOptions dopts;
+    dopts.routing_policy = dht::RoutingPolicyKind::kClassicChord;
+    dht = std::make_unique<dht::DhtDeployment>(network.get(), n, dopts, 321);
     for (size_t i = 0; i < n; ++i) {
       piers.push_back(
           std::make_unique<pier::PierNode>(dht->node(i), &metrics));

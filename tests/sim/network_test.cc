@@ -208,6 +208,66 @@ TEST_F(NetworkTest, SmoothedLatencyIsAnEwma) {
   EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 9 * kMillisecond);
 }
 
+TEST_F(NetworkTest, SmoothedLatencyDecaysWhileIdle) {
+  // One historical burst must not bias adaptive policies forever: the
+  // latency EWMA halves per configured half-life of idleness and reads as
+  // "unmeasured" (0) once fully decayed.
+  Network net(&sim, std::make_unique<ConstantLatency>(8 * kMillisecond), 1);
+  net.set_load_decay_half_life(1 * kSecond);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 1, Payload{}));
+  sim.Run();
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 8 * kMillisecond);
+  // Within the first half-life the signal is untouched.
+  sim.RunFor(999 * kMillisecond);
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 8 * kMillisecond);
+  // One full half-life past the last update: halved.
+  sim.RunFor(10 * kMillisecond);
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 4 * kMillisecond);
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 2 * kMillisecond);
+  // Long idle: fully decayed to the unmeasured baseline.
+  sim.RunFor(60 * kSecond);
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 0u);
+}
+
+TEST_F(NetworkTest, PostIdleObservationReseedsDecayedEwma) {
+  // The stored EWMA is decayed to now BEFORE folding in a new observation,
+  // so a fresh delivery after a long idle reseeds the signal instead of
+  // being averaged against stale history.
+  Network net(&sim, std::make_unique<ConstantLatency>(8 * kMillisecond), 1);
+  net.set_load_decay_half_life(1 * kSecond);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.SetProcessingDelay(hb, 72 * kMillisecond);  // a slow burst: 80ms
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 1, Payload{}));
+  sim.Run();
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 80 * kMillisecond);
+  // The burst ends and the host recovers; a minute later one fast message
+  // measures the true current latency.
+  net.SetProcessingDelay(hb, 0);
+  sim.RunFor(60 * kSecond);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 1, Payload{}));
+  sim.Run();
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 8 * kMillisecond);
+}
+
+TEST_F(NetworkTest, ZeroHalfLifeDisablesDecay) {
+  Network net(&sim, std::make_unique<ConstantLatency>(8 * kMillisecond), 1);
+  net.set_load_decay_half_life(0);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.Send(ha, hb, Message::Make<Payload>(1, "x", 1, Payload{}));
+  sim.Run();
+  sim.RunFor(10 * kMinute);
+  // The sticky pre-decay contract, for deployments that want it.
+  EXPECT_EQ(net.LoadOf(hb).smoothed_latency, 8 * kMillisecond);
+}
+
 TEST_F(NetworkTest, ProcessingDelayPostponesDelivery) {
   Network net(&sim, std::make_unique<ConstantLatency>(10 * kMillisecond), 1);
   Recorder a, b;
