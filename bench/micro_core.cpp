@@ -27,6 +27,7 @@
 #include "dht/bamboo.h"
 #include "dht/builder.h"
 #include "dht/chord.h"
+#include "dht/churn.h"
 #include "gnutella/index.h"
 #include "pier/node.h"
 #include "pier/ops.h"
@@ -1093,6 +1094,209 @@ static void BM_BambooNextHop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BambooNextHop)->Arg(1024)->Arg(16384);
+
+// ---------------------------------------------------------------------------
+// Churn scenarios (paper Section 7's recall-under-flux methodology): a
+// maintained DHT at replication 3 is driven through scripted membership
+// churn by a FaultPlan timeline, and the gates in run_bench.sh --check
+// hold recall against the stable-ring answer set and the restoration of
+// every surviving key range to full replication. All three scenarios are
+// counted (not timed) and seed-deterministic.
+
+/// Maintained cluster + fault plan + churn driver for the churn benches.
+/// Declaration order matters: the plan must outlive the network that
+/// consults it and the driver that counts into it.
+struct ChurnBench {
+  static constexpr size_t kReplication = 3;
+  static constexpr char kNs[] = "churn";
+
+  sim::Simulator simulator;
+  sim::FaultPlan plan;
+  sim::Network network;
+  dht::DhtDeployment dht;
+  dht::ChurnDriver driver;
+  std::vector<dht::Key> keys;
+
+  ChurnBench(size_t nodes, uint64_t churn_seed)
+      : plan(churn_seed ^ 0xC0FFEEull),
+        network(&simulator,
+                std::make_unique<sim::ConstantLatency>(10 * sim::kMillisecond),
+                7),
+        dht(&network, nodes, ChurnOpts(), 11),
+        driver(&dht, churn_seed, &plan) {
+    network.set_fault_plan(&plan);
+  }
+
+  static dht::DhtOptions ChurnOpts() {
+    dht::DhtOptions dopts;
+    dopts.replication = kReplication;
+    dopts.maintenance = true;
+    return dopts;
+  }
+
+  /// Publishes `count` keys through the bootstrap node and settles.
+  void Publish(size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      keys.push_back((i + 1) * 0x9E3779B97F4A7C15ull);
+      dht.node(0)->Put(kNs, keys.back(), {uint8_t(i), uint8_t(i >> 8), 3}, 0,
+                       nullptr);
+    }
+    simulator.RunFor(10 * sim::kSecond);
+  }
+
+  dht::DhtNode* NodeByHost(sim::HostId host) {
+    for (size_t i = 0; i < dht.size(); ++i) {
+      if (dht.node(i)->host() == host) return dht.node(i);
+    }
+    return nullptr;
+  }
+
+  /// Live holders of `k` among its current owner and replica targets.
+  size_t LiveCopies(dht::Key k) {
+    dht::DhtNode* owner = dht.ExpectedOwner(k);
+    if (owner == nullptr) return 0;
+    size_t copies = owner->store().Has(kNs, k, simulator.now()) ? 1 : 0;
+    for (const auto& r : owner->routing().ReplicaTargets(kReplication - 1)) {
+      dht::DhtNode* holder = NodeByHost(r.host);
+      if (holder != nullptr && holder->joined() &&
+          holder->store().Has(kNs, k, simulator.now())) {
+        ++copies;
+      }
+    }
+    return copies;
+  }
+
+  /// True when some live node still stores `k` — the key survived the
+  /// failure even if the replication floor is temporarily broken.
+  bool Survives(dht::Key k) {
+    for (size_t i = 0; i < dht.size(); ++i) {
+      dht::DhtNode* n = dht.node(i);
+      if (n->joined() && n->store().Has(kNs, k, simulator.now())) return true;
+    }
+    return false;
+  }
+};
+
+// Sustained churn at the paper-scale rate (1% of the ring per simulated
+// minute, joins and crashes alternating) while a surviving node keeps
+// querying the published key set. Gate: recall within epsilon of the
+// stable-ring answer set (every key was acked before churn started).
+static void BM_Churn_SustainedRecall(benchmark::State& state) {
+  const size_t kNodes = 48, kKeys = 120, kPerTick = 5;
+  const sim::SimTime kWindow = 6 * sim::kMinute;
+  const double kEventsPerMinute = kNodes * 0.01;  // 1%/min
+  uint64_t asked = 0, answered = 0, crashes = 0, joins = 0, retries = 0;
+  for (auto _ : state) {
+    ChurnBench c(kNodes, 606);
+    c.Publish(kKeys);
+    c.driver.Schedule(sim::FaultPlan::SustainedChurn(
+        c.simulator.now(), kWindow, kEventsPerMinute, 909));
+    // Every 2s, fetch a rotating window of keys from the bootstrap node
+    // (which the driver never crashes).
+    size_t tick = 0;
+    for (sim::SimTime t = c.simulator.now() + 2 * sim::kSecond;
+         t < c.simulator.now() + kWindow; t += 2 * sim::kSecond, ++tick) {
+      c.simulator.ScheduleAt(t, [&c, &asked, &answered, tick] {
+        for (size_t j = 0; j < kPerTick; ++j) {
+          dht::Key k = c.keys[(tick * kPerTick + j) % c.keys.size()];
+          ++asked;
+          c.dht.node(0)->Get(ChurnBench::kNs, k,
+                             [&answered](Status s, auto values) {
+                               if (s.ok() && !values.empty()) ++answered;
+                             });
+        }
+      });
+    }
+    // The window plus one full get deadline so every in-flight query
+    // resolves before the harness is torn down.
+    c.simulator.RunFor(kWindow + 15 * sim::kSecond);
+    crashes += c.driver.stats().crashes;
+    joins += c.driver.stats().joins;
+    retries += c.dht.metrics().get_retries;
+  }
+  state.SetItemsProcessed(int64_t(asked));
+  state.counters["recall_permille"] =
+      asked == 0 ? 0.0 : 1000.0 * static_cast<double>(answered) /
+                             static_cast<double>(asked);
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["churn_crashes"] = per_iter(crashes);
+  state.counters["churn_joins"] = per_iter(joins);
+  state.counters["get_retries"] = per_iter(retries);
+}
+BENCHMARK(BM_Churn_SustainedRecall)->Unit(benchmark::kMillisecond);
+
+// Flash-crowd join: 10% of the ring arrives within one simulated minute.
+// Every key range must return to full replication within the bounded
+// repair window (stabilize adoption + periodic re-sync rounds).
+static void BM_Churn_FlashCrowdRepair(benchmark::State& state) {
+  const size_t kNodes = 40, kJoins = 4, kKeys = 100;
+  uint64_t full_runs = 0, resync_rounds = 0, resync_entries = 0;
+  for (auto _ : state) {
+    ChurnBench c(kNodes, 1212);
+    c.Publish(kKeys);
+    c.driver.Schedule(sim::FaultPlan::FlashCrowdJoin(c.simulator.now(),
+                                                     kJoins, sim::kMinute));
+    // One minute of arrivals, then a fixed repair window (60 re-sync
+    // cadences) — the bounded-rounds guarantee under test.
+    c.simulator.RunFor(sim::kMinute + 60 * sim::kSecond);
+    bool full = true;
+    for (dht::Key k : c.keys) {
+      if (c.LiveCopies(k) != ChurnBench::kReplication) full = false;
+    }
+    if (full) ++full_runs;
+    resync_rounds += c.dht.metrics().resync_rounds;
+    resync_entries += c.dht.metrics().resync_entries;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kKeys));
+  state.counters["full_replication"] =
+      full_runs == static_cast<uint64_t>(state.iterations()) ? 1.0 : 0.0;
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["resync_rounds"] = per_iter(resync_rounds);
+  state.counters["resync_entries"] = per_iter(resync_entries);
+}
+BENCHMARK(BM_Churn_FlashCrowdRepair)->Unit(benchmark::kMillisecond);
+
+// Correlated mass-leave: a quarter of the ring crashes at the same
+// instant. Every SURVIVING key (at least one live copy the moment after
+// the crash) must be restored to full replication within the bounded
+// repair window; keys whose whole replica set died are reported, not
+// gated (no protocol can restore them).
+static void BM_Churn_MassLeaveRepair(benchmark::State& state) {
+  const size_t kNodes = 40, kCrashes = 10, kKeys = 100;
+  uint64_t surviving = 0, restored = 0, lost = 0;
+  for (auto _ : state) {
+    ChurnBench c(kNodes, 3434);
+    c.Publish(kKeys);
+    c.driver.Schedule(sim::FaultPlan::MassLeave(
+        c.simulator.now() + sim::kSecond, kCrashes));
+    // Just past the crash instant: snapshot which keys survived at all.
+    c.simulator.RunFor(1100 * sim::kMillisecond);
+    std::vector<dht::Key> survivors;
+    for (dht::Key k : c.keys) {
+      if (c.Survives(k)) survivors.push_back(k);
+      else ++lost;
+    }
+    surviving += survivors.size();
+    // Fixed repair window: ring repair around 25% dead plus re-sync.
+    c.simulator.RunFor(60 * sim::kSecond);
+    for (dht::Key k : survivors) {
+      if (c.LiveCopies(k) == ChurnBench::kReplication) ++restored;
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kKeys));
+  state.counters["surviving_keys"] =
+      static_cast<double>(surviving) / static_cast<double>(state.iterations());
+  state.counters["lost_keys"] =
+      static_cast<double>(lost) / static_cast<double>(state.iterations());
+  state.counters["restored_permille"] =
+      surviving == 0 ? 0.0 : 1000.0 * static_cast<double>(restored) /
+                                 static_cast<double>(surviving);
+}
+BENCHMARK(BM_Churn_MassLeaveRepair)->Unit(benchmark::kMillisecond);
 
 static void BM_KeywordIndexMatch(benchmark::State& state) {
   gnutella::KeywordIndex index;

@@ -11,7 +11,10 @@
 #         transport_adaptive or routing ratio drops below its floor, or
 #         when the plan-execution path costs more than ~1.1x the legacy
 #         join's messages (plan_chain_message_parity < 0.9) or changes the
-#         answer set — the CI bench-regression gate.
+#         answer set, or when a churn scenario misses its robustness floor
+#         (sustained-churn recall < 980 permille, or a flash-crowd /
+#         mass-leave run that fails to restore surviving key ranges to
+#         full replication) — the CI bench-regression gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -159,6 +162,27 @@ routing = {
         counter("BM_Routing_HotSpotDetour", "answered")),
 }
 
+# Churn scenarios (PR 6): seed-deterministic recall and replication-floor
+# restoration under scripted membership churn (sustained 1%/min, flash-crowd
+# join, correlated mass-leave) — counted quantities, gated below.
+churn = {
+    "sustained_recall_permille": counter(
+        "BM_Churn_SustainedRecall", "recall_permille"),
+    "sustained_churn_events": (
+        (counter("BM_Churn_SustainedRecall", "churn_crashes") or 0) +
+        (counter("BM_Churn_SustainedRecall", "churn_joins") or 0)),
+    "flash_crowd_full_replication": counter(
+        "BM_Churn_FlashCrowdRepair", "full_replication"),
+    "flash_crowd_resync_rounds": counter(
+        "BM_Churn_FlashCrowdRepair", "resync_rounds"),
+    "mass_leave_restored_permille": counter(
+        "BM_Churn_MassLeaveRepair", "restored_permille"),
+    "mass_leave_surviving_keys": counter(
+        "BM_Churn_MassLeaveRepair", "surviving_keys"),
+    "mass_leave_lost_keys": counter(
+        "BM_Churn_MassLeaveRepair", "lost_keys"),
+}
+
 ratios = {
     "shj_insert_with_matches": ratio(
         "BM_ShjInsertWithMatches_SharedPayload/4096",
@@ -181,6 +205,7 @@ out = {
     "transport_adaptive": transport,
     "routing": routing,
     "plan_exec": plan_exec,
+    "churn": churn,
     "join_chain": chain,
     "fetch_coalescing": fetch,
     "rehash_queues": publish,
@@ -196,6 +221,7 @@ print("  routing ratios:", routing)
 print("  plan-exec parity:", {k: plan_exec[k] for k in
                               ("plan_chain_message_parity",
                                "plan_chain_identical_results")})
+print("  churn scenarios:", churn)
 for label, s in (("join chain", chain), ("fetch coalescing", fetch),
                  ("rehash queues", publish)):
     if "message_reduction" in s:
@@ -275,6 +301,37 @@ if plan_exec.get("plan_chain_identical_results") is not True:
     failed.append("plan_chain_identical_results: plan path changed the "
                   "answer set")
 
+# Churn-robustness gates: sustained 1%/min churn at replication 3 keeps
+# recall within epsilon (>= 980 permille); a 10% flash-crowd join and a
+# correlated mass-leave both restore every surviving key range to the
+# replication floor within the bounded repair window. All quantities are
+# counted under fixed seeds, so these are exact, not statistical.
+churn = bench.get("churn", {})
+
+recall = churn.get("sustained_recall_permille")
+if recall is None:
+    failed.append("sustained_recall_permille: missing (bench did not run?)")
+elif recall < 980:
+    failed.append("sustained_recall_permille: %d < 980" % recall)
+
+if churn.get("flash_crowd_full_replication") != 1:
+    failed.append("flash_crowd_full_replication: a key range stayed below "
+                  "the replication floor after the join wave")
+rounds = churn.get("flash_crowd_resync_rounds")
+if not rounds:
+    failed.append("flash_crowd_resync_rounds: no re-sync rounds ran")
+
+restored = churn.get("mass_leave_restored_permille")
+if restored is None:
+    failed.append("mass_leave_restored_permille: missing (bench did not "
+                  "run?)")
+elif restored != 1000:
+    failed.append("mass_leave_restored_permille: %d != 1000 (surviving "
+                  "ranges not restored to full replication)" % restored)
+if not churn.get("mass_leave_surviving_keys"):
+    failed.append("mass_leave_surviving_keys: correlated crash wiped every "
+                  "key (scenario invalid)")
+
 if failed:
     print("bench-regression gate FAILED:")
     for line in failed:
@@ -282,6 +339,6 @@ if failed:
     sys.exit(1)
 print("bench-regression gate passed: speedups >= 2x, transport and "
       "routing ratios at floor, plan-exec parity >= 0.9x, identical "
-      "answer sets")
+      "answer sets, churn recall/repair floors held")
 EOF
 fi

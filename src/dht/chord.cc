@@ -10,8 +10,28 @@ ChordRouting::ChordRouting(NodeInfo self, size_t successor_list_size)
   assert(successor_list_size >= 1);
 }
 
+ChordRouting::MembershipSnapshot ChordRouting::TakeSnapshot() const {
+  MembershipSnapshot s;
+  if (predecessor_.valid()) s.predecessor = predecessor_.host;
+  if (!successors_.empty()) s.primary_successor = successors_.front().host;
+  for (size_t i = 0; i < replica_watch_ && i < successors_.size(); ++i) {
+    s.replica_prefix.push_back(successors_[i].host);
+  }
+  return s;
+}
+
+void ChordRouting::NotifyIfChanged(const MembershipSnapshot& before) {
+  if (!listener_) return;
+  MembershipSnapshot after = TakeSnapshot();
+  bool ownership = after.predecessor != before.predecessor ||
+                   after.primary_successor != before.primary_successor;
+  bool replicas = after.replica_prefix != before.replica_prefix;
+  if (ownership || replicas) listener_(ownership, replicas);
+}
+
 void ChordRouting::BuildStatic(const std::vector<NodeInfo>& sorted) {
   assert(!sorted.empty());
+  MembershipSnapshot before = TakeSnapshot();
   // Locate self in the sorted ring.
   size_t n = sorted.size();
   size_t my_pos = n;
@@ -42,6 +62,13 @@ void ChordRouting::BuildStatic(const std::vector<NodeInfo>& sorted) {
     NodeInfo f = (it == sorted.end()) ? sorted.front() : *it;
     fingers_[i] = f;
   }
+  NotifyIfChanged(before);
+}
+
+void ChordRouting::SetPredecessor(NodeInfo p) {
+  MembershipSnapshot before = TakeSnapshot();
+  predecessor_ = p;
+  NotifyIfChanged(before);
 }
 
 bool ChordRouting::IsOwner(Key target) const {
@@ -103,6 +130,7 @@ std::vector<NodeInfo> ChordRouting::ReplicaTargets(size_t k) const {
 }
 
 void ChordRouting::RemovePeer(sim::HostId host) {
+  MembershipSnapshot before = TakeSnapshot();
   if (predecessor_.valid() && predecessor_.host == host) {
     predecessor_ = NodeInfo{};
   }
@@ -113,6 +141,7 @@ void ChordRouting::RemovePeer(sim::HostId host) {
   for (auto& f : fingers_) {
     if (f.valid() && f.host == host) f = NodeInfo{};
   }
+  NotifyIfChanged(before);
 }
 
 std::vector<NodeInfo> ChordRouting::KnownPeers() const {
@@ -132,14 +161,17 @@ std::vector<NodeInfo> ChordRouting::KnownPeers() const {
 
 bool ChordRouting::OfferSuccessor(NodeInfo candidate) {
   if (!candidate.valid() || candidate.host == self_.host) return false;
+  MembershipSnapshot before = TakeSnapshot();
   if (successors_.empty()) {
     successors_.push_back(candidate);
+    NotifyIfChanged(before);
     return true;
   }
   NodeInfo cur = successors_.front();
   if (InOpenOpen(self_.id, cur.id, candidate.id)) {
     successors_.insert(successors_.begin(), candidate);
     if (successors_.size() > successor_list_size_) successors_.pop_back();
+    NotifyIfChanged(before);
     return true;
   }
   return false;
@@ -153,12 +185,17 @@ void ChordRouting::SetSuccessorList(std::vector<NodeInfo> list) {
                             }),
              list.end());
   if (list.size() > successor_list_size_) list.resize(successor_list_size_);
-  if (!list.empty()) successors_ = std::move(list);
+  if (list.empty()) return;
+  MembershipSnapshot before = TakeSnapshot();
+  successors_ = std::move(list);
+  NotifyIfChanged(before);
 }
 
 bool ChordRouting::DropPrimarySuccessor() {
   if (successors_.empty()) return false;
+  MembershipSnapshot before = TakeSnapshot();
   successors_.erase(successors_.begin());
+  NotifyIfChanged(before);
   return !successors_.empty();
 }
 

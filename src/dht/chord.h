@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <vector>
 
 #include "dht/routing.h"
@@ -44,9 +45,26 @@ class ChordRouting : public RoutingTable {
   const std::vector<NodeInfo>& successor_list() const { return successors_; }
   NodeInfo predecessor() const { return predecessor_; }
 
+  /// Fires after any mutation that actually CHANGED ownership-relevant
+  /// state. `ownership_changed`: the predecessor or primary successor
+  /// moved — this node's owned arc (or its view of the ring neighborhood)
+  /// shifted, a membership epoch boundary. `replica_set_changed`: the
+  /// watched successor prefix (set_replica_watch) changed membership —
+  /// the replica set needs an anti-entropy round even when the arc and
+  /// primary successor held still. Steady-state refreshes that rewrite
+  /// identical state fire nothing.
+  using MembershipListener =
+      std::function<void(bool ownership_changed, bool replica_set_changed)>;
+  void set_membership_listener(MembershipListener listener) {
+    listener_ = std::move(listener);
+  }
+  /// How many leading successors the replica-set-change signal watches
+  /// (replication - 1 in DhtNode; 0 disables the signal).
+  void set_replica_watch(size_t k) { replica_watch_ = k; }
+
   /// Overwrites the predecessor pointer.
-  void SetPredecessor(NodeInfo p) { predecessor_ = p; }
-  void ClearPredecessor() { predecessor_ = NodeInfo{}; }
+  void SetPredecessor(NodeInfo p);
+  void ClearPredecessor() { SetPredecessor(NodeInfo{}); }
 
   /// Considers `candidate` as a new immediate successor; adopts it if it
   /// falls in (self, current successor). Returns true if adopted.
@@ -69,11 +87,27 @@ class ChordRouting : public RoutingTable {
   }
 
  private:
+  /// The ownership-relevant state fingerprint taken around every mutation;
+  /// comparing before/after drives the membership listener.
+  struct MembershipSnapshot {
+    sim::HostId predecessor = kInvalidHostSentinel;
+    sim::HostId primary_successor = kInvalidHostSentinel;
+    std::vector<sim::HostId> replica_prefix;
+  };
+  static constexpr sim::HostId kInvalidHostSentinel = UINT32_MAX;
+
+  MembershipSnapshot TakeSnapshot() const;
+  /// Compares the post-mutation state to `before` and fires the listener
+  /// on a real change.
+  void NotifyIfChanged(const MembershipSnapshot& before);
+
   NodeInfo self_;
   size_t successor_list_size_;
   NodeInfo predecessor_;
   std::vector<NodeInfo> successors_;           // ordered clockwise from self
   std::array<NodeInfo, kNumFingers> fingers_;  // may contain invalid entries
+  MembershipListener listener_;
+  size_t replica_watch_ = 0;
 };
 
 }  // namespace pierstack::dht

@@ -1,0 +1,40 @@
+#include "dht/churn.h"
+
+namespace pierstack::dht {
+
+ChurnDriver::ChurnDriver(DhtDeployment* deployment, uint64_t seed,
+                         sim::FaultPlan* plan)
+    : deployment_(deployment), rng_(seed), plan_(plan) {}
+
+void ChurnDriver::Schedule(const std::vector<sim::ChurnEvent>& timeline) {
+  sim::Simulator* s = deployment_->node(0)->network()->simulator();
+  for (const sim::ChurnEvent& e : timeline) {
+    s->ScheduleAt(e.time, [this, kind = e.kind]() { Execute(kind); });
+  }
+}
+
+void ChurnDriver::Execute(sim::ChurnEvent::Kind kind) {
+  if (kind == sim::ChurnEvent::kJoin) {
+    deployment_->AddNodeDynamic(rng_.Next());
+    ++stats_.joins;
+    if (plan_ != nullptr) plan_->CountChurn(sim::ChurnEvent::kJoin);
+    return;
+  }
+  // Crash a random live node. Node 0 is spared: it is the join bootstrap,
+  // and killing it would turn every later kJoin into a no-op rather than
+  // modeling churn.
+  std::vector<size_t> live;
+  for (size_t i = 1; i < deployment_->size(); ++i) {
+    if (deployment_->node(i)->joined()) live.push_back(i);
+  }
+  if (live.empty()) {
+    ++stats_.skipped;
+    return;
+  }
+  size_t pick = live[rng_.NextBelow(live.size())];
+  deployment_->node(pick)->Crash();
+  ++stats_.crashes;
+  if (plan_ != nullptr) plan_->CountChurn(sim::ChurnEvent::kCrash);
+}
+
+}  // namespace pierstack::dht

@@ -1,0 +1,54 @@
+// ChurnDriver: executes a scripted churn timeline against a live
+// DhtDeployment.
+//
+// A FaultPlan (sim/fault.h) describes WHEN membership changes happen
+// (flash-crowd joins, correlated mass-leaves, sustained background churn);
+// this driver binds those events to a deployment — each kCrash picks a
+// random live non-bootstrap node and crashes it, each kJoin spins up a
+// fresh node through the dynamic join protocol. Selection is driven by the
+// driver's own forked RNG, so a fixed seed reproduces the identical
+// membership history event-for-event.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dht/builder.h"
+#include "sim/fault.h"
+
+namespace pierstack::dht {
+
+/// What a scripted timeline actually did (counters for gates and tests).
+struct ChurnStats {
+  uint64_t crashes = 0;
+  uint64_t joins = 0;
+  /// Crash events skipped because no crashable node remained (everything
+  /// but the bootstrap node already dead).
+  uint64_t skipped = 0;
+};
+
+class ChurnDriver {
+ public:
+  /// `plan` is optional; when given, executed events are also counted into
+  /// its churn counters so the network's exported fault counters include
+  /// membership churn. Both pointers must outlive the driver.
+  ChurnDriver(DhtDeployment* deployment, uint64_t seed,
+              sim::FaultPlan* plan = nullptr);
+
+  /// Schedules every event of `timeline` on the deployment's simulator.
+  /// The caller then runs the simulator; events fire at their times.
+  void Schedule(const std::vector<sim::ChurnEvent>& timeline);
+
+  const ChurnStats& stats() const { return stats_; }
+
+ private:
+  void Execute(sim::ChurnEvent::Kind kind);
+
+  DhtDeployment* deployment_;
+  Rng rng_;
+  sim::FaultPlan* plan_;
+  ChurnStats stats_;
+};
+
+}  // namespace pierstack::dht

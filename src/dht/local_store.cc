@@ -1,8 +1,10 @@
 #include "dht/local_store.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/bytes.h"
+#include "common/hashing.h"
 
 namespace pierstack::dht {
 
@@ -219,6 +221,60 @@ std::vector<StoredValue> LocalStore::ExtractRange(const std::string& ns,
     } else {
       ++it;
     }
+  }
+  return out;
+}
+
+std::vector<StoredValue> LocalStore::CollectRange(const std::string& ns,
+                                                  Key from, Key to) const {
+  std::vector<StoredValue> out;
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return out;
+  for (const auto& [k, v] : sit->second) {
+    if (InOpenClosed(from, to, k)) out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+/// Avalanched hash of one stored payload. The avalanche step matters: the
+/// digest sums these, and summing raw FNV values of similar payloads would
+/// collide far too easily.
+uint64_t ValueHash(const StoredValue& v) {
+  return Mix64(Fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(v.value.data()), v.value.size())));
+}
+
+}  // namespace
+
+LocalStore::KeyDigest LocalStore::DigestKey(const std::string& ns, Key key,
+                                            sim::SimTime now) const {
+  KeyDigest d;
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return d;
+  auto [lo, hi] = sit->second.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (!Alive(it->second, now)) continue;
+    d.hash += ValueHash(it->second);
+    ++d.count;
+  }
+  return d;
+}
+
+std::map<Key, LocalStore::KeyDigest> LocalStore::DigestRange(
+    const std::string& ns, Key from, Key to, sim::SimTime now) const {
+  std::map<Key, KeyDigest> out;
+  auto sit = spaces_.find(ns);
+  if (sit == spaces_.end()) return out;
+  // Full walk, like ExtractRange: the (from, to] arc may wrap the ring, so
+  // the membership test does the work rather than iterator bounds.
+  for (const auto& [k, v] : sit->second) {
+    if (!InOpenClosed(from, to, k)) continue;
+    if (!Alive(v, now)) continue;
+    KeyDigest& d = out[k];
+    d.hash += ValueHash(v);
+    ++d.count;
   }
   return out;
 }

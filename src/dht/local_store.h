@@ -90,6 +90,34 @@ class LocalStore {
   std::vector<StoredValue> ExtractRange(const std::string& ns, Key from,
                                         Key to);
 
+  /// Copies (without removing) entries whose ring key falls in (from, to]
+  /// — the replication-preserving handover: a node shipping a range to its
+  /// new predecessor keeps its local copies as replica state.
+  std::vector<StoredValue> CollectRange(const std::string& ns, Key from,
+                                        Key to) const;
+
+  /// Order-independent digest of the live values under one (ns, key):
+  /// a commutative sum of per-value hashes plus the live count. Two
+  /// replicas holding the same value multiset produce the same digest
+  /// regardless of insertion order; the anti-entropy re-sync protocol
+  /// compares these per key to find divergent entries cheaply.
+  struct KeyDigest {
+    uint64_t hash = 0;    ///< Sum of avalanched per-value hashes (mod 2^64).
+    uint32_t count = 0;   ///< Live values under the key.
+    bool operator==(const KeyDigest& o) const {
+      return hash == o.hash && count == o.count;
+    }
+    bool operator!=(const KeyDigest& o) const { return !(*this == o); }
+  };
+
+  KeyDigest DigestKey(const std::string& ns, Key key, sim::SimTime now) const;
+
+  /// Digests every key with at least one live value whose ring key falls in
+  /// (from, to] (wrap-safe). The returned map is what an arc owner ships to
+  /// its replicas in a re-sync round.
+  std::map<Key, KeyDigest> DigestRange(const std::string& ns, Key from,
+                                       Key to, sim::SimTime now) const;
+
   /// Removes and returns every entry in a namespace (graceful departure).
   std::vector<StoredValue> ExtractAll(const std::string& ns);
 

@@ -49,6 +49,16 @@ struct LeaveBody {
   bool to_predecessor;
 };
 
+struct ResyncDigestBody {
+  std::string ns;
+  std::vector<std::pair<Key, LocalStore::KeyDigest>> digests;
+};
+
+struct ResyncPullBody {
+  std::string ns;
+  std::vector<Key> keys;
+};
+
 DhtNode::DhtNode(sim::Network* network, Key id, const DhtOptions& options,
                  DhtMetrics* metrics)
     : network_(network), options_(options), metrics_(metrics),
@@ -59,6 +69,13 @@ DhtNode::DhtNode(sim::Network* network, Key id, const DhtOptions& options,
   routing_ = MakeRouting(options.overlay, NodeInfo{id, host});
   policy_ = MakeNextHopPolicy(options.routing_policy, options.congestion);
   load_probe_ = [this](sim::HostId h) { return network_->LoadOf(h); };
+  if (ChordRouting* c = chord()) {
+    c->set_replica_watch(
+        options_.replication > 1 ? options_.replication - 1 : 0);
+    c->set_membership_listener([this](bool ownership, bool replicas) {
+      OnMembershipChange(ownership, replicas);
+    });
+  }
 }
 
 DhtNode::~DhtNode() = default;
@@ -130,13 +147,51 @@ void DhtNode::LeaveGracefully() {
                    std::move(to_pred)));
   }
   joined_ = false;
+  CancelMaintenanceTimers();
+  CancelPendingRequests();
   network_->SetHostUp(host(), false);
 }
 
 void DhtNode::Crash() {
   crashed_ = true;
   joined_ = false;
+  // A dead host must never fire another event: cancel every maintenance
+  // timer, the stabilize timeout, and all pending request watchdogs.
+  // Leaving them armed would be harmless for correctness (handlers check
+  // crashed_) but would make the event count — and thus every later
+  // tie-broken random draw — depend on WHEN the crash happened, breaking
+  // fixed-seed determinism across otherwise identical runs.
+  CancelMaintenanceTimers();
+  CancelPendingRequests();
   network_->SetHostUp(host(), false);
+}
+
+void DhtNode::CancelMaintenanceTimers() {
+  sim::Simulator* s = network_->simulator();
+  s->Cancel(stabilize_timer_);
+  stabilize_timer_ = sim::kInvalidEventId;
+  s->Cancel(fix_finger_timer_);
+  fix_finger_timer_ = sim::kInvalidEventId;
+  s->Cancel(detector_timer_);
+  detector_timer_ = sim::kInvalidEventId;
+  s->Cancel(resync_timer_);
+  resync_timer_ = sim::kInvalidEventId;
+  s->Cancel(stabilize_timeout_);
+  stabilize_timeout_ = sim::kInvalidEventId;
+}
+
+void DhtNode::CancelPendingRequests() {
+  sim::Simulator* s = network_->simulator();
+  for (auto& [id, p] : pending_gets_) s->Cancel(p.timeout);
+  pending_gets_.clear();
+  for (auto& [id, p] : pending_batch_gets_) s->Cancel(p.timeout);
+  pending_batch_gets_.clear();
+  for (auto& [id, p] : pending_multi_gets_) s->Cancel(p.timeout);
+  pending_multi_gets_.clear();
+  for (auto& [id, p] : pending_lookups_) s->Cancel(p.timeout);
+  pending_lookups_.clear();
+  pending_puts_.clear();
+  ping_outstanding_.clear();
 }
 
 void DhtNode::Route(Key target, int app_type,
@@ -418,24 +473,54 @@ void DhtNode::PutBatch(const std::string& ns, Key key,
   Route(key, kAppPutBatch, body, bytes, req_id);
 }
 
+sim::SimTime DhtNode::AttemptTimeout(uint32_t attempt) const {
+  // Geometric schedule T0, 2*T0, 4*T0, ... whose get_retries+1 attempts
+  // sum to get_timeout: retries recover from a mid-flight owner crash
+  // WITHOUT extending the caller-visible deadline. get_retries == 0
+  // degenerates to the single full-deadline attempt.
+  uint64_t slices = (uint64_t{1} << (options_.get_retries + 1)) - 1;
+  sim::SimTime base = options_.get_timeout / slices;
+  if (base == 0) base = 1;
+  return base << attempt;
+}
+
 void DhtNode::Get(const std::string& ns, Key key, GetCallback callback) {
   assert(callback != nullptr);
   ++metrics_->gets;
   uint64_t req_id = NextReqId();
-  PendingGet pending;
-  pending.callback = std::move(callback);
-  pending.timeout = network_->simulator()->ScheduleAfter(
-      options_.get_timeout, [this, req_id]() {
-        auto it = pending_gets_.find(req_id);
-        if (it == pending_gets_.end()) return;
-        GetCallback cb = std::move(it->second.callback);
-        pending_gets_.erase(it);
-        cb(Status::TimedOut("dht get"), {});
-      });
-  pending_gets_[req_id] = std::move(pending);
   size_t bytes = ns.size() + 10;
   auto body = std::make_shared<const GetBody>(GetBody{ns, key});
+  PendingGet pending;
+  pending.callback = std::move(callback);
+  pending.body = body;
+  pending.key = key;
+  pending.bytes = bytes;
+  pending.timeout = network_->simulator()->ScheduleAfter(
+      AttemptTimeout(0), [this, req_id]() { OnGetAttemptTimeout(req_id); });
+  pending_gets_[req_id] = std::move(pending);
   Route(key, kAppGet, body, bytes, req_id);
+}
+
+void DhtNode::OnGetAttemptTimeout(uint64_t req_id) {
+  auto it = pending_gets_.find(req_id);
+  if (it == pending_gets_.end()) return;
+  PendingGet& p = it->second;
+  if (p.attempts < options_.get_retries) {
+    // The attempt died in flight (owner crashed, reply lost): re-send.
+    // Ownership re-resolves on the ring under the current membership; the
+    // reply path keys on req_id, so a late answer from the first attempt
+    // simply wins the race and the duplicate is ignored.
+    ++p.attempts;
+    ++metrics_->get_retries;
+    p.timeout = network_->simulator()->ScheduleAfter(
+        AttemptTimeout(p.attempts),
+        [this, req_id]() { OnGetAttemptTimeout(req_id); });
+    Route(p.key, kAppGet, p.body, p.bytes, req_id);
+    return;
+  }
+  GetCallback cb = std::move(p.callback);
+  pending_gets_.erase(it);
+  cb(Status::TimedOut("dht get"), {});
 }
 
 void DhtNode::GetBatch(const std::string& ns, Key key,
@@ -443,32 +528,69 @@ void DhtNode::GetBatch(const std::string& ns, Key key,
   assert(callback != nullptr);
   ++metrics_->batch_gets;
   uint64_t req_id = NextReqId();
-  PendingBatchGet pending;
-  pending.callback = std::move(callback);
-  pending.timeout = network_->simulator()->ScheduleAfter(
-      options_.get_timeout, [this, req_id]() {
-        auto it = pending_batch_gets_.find(req_id);
-        if (it == pending_batch_gets_.end()) return;
-        GetBatchCallback cb = std::move(it->second.callback);
-        pending_batch_gets_.erase(it);
-        cb(Status::TimedOut("dht get batch"), {});
-      });
-  pending_batch_gets_[req_id] = std::move(pending);
   size_t bytes = ns.size() + 10;
   auto body = std::make_shared<const GetBody>(GetBody{ns, key});
+  PendingBatchGet pending;
+  pending.callback = std::move(callback);
+  pending.body = body;
+  pending.key = key;
+  pending.bytes = bytes;
+  pending.timeout = network_->simulator()->ScheduleAfter(
+      AttemptTimeout(0),
+      [this, req_id]() { OnBatchGetAttemptTimeout(req_id); });
+  pending_batch_gets_[req_id] = std::move(pending);
   Route(key, kAppGetBatch, body, bytes, req_id);
 }
 
-sim::EventId DhtNode::ArmMultiGetTimeout(uint64_t req_id) {
+void DhtNode::OnBatchGetAttemptTimeout(uint64_t req_id) {
+  auto it = pending_batch_gets_.find(req_id);
+  if (it == pending_batch_gets_.end()) return;
+  PendingBatchGet& p = it->second;
+  if (p.attempts < options_.get_retries) {
+    ++p.attempts;
+    ++metrics_->get_retries;
+    p.timeout = network_->simulator()->ScheduleAfter(
+        AttemptTimeout(p.attempts),
+        [this, req_id]() { OnBatchGetAttemptTimeout(req_id); });
+    Route(p.key, kAppGetBatch, p.body, p.bytes, req_id);
+    return;
+  }
+  GetBatchCallback cb = std::move(p.callback);
+  pending_batch_gets_.erase(it);
+  cb(Status::TimedOut("dht get batch"), {});
+}
+
+sim::EventId DhtNode::ArmMultiGetTimeout(uint64_t req_id, uint32_t attempt) {
   return network_->simulator()->ScheduleAfter(
-      options_.get_timeout, [this, req_id]() {
-        auto it = pending_multi_gets_.find(req_id);
-        if (it == pending_multi_gets_.end()) return;
-        MultiGetCallback cb = std::move(it->second.callback);
-        std::vector<MultiGetItem> items = std::move(it->second.items);
-        pending_multi_gets_.erase(it);
-        cb(Status::TimedOut("dht multi get"), std::move(items));
-      });
+      AttemptTimeout(attempt),
+      [this, req_id]() { OnMultiGetAttemptTimeout(req_id); });
+}
+
+void DhtNode::OnMultiGetAttemptTimeout(uint64_t req_id) {
+  auto it = pending_multi_gets_.find(req_id);
+  if (it == pending_multi_gets_.end()) return;
+  PendingMultiGet& p = it->second;
+  if (p.attempts < options_.get_retries && !p.unanswered.empty()) {
+    // Re-scatter the unanswered remainder as one chained walk. The owner
+    // cache is deliberately not consulted for the retry: if the first
+    // attempt died because ownership moved, the ring is the only
+    // authoritative path, and the fence already invalidated the arcs.
+    ++p.attempts;
+    ++metrics_->get_retries;
+    p.timeout = ArmMultiGetTimeout(req_id, p.attempts);
+    std::vector<Key> rest(p.unanswered.begin(), p.unanswered.end());
+    ++metrics_->multi_gets;
+    size_t bytes = p.ns.size() + 10 + 8 * rest.size();
+    Key first = rest.front();
+    auto body = std::make_shared<const MultiGetBody>(
+        MultiGetBody{p.ns, std::move(rest)});
+    Route(first, kAppGetMulti, body, bytes, req_id);
+    return;
+  }
+  MultiGetCallback cb = std::move(p.callback);
+  std::vector<MultiGetItem> items = std::move(p.items);
+  pending_multi_gets_.erase(it);
+  cb(Status::TimedOut("dht multi get"), std::move(items));
 }
 
 void DhtNode::MultiGet(const std::string& ns, std::vector<Key> keys,
@@ -484,8 +606,9 @@ void DhtNode::MultiGet(const std::string& ns, std::vector<Key> keys,
   uint64_t req_id = NextReqId();
   PendingMultiGet pending;
   pending.callback = std::move(callback);
-  pending.awaiting = keys.size();
-  pending.timeout = ArmMultiGetTimeout(req_id);
+  pending.ns = ns;
+  pending.unanswered.insert(keys.begin(), keys.end());
+  pending.timeout = ArmMultiGetTimeout(req_id, 0);
   pending_multi_gets_[req_id] = std::move(pending);
 
   // With a warm owner location cache, split the key set by remembered
@@ -793,16 +916,24 @@ void DhtNode::StartMaintenanceTimers() {
   // Stagger nodes deterministically so maintenance doesn't synchronize.
   sim::SimTime offset =
       (host() % 16) * (options_.stabilize_interval / 16);
-  network_->simulator()->ScheduleAfter(options_.stabilize_interval + offset,
-                                       [this]() { DoStabilize(); });
-  network_->simulator()->ScheduleAfter(options_.fix_finger_interval + offset,
-                                       [this]() { DoFixFinger(); });
+  stabilize_timer_ = network_->simulator()->ScheduleAfter(
+      options_.stabilize_interval + offset, [this]() { DoStabilize(); });
+  fix_finger_timer_ = network_->simulator()->ScheduleAfter(
+      options_.fix_finger_interval + offset, [this]() { DoFixFinger(); });
+  if (options_.failure_detector) {
+    detector_timer_ = network_->simulator()->ScheduleAfter(
+        options_.ping_interval + offset, [this]() { DoFailureDetector(); });
+  }
+  if (options_.replication > 1) {
+    resync_timer_ = network_->simulator()->ScheduleAfter(
+        options_.resync_interval + offset, [this]() { DoResync(); });
+  }
 }
 
 void DhtNode::DoStabilize() {
   if (crashed_ || !joined_) return;
-  network_->simulator()->ScheduleAfter(options_.stabilize_interval,
-                                       [this]() { DoStabilize(); });
+  stabilize_timer_ = network_->simulator()->ScheduleAfter(
+      options_.stabilize_interval, [this]() { DoStabilize(); });
   ChordRouting* c = chord();
   if (c == nullptr) return;
   // Probe the predecessor's liveness; a refused connection clears the
@@ -843,14 +974,158 @@ void DhtNode::OnStabilizeTimeout(uint64_t seq, sim::HostId suspect) {
 
 void DhtNode::DoFixFinger() {
   if (crashed_ || !joined_) return;
-  network_->simulator()->ScheduleAfter(options_.fix_finger_interval,
-                                       [this]() { DoFixFinger(); });
+  fix_finger_timer_ = network_->simulator()->ScheduleAfter(
+      options_.fix_finger_interval, [this]() { DoFixFinger(); });
   ChordRouting* c = chord();
   if (c == nullptr) return;
   size_t i = next_finger_;
   next_finger_ = (next_finger_ + 1) % ChordRouting::kNumFingers;
   auto body = std::make_shared<const FingerLookupBody>(FingerLookupBody{i});
   Route(c->FingerStart(i), kAppFingerLookup, body, 9);
+}
+
+void DhtNode::DoFailureDetector() {
+  if (crashed_ || !joined_) return;
+  detector_timer_ = network_->simulator()->ScheduleAfter(
+      options_.ping_interval, [this]() { DoFailureDetector(); });
+  ChordRouting* c = chord();
+  if (c == nullptr) return;
+  // The probe set is the neighborhood routing correctness depends on —
+  // predecessor and the leading successors — plus one rotating finger so
+  // the whole table is eventually swept. Eviction latency is therefore
+  // bounded by (miss_threshold + 1) ping intervals for ring neighbors,
+  // independent of what stabilize happens to probe.
+  std::vector<sim::HostId> targets;
+  auto add = [&](const NodeInfo& n) {
+    if (!n.valid() || n.host == host()) return;
+    for (sim::HostId t : targets) {
+      if (t == n.host) return;
+    }
+    targets.push_back(n.host);
+  };
+  add(c->predecessor());
+  const auto& succs = c->successor_list();
+  for (size_t i = 0; i < succs.size() && i < 3; ++i) add(succs[i]);
+  for (size_t probe = 0; probe < ChordRouting::kNumFingers; ++probe) {
+    size_t i = detector_finger_;
+    detector_finger_ = (detector_finger_ + 1) % ChordRouting::kNumFingers;
+    NodeInfo f = c->finger(i);
+    if (f.valid() && f.host != host()) {
+      add(f);
+      break;
+    }
+  }
+  for (sim::HostId t : targets) {
+    uint32_t& misses = ping_outstanding_[t];
+    if (misses >= options_.ping_miss_threshold) {
+      // Suspicion confirmed: unanswered for `misses` consecutive rounds.
+      ping_outstanding_.erase(t);
+      ++metrics_->detector_evictions;
+      DropPeer(t);
+      continue;
+    }
+    ++metrics_->detector_pings;
+    if (SendDirect(t, sim::Message::Make<uint8_t>(kLivenessPing, "dht.maint",
+                                                  1, uint8_t{0}))) {
+      ++misses;  // outstanding until the ack clears it
+    } else {
+      // Connection refused: no need to accumulate suspicion.
+      ping_outstanding_.erase(t);
+      ++metrics_->detector_evictions;
+      DropPeer(t);
+    }
+  }
+}
+
+void DhtNode::DoResync() {
+  if (crashed_ || !joined_) return;
+  resync_timer_ = network_->simulator()->ScheduleAfter(
+      options_.resync_interval, [this]() { DoResync(); });
+  if (!resync_dirty_ || options_.replication <= 1) return;
+  ChordRouting* c = chord();
+  if (c == nullptr) {
+    resync_dirty_ = false;
+    return;
+  }
+  NodeInfo pred = c->predecessor();
+  // The owned arc is (pred, self]; without a predecessor the arc is
+  // undefined — stay dirty and retry once stabilize re-establishes it.
+  if (!pred.valid()) return;
+  auto targets = routing_->ReplicaTargets(options_.replication - 1);
+  resync_dirty_ = false;
+  if (targets.empty()) return;  // singleton ring: nothing to repair
+  ++metrics_->resync_rounds;
+  sim::SimTime now = network_->simulator()->now();
+  for (const auto& ns : store_.Namespaces()) {
+    auto digests = store_.DigestRange(ns, pred.id, id(), now);
+    if (digests.empty()) continue;
+    ResyncDigestBody body;
+    body.ns = ns;
+    body.digests.assign(digests.begin(), digests.end());
+    size_t bytes = ns.size() + 8 + 20 * body.digests.size();
+    for (const auto& t : targets) {
+      if (!SendDirect(t.host,
+                      sim::Message::Make<ResyncDigestBody>(
+                          kResyncDigest, "dht.resync", bytes, body))) {
+        DropPeer(t.host);
+      }
+    }
+  }
+}
+
+void DhtNode::HandleResyncDigest(sim::HostId from, const sim::Message& msg) {
+  const auto& d = msg.as<ResyncDigestBody>();
+  sim::SimTime now = network_->simulator()->now();
+  // Pull every key whose local digest diverges from the owner's — missing
+  // keys and stale value sets alike (Put dedupes, so over-pulling is
+  // bytes, never corruption).
+  ResyncPullBody pull;
+  pull.ns = d.ns;
+  for (const auto& [key, digest] : d.digests) {
+    if (store_.DigestKey(d.ns, key, now) != digest) pull.keys.push_back(key);
+  }
+  if (pull.keys.empty()) return;
+  SendDirect(from, sim::Message::Make<ResyncPullBody>(
+                       kResyncPull, "dht.resync",
+                       d.ns.size() + 8 + 8 * pull.keys.size(),
+                       std::move(pull)));
+}
+
+void DhtNode::HandleResyncPull(sim::HostId from, const sim::Message& msg) {
+  const auto& pull = msg.as<ResyncPullBody>();
+  sim::SimTime now = network_->simulator()->now();
+  KeyTransferBody transfer;
+  size_t bytes = 16;
+  for (Key k : pull.keys) {
+    for (const StoredValue* v : store_.Get(pull.ns, k, now)) {
+      bytes += pull.ns.size() + v->value.size() + 17;
+      ++metrics_->resync_entries;
+      metrics_->resync_bytes += v->value.size();
+      transfer.entries.push_back({pull.ns, *v});
+    }
+  }
+  if (transfer.entries.empty()) return;
+  SendDirect(from, sim::Message::Make<KeyTransferBody>(
+                       kResyncEntries, "dht.resync", bytes,
+                       std::move(transfer)));
+}
+
+void DhtNode::OnMembershipChange(bool ownership_changed,
+                                 bool replica_set_changed) {
+  if (ownership_changed) BumpEpoch();
+  if (options_.replication > 1 &&
+      (ownership_changed || replica_set_changed)) {
+    resync_dirty_ = true;
+  }
+}
+
+void DhtNode::BumpEpoch() {
+  ++membership_epoch_;
+  ++metrics_->epoch_bumps;
+  // Fence, don't clear: stale arcs stop matching and the fast path falls
+  // back to ring routing until replies re-teach under the new epoch.
+  route_cache_.FenceEpoch();
+  for (const auto& listener : epoch_listeners_) listener();
 }
 
 void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
@@ -892,18 +1167,24 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       auto it = pending_multi_gets_.find(reply.req_id);
       if (it == pending_multi_gets_.end()) return;
       PendingMultiGet& pending = it->second;
-      for (const auto& item : reply.items) pending.items.push_back(item);
-      if (reply.items.size() > pending.awaiting) {
-        pending.awaiting = 0;
-      } else {
-        pending.awaiting -= reply.items.size();
+      bool progressed = false;
+      for (const auto& item : reply.items) {
+        // A retry race can answer the same key twice; only the first
+        // answer counts, duplicates are dropped.
+        if (pending.unanswered.erase(item.key) == 0) continue;
+        pending.items.push_back(item);
+        progressed = true;
       }
-      if (pending.awaiting > 0) {
-        // The owner chain answers sequentially, so end-to-end latency
-        // scales with the owner count; treat the timeout as a progress
-        // watchdog and re-arm it on every partial reply.
-        network_->simulator()->Cancel(pending.timeout);
-        pending.timeout = ArmMultiGetTimeout(reply.req_id);
+      if (!pending.unanswered.empty()) {
+        if (progressed) {
+          // The owner chain answers sequentially, so end-to-end latency
+          // scales with the owner count; treat the timeout as a progress
+          // watchdog and restart the attempt schedule on every partial
+          // reply.
+          network_->simulator()->Cancel(pending.timeout);
+          pending.attempts = 0;
+          pending.timeout = ArmMultiGetTimeout(reply.req_id, 0);
+        }
         return;
       }
       network_->simulator()->Cancel(pending.timeout);
@@ -1008,13 +1289,21 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       if (!adopt) return;
       c->SetPredecessor(cand);
       // Hand over the keys that now belong to the new predecessor:
-      // everything outside (cand, self].
+      // everything outside (cand, self]. With replication > 1 the handover
+      // COPIES instead of extracting — the shipped range is exactly what
+      // this node (the new predecessor's first successor) must keep holding
+      // as replica state; extracting it would strip the replica set below
+      // the floor with nothing left to re-sync it from. Extra copies beyond
+      // the replica arcs are soft state and age out via expiry.
       Key from_key = old_pred.valid() ? old_pred.id : id();
       if (ClockwiseDistance(from_key, cand.id) == 0) return;
       KeyTransferBody transfer;
       size_t bytes = 16;
       for (const auto& ns : store_.Namespaces()) {
-        for (auto& v : store_.ExtractRange(ns, from_key, cand.id)) {
+        auto range = options_.replication > 1
+                         ? store_.CollectRange(ns, from_key, cand.id)
+                         : store_.ExtractRange(ns, from_key, cand.id);
+        for (auto& v : range) {
           bytes += ns.size() + v.value.size() + 17;
           transfer.entries.push_back({ns, std::move(v)});
         }
@@ -1035,11 +1324,29 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       }
       return;
     }
-    case kKeyTransfer: {
+    case kKeyTransfer:
+    case kResyncEntries: {
       const auto& transfer = msg.as<KeyTransferBody>();
       for (const auto& e : transfer.entries) {
         store_.Put(e.ns, e.value.key, e.value.value, e.value.expiry);
       }
+      return;
+    }
+    case kResyncDigest: {
+      HandleResyncDigest(from, msg);
+      return;
+    }
+    case kResyncPull: {
+      HandleResyncPull(from, msg);
+      return;
+    }
+    case kLivenessPing: {
+      SendDirect(from, sim::Message::Make<uint8_t>(kLivenessAck, "dht.maint",
+                                                   1, uint8_t{0}));
+      return;
+    }
+    case kLivenessAck: {
+      ping_outstanding_.erase(from);
       return;
     }
     case kReplicaPut: {
@@ -1084,6 +1391,13 @@ void ExportTransportCounters(const DhtMetrics& m, CounterSet* out) {
   out->Set("dht.route_cache_stale", m.route_cache_stale);
   out->Set("dht.hops_saved", m.hops_saved);
   out->Set("dht.congestion_detours", m.congestion_detours);
+  out->Set("dht.detector_pings", m.detector_pings);
+  out->Set("dht.detector_evictions", m.detector_evictions);
+  out->Set("dht.epoch_bumps", m.epoch_bumps);
+  out->Set("dht.resync_rounds", m.resync_rounds);
+  out->Set("dht.resync_entries", m.resync_entries);
+  out->Set("dht.resync_bytes", m.resync_bytes);
+  out->Set("dht.get_retries", m.get_retries);
 }
 
 }  // namespace pierstack::dht

@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -109,6 +110,24 @@ struct DhtMetrics {
   /// Next-hop choices where congestion bias overrode the classic
   /// distance-only pick (the hop routed AROUND a backed-up peer).
   uint64_t congestion_detours = 0;
+  /// Liveness pings sent by the proactive failure detector.
+  uint64_t detector_pings = 0;
+  /// Peers evicted by the detector (ping-miss threshold crossed) — churn
+  /// discovered by probing, ahead of any refused application send.
+  uint64_t detector_evictions = 0;
+  /// Membership epoch bumps across all nodes: ownership-changing events
+  /// (join adoption, predecessor/successor movement, crash repair) that
+  /// fenced cached routing state.
+  uint64_t epoch_bumps = 0;
+  /// Anti-entropy rounds started by arc owners after a membership change.
+  uint64_t resync_rounds = 0;
+  /// Entries shipped to replicas by re-sync pulls.
+  uint64_t resync_entries = 0;
+  /// Payload bytes shipped by re-sync pulls.
+  uint64_t resync_bytes = 0;
+  /// Get/GetBatch/MultiGet attempt re-sends after an attempt timeout (the
+  /// in-flight-owner-crash recovery path).
+  uint64_t get_retries = 0;
 
   double MeanHops() const {
     return routes_delivered == 0
@@ -158,6 +177,26 @@ struct DhtOptions {
   sim::SimTime fix_finger_interval = 250 * sim::kMillisecond;
   sim::SimTime rpc_timeout = 2 * sim::kSecond;
   sim::SimTime get_timeout = 10 * sim::kSecond;
+  /// Proactive failure detector: periodic liveness pings to the ring
+  /// neighborhood (predecessor, leading successors, a rotating finger),
+  /// with eviction after `ping_miss_threshold` unanswered rounds. Runs
+  /// only where maintenance timers run; decoupled from the stabilize
+  /// cadence so suspicion latency is bounded by the ping interval, not by
+  /// whoever stabilize happens to probe. Matters most under partitions,
+  /// where refused-send detection never triggers (the peer is reachable
+  /// in neither direction, so nothing is ever sent to it to be refused).
+  bool failure_detector = true;
+  sim::SimTime ping_interval = 300 * sim::kMillisecond;
+  uint32_t ping_miss_threshold = 2;
+  /// Replica re-sync cadence: a node whose ownership or replica set
+  /// changed anti-entropy-syncs its owned arc (digests out, missing
+  /// entries pulled back) once per interval until clean.
+  sim::SimTime resync_interval = 1 * sim::kSecond;
+  /// Re-send attempts for Get/GetBatch/MultiGet after an attempt timeout.
+  /// Attempt deadlines back off geometrically and sum to `get_timeout`,
+  /// so the caller-visible total deadline is unchanged; 0 restores the
+  /// single-attempt behavior bit-for-bit.
+  uint32_t get_retries = 2;
 };
 
 /// One DHT node. Create via DhtBuilder (static deployments) or construct
@@ -298,6 +337,19 @@ class DhtNode : public sim::Host {
   /// Ring-maintenance statistics for tests.
   uint64_t stabilize_rounds() const { return stabilize_rounds_; }
 
+  /// This node's membership epoch: bumped whenever its owned arc (or ring
+  /// neighborhood) changes — join adoption, predecessor/successor movement,
+  /// crash repair, static rebuild. Each bump fences the owner location
+  /// cache; upper layers (PIER) register listeners to fence their own
+  /// standing state (rehash queues, credit streams).
+  uint64_t membership_epoch() const { return membership_epoch_; }
+
+  /// Registers a callback fired synchronously on every epoch bump.
+  /// Listeners must not mutate routing state re-entrantly.
+  void AddEpochListener(std::function<void()> listener) {
+    epoch_listeners_.push_back(std::move(listener));
+  }
+
   // Wire message discriminators (sim::Message::type). kDirectApp is public
   // contract: applications wrap their own direct messages in it (their own
   // discriminator goes in the payload) so DhtNode can dispatch them to the
@@ -324,6 +376,15 @@ class DhtNode : public sim::Host {
     /// hint could ride on (un-acked puts, app upcalls). One per multi-hop
     /// cold delivery; the taught origin goes direct afterwards.
     kOwnerHint = 18,
+    kLivenessPing = 19,
+    kLivenessAck = 20,
+    /// Anti-entropy re-sync (owner → replica): per-key digests of the
+    /// owner's arc.
+    kResyncDigest = 21,
+    /// Replica → owner: keys whose digest diverged; please ship entries.
+    kResyncPull = 22,
+    /// Owner → replica: the pulled entries (KeyTransferBody payload).
+    kResyncEntries = 23,
   };
 
  private:
@@ -448,9 +509,35 @@ class DhtNode : public sim::Host {
                       const std::vector<uint8_t>& value, sim::SimTime expiry);
 
   void StartMaintenanceTimers();
+  /// Cancels every maintenance timer plus the in-flight stabilize timeout
+  /// — a crashed or departed node must never fire another event.
+  void CancelMaintenanceTimers();
+  /// Cancels pending request watchdogs and drops the callbacks silently
+  /// (crash semantics: the host is gone, nobody is listening).
+  void CancelPendingRequests();
   void DoStabilize();
   void DoFixFinger();
   void OnStabilizeTimeout(uint64_t seq, sim::HostId suspect);
+  /// One proactive-liveness round: evict peers past the miss threshold,
+  /// ping the ring neighborhood, rotate one finger probe.
+  void DoFailureDetector();
+  /// One anti-entropy round: if the membership-dirty flag is set, digest
+  /// the owned arc and push digests to the replica set.
+  void DoResync();
+  void HandleResyncDigest(sim::HostId from, const sim::Message& msg);
+  void HandleResyncPull(sim::HostId from, const sim::Message& msg);
+  /// ChordRouting membership-listener sink: bumps the epoch on ownership
+  /// change, marks the re-sync flag when replication needs repair.
+  void OnMembershipChange(bool ownership_changed, bool replica_set_changed);
+  void BumpEpoch();
+
+  /// Deadline of retry attempt `attempt` (0-based): geometric backoff whose
+  /// attempts sum to ~get_timeout, so the caller-visible total deadline is
+  /// preserved regardless of the retry count.
+  sim::SimTime AttemptTimeout(uint32_t attempt) const;
+  void OnGetAttemptTimeout(uint64_t req_id);
+  void OnBatchGetAttemptTimeout(uint64_t req_id);
+  void OnMultiGetAttemptTimeout(uint64_t req_id);
 
   /// Route() with an explicit origin — MultiGet forwards keep the original
   /// requester as the reply target while re-routing the remaining keys.
@@ -458,10 +545,10 @@ class DhtNode : public sim::Host {
                std::shared_ptr<const void> body, size_t body_bytes,
                uint64_t req_id);
 
-  /// (Re-)arms the progress watchdog of a pending MultiGet: fires
-  /// get_timeout after the last sign of progress, resolving with the items
-  /// gathered so far.
-  sim::EventId ArmMultiGetTimeout(uint64_t req_id);
+  /// (Re-)arms the progress watchdog of a pending MultiGet for retry
+  /// attempt `attempt`: an expiry re-sends the unanswered keys (attempts
+  /// remaining) or resolves with the items gathered so far.
+  sim::EventId ArmMultiGetTimeout(uint64_t req_id, uint32_t attempt);
 
   uint64_t NextReqId() { return next_req_id_++; }
   size_t RouteHeaderBytes() const { return 40; }
@@ -483,18 +570,32 @@ class DhtNode : public sim::Host {
   uint64_t next_req_id_ = 1;
   struct PendingGet {
     GetCallback callback;
+    // Request identity kept for attempt re-sends.
+    std::shared_ptr<const void> body;
+    Key key = 0;
+    size_t bytes = 0;
+    uint32_t attempts = 0;
     sim::EventId timeout = sim::kInvalidEventId;
   };
   std::map<uint64_t, PendingGet> pending_gets_;
   struct PendingBatchGet {
     GetBatchCallback callback;
+    std::shared_ptr<const void> body;
+    Key key = 0;
+    size_t bytes = 0;
+    uint32_t attempts = 0;
     sim::EventId timeout = sim::kInvalidEventId;
   };
   std::map<uint64_t, PendingBatchGet> pending_batch_gets_;
   struct PendingMultiGet {
     MultiGetCallback callback;
-    size_t awaiting = 0;  ///< Keys not yet answered by any owner.
+    std::string ns;
+    /// Keys not yet answered by any owner. A set (not a count) so the
+    /// duplicate answers a retry race produces are deduplicated instead of
+    /// double-counted.
+    std::set<Key> unanswered;
     std::vector<MultiGetItem> items;
+    uint32_t attempts = 0;
     sim::EventId timeout = sim::kInvalidEventId;
   };
   std::map<uint64_t, PendingMultiGet> pending_multi_gets_;
@@ -507,9 +608,27 @@ class DhtNode : public sim::Host {
 
   uint64_t stabilize_seq_ = 0;
   uint64_t last_stabilize_reply_ = 0;
+  sim::EventId stabilize_timer_ = sim::kInvalidEventId;
+  sim::EventId fix_finger_timer_ = sim::kInvalidEventId;
   sim::EventId stabilize_timeout_ = sim::kInvalidEventId;
   uint64_t stabilize_rounds_ = 0;
   size_t next_finger_ = 0;
+
+  // Proactive failure detector.
+  sim::EventId detector_timer_ = sim::kInvalidEventId;
+  /// Unanswered ping rounds per probed host; threshold crossing evicts.
+  std::map<sim::HostId, uint32_t> ping_outstanding_;
+  size_t detector_finger_ = 0;  ///< Rotating finger-probe cursor.
+
+  // Replica re-sync.
+  sim::EventId resync_timer_ = sim::kInvalidEventId;
+  /// Set by membership changes; cleared when a re-sync round runs with a
+  /// known predecessor (the arc is well-defined).
+  bool resync_dirty_ = false;
+
+  // Membership epoch.
+  uint64_t membership_epoch_ = 0;
+  std::vector<std::function<void()>> epoch_listeners_;
 };
 
 /// Surfaces the DHT transport counters into a CounterSet under "dht."

@@ -11,7 +11,11 @@ NodeInfo RouteCache::Lookup(Key target) const {
   auto it = arcs_.lower_bound(target);
   for (int i = 0; i < kProbes; ++i) {
     if (it == arcs_.end()) it = arcs_.begin();
-    if (InOpenClosed(it->second.arc_start, it->first, target)) {
+    // Stale-epoch entries are fenced, not returned: a fast path into a
+    // pre-churn arc falls back to ring routing (the only path that is
+    // correct while ownership is in motion).
+    if (it->second.epoch == epoch_ &&
+        InOpenClosed(it->second.arc_start, it->first, target)) {
       return it->second.owner;
     }
     ++it;
@@ -22,9 +26,12 @@ NodeInfo RouteCache::Lookup(Key target) const {
 bool RouteCache::Teach(const OwnerHint& hint) {
   if (!hint.valid || !hint.owner.valid()) return false;
   auto it = arcs_.find(hint.arc_end);
-  bool replaced_other_owner =
-      it != arcs_.end() && it->second.owner.host != hint.owner.host;
-  arcs_[hint.arc_end] = Entry{hint.arc_start, hint.owner, seq_++};
+  // A fenced entry being overwritten is expired knowledge, not a staleness
+  // signal — only a same-epoch replacement naming a different owner is.
+  bool replaced_other_owner = it != arcs_.end() &&
+                              it->second.epoch == epoch_ &&
+                              it->second.owner.host != hint.owner.host;
+  arcs_[hint.arc_end] = Entry{hint.arc_start, hint.owner, seq_++, epoch_};
   if (arcs_.size() > capacity_) {
     // Evict the oldest-taught arc. Linear scan: the cache is small and
     // eviction only runs past capacity.

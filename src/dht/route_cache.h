@@ -52,13 +52,22 @@ class RouteCache {
   /// Drops everything (membership epoch change).
   void Clear() { arcs_.clear(); }
 
+  /// Fences every current entry behind the new membership epoch: entries
+  /// taught before the fence stop matching in Lookup (the fast path falls
+  /// back to ring routing until replies re-teach the arc under the new
+  /// epoch). Cheaper than Clear for the caller's intent — stale entries
+  /// stay in place as tombstones and are overwritten or size-evicted.
+  void FenceEpoch() { ++epoch_; }
+  uint64_t epoch() const { return epoch_; }
+
   size_t size() const { return arcs_.size(); }
 
  private:
   struct Entry {
     Key arc_start = 0;
     NodeInfo owner;
-    uint64_t seq = 0;  ///< Insertion order; oldest evicted at capacity.
+    uint64_t seq = 0;    ///< Insertion order; oldest evicted at capacity.
+    uint64_t epoch = 0;  ///< Membership epoch the entry was taught under.
   };
 
   /// arc end → entry. Lookup probes the first few arc ends clockwise of
@@ -67,6 +76,7 @@ class RouteCache {
   std::map<Key, Entry> arcs_;
   size_t capacity_;
   uint64_t seq_ = 0;
+  uint64_t epoch_ = 0;  ///< Current membership epoch; older entries fenced.
 };
 
 }  // namespace pierstack::dht

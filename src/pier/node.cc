@@ -85,6 +85,51 @@ PierNode::PierNode(dht::DhtNode* dht, PierMetrics* metrics)
   dht_->SetDirectHandler([this](sim::HostId from, const sim::Message& m) {
     OnDirect(from, m);
   });
+  // Fence standing transport state on every DHT ownership change. The DHT
+  // node outlives us and cannot unregister listeners, so the callback
+  // holds a liveness token instead of a bare `this`.
+  alive_ = std::make_shared<bool>(true);
+  dht_->AddEpochListener([this, alive = std::weak_ptr<bool>(alive_)]() {
+    if (alive.lock()) OnMembershipEpoch();
+  });
+}
+
+void PierNode::OnMembershipEpoch() {
+  if (fencing_) return;  // a fence's own sends can bump the epoch again
+  fencing_ = true;
+  ++metrics_->epoch_fences;
+  // Standing rehash queues: the pressure probe taken at each queue's fill
+  // start may aim at a host that no longer owns the destination key.
+  // Re-probe under the new ring; a threshold now at-or-below the queued
+  // count ships immediately (the flush itself re-resolves the owner by
+  // routing on the key, and the fenced route cache forces the ring path).
+  for (auto it = rehash_queues_.begin(); it != rehash_queues_.end();) {
+    RehashQueue& q = it->second;
+    q.flush_threshold = FlushThresholdTuples(it->first.second);
+    if (q.count >= q.flush_threshold) {
+      it = FlushAndErase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Stalled credit streams: the owner whose acks would resume the stream
+  // may be the casualty this epoch announces. Kick each stalled stream
+  // with one credit so its next unsent chunk re-routes under the new
+  // ring; the answering (possibly new) owner's ack restores normal
+  // pacing. A stream whose owner actually survived just runs one chunk
+  // ahead of its granted credit — bounded, and self-correcting.
+  std::vector<uint64_t> stalled;
+  for (const auto& [id, stream] : chunk_streams_) {
+    if (stream.stall_timer != sim::kInvalidEventId) stalled.push_back(id);
+  }
+  for (uint64_t id : stalled) {
+    auto it = chunk_streams_.find(id);
+    if (it == chunk_streams_.end()) continue;  // completed by an earlier kick
+    ++metrics_->epoch_stream_kicks;
+    it->second.credits += 1;
+    PumpStream(it);
+  }
+  fencing_ = false;
 }
 
 PierNode::~PierNode() {
@@ -756,6 +801,8 @@ void ExportTransportCounters(const PierMetrics& m, CounterSet* out) {
   out->Set("pier.credit_streams_expired", m.credit_streams_expired);
   out->Set("pier.credit_window_boosts", m.credit_window_boosts);
   out->Set("pier.plans_executed", m.plans_executed);
+  out->Set("pier.epoch_fences", m.epoch_fences);
+  out->Set("pier.epoch_stream_kicks", m.epoch_stream_kicks);
 }
 
 }  // namespace pierstack::pier

@@ -70,6 +70,14 @@ struct PierMetrics {
   /// timeout (the downstream owner died); the query completes via its own
   /// timeout with partial results.
   uint64_t credit_streams_expired = 0;
+  /// Membership-epoch fences applied by this deployment's PIER layer: each
+  /// is one DHT ownership change propagated up to re-probe standing rehash
+  /// queues and kick stalled credit streams.
+  uint64_t epoch_fences = 0;
+  /// Stalled credit streams kicked by an epoch fence: the granting owner
+  /// may have died, so the stream advances one chunk against the new ring
+  /// instead of sitting out the stall timeout.
+  uint64_t epoch_stream_kicks = 0;
 };
 
 /// Rehash-queue and join-stage flush/pacing policy.
@@ -333,6 +341,9 @@ class PierNode {
   void OnSizeProbe(const dht::RouteMsg& msg);
   void OnDirect(sim::HostId from, const sim::Message& msg);
   void OnChunkCredit(const DirectEnvelope& env);
+  /// DHT membership-epoch listener: fences this node's standing transport
+  /// state against the ownership change (see the definition).
+  void OnMembershipEpoch();
 
   using QueueMap = std::map<std::pair<std::string, dht::Key>, RehashQueue>;
 
@@ -405,6 +416,12 @@ class PierNode {
   /// Outbound credit-paced chunk streams by stream id.
   std::map<uint64_t, ChunkStream> chunk_streams_;
   uint64_t next_stream_id_ = 1;
+  /// Guards OnMembershipEpoch against re-entry: a fence's own flushes can
+  /// detect further dead peers and bump the epoch again mid-iteration.
+  bool fencing_ = false;
+  /// Liveness token for the epoch listener registered with the DHT node
+  /// (which outlives this PierNode and has no listener-removal API).
+  std::shared_ptr<bool> alive_;
 };
 
 /// Surfaces the PIER transport counters into a CounterSet under "pier."

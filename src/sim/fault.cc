@@ -1,0 +1,98 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+namespace pierstack::sim {
+
+void FaultPlan::AssignPartition(HostId host, uint32_t group) {
+  if (group == 0) {
+    partition_.erase(host);
+  } else {
+    partition_[host] = group;
+  }
+}
+
+bool FaultPlan::ShouldDrop(HostId from, HostId to) {
+  if (from == to) return false;
+  if (!partition_.empty()) {
+    auto g = [&](HostId h) {
+      auto it = partition_.find(h);
+      return it == partition_.end() ? uint32_t{0} : it->second;
+    };
+    if (g(from) != g(to)) {
+      ++counters_.partition_drops;
+      return true;
+    }
+  }
+  if (message_loss_ > 0.0 && rng_.NextBernoulli(message_loss_)) {
+    ++counters_.loss_drops;
+    return true;
+  }
+  return false;
+}
+
+SimTime FaultPlan::ExtraLatency(HostId from, HostId to) {
+  if (from == to) return 0;
+  if (spike_probability_ > 0.0 && spike_delay_ > 0 &&
+      rng_.NextBernoulli(spike_probability_)) {
+    ++counters_.latency_spikes;
+    return spike_delay_;
+  }
+  return 0;
+}
+
+void FaultPlan::CountChurn(ChurnEvent::Kind kind) {
+  if (kind == ChurnEvent::kCrash) {
+    ++counters_.churn_crashes;
+  } else {
+    ++counters_.churn_joins;
+  }
+}
+
+std::vector<ChurnEvent> FaultPlan::FlashCrowdJoin(SimTime start, size_t joins,
+                                                  SimTime window) {
+  std::vector<ChurnEvent> out;
+  out.reserve(joins);
+  if (joins == 0) return out;
+  // Even spacing across the window keeps the burst shape independent of any
+  // RNG stream — the same 10%-of-the-ring minute every run.
+  SimTime step = window / joins;
+  for (size_t i = 0; i < joins; ++i) {
+    out.push_back(ChurnEvent{start + i * step, ChurnEvent::kJoin});
+  }
+  return out;
+}
+
+std::vector<ChurnEvent> FaultPlan::MassLeave(SimTime at, size_t crashes) {
+  std::vector<ChurnEvent> out;
+  out.reserve(crashes);
+  for (size_t i = 0; i < crashes; ++i) {
+    out.push_back(ChurnEvent{at, ChurnEvent::kCrash});
+  }
+  return out;
+}
+
+std::vector<ChurnEvent> FaultPlan::SustainedChurn(SimTime start,
+                                                  SimTime duration,
+                                                  double events_per_minute,
+                                                  uint64_t seed) {
+  std::vector<ChurnEvent> out;
+  if (events_per_minute <= 0.0 || duration == 0) return out;
+  Rng rng(seed);
+  double mean_gap =
+      static_cast<double>(kMinute) / events_per_minute;  // microseconds
+  SimTime t = start;
+  // Alternate join/crash so the population oscillates around its starting
+  // size instead of draining — sustained N%/min churn, not decay.
+  bool join_next = true;
+  for (;;) {
+    t += static_cast<SimTime>(std::max(1.0, rng.NextExponential(mean_gap)));
+    if (t >= start + duration) break;
+    out.push_back(
+        ChurnEvent{t, join_next ? ChurnEvent::kJoin : ChurnEvent::kCrash});
+    join_next = !join_next;
+  }
+  return out;
+}
+
+}  // namespace pierstack::sim

@@ -1,0 +1,123 @@
+// Scriptable fault injection for sim::Network — the churn harness.
+//
+// A FaultPlan attached to a Network perturbs the message layer the way a
+// deployed overlay is perturbed (paper Section 7 runs PIER under PlanetLab
+// flakiness; the churn benches reproduce that pressure deterministically):
+//
+//  * probabilistic message loss: each accepted send is dropped in flight
+//    with probability `message_loss` (the sender sees success, the receiver
+//    sees nothing — a lost packet, not a refused connection),
+//  * latency spikes: with probability `spike_probability` a message is
+//    delayed by an extra `spike_delay` on top of the latency model,
+//  * partitions: hosts are assigned to groups; messages crossing a group
+//    boundary are silently dropped until Heal() — a network split, during
+//    which refused-send failure detection is blind and only proactive
+//    liveness probing notices the missing peers,
+//  * scheduled crash/join churn: deterministic event schedules (flash-crowd
+//    join, correlated mass-leave, sustained events/min churn) built here
+//    and executed by an overlay-level driver (dht::ChurnDriver), which
+//    counts each executed event back into the plan.
+//
+// All randomness comes from the plan's own seeded Rng, so fault decisions
+// never perturb the network's latency stream: a run with a FaultPlan is a
+// pure function of (network seed, plan seed, handlers). Counters are
+// exported via common/stats (ExportNetworkCounters in sim/network.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace pierstack::sim {
+
+using HostId = uint32_t;  // mirrors network.h (no circular include)
+
+/// One scheduled membership change. The sim layer only fixes WHEN and WHAT
+/// KIND; the overlay driver picks the victim/joiner deterministically.
+struct ChurnEvent {
+  enum Kind { kCrash, kJoin };
+  SimTime time = 0;
+  Kind kind = kCrash;
+};
+
+/// Injected-fault counters (exported as net.fault_* via common/stats).
+struct FaultCounters {
+  uint64_t loss_drops = 0;       ///< Messages lost to probabilistic loss.
+  uint64_t latency_spikes = 0;   ///< Messages delayed by a spike.
+  uint64_t partition_drops = 0;  ///< Messages dropped at a partition edge.
+  uint64_t churn_crashes = 0;    ///< Executed scheduled crash events.
+  uint64_t churn_joins = 0;      ///< Executed scheduled join events.
+
+  uint64_t Total() const {
+    return loss_drops + latency_spikes + partition_drops + churn_crashes +
+           churn_joins;
+  }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed) : rng_(seed) {}
+
+  /// Per-message in-flight loss probability in [0, 1].
+  void set_message_loss(double p) { message_loss_ = p; }
+  double message_loss() const { return message_loss_; }
+
+  /// With probability `p`, a message is delayed by `extra` past the model.
+  void set_latency_spike(double p, SimTime extra) {
+    spike_probability_ = p;
+    spike_delay_ = extra;
+  }
+
+  /// Puts `host` into partition `group` (unassigned hosts are group 0).
+  /// Messages between different groups are silently dropped.
+  void AssignPartition(HostId host, uint32_t group);
+
+  /// Ends the partition: every host rejoins group 0.
+  void Heal() { partition_.clear(); }
+  bool partitioned() const { return !partition_.empty(); }
+
+  // --- Hooks consumed by Network::Send (self-sends are never faulted) ----
+
+  /// True when this send must be lost in flight (loss or partition edge).
+  /// Counts the injected fault.
+  bool ShouldDrop(HostId from, HostId to);
+
+  /// Extra delivery delay for this send (0 when no spike fires). Counts.
+  SimTime ExtraLatency(HostId from, HostId to);
+
+  /// The overlay churn driver reports each executed scheduled event.
+  void CountChurn(ChurnEvent::Kind kind);
+
+  const FaultCounters& counters() const { return counters_; }
+
+  // --- Deterministic churn schedule builders -----------------------------
+
+  /// `joins` nodes arriving within [start, start + window) at even spacing
+  /// — the flash-crowd arrival burst.
+  static std::vector<ChurnEvent> FlashCrowdJoin(SimTime start, size_t joins,
+                                                SimTime window);
+
+  /// `crashes` simultaneous failures at `at` — correlated mass-leave.
+  static std::vector<ChurnEvent> MassLeave(SimTime at, size_t crashes);
+
+  /// Alternating join/crash events (population-preserving) at
+  /// `events_per_minute`, exponentially spaced from `seed`, covering
+  /// [start, start + duration).
+  static std::vector<ChurnEvent> SustainedChurn(SimTime start,
+                                                SimTime duration,
+                                                double events_per_minute,
+                                                uint64_t seed);
+
+ private:
+  Rng rng_;
+  double message_loss_ = 0.0;
+  double spike_probability_ = 0.0;
+  SimTime spike_delay_ = 0;
+  std::map<HostId, uint32_t> partition_;  ///< host → group; absent = 0.
+  FaultCounters counters_;
+};
+
+}  // namespace pierstack::sim

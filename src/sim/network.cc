@@ -57,6 +57,7 @@ void NetworkMetrics::Reset() {
   total = TrafficCounter{};
   by_tag.clear();
   dropped_messages = 0;
+  refused_sends = 0;
 }
 
 Network::Network(Simulator* simulator, std::unique_ptr<LatencyModel> model,
@@ -142,13 +143,22 @@ bool Network::IsHostUp(HostId id) const {
 bool Network::Send(HostId from, HostId to, Message msg) {
   if (!IsHostUp(to)) {
     ++metrics_.dropped_messages;
+    ++metrics_.refused_sends;
     return false;
   }
   metrics_.Record(msg.tag, msg.wire_bytes);
+  // Injected faults (sim/fault.h): the message left the sender (charged to
+  // traffic above, success returned below), but a loss or a partition edge
+  // silently discards it before the destination's queue ever sees it.
+  if (faults_ != nullptr && faults_->ShouldDrop(from, to)) {
+    ++metrics_.dropped_messages;
+    return true;
+  }
   SimTime delay = 0;
   if (latency_ && from != to) {
     delay = latency_->Latency(from, to, msg.wire_bytes, &rng_);
   }
+  if (faults_ != nullptr) delay += faults_->ExtraLatency(from, to);
   delay += processing_delay_[to];
   ChargeInFlight(to, msg.wire_bytes);
   simulator_->ScheduleAfter(
@@ -165,6 +175,23 @@ bool Network::Send(HostId from, HostId to, Message msg) {
         hosts_[to]->HandleMessage(from, m);
       });
   return true;
+}
+
+void ExportNetworkCounters(const Network& net, CounterSet* out) {
+  const NetworkMetrics& m = net.metrics();
+  out->Set("net.messages", m.total.messages);
+  out->Set("net.bytes", m.total.bytes);
+  out->Set("net.dropped_messages", m.dropped_messages);
+  out->Set("net.refused_sends", m.refused_sends);
+  if (const FaultPlan* plan = net.fault_plan()) {
+    const FaultCounters& f = plan->counters();
+    out->Set("net.fault_loss_drops", f.loss_drops);
+    out->Set("net.fault_latency_spikes", f.latency_spikes);
+    out->Set("net.fault_partition_drops", f.partition_drops);
+    out->Set("net.fault_churn_crashes", f.churn_crashes);
+    out->Set("net.fault_churn_joins", f.churn_joins);
+    out->Set("net.fault_injected_total", f.Total());
+  }
 }
 
 }  // namespace pierstack::sim

@@ -16,12 +16,13 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stats.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace pierstack::sim {
 
-/// Dense id of a host attached to the network.
-using HostId = uint32_t;
+/// Dense id of a host attached to the network (declared in sim/fault.h).
 constexpr HostId kInvalidHost = UINT32_MAX;
 
 /// An application-level message. The payload is an app-defined struct kept
@@ -148,7 +149,13 @@ SimTime DecayedLatency(SimTime latency, SimTime elapsed, SimTime half_life);
 struct NetworkMetrics {
   TrafficCounter total;
   std::map<std::string, TrafficCounter> by_tag;
-  uint64_t dropped_messages = 0;  ///< Sends to down/detached hosts.
+  /// Every message that failed to reach its receiver: refused sends,
+  /// in-flight losses (host died mid-flight) and injected faults.
+  uint64_t dropped_messages = 0;
+  /// The refused-send slice of dropped_messages: the destination was
+  /// already down or detached at send time (TCP connect refused — the
+  /// sender-visible failure signal).
+  uint64_t refused_sends = 0;
 
   void Record(const char* tag, size_t bytes);
   void Reset();
@@ -204,6 +211,13 @@ class Network {
   /// silently (true is returned).
   bool Send(HostId from, HostId to, Message msg);
 
+  /// Attaches a fault-injection plan (sim/fault.h); null detaches. The plan
+  /// perturbs every subsequent Send (loss, spikes, partitions) and must
+  /// outlive the network or be detached first.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+  FaultPlan* fault_plan() { return faults_; }
+  const FaultPlan* fault_plan() const { return faults_; }
+
   Simulator* simulator() { return simulator_; }
   NetworkMetrics& metrics() { return metrics_; }
   const NetworkMetrics& metrics() const { return metrics_; }
@@ -224,6 +238,12 @@ class Network {
   std::vector<DestinationLoad> loads_;     // index = HostId
   SimTime load_decay_half_life_ = 5 * kSecond;
   NetworkMetrics metrics_;
+  FaultPlan* faults_ = nullptr;  ///< Non-owning; null = no fault injection.
 };
+
+/// Surfaces the network drop/traffic counters — and, when a FaultPlan is
+/// attached, the injected-fault counters — into a CounterSet under "net."
+/// names (the cross-layer reporting currency, see common/stats.h).
+void ExportNetworkCounters(const Network& net, CounterSet* out);
 
 }  // namespace pierstack::sim

@@ -1,0 +1,164 @@
+// Replica re-sync: after an ownership transfer (crash repair or join), the
+// anti-entropy rounds must restore every surviving key range to full
+// replication — no range stays below DhtOptions::replication longer than a
+// bounded number of repair rounds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dht/builder.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pierstack::dht {
+namespace {
+
+constexpr char kNs[] = "resync";
+
+struct Deployment {
+  sim::Simulator simulator;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<DhtDeployment> dht;
+
+  Deployment(size_t n, size_t replication) {
+    network = std::make_unique<sim::Network>(
+        &simulator, std::make_unique<sim::ConstantLatency>(2 * sim::kMillisecond),
+        42);
+    DhtOptions opts;
+    opts.overlay = OverlayKind::kChord;
+    opts.replication = replication;
+    opts.maintenance = true;
+    dht = std::make_unique<DhtDeployment>(network.get(), n, opts, 777);
+  }
+
+  void Settle(sim::SimTime duration) { simulator.RunFor(duration); }
+
+  DhtNode* NodeByHost(sim::HostId host) {
+    for (size_t i = 0; i < dht->size(); ++i) {
+      if (dht->node(i)->host() == host) return dht->node(i);
+    }
+    return nullptr;
+  }
+
+  /// Number of live holders of (kNs, key) among the key's current owner and
+  /// its replica targets — the replication level repair must restore.
+  size_t LiveCopies(Key key, size_t replication) {
+    DhtNode* owner = dht->ExpectedOwner(key);
+    if (owner == nullptr) return 0;
+    size_t copies =
+        owner->store().Has(kNs, key, simulator.now()) ? 1 : 0;
+    for (const NodeInfo& r : owner->routing().ReplicaTargets(replication - 1)) {
+      DhtNode* holder = NodeByHost(r.host);
+      if (holder != nullptr && holder->joined() &&
+          holder->store().Has(kNs, key, simulator.now())) {
+        ++copies;
+      }
+    }
+    return copies;
+  }
+};
+
+std::vector<Key> TestKeys(size_t n) {
+  std::vector<Key> keys;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back((i + 1) * 0x9E3779B97F4A7C15ull);
+  }
+  return keys;
+}
+
+void PublishAll(Deployment* d, const std::vector<Key>& keys) {
+  for (Key k : keys) {
+    d->dht->node(0)->Put(kNs, k, {uint8_t(k & 0xFF), 7, 9}, 0, nullptr);
+  }
+  d->Settle(10 * sim::kSecond);
+}
+
+TEST(ResyncTest, CrashRestoresFullReplicationWithinBoundedRounds) {
+  constexpr size_t kReplication = 3;
+  Deployment d(12, kReplication);
+  std::vector<Key> keys = TestKeys(40);
+  PublishAll(&d, keys);
+
+  // Baseline: every key fully replicated before the failure.
+  for (Key k : keys) {
+    ASSERT_EQ(d.LiveCopies(k, kReplication), kReplication) << "key " << k;
+  }
+
+  // Crash two non-bootstrap nodes. Every key they held drops below the
+  // replication floor until repair + re-sync run.
+  d.dht->node(3)->Crash();
+  d.dht->node(7)->Crash();
+
+  // Stabilize repairs the ring, the membership listeners mark the changed
+  // owners dirty, and the periodic re-sync rounds (1s cadence) ship the
+  // missing entries. 30s is many times the bound; the assertion below is
+  // the floor restoration itself.
+  d.Settle(30 * sim::kSecond);
+
+  for (Key k : keys) {
+    EXPECT_EQ(d.LiveCopies(k, kReplication), kReplication) << "key " << k << " " << [&] {
+      std::string desc;
+      DhtNode* owner = d.dht->ExpectedOwner(k);
+      desc += "owner host " + std::to_string(owner->host()) +
+              " has=" + std::to_string(owner->store().Has(kNs, k, d.simulator.now()));
+      for (const NodeInfo& r : owner->routing().ReplicaTargets(2)) {
+        DhtNode* h = d.NodeByHost(r.host);
+        desc += " | replica host " + std::to_string(r.host) +
+                " joined=" + std::to_string(h && h->joined()) +
+                " has=" + std::to_string(h && h->store().Has(kNs, k, d.simulator.now()));
+      }
+      return desc;
+    }();
+  }
+  EXPECT_GT(d.dht->metrics().resync_rounds, 0u);
+  EXPECT_GT(d.dht->metrics().resync_entries, 0u);
+  EXPECT_GT(d.dht->metrics().resync_bytes, 0u);
+}
+
+TEST(ResyncTest, MembershipChangeBumpsEpochAndFencesCaches) {
+  Deployment d(12, 3);
+  std::vector<Key> keys = TestKeys(10);
+  PublishAll(&d, keys);
+
+  uint64_t bumps_before = d.dht->metrics().epoch_bumps;
+  // Record a surviving neighbor's epoch: the crash moves its ring
+  // neighborhood, so its own counter must advance too.
+  DhtNode* survivor = d.dht->node(2);
+  uint64_t epoch_before = survivor->membership_epoch();
+
+  d.dht->node(3)->Crash();
+  d.Settle(15 * sim::kSecond);
+
+  EXPECT_GT(d.dht->metrics().epoch_bumps, bumps_before);
+  // At least one node observed an ownership change; the specific survivor
+  // only advances if node 3 sat in its neighborhood, so assert the global
+  // counter and allow the local one to be unchanged.
+  EXPECT_GE(survivor->membership_epoch(), epoch_before);
+}
+
+TEST(ResyncTest, StableRingRunsNoResyncRounds) {
+  Deployment d(12, 3);
+  std::vector<Key> keys = TestKeys(10);
+  PublishAll(&d, keys);
+
+  uint64_t rounds_after_settle = d.dht->metrics().resync_rounds;
+  d.Settle(20 * sim::kSecond);
+  // The dirty flag only arms on membership change: a quiet ring must not
+  // keep digesting its arcs forever.
+  EXPECT_EQ(d.dht->metrics().resync_rounds, rounds_after_settle);
+}
+
+TEST(ResyncTest, ReplicationOneRunsNoResync) {
+  Deployment d(8, 1);
+  std::vector<Key> keys = TestKeys(10);
+  PublishAll(&d, keys);
+  d.dht->node(3)->Crash();
+  d.Settle(15 * sim::kSecond);
+  EXPECT_EQ(d.dht->metrics().resync_rounds, 0u);
+  EXPECT_EQ(d.dht->metrics().resync_entries, 0u);
+}
+
+}  // namespace
+}  // namespace pierstack::dht

@@ -1,0 +1,272 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/network.h"
+
+namespace pierstack::sim {
+namespace {
+
+struct Payload {
+  std::string text;
+};
+
+class Recorder : public Host {
+ public:
+  void HandleMessage(HostId from, const Message& msg) override {
+    received.push_back({from, msg.as<Payload>().text});
+  }
+  std::vector<std::pair<HostId, std::string>> received;
+};
+
+Message Msg(const std::string& text) {
+  return Message::Make<Payload>(1, "test", 64, Payload{text});
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+};
+
+TEST_F(FaultTest, CertainLossDropsInFlightSilently) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  FaultPlan plan(7);
+  plan.set_message_loss(1.0);
+  net.set_fault_plan(&plan);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+
+  // The sender sees success (a lost packet, not a refused connection)...
+  EXPECT_TRUE(net.Send(ha, hb, Msg("lost")));
+  sim.Run();
+
+  // ...but the receiver sees nothing, and the loss is counted as a drop
+  // without touching the refused-send slice.
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(plan.counters().loss_drops, 1u);
+  EXPECT_EQ(net.metrics().dropped_messages, 1u);
+  EXPECT_EQ(net.metrics().refused_sends, 0u);
+}
+
+TEST_F(FaultTest, ZeroLossDeliversEverything) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  FaultPlan plan(7);
+  net.set_fault_plan(&plan);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  for (int i = 0; i < 20; ++i) net.Send(ha, hb, Msg("ok"));
+  sim.Run();
+  EXPECT_EQ(b.received.size(), 20u);
+  EXPECT_EQ(plan.counters().Total(), 0u);
+}
+
+TEST_F(FaultTest, SelfSendsAreNeverFaulted) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  FaultPlan plan(7);
+  plan.set_message_loss(1.0);
+  plan.set_latency_spike(1.0, kSecond);
+  net.set_fault_plan(&plan);
+  Recorder a;
+  HostId ha = net.AddHost(&a);
+  net.Send(ha, ha, Msg("self"));
+  sim.Run();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(sim.now(), 0u);  // no spike applied either
+  EXPECT_EQ(plan.counters().Total(), 0u);
+}
+
+TEST_F(FaultTest, PartitionDropsCrossGroupTrafficUntilHeal) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  FaultPlan plan(7);
+  net.set_fault_plan(&plan);
+  Recorder a, b, c;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  HostId hc = net.AddHost(&c);
+  plan.AssignPartition(hc, 1);  // a, b stay in group 0
+  EXPECT_TRUE(plan.partitioned());
+
+  net.Send(ha, hb, Msg("same-side"));
+  net.Send(ha, hc, Msg("cross"));
+  net.Send(hc, ha, Msg("cross-back"));
+  sim.Run();
+
+  EXPECT_EQ(b.received.size(), 1u);  // same group flows
+  EXPECT_TRUE(c.received.empty());   // both directions blocked
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(plan.counters().partition_drops, 2u);
+
+  plan.Heal();
+  EXPECT_FALSE(plan.partitioned());
+  net.Send(ha, hc, Msg("after-heal"));
+  sim.Run();
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST_F(FaultTest, LatencySpikeDelaysDelivery) {
+  Network net(&sim, std::make_unique<ConstantLatency>(10 * kMillisecond), 1);
+  FaultPlan plan(7);
+  plan.set_latency_spike(1.0, 50 * kMillisecond);
+  net.set_fault_plan(&plan);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.Send(ha, hb, Msg("slow"));
+  sim.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(sim.now(), 60 * kMillisecond);  // model delay + spike
+  EXPECT_EQ(plan.counters().latency_spikes, 1u);
+}
+
+TEST_F(FaultTest, FaultDecisionsAreDeterministicUnderSeed) {
+  auto run = [this](uint64_t seed) {
+    Simulator local;
+    Network net(&local, std::make_unique<ConstantLatency>(kMillisecond), 1);
+    FaultPlan plan(seed);
+    plan.set_message_loss(0.3);
+    plan.set_latency_spike(0.2, 5 * kMillisecond);
+    net.set_fault_plan(&plan);
+    Recorder a, b;
+    HostId ha = net.AddHost(&a);
+    HostId hb = net.AddHost(&b);
+    for (int i = 0; i < 200; ++i) net.Send(ha, hb, Msg("x"));
+    local.Run();
+    return std::make_tuple(b.received.size(), plan.counters().loss_drops,
+                           plan.counters().latency_spikes, local.now());
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(std::get<1>(run(42)), 0u);  // the plan actually dropped some
+}
+
+TEST_F(FaultTest, FaultRandomnessDoesNotPerturbLatencyStream) {
+  // Same network seed, jittery latency model: delivery times must be
+  // identical with and without an (all-loss-disabled) plan attached,
+  // because fault decisions draw from the plan's own Rng.
+  auto deliveries = [](bool with_plan) {
+    Simulator local;
+    Network net(&local,
+                std::make_unique<UniformLatency>(kMillisecond, 20 * kMillisecond),
+                99);
+    FaultPlan plan(1234);
+    if (with_plan) net.set_fault_plan(&plan);
+    Recorder a, b;
+    HostId ha = net.AddHost(&a);
+    HostId hb = net.AddHost(&b);
+    std::vector<SimTime> times;
+    for (int i = 0; i < 50; ++i) net.Send(ha, hb, Msg("x"));
+    while (local.Step()) times.push_back(local.now());
+    return times;
+  };
+  EXPECT_EQ(deliveries(false), deliveries(true));
+}
+
+TEST_F(FaultTest, FlashCrowdJoinSpacesEvenlyInsideWindow) {
+  auto events = FaultPlan::FlashCrowdJoin(10 * kSecond, 6, kMinute);
+  ASSERT_EQ(events.size(), 6u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, ChurnEvent::kJoin);
+    EXPECT_GE(events[i].time, 10 * kSecond);
+    EXPECT_LT(events[i].time, 10 * kSecond + kMinute);
+    if (i > 0) {
+      EXPECT_GT(events[i].time, events[i - 1].time);
+    }
+  }
+  // Even spacing: constant gap between consecutive arrivals.
+  SimTime gap = events[1].time - events[0].time;
+  for (size_t i = 2; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].time - events[i - 1].time, gap);
+  }
+}
+
+TEST_F(FaultTest, MassLeaveIsSimultaneous) {
+  auto events = FaultPlan::MassLeave(5 * kSecond, 4);
+  ASSERT_EQ(events.size(), 4u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.kind, ChurnEvent::kCrash);
+    EXPECT_EQ(e.time, 5 * kSecond);
+  }
+}
+
+TEST_F(FaultTest, SustainedChurnAlternatesAndStaysInRange) {
+  auto events =
+      FaultPlan::SustainedChurn(kSecond, 10 * kMinute, 6.0, 77);
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, kSecond);
+    EXPECT_LT(events[i].time, kSecond + 10 * kMinute);
+    if (i > 0) {
+      EXPECT_GE(events[i].time, events[i - 1].time);
+    }
+    // Population-preserving: joins and crashes alternate, join first.
+    EXPECT_EQ(events[i].kind,
+              i % 2 == 0 ? ChurnEvent::kJoin : ChurnEvent::kCrash);
+  }
+  // ~6 events/min over 10 min; exponential gaps, so allow slack.
+  EXPECT_GT(events.size(), 20u);
+  EXPECT_LT(events.size(), 180u);
+
+  // Same seed reproduces the schedule event-for-event.
+  auto again = FaultPlan::SustainedChurn(kSecond, 10 * kMinute, 6.0, 77);
+  ASSERT_EQ(again.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(again[i].time, events[i].time);
+    EXPECT_EQ(again[i].kind, events[i].kind);
+  }
+}
+
+TEST_F(FaultTest, ExportNetworkCountersSurfacesFaultCounters) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+
+  // Without a plan: traffic counters only, no fault names.
+  net.Send(ha, hb, Msg("plain"));
+  sim.Run();
+  CounterSet bare;
+  ExportNetworkCounters(net, &bare);
+  EXPECT_EQ(bare.Value("net.messages"), 1u);
+  EXPECT_FALSE(bare.Has("net.fault_injected_total"));
+
+  FaultPlan plan(7);
+  plan.set_message_loss(1.0);
+  net.set_fault_plan(&plan);
+  net.Send(ha, hb, Msg("dropped"));
+  plan.CountChurn(ChurnEvent::kCrash);
+  plan.CountChurn(ChurnEvent::kJoin);
+  sim.Run();
+
+  CounterSet out;
+  ExportNetworkCounters(net, &out);
+  EXPECT_EQ(out.Value("net.fault_loss_drops"), 1u);
+  EXPECT_EQ(out.Value("net.fault_churn_crashes"), 1u);
+  EXPECT_EQ(out.Value("net.fault_churn_joins"), 1u);
+  EXPECT_EQ(out.Value("net.fault_injected_total"), 3u);
+  EXPECT_EQ(out.Value("net.dropped_messages"), 1u);
+  EXPECT_EQ(out.Value("net.refused_sends"), 0u);
+}
+
+TEST_F(FaultTest, RefusedSendIsAnAdditiveSliceOfDrops) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  FaultPlan plan(7);
+  net.set_fault_plan(&plan);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  net.SetHostUp(hb, false);
+  EXPECT_FALSE(net.Send(ha, hb, Msg("refused")));
+  EXPECT_EQ(net.metrics().dropped_messages, 1u);
+  EXPECT_EQ(net.metrics().refused_sends, 1u);
+  // A refused send is a transport outcome, not an injected fault.
+  EXPECT_EQ(plan.counters().Total(), 0u);
+}
+
+}  // namespace
+}  // namespace pierstack::sim
