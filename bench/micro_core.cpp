@@ -35,6 +35,7 @@
 #include "piersearch/publisher.h"
 #include "piersearch/schemas.h"
 #include "piersearch/search_engine.h"
+#include "sim/shard.h"
 
 using namespace pierstack;
 
@@ -1315,5 +1316,117 @@ static void BM_KeywordIndexMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KeywordIndexMatch);
+
+// --------------------------------------------------------------------------
+// Shard-parallel event loop (sim/shard.h): wall-clock scaling of a big
+// static deployment under steady query load, serial vs sharded backends.
+// Every variant must land on the identical fingerprint — the sharded
+// backends are only allowed to be *faster*, never different. The speedup
+// floors in scripts/run_bench.sh apply when the machine actually has the
+// cores (context.num_cpus); the fingerprint identity gate always applies.
+namespace shard_scale {
+
+/// One deployment under steady query load: each node Gets a derived key
+/// and re-arms its own pump timer — all load is host-context work that
+/// parallelizes across shards; no driver events after setup.
+struct ScaleEnv {
+  static constexpr sim::SimTime kLatency = 2 * sim::kMillisecond;
+
+  std::unique_ptr<sim::Executor> exec;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<dht::DhtDeployment> dht;
+  size_t n;
+
+  ScaleEnv(size_t nodes, uint32_t shards) : n(nodes) {
+    if (shards <= 1) {
+      exec = std::make_unique<sim::SerialExecutor>();
+    } else {
+      exec = std::make_unique<sim::ShardedExecutor>(
+          sim::ShardedExecutor::Options{shards, kLatency});
+    }
+    network = std::make_unique<sim::Network>(
+        exec.get(), std::make_unique<sim::ConstantLatency>(kLatency), 42);
+    network->set_load_probe_quantum(kLatency);
+    dht::DhtOptions opts;
+    opts.overlay = dht::OverlayKind::kChord;
+    opts.replication = 3;
+    dht = std::make_unique<dht::DhtDeployment>(network.get(), n, opts, 777);
+    for (size_t i = 0; i < n; ++i) Arm(i, 10 * sim::kMillisecond + i % 97);
+  }
+
+  void Arm(size_t i, sim::SimTime delay) {
+    exec->ScheduleAfter(dht->node(i)->host(), delay,
+                        [this, i] { Pump(i); });
+  }
+
+  void Pump(size_t i) {
+    uint64_t r = Mix64(0x5ca1eull ^ (i * 0x9E3779B97F4A7C15ull) ^
+                       exec->now());
+    dht->node(i)->Get("scale", static_cast<dht::Key>(r),
+                      [](Status, auto) {});
+    Arm(i, 150 * sim::kMillisecond + r % (100 * sim::kMillisecond));
+  }
+
+  /// Everything the run can deterministically disagree on, folded to 50
+  /// bits (counters ride as doubles in the bench json).
+  uint64_t Fingerprint() const {
+    const sim::NetworkMetrics& net = network->metrics();
+    uint64_t fp = Mix64(exec->events_executed());
+    fp = Mix64(fp ^ exec->now());
+    fp = Mix64(fp ^ net.total.messages);
+    fp = Mix64(fp ^ net.total.bytes);
+    fp = Mix64(fp ^ net.dropped_messages);
+    fp = Mix64(fp ^ dht->metrics().routes_delivered);
+    fp = Mix64(fp ^ dht->metrics().total_hops);
+    return fp & ((1ull << 50) - 1);
+  }
+};
+
+void Run(benchmark::State& state, uint32_t shards) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const sim::SimTime kHorizon = 2 * sim::kSecond;
+  uint64_t fingerprint = 0;
+  double events = 0, messages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // deployment build + teardown are serial setup
+    {
+      ScaleEnv env(nodes, shards);
+      state.ResumeTiming();
+      env.exec->RunFor(kHorizon);
+      state.PauseTiming();
+      fingerprint = env.Fingerprint();
+      events = static_cast<double>(env.exec->events_executed());
+      messages = static_cast<double>(env.network->metrics().total.messages);
+    }
+    state.ResumeTiming();
+  }
+  state.counters["fingerprint"] = static_cast<double>(fingerprint);
+  state.counters["events"] = events;
+  state.counters["net_messages"] = messages;
+  state.SetItemsProcessed(int64_t(events) * int64_t(state.iterations()));
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  b->Arg(10000)->Unit(benchmark::kMillisecond);
+  // The 100k-node point takes minutes per backend; opt in explicitly.
+  if (std::getenv("PIERSTACK_BENCH_LARGE") != nullptr) b->Arg(100000);
+}
+
+}  // namespace shard_scale
+
+static void BM_ShardScale_Serial(benchmark::State& state) {
+  shard_scale::Run(state, 1);
+}
+BENCHMARK(BM_ShardScale_Serial)->Apply(shard_scale::Args);
+
+static void BM_ShardScale_Shards4(benchmark::State& state) {
+  shard_scale::Run(state, 4);
+}
+BENCHMARK(BM_ShardScale_Shards4)->Apply(shard_scale::Args);
+
+static void BM_ShardScale_Shards8(benchmark::State& state) {
+  shard_scale::Run(state, 8);
+}
+BENCHMARK(BM_ShardScale_Shards8)->Apply(shard_scale::Args);
 
 BENCHMARK_MAIN();

@@ -14,7 +14,10 @@
 #         answer set, or when a churn scenario misses its robustness floor
 #         (sustained-churn recall < 980 permille, or a flash-crowd /
 #         mass-leave run that fails to restore surviving key ranges to
-#         full replication) — the CI bench-regression gate.
+#         full replication), or when a BM_ShardScale_* sharded run's
+#         fingerprint diverges from serial (always) or misses its speedup
+#         floor (>= 2x at 4 shards, >= 2.5x at 8 — only on machines with
+#         that many cores) — the CI bench-regression gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -183,6 +186,37 @@ churn = {
         "BM_Churn_MassLeaveRepair", "lost_keys"),
 }
 
+# Shard-parallel runtime (PR 7): wall-clock scaling of the sharded event
+# loop over a big static deployment. The fingerprint (events, clock,
+# messages, bytes, delivered routes, hops — folded to 50 bits so it rides
+# a json double exactly) must be identical across backends: the sharded
+# loop may only be faster than serial, never different.
+def shard_scale_section():
+    out = {}
+    for b in raw.get("benchmarks", []):
+        name = b["name"]
+        if not name.startswith("BM_ShardScale_Serial/"):
+            continue
+        size = name.split("/", 1)[1]
+        serial = b
+        entry = {"serial_ms": round(serial.get("real_time") or 0.0, 1)}
+        for label in ("shards4", "shards8"):
+            sb = by_name.get("BM_ShardScale_Shards%s/%s" %
+                             (label[-1], size))
+            if not sb:
+                continue
+            entry[label + "_ms"] = round(sb.get("real_time") or 0.0, 1)
+            if sb.get("real_time"):
+                entry["speedup_" + label] = round(
+                    serial["real_time"] / sb["real_time"], 2)
+            entry[label + "_fingerprint_identical"] = (
+                sb.get("fingerprint") == serial.get("fingerprint") and
+                sb.get("events") == serial.get("events"))
+        out[size] = entry
+    return out
+
+shard_scale = shard_scale_section()
+
 ratios = {
     "shj_insert_with_matches": ratio(
         "BM_ShjInsertWithMatches_SharedPayload/4096",
@@ -206,6 +240,7 @@ out = {
     "routing": routing,
     "plan_exec": plan_exec,
     "churn": churn,
+    "shard_scale": shard_scale,
     "join_chain": chain,
     "fetch_coalescing": fetch,
     "rehash_queues": publish,
@@ -222,6 +257,7 @@ print("  plan-exec parity:", {k: plan_exec[k] for k in
                               ("plan_chain_message_parity",
                                "plan_chain_identical_results")})
 print("  churn scenarios:", churn)
+print("  shard scale:", shard_scale)
 for label, s in (("join chain", chain), ("fetch coalescing", fetch),
                  ("rehash queues", publish)):
     if "message_reduction" in s:
@@ -332,6 +368,34 @@ if not churn.get("mass_leave_surviving_keys"):
     failed.append("mass_leave_surviving_keys: correlated crash wiped every "
                   "key (scenario invalid)")
 
+# Shard-parallel scaling gates: fingerprint identity is unconditional —
+# a sharded backend may only be FASTER than serial, never different. The
+# wall-clock floors (>= 2x at 4 shards, >= 2.5x at 8) only apply when the
+# machine has the cores to parallelize on (context.num_cpus); a 1-core CI
+# runner still proves determinism, just not scaling.
+shard_scale = bench.get("shard_scale", {})
+num_cpus = bench.get("context", {}).get("num_cpus") or 0
+if not shard_scale:
+    failed.append("shard_scale: missing (bench did not run?)")
+for size, entry in sorted(shard_scale.items()):
+    for label, shards, floor in (("shards4", 4, 2.0), ("shards8", 8, 2.5)):
+        identical = entry.get(label + "_fingerprint_identical")
+        if identical is None:
+            failed.append("shard_scale[%s].%s: missing (bench did not "
+                          "run?)" % (size, label))
+        elif identical is not True:
+            failed.append("shard_scale[%s].%s: fingerprint diverged from "
+                          "the serial backend" % (size, label))
+        if num_cpus < shards:
+            continue
+        speedup = entry.get("speedup_" + label)
+        if speedup is None:
+            failed.append("shard_scale[%s].speedup_%s: missing" %
+                          (size, label))
+        elif speedup < floor:
+            failed.append("shard_scale[%s].speedup_%s: %.2fx < %sx" %
+                          (size, label, speedup, floor))
+
 if failed:
     print("bench-regression gate FAILED:")
     for line in failed:
@@ -339,6 +403,9 @@ if failed:
     sys.exit(1)
 print("bench-regression gate passed: speedups >= 2x, transport and "
       "routing ratios at floor, plan-exec parity >= 0.9x, identical "
-      "answer sets, churn recall/repair floors held")
+      "answer sets, churn recall/repair floors held, shard-scale "
+      "fingerprints identical%s" %
+      ("" if num_cpus >= 4 else " (speedup floors skipped: %d cpus)"
+       % num_cpus))
 EOF
 fi

@@ -2,12 +2,85 @@
 // summaries, percentiles, empirical CDFs and log-scale histograms.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace pierstack {
+
+/// Drop-in counter field safe for concurrent bumps from shard threads
+/// (sim/shard.h). Increments are relaxed atomics: totals are exact once
+/// the shards reach a barrier, and no ordering is implied between
+/// counters. Implicit conversion keeps existing `uint64_t` readers and
+/// arithmetic working unchanged; copies snapshot the current value, so
+/// metrics structs made of RelaxedCounters stay copyable.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t v = 0) : v_(v) {}  // NOLINT: implicit by design
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator uint64_t() const { return value(); }  // NOLINT: implicit by design
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator-=(uint64_t d) {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
+/// Running maximum safe for concurrent updates (CAS loop, relaxed).
+class RelaxedMax {
+ public:
+  RelaxedMax(uint64_t v = 0) : v_(v) {}  // NOLINT: implicit by design
+  RelaxedMax(const RelaxedMax& o) : v_(o.value()) {}
+  RelaxedMax& operator=(const RelaxedMax& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedMax& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator uint64_t() const { return value(); }  // NOLINT: implicit by design
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  void Update(uint64_t x) {
+    uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (x > cur &&
+           !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
 
 /// Accumulates samples; computes mean/min/max/stddev/percentiles on demand.
 class Summary {
@@ -80,12 +153,26 @@ std::vector<std::pair<double, double>> MeanByGroup(
 /// counters (transport, DHT, PIER) to tests and reports without each layer
 /// exporting its own metrics struct. Names are dotted, e.g.
 /// "pier.adaptive_flushes".
+///
+/// Safe for concurrent Increment from shard worker threads (sim/shard.h):
+/// each thread accumulates into its own slab behind a per-slab lock that
+/// only an overlapping export can contend — the hot increment path never
+/// touches the CounterSet-wide mutex after a thread's first touch. Slabs
+/// are folded into the base map by Set/Value/Has/entries (the export-side
+/// readers); totals are exact whenever the counting threads are at a shard
+/// barrier or done — the only places exports happen.
 class CounterSet {
  public:
-  /// Sets `name` to `value` (overwrites).
+  CounterSet();
+  ~CounterSet();
+  CounterSet(const CounterSet&) = delete;
+  CounterSet& operator=(const CounterSet&) = delete;
+
+  /// Sets `name` to `value` (overwrites, absorbing any pending slab deltas).
   void Set(const std::string& name, uint64_t value);
 
-  /// Adds `delta` to `name` (creating it at 0 first).
+  /// Adds `delta` to `name` (creating it at 0 first). Thread-safe; lands in
+  /// the calling thread's slab.
   void Increment(const std::string& name, uint64_t delta = 1);
 
   /// Value of `name`, or 0 if it was never set.
@@ -93,11 +180,20 @@ class CounterSet {
 
   bool Has(const std::string& name) const;
 
-  /// All counters, sorted by name.
-  const std::map<std::string, uint64_t>& entries() const { return entries_; }
+  /// All counters, sorted by name. The returned map is stable until the
+  /// next mutating or merging call.
+  const std::map<std::string, uint64_t>& entries() const;
 
  private:
-  std::map<std::string, uint64_t> entries_;
+  struct Slab;
+  Slab* ThreadSlab();
+  /// Folds every slab's deltas into entries_ and clears them. mu_ held.
+  void MergeLocked() const;
+
+  const uint64_t instance_id_;  ///< Key for the thread-local slab lookup.
+  mutable std::mutex mu_;
+  mutable std::map<std::string, uint64_t> entries_;
+  mutable std::vector<std::unique_ptr<Slab>> slabs_;
 };
 
 }  // namespace pierstack

@@ -7,9 +7,13 @@ ChurnDriver::ChurnDriver(DhtDeployment* deployment, uint64_t seed,
     : deployment_(deployment), rng_(seed), plan_(plan) {}
 
 void ChurnDriver::Schedule(const std::vector<sim::ChurnEvent>& timeline) {
-  sim::Simulator* s = deployment_->node(0)->network()->simulator();
+  // Churn events mutate topology and may touch any node, so they are
+  // driver events: a sharded backend runs them serialized at epoch
+  // barriers with every worker parked (sim/shard.h).
+  sim::Executor* s = deployment_->node(0)->network()->executor();
   for (const sim::ChurnEvent& e : timeline) {
-    s->ScheduleAt(e.time, [this, kind = e.kind]() { Execute(kind); });
+    s->ScheduleAt(sim::kDriverHost, e.time,
+                  [this, kind = e.kind]() { Execute(kind); });
   }
 }
 

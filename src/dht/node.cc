@@ -167,7 +167,7 @@ void DhtNode::Crash() {
 }
 
 void DhtNode::CancelMaintenanceTimers() {
-  sim::Simulator* s = network_->simulator();
+  sim::Executor* s = network_->executor();
   s->Cancel(stabilize_timer_);
   stabilize_timer_ = sim::kInvalidEventId;
   s->Cancel(fix_finger_timer_);
@@ -181,7 +181,7 @@ void DhtNode::CancelMaintenanceTimers() {
 }
 
 void DhtNode::CancelPendingRequests() {
-  sim::Simulator* s = network_->simulator();
+  sim::Executor* s = network_->executor();
   for (auto& [id, p] : pending_gets_) s->Cancel(p.timeout);
   pending_gets_.clear();
   for (auto& [id, p] : pending_batch_gets_) s->Cancel(p.timeout);
@@ -233,7 +233,7 @@ void DhtNode::ForwardOrDeliver(RouteMsg msg) {
       options_.replication > 1 && options_.replica_aware_reads &&
       joined_ && !routing_->IsOwner(msg.target)) {
     const auto& get = msg.body<GetBody>();
-    if (store_.Has(get.ns, get.key, network_->simulator()->now())) {
+    if (store_.Has(get.ns, get.key, network_->executor()->now())) {
       ++metrics_->replica_peels;
       DeliverLocally(msg);
       return;
@@ -330,7 +330,7 @@ bool DhtNode::TryCacheFastPath(const RouteMsg& msg) {
 void DhtNode::DeliverLocally(const RouteMsg& msg) {
   ++metrics_->routes_delivered;
   metrics_->total_hops += msg.hops;
-  metrics_->max_hops = std::max(metrics_->max_hops, msg.hops);
+  metrics_->max_hops.Update(msg.hops);
   if (msg.via_cache) {
     if (msg.hops == 1) {
       // The prediction held; the claimed skipped hop is now proven.
@@ -495,7 +495,7 @@ void DhtNode::Get(const std::string& ns, Key key, GetCallback callback) {
   pending.body = body;
   pending.key = key;
   pending.bytes = bytes;
-  pending.timeout = network_->simulator()->ScheduleAfter(
+  pending.timeout = network_->executor()->ScheduleAfter(host(), 
       AttemptTimeout(0), [this, req_id]() { OnGetAttemptTimeout(req_id); });
   pending_gets_[req_id] = std::move(pending);
   Route(key, kAppGet, body, bytes, req_id);
@@ -512,7 +512,7 @@ void DhtNode::OnGetAttemptTimeout(uint64_t req_id) {
     // simply wins the race and the duplicate is ignored.
     ++p.attempts;
     ++metrics_->get_retries;
-    p.timeout = network_->simulator()->ScheduleAfter(
+    p.timeout = network_->executor()->ScheduleAfter(host(), 
         AttemptTimeout(p.attempts),
         [this, req_id]() { OnGetAttemptTimeout(req_id); });
     Route(p.key, kAppGet, p.body, p.bytes, req_id);
@@ -535,7 +535,7 @@ void DhtNode::GetBatch(const std::string& ns, Key key,
   pending.body = body;
   pending.key = key;
   pending.bytes = bytes;
-  pending.timeout = network_->simulator()->ScheduleAfter(
+  pending.timeout = network_->executor()->ScheduleAfter(host(), 
       AttemptTimeout(0),
       [this, req_id]() { OnBatchGetAttemptTimeout(req_id); });
   pending_batch_gets_[req_id] = std::move(pending);
@@ -549,7 +549,7 @@ void DhtNode::OnBatchGetAttemptTimeout(uint64_t req_id) {
   if (p.attempts < options_.get_retries) {
     ++p.attempts;
     ++metrics_->get_retries;
-    p.timeout = network_->simulator()->ScheduleAfter(
+    p.timeout = network_->executor()->ScheduleAfter(host(), 
         AttemptTimeout(p.attempts),
         [this, req_id]() { OnBatchGetAttemptTimeout(req_id); });
     Route(p.key, kAppGetBatch, p.body, p.bytes, req_id);
@@ -561,7 +561,7 @@ void DhtNode::OnBatchGetAttemptTimeout(uint64_t req_id) {
 }
 
 sim::EventId DhtNode::ArmMultiGetTimeout(uint64_t req_id, uint32_t attempt) {
-  return network_->simulator()->ScheduleAfter(
+  return network_->executor()->ScheduleAfter(host(), 
       AttemptTimeout(attempt),
       [this, req_id]() { OnMultiGetAttemptTimeout(req_id); });
 }
@@ -649,7 +649,7 @@ void DhtNode::Lookup(Key target, LookupCallback callback) {
   uint64_t req_id = NextReqId();
   PendingLookup pending;
   pending.callback = std::move(callback);
-  pending.timeout = network_->simulator()->ScheduleAfter(
+  pending.timeout = network_->executor()->ScheduleAfter(host(), 
       options_.get_timeout, [this, req_id]() {
         auto it = pending_lookups_.find(req_id);
         if (it == pending_lookups_.end()) return;
@@ -751,7 +751,7 @@ void DhtNode::HandleGetUpcall(const RouteMsg& msg) {
   reply.hint = OwnerHintFor(msg.target);
   size_t bytes = 16 + (reply.hint.valid ? kOwnerHintBytes : 0);
   for (const StoredValue* v :
-       store_.Get(get.ns, get.key, network_->simulator()->now())) {
+       store_.Get(get.ns, get.key, network_->executor()->now())) {
     bytes += v->value.size() + 4;
     reply.values.push_back(v->value);
   }
@@ -766,7 +766,7 @@ void DhtNode::HandleGetBatchUpcall(const RouteMsg& msg) {
   reply.req_id = msg.req_id;
   reply.hint = OwnerHintFor(msg.target);
   reply.batch =
-      store_.GetBatch(get.ns, get.key, network_->simulator()->now());
+      store_.GetBatch(get.ns, get.key, network_->executor()->now());
   size_t bytes =
       reply.batch->size() + 12 + (reply.hint.valid ? kOwnerHintBytes : 0);
   SendDirect(msg.origin.host,
@@ -777,7 +777,7 @@ void DhtNode::HandleGetBatchUpcall(const RouteMsg& msg) {
 
 void DhtNode::HandleGetMultiUpcall(const RouteMsg& msg) {
   const auto& get = msg.body<MultiGetBody>();
-  sim::SimTime now = network_->simulator()->now();
+  sim::SimTime now = network_->executor()->now();
   // Answer every key we own, plus — on a replica handoff — every arc key
   // (arc_start, self] this node holds replica data for. An arc key with
   // an EMPTY local store is NOT answered here: the gap may be replication
@@ -916,23 +916,23 @@ void DhtNode::StartMaintenanceTimers() {
   // Stagger nodes deterministically so maintenance doesn't synchronize.
   sim::SimTime offset =
       (host() % 16) * (options_.stabilize_interval / 16);
-  stabilize_timer_ = network_->simulator()->ScheduleAfter(
+  stabilize_timer_ = network_->executor()->ScheduleAfter(host(), 
       options_.stabilize_interval + offset, [this]() { DoStabilize(); });
-  fix_finger_timer_ = network_->simulator()->ScheduleAfter(
+  fix_finger_timer_ = network_->executor()->ScheduleAfter(host(), 
       options_.fix_finger_interval + offset, [this]() { DoFixFinger(); });
   if (options_.failure_detector) {
-    detector_timer_ = network_->simulator()->ScheduleAfter(
+    detector_timer_ = network_->executor()->ScheduleAfter(host(), 
         options_.ping_interval + offset, [this]() { DoFailureDetector(); });
   }
   if (options_.replication > 1) {
-    resync_timer_ = network_->simulator()->ScheduleAfter(
+    resync_timer_ = network_->executor()->ScheduleAfter(host(), 
         options_.resync_interval + offset, [this]() { DoResync(); });
   }
 }
 
 void DhtNode::DoStabilize() {
   if (crashed_ || !joined_) return;
-  stabilize_timer_ = network_->simulator()->ScheduleAfter(
+  stabilize_timer_ = network_->executor()->ScheduleAfter(host(), 
       options_.stabilize_interval, [this]() { DoStabilize(); });
   ChordRouting* c = chord();
   if (c == nullptr) return;
@@ -952,7 +952,7 @@ void DhtNode::DoStabilize() {
     if (SendDirect(succ.host, sim::Message::Make<GetPredecessorBody>(
                                   kGetPredecessor, "dht.maint", 9,
                                   GetPredecessorBody{seq}))) {
-      stabilize_timeout_ = network_->simulator()->ScheduleAfter(
+      stabilize_timeout_ = network_->executor()->ScheduleAfter(host(), 
           options_.rpc_timeout, [this, seq, suspect = succ.host]() {
             OnStabilizeTimeout(seq, suspect);
           });
@@ -974,7 +974,7 @@ void DhtNode::OnStabilizeTimeout(uint64_t seq, sim::HostId suspect) {
 
 void DhtNode::DoFixFinger() {
   if (crashed_ || !joined_) return;
-  fix_finger_timer_ = network_->simulator()->ScheduleAfter(
+  fix_finger_timer_ = network_->executor()->ScheduleAfter(host(), 
       options_.fix_finger_interval, [this]() { DoFixFinger(); });
   ChordRouting* c = chord();
   if (c == nullptr) return;
@@ -986,7 +986,7 @@ void DhtNode::DoFixFinger() {
 
 void DhtNode::DoFailureDetector() {
   if (crashed_ || !joined_) return;
-  detector_timer_ = network_->simulator()->ScheduleAfter(
+  detector_timer_ = network_->executor()->ScheduleAfter(host(), 
       options_.ping_interval, [this]() { DoFailureDetector(); });
   ChordRouting* c = chord();
   if (c == nullptr) return;
@@ -1039,7 +1039,7 @@ void DhtNode::DoFailureDetector() {
 
 void DhtNode::DoResync() {
   if (crashed_ || !joined_) return;
-  resync_timer_ = network_->simulator()->ScheduleAfter(
+  resync_timer_ = network_->executor()->ScheduleAfter(host(), 
       options_.resync_interval, [this]() { DoResync(); });
   if (!resync_dirty_ || options_.replication <= 1) return;
   ChordRouting* c = chord();
@@ -1055,7 +1055,7 @@ void DhtNode::DoResync() {
   resync_dirty_ = false;
   if (targets.empty()) return;  // singleton ring: nothing to repair
   ++metrics_->resync_rounds;
-  sim::SimTime now = network_->simulator()->now();
+  sim::SimTime now = network_->executor()->now();
   for (const auto& ns : store_.Namespaces()) {
     auto digests = store_.DigestRange(ns, pred.id, id(), now);
     if (digests.empty()) continue;
@@ -1075,7 +1075,7 @@ void DhtNode::DoResync() {
 
 void DhtNode::HandleResyncDigest(sim::HostId from, const sim::Message& msg) {
   const auto& d = msg.as<ResyncDigestBody>();
-  sim::SimTime now = network_->simulator()->now();
+  sim::SimTime now = network_->executor()->now();
   // Pull every key whose local digest diverges from the owner's — missing
   // keys and stale value sets alike (Put dedupes, so over-pulling is
   // bytes, never corruption).
@@ -1093,7 +1093,7 @@ void DhtNode::HandleResyncDigest(sim::HostId from, const sim::Message& msg) {
 
 void DhtNode::HandleResyncPull(sim::HostId from, const sim::Message& msg) {
   const auto& pull = msg.as<ResyncPullBody>();
-  sim::SimTime now = network_->simulator()->now();
+  sim::SimTime now = network_->executor()->now();
   KeyTransferBody transfer;
   size_t bytes = 16;
   for (Key k : pull.keys) {
@@ -1144,7 +1144,7 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       LearnOwner(reply.hint);
       auto it = pending_gets_.find(reply.req_id);
       if (it == pending_gets_.end()) return;
-      network_->simulator()->Cancel(it->second.timeout);
+      network_->executor()->Cancel(it->second.timeout);
       GetCallback cb = std::move(it->second.callback);
       pending_gets_.erase(it);
       cb(Status::OK(), reply.values);
@@ -1155,7 +1155,7 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       LearnOwner(reply.hint);
       auto it = pending_batch_gets_.find(reply.req_id);
       if (it == pending_batch_gets_.end()) return;
-      network_->simulator()->Cancel(it->second.timeout);
+      network_->executor()->Cancel(it->second.timeout);
       GetBatchCallback cb = std::move(it->second.callback);
       pending_batch_gets_.erase(it);
       cb(Status::OK(), reply.batch);
@@ -1181,13 +1181,13 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
           // scales with the owner count; treat the timeout as a progress
           // watchdog and restart the attempt schedule on every partial
           // reply.
-          network_->simulator()->Cancel(pending.timeout);
+          network_->executor()->Cancel(pending.timeout);
           pending.attempts = 0;
           pending.timeout = ArmMultiGetTimeout(reply.req_id, 0);
         }
         return;
       }
-      network_->simulator()->Cancel(pending.timeout);
+      network_->executor()->Cancel(pending.timeout);
       MultiGetCallback cb = std::move(pending.callback);
       std::vector<MultiGetItem> items = std::move(pending.items);
       pending_multi_gets_.erase(it);
@@ -1213,7 +1213,7 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       LearnOwner(reply.hint);
       auto it = pending_lookups_.find(reply.req_id);
       if (it == pending_lookups_.end()) return;
-      network_->simulator()->Cancel(it->second.timeout);
+      network_->executor()->Cancel(it->second.timeout);
       LookupCallback cb = std::move(it->second.callback);
       pending_lookups_.erase(it);
       cb(Status::OK(), reply.owner, reply.hops);
@@ -1255,7 +1255,7 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
         last_stabilize_reply_ = reply.seq;
       }
       if (reply.seq == stabilize_seq_) {
-        network_->simulator()->Cancel(stabilize_timeout_);
+        network_->executor()->Cancel(stabilize_timeout_);
         stabilize_timeout_ = sim::kInvalidEventId;
       }
       ++stabilize_rounds_;

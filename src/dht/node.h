@@ -72,62 +72,62 @@ enum RoutedApp : int {
 
 /// Aggregate counters shared by all nodes of one deployment.
 struct DhtMetrics {
-  uint64_t routes_initiated = 0;
-  uint64_t routes_delivered = 0;
-  uint64_t routes_dropped = 0;  ///< Hop-limit exceeded.
-  uint64_t total_hops = 0;      ///< Over delivered routes.
-  uint32_t max_hops = 0;
-  uint64_t puts = 0;
-  uint64_t gets = 0;
-  uint64_t batch_puts = 0;        ///< PutBatch messages (any value count).
-  uint64_t batch_put_values = 0;  ///< Values carried by PutBatch messages.
-  uint64_t batch_gets = 0;
+  RelaxedCounter routes_initiated;
+  RelaxedCounter routes_delivered;
+  RelaxedCounter routes_dropped;  ///< Hop-limit exceeded.
+  RelaxedCounter total_hops;      ///< Over delivered routes.
+  RelaxedMax max_hops;
+  RelaxedCounter puts;
+  RelaxedCounter gets;
+  RelaxedCounter batch_puts;        ///< PutBatch messages (any value count).
+  RelaxedCounter batch_put_values;  ///< Values carried by PutBatch messages.
+  RelaxedCounter batch_gets;
   /// Routed MultiGet messages (initial sends + owner-to-owner forwards):
   /// one per distinct owner visited, the coalesced answer-fetch cost.
-  uint64_t multi_gets = 0;
-  uint64_t multi_get_keys = 0;    ///< Keys requested across MultiGet calls.
+  RelaxedCounter multi_gets;
+  RelaxedCounter multi_get_keys;    ///< Keys requested across MultiGet calls.
   /// MultiGet keys answered by a replica holder instead of the key's owner
   /// (replica-aware scatter shortcut; 0 when replication == 1).
-  uint64_t replica_peels = 0;
+  RelaxedCounter replica_peels;
   /// One-hop replica handoffs taken by the MultiGet scatter in place of an
   /// owner-by-owner walk.
-  uint64_t replica_skips = 0;
+  RelaxedCounter replica_skips;
   /// Routes whose origin short-circuited the first hop to a cached owner
   /// (the one-hop fast path; ring routing remains the fallback).
-  uint64_t route_cache_hits = 0;
+  RelaxedCounter route_cache_hits;
   /// Routes that had to start on the ring because no cached arc covered
   /// the target.
-  uint64_t route_cache_misses = 0;
+  RelaxedCounter route_cache_misses;
   /// Cache entries proven wrong: refused fast-path sends, mispredicted
   /// fast paths delivered past hop 1 (stale-but-alive old owners), and
   /// hints that replaced a different remembered owner for the same arc.
-  uint64_t route_cache_stale = 0;
+  RelaxedCounter route_cache_stale;
   /// Ring hops provably avoided by cache hits. Conservative lower bound:
   /// counts 1 per CORRECTLY predicted fast path (delivered at hop 1)
   /// whose classic first hop was not already the owner (the true saving
   /// per hit is the full ring path minus one).
-  uint64_t hops_saved = 0;
+  RelaxedCounter hops_saved;
   /// Next-hop choices where congestion bias overrode the classic
   /// distance-only pick (the hop routed AROUND a backed-up peer).
-  uint64_t congestion_detours = 0;
+  RelaxedCounter congestion_detours;
   /// Liveness pings sent by the proactive failure detector.
-  uint64_t detector_pings = 0;
+  RelaxedCounter detector_pings;
   /// Peers evicted by the detector (ping-miss threshold crossed) — churn
   /// discovered by probing, ahead of any refused application send.
-  uint64_t detector_evictions = 0;
+  RelaxedCounter detector_evictions;
   /// Membership epoch bumps across all nodes: ownership-changing events
   /// (join adoption, predecessor/successor movement, crash repair) that
   /// fenced cached routing state.
-  uint64_t epoch_bumps = 0;
+  RelaxedCounter epoch_bumps;
   /// Anti-entropy rounds started by arc owners after a membership change.
-  uint64_t resync_rounds = 0;
+  RelaxedCounter resync_rounds;
   /// Entries shipped to replicas by re-sync pulls.
-  uint64_t resync_entries = 0;
+  RelaxedCounter resync_entries;
   /// Payload bytes shipped by re-sync pulls.
-  uint64_t resync_bytes = 0;
+  RelaxedCounter resync_bytes;
   /// Get/GetBatch/MultiGet attempt re-sends after an attempt timeout (the
   /// in-flight-owner-crash recovery path).
-  uint64_t get_retries = 0;
+  RelaxedCounter get_retries;
 
   double MeanHops() const {
     return routes_delivered == 0

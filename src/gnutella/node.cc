@@ -104,7 +104,7 @@ void GnutellaNode::EndQuery(Guid guid) {
   local_queries_.erase(guid);
   auto it = dq_states_.find(guid);
   if (it != dq_states_.end()) {
-    network_->simulator()->Cancel(it->second.tick);
+    network_->executor()->Cancel(it->second.tick);
     dq_states_.erase(it);
   }
 }
@@ -140,7 +140,7 @@ void GnutellaNode::BeginDynamicQuery(Guid guid, const std::string& text) {
                 config_->dynamic.probe_ttl);
     state.pending_neighbors.pop_back();
   }
-  state.tick = network_->simulator()->ScheduleAfter(
+  state.tick = network_->executor()->ScheduleAfter(host_, 
       config_->dynamic.probe_wait, [this, guid]() { DynamicTick(guid); });
   dq_states_[guid] = std::move(state);
 }
@@ -166,7 +166,7 @@ void GnutellaNode::DynamicTick(Guid guid) {
   }
   SendQueryTo(state.pending_neighbors.back(), guid, state.text, ttl);
   state.pending_neighbors.pop_back();
-  state.tick = network_->simulator()->ScheduleAfter(
+  state.tick = network_->executor()->ScheduleAfter(host_, 
       config_->dynamic.per_neighbor_wait,
       [this, guid]() { DynamicTick(guid); });
 }

@@ -25,7 +25,7 @@ struct TopologyConfig {
 class GnutellaNetwork {
  public:
   /// Creates nodes and wires the topology. Leaf file publishing happens via
-  /// protocol messages: call `network->simulator()->Run()` (or RunFor) once
+  /// protocol messages: call `network->executor()->Run()` (or RunFor) once
   /// after construction — and after assigning files — to settle.
   GnutellaNetwork(sim::Network* network, const TopologyConfig& config);
 

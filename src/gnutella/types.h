@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -87,16 +88,19 @@ struct GnutellaConfig {
   double qrp_fp_rate = 0.02;             ///< Bloom sizing in kBloomFilter.
 };
 
-/// Aggregate protocol counters for one simulated network.
+/// Aggregate protocol counters for one simulated network. One instance is
+/// shared by every node, so the fields are RelaxedCounters: node handlers
+/// on different shards bump them concurrently, and the totals are exact
+/// by the time the sharded executor reaches a barrier.
 struct GnutellaMetrics {
-  uint64_t queries_started = 0;
-  uint64_t query_messages = 0;      ///< Query forwards on the wire.
-  uint64_t query_hit_messages = 0;  ///< Hit messages (incl. reverse-path hops).
-  uint64_t duplicate_queries = 0;   ///< Floods suppressed by GUID.
-  uint64_t ttl_expired = 0;
-  uint64_t results_delivered = 0;   ///< Result records handed to query roots.
-  uint64_t qrp_leaf_forwards = 0;   ///< Queries forwarded UP → leaf (QRP).
-  uint64_t qrp_false_positives = 0; ///< Forwards that matched nothing.
+  RelaxedCounter queries_started = 0;
+  RelaxedCounter query_messages = 0;      ///< Query forwards on the wire.
+  RelaxedCounter query_hit_messages = 0;  ///< Hit messages (incl. reverse-path hops).
+  RelaxedCounter duplicate_queries = 0;   ///< Floods suppressed by GUID.
+  RelaxedCounter ttl_expired = 0;
+  RelaxedCounter results_delivered = 0;   ///< Result records handed to query roots.
+  RelaxedCounter qrp_leaf_forwards = 0;   ///< Queries forwarded UP → leaf (QRP).
+  RelaxedCounter qrp_false_positives = 0; ///< Forwards that matched nothing.
 };
 
 /// Stable file id: hash of identity fields. Two replicas of the same

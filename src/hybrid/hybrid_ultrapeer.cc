@@ -54,7 +54,7 @@ void HybridUltrapeer::OnSnoopedHits(Guid guid,
 void HybridUltrapeer::Query(const std::string& text, HitCallback on_hit,
                             DoneCallback done) {
   ++stats_.hybrid_queries;
-  auto* simulator = pier_->dht()->network()->simulator();
+  sim::Executor* simulator = pier_->dht()->network()->executor();
   struct QueryState {
     size_t gnutella_results = 0;
     bool fell_back = false;
@@ -80,7 +80,7 @@ void HybridUltrapeer::Query(const std::string& text, HitCallback on_hit,
       });
 
   simulator->ScheduleAfter(
-      config_.gnutella_timeout,
+      pier_->dht()->host(), config_.gnutella_timeout,
       [this, state, guid, text, on_hit, done, simulator]() {
         if (state->finished) return;
         if (state->gnutella_results > 0) {

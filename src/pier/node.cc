@@ -140,7 +140,7 @@ PierNode::~PierNode() {
   // Stall timers capture `this` too; drop the streams they watch.
   for (auto& [id, stream] : chunk_streams_) {
     if (stream.stall_timer != sim::kInvalidEventId) {
-      dht_->network()->simulator()->Cancel(stream.stall_timer);
+      dht_->network()->executor()->Cancel(stream.stall_timer);
     }
   }
 }
@@ -165,7 +165,7 @@ void PierNode::Publish(const Schema& schema, Tuple tuple, sim::SimTime expiry,
 void PierNode::FlushQueue(const std::pair<std::string, dht::Key>& dest,
                           RehashQueue* q) {
   if (q->flush_timer != sim::kInvalidEventId) {
-    dht_->network()->simulator()->Cancel(q->flush_timer);
+    dht_->network()->executor()->Cancel(q->flush_timer);
     q->flush_timer = sim::kInvalidEventId;
   }
   if (q->count == 0) return;
@@ -250,7 +250,7 @@ void PierNode::EnqueueRehash(const std::string& ns, dht::Key key,
     return;
   }
   if (q.flush_timer == sim::kInvalidEventId) {
-    q.flush_timer = dht_->network()->simulator()->ScheduleAfter(
+    q.flush_timer = dht_->network()->executor()->ScheduleAfter(dht_->host(), 
         batch_options_.flush_interval,
         [this, dest = it->first]() {
           auto qit = rehash_queues_.find(dest);
@@ -295,7 +295,7 @@ void PierNode::FlushPublishQueues() {
 
 std::vector<Tuple> PierNode::DecodeLocalBatch(const std::string& ns,
                                               dht::Key key) {
-  sim::SimTime now = dht_->network()->simulator()->now();
+  sim::SimTime now = dht_->network()->executor()->now();
   dht::BatchImage image = dht_->store().GetBatch(ns, key, now);
   size_t dropped = 0;
   TupleBatch batch = TupleBatch::DeserializeLossy(*image, &dropped);
@@ -407,7 +407,7 @@ void PierNode::ProbePostingSize(const std::string& ns, const Value& key,
   uint64_t qid = NextQid();
   PendingProbe pending;
   pending.callback = std::move(callback);
-  pending.timeout = dht_->network()->simulator()->ScheduleAfter(
+  pending.timeout = dht_->network()->executor()->ScheduleAfter(dht_->host(), 
       10 * sim::kSecond, [this, qid]() {
         auto it = pending_probes_.find(qid);
         if (it == pending_probes_.end()) return;
@@ -461,7 +461,7 @@ void PierNode::ExecuteStaged(std::shared_ptr<const StagedQuery> query,
   pending.callback = std::move(callback);
   pending.limit = query->cap_results ? query->limit : SIZE_MAX;
   pending.timeout =
-      dht_->network()->simulator()->ScheduleAfter(timeout, [this, qid]() {
+      dht_->network()->executor()->ScheduleAfter(dht_->host(), timeout, [this, qid]() {
         auto it = pending_joins_.find(qid);
         if (it == pending_joins_.end()) return;
         JoinCallback cb = std::move(it->second.callback);
@@ -648,7 +648,7 @@ void PierNode::PumpStream(std::map<uint64_t, ChunkStream>::iterator it) {
     SendChunk(&stream, stream.next++, stream_id);
   }
   if (stream.stall_timer != sim::kInvalidEventId) {
-    dht_->network()->simulator()->Cancel(stream.stall_timer);
+    dht_->network()->executor()->Cancel(stream.stall_timer);
     stream.stall_timer = sim::kInvalidEventId;
   }
   if (stream.next >= stream.chunks.size()) {
@@ -659,7 +659,7 @@ void PierNode::PumpStream(std::map<uint64_t, ChunkStream>::iterator it) {
   // Pause here — its acks resume the stream — and bound the wait so a dead
   // owner cannot leak the stream forever.
   ++metrics_->credits_stalled;
-  stream.stall_timer = dht_->network()->simulator()->ScheduleAfter(
+  stream.stall_timer = dht_->network()->executor()->ScheduleAfter(dht_->host(), 
       batch_options_.credit_stall_timeout, [this, stream_id]() {
         auto sit = chunk_streams_.find(stream_id);
         if (sit == chunk_streams_.end()) return;
@@ -745,7 +745,7 @@ void PierNode::OnSizeProbe(const dht::RouteMsg& msg) {
   const auto& probe = msg.body<SizeProbeMsg>();
   dht::Key k = DhtKeyFor(probe.ns, probe.key);
   size_t n =
-      dht_->store().Get(probe.ns, k, dht_->network()->simulator()->now())
+      dht_->store().Get(probe.ns, k, dht_->network()->executor()->now())
           .size();
   DirectEnvelope env;
   env.subtype = kProbeReply;
@@ -777,7 +777,7 @@ void PierNode::OnDirect(sim::HostId /*from*/, const sim::Message& msg) {
     }
     pending.weight_received += env.weight;
     if (pending.weight_received < kFullJoinWeight) return;
-    dht_->network()->simulator()->Cancel(pending.timeout);
+    dht_->network()->executor()->Cancel(pending.timeout);
     JoinCallback cb = std::move(pending.callback);
     std::vector<JoinResultEntry> results = std::move(pending.entries);
     pending_joins_.erase(it);
@@ -785,7 +785,7 @@ void PierNode::OnDirect(sim::HostId /*from*/, const sim::Message& msg) {
   } else if (env.subtype == kProbeReply) {
     auto it = pending_probes_.find(env.qid);
     if (it == pending_probes_.end()) return;
-    dht_->network()->simulator()->Cancel(it->second.timeout);
+    dht_->network()->executor()->Cancel(it->second.timeout);
     ProbeCallback cb = std::move(it->second.callback);
     pending_probes_.erase(it);
     cb(Status::OK(), env.posting_size);

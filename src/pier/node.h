@@ -38,46 +38,46 @@ namespace pierstack::pier {
 
 /// Aggregate counters for one PIER deployment.
 struct PierMetrics {
-  uint64_t tuples_published = 0;
-  uint64_t publish_bytes = 0;           ///< Application bytes (tuples only).
-  uint64_t publish_messages = 0;        ///< DHT put messages issued.
-  uint64_t joins_executed = 0;
-  uint64_t plans_executed = 0;          ///< ExecutePlan invocations.
-  uint64_t join_stage_messages = 0;
-  uint64_t posting_entries_shipped = 0; ///< Entries rehashed between stages.
-  uint64_t probe_messages = 0;
-  uint64_t fetches = 0;
-  uint64_t multi_fetches = 0;           ///< FetchMany calls (owner-coalesced).
+  RelaxedCounter tuples_published;
+  RelaxedCounter publish_bytes;           ///< Application bytes (tuples only).
+  RelaxedCounter publish_messages;        ///< DHT put messages issued.
+  RelaxedCounter joins_executed;
+  RelaxedCounter plans_executed;          ///< ExecutePlan invocations.
+  RelaxedCounter join_stage_messages;
+  RelaxedCounter posting_entries_shipped; ///< Entries rehashed between stages.
+  RelaxedCounter probe_messages;
+  RelaxedCounter fetches;
+  RelaxedCounter multi_fetches;           ///< FetchMany calls (owner-coalesced).
   /// Stored tuples lost to deserialize failures across ScanLocal / Fetch /
   /// join stages. Non-zero means stored state was corrupted somewhere —
   /// the integration suite asserts this stays 0.
-  uint64_t tuples_dropped_deserialize = 0;
+  RelaxedCounter tuples_dropped_deserialize;
   /// Rehash-queue flushes triggered by the load-adaptive threshold (below
   /// the fixed max_batch_tuples ceiling): the destination looked idle, so
   /// the queue shipped early for latency.
-  uint64_t adaptive_flushes = 0;
+  RelaxedCounter adaptive_flushes;
   /// Join chunk streams that paused emission because the downstream stage
   /// owner had not granted credit yet — each count is one backpressure
   /// stall episode, not one withheld chunk.
-  uint64_t credits_stalled = 0;
+  RelaxedCounter credits_stalled;
   /// Credit-window grants received in chunk acks.
-  uint64_t credit_grants = 0;
+  RelaxedCounter credit_grants;
   /// Chunk streams whose initial credit window was deepened past the
   /// configured constant because the consumer's observed service rate
   /// (smoothed delivery latency) earned a longer pipeline.
-  uint64_t credit_window_boosts = 0;
+  RelaxedCounter credit_window_boosts;
   /// Chunk streams dropped because no credit arrived within the stall
   /// timeout (the downstream owner died); the query completes via its own
   /// timeout with partial results.
-  uint64_t credit_streams_expired = 0;
+  RelaxedCounter credit_streams_expired;
   /// Membership-epoch fences applied by this deployment's PIER layer: each
   /// is one DHT ownership change propagated up to re-probe standing rehash
   /// queues and kick stalled credit streams.
-  uint64_t epoch_fences = 0;
+  RelaxedCounter epoch_fences;
   /// Stalled credit streams kicked by an epoch fence: the granting owner
   /// may have died, so the stream advances one chunk against the new ring
   /// instead of sitting out the stall timeout.
-  uint64_t epoch_stream_kicks = 0;
+  RelaxedCounter epoch_stream_kicks;
 };
 
 /// Rehash-queue and join-stage flush/pacing policy.

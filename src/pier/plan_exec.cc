@@ -278,7 +278,7 @@ void PierNode::ExecutePlan(QueryPlan plan, PlanCallback callback,
   ++metrics_->plans_executed;
   auto cp = std::make_shared<const CompiledPlan>(std::move(compiled.value()));
   auto staged = std::make_shared<const StagedQuery>(cp->staged);
-  sim::Simulator* simulator = dht_->network()->simulator();
+  sim::Executor* simulator = dht_->network()->executor();
   sim::SimTime deadline = simulator->now() + timeout;
   ExecuteStaged(
       std::move(staged),
@@ -331,14 +331,14 @@ void PierNode::ExecutePlan(QueryPlan plan, PlanCallback callback,
           callback(Status::OK(), {});
           return;
         }
-        sim::Simulator* simulator = dht_->network()->simulator();
+        sim::Executor* simulator = dht_->network()->executor();
         // The fetch leg runs inside the plan's remaining deadline budget:
         // a dead Item owner must not hang the query past its timeout.
         auto done = std::make_shared<bool>(false);
         sim::SimTime remaining =
             deadline > simulator->now() ? deadline - simulator->now() : 1;
         sim::EventId watchdog = simulator->ScheduleAfter(
-            remaining, [done, callback]() {
+            dht_->host(), remaining, [done, callback]() {
               if (*done) return;
               *done = true;
               callback(Status::TimedOut("plan item fetch"), {});
@@ -349,7 +349,7 @@ void PierNode::ExecutePlan(QueryPlan plan, PlanCallback callback,
                 Status fs, std::vector<Tuple> tuples) {
               if (*done) return;  // watchdog already resolved the query
               *done = true;
-              dht_->network()->simulator()->Cancel(watchdog);
+              dht_->network()->executor()->Cancel(watchdog);
               // Best-effort, like the per-id loop this generalizes: a dead
               // owner must not zero out what the others delivered.
               (void)fs;

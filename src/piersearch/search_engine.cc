@@ -182,12 +182,12 @@ void SearchEngine::FetchItems(std::vector<uint64_t> file_ids,
   // The fetch leg honors the query deadline: without this watchdog only
   // the join leg was timeout-bounded and a dead Item owner could hang the
   // query indefinitely.
-  sim::Simulator* simulator = pier_->dht()->network()->simulator();
+  sim::Executor* simulator = pier_->dht()->network()->executor();
   auto done = std::make_shared<bool>(false);
   auto shared_cb =
       std::make_shared<SearchCallback>(std::move(callback));
   sim::EventId watchdog = simulator->ScheduleAfter(
-      options.timeout, [done, shared_cb]() {
+      pier_->dht()->host(), options.timeout, [done, shared_cb]() {
         if (*done) return;
         *done = true;
         (*shared_cb)(Status::TimedOut("item fetch"), {});

@@ -4,6 +4,28 @@
 
 namespace pierstack::sim {
 
+namespace {
+
+// SplitMix64 step (mirrors sim/network.cc): derives the per-send decision
+// streams. `salt` separates the drop draw from the spike draw so the two
+// decisions stay independent.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t DecisionKey(uint64_t seed, HostId from, HostId to, uint64_t seq,
+                     uint64_t salt) {
+  return Mix(Mix(Mix(Mix(seed ^ salt) ^ from) ^ to) ^ seq);
+}
+
+constexpr uint64_t kDropSalt = 0x6c6f7373;   // "loss"
+constexpr uint64_t kSpikeSalt = 0x7370696b;  // "spik"
+
+}  // namespace
+
 void FaultPlan::AssignPartition(HostId host, uint32_t group) {
   if (group == 0) {
     partition_.erase(host);
@@ -12,7 +34,7 @@ void FaultPlan::AssignPartition(HostId host, uint32_t group) {
   }
 }
 
-bool FaultPlan::ShouldDrop(HostId from, HostId to) {
+bool FaultPlan::ShouldDrop(HostId from, HostId to, uint64_t send_seq) {
   if (from == to) return false;
   if (!partition_.empty()) {
     auto g = [&](HostId h) {
@@ -24,19 +46,24 @@ bool FaultPlan::ShouldDrop(HostId from, HostId to) {
       return true;
     }
   }
-  if (message_loss_ > 0.0 && rng_.NextBernoulli(message_loss_)) {
-    ++counters_.loss_drops;
-    return true;
+  if (message_loss_ > 0.0) {
+    Rng rng(DecisionKey(seed_, from, to, send_seq, kDropSalt));
+    if (rng.NextBernoulli(message_loss_)) {
+      ++counters_.loss_drops;
+      return true;
+    }
   }
   return false;
 }
 
-SimTime FaultPlan::ExtraLatency(HostId from, HostId to) {
+SimTime FaultPlan::ExtraLatency(HostId from, HostId to, uint64_t send_seq) {
   if (from == to) return 0;
-  if (spike_probability_ > 0.0 && spike_delay_ > 0 &&
-      rng_.NextBernoulli(spike_probability_)) {
-    ++counters_.latency_spikes;
-    return spike_delay_;
+  if (spike_probability_ > 0.0 && spike_delay_ > 0) {
+    Rng rng(DecisionKey(seed_, from, to, send_seq, kSpikeSalt));
+    if (rng.NextBernoulli(spike_probability_)) {
+      ++counters_.latency_spikes;
+      return spike_delay_;
+    }
   }
   return 0;
 }

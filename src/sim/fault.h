@@ -18,9 +18,13 @@
 //    and executed by an overlay-level driver (dht::ChurnDriver), which
 //    counts each executed event back into the plan.
 //
-// All randomness comes from the plan's own seeded Rng, so fault decisions
+// All randomness derives from the plan's own seed, so fault decisions
 // never perturb the network's latency stream: a run with a FaultPlan is a
-// pure function of (network seed, plan seed, handlers). Counters are
+// pure function of (network seed, plan seed, handlers). Each send's
+// loss/spike decision is drawn from a stream keyed on (plan seed, sender,
+// destination, the network's per-sender send sequence) — stateless, so the
+// decision is the same on every Executor backend no matter how sends from
+// different hosts interleave (see sim/network.h). Counters are
 // exported via common/stats (ExportNetworkCounters in sim/network.h).
 #pragma once
 
@@ -29,11 +33,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stats.h"
 #include "sim/simulator.h"
 
 namespace pierstack::sim {
-
-using HostId = uint32_t;  // mirrors network.h (no circular include)
 
 /// One scheduled membership change. The sim layer only fixes WHEN and WHAT
 /// KIND; the overlay driver picks the victim/joiner deterministically.
@@ -44,12 +47,14 @@ struct ChurnEvent {
 };
 
 /// Injected-fault counters (exported as net.fault_* via common/stats).
+/// Relaxed atomics: the hooks run concurrently on shard workers; totals
+/// are exact at barriers/export, which is the only place they are read.
 struct FaultCounters {
-  uint64_t loss_drops = 0;       ///< Messages lost to probabilistic loss.
-  uint64_t latency_spikes = 0;   ///< Messages delayed by a spike.
-  uint64_t partition_drops = 0;  ///< Messages dropped at a partition edge.
-  uint64_t churn_crashes = 0;    ///< Executed scheduled crash events.
-  uint64_t churn_joins = 0;      ///< Executed scheduled join events.
+  RelaxedCounter loss_drops;       ///< Messages lost to probabilistic loss.
+  RelaxedCounter latency_spikes;   ///< Messages delayed by a spike.
+  RelaxedCounter partition_drops;  ///< Messages dropped at a partition edge.
+  RelaxedCounter churn_crashes;    ///< Executed scheduled crash events.
+  RelaxedCounter churn_joins;      ///< Executed scheduled join events.
 
   uint64_t Total() const {
     return loss_drops + latency_spikes + partition_drops + churn_crashes +
@@ -59,7 +64,7 @@ struct FaultCounters {
 
 class FaultPlan {
  public:
-  explicit FaultPlan(uint64_t seed) : rng_(seed) {}
+  explicit FaultPlan(uint64_t seed) : seed_(seed) {}
 
   /// Per-message in-flight loss probability in [0, 1].
   void set_message_loss(double p) { message_loss_ = p; }
@@ -80,13 +85,15 @@ class FaultPlan {
   bool partitioned() const { return !partition_.empty(); }
 
   // --- Hooks consumed by Network::Send (self-sends are never faulted) ----
+  // `send_seq` is the network's per-sender sequence number for this send —
+  // the stream key making each decision order-independent.
 
   /// True when this send must be lost in flight (loss or partition edge).
   /// Counts the injected fault.
-  bool ShouldDrop(HostId from, HostId to);
+  bool ShouldDrop(HostId from, HostId to, uint64_t send_seq);
 
   /// Extra delivery delay for this send (0 when no spike fires). Counts.
-  SimTime ExtraLatency(HostId from, HostId to);
+  SimTime ExtraLatency(HostId from, HostId to, uint64_t send_seq);
 
   /// The overlay churn driver reports each executed scheduled event.
   void CountChurn(ChurnEvent::Kind kind);
@@ -112,7 +119,7 @@ class FaultPlan {
                                                 uint64_t seed);
 
  private:
-  Rng rng_;
+  const uint64_t seed_;  ///< Root of the per-send decision streams.
   double message_loss_ = 0.0;
   double spike_probability_ = 0.0;
   SimTime spike_delay_ = 0;

@@ -5,6 +5,24 @@
 
 namespace pierstack::sim {
 
+namespace {
+
+// SplitMix64 step — the stream-derivation mixer. Chaining it over the
+// (seed, from, to, seq) key gives every send an independent, well-mixed
+// RNG stream that does not depend on how sends from other hosts interleave.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t SendStreamKey(uint64_t seed, HostId from, HostId to, uint64_t seq) {
+  return Mix(Mix(Mix(seed ^ from) ^ to) ^ seq);
+}
+
+}  // namespace
+
 SimTime UniformLatency::Latency(HostId, HostId, size_t, Rng* rng) {
   if (hi_ <= lo_) return lo_;
   return lo_ + rng->NextBelow(hi_ - lo_ + 1);
@@ -14,6 +32,10 @@ CoordinateLatency::CoordinateLatency(Options opts, uint64_t seed)
     : opts_(opts), coord_rng_(seed) {}
 
 CoordinateLatency::Coord CoordinateLatency::CoordOf(HostId h) {
+  // Coordinates are always drawn in index order from the model's own
+  // stream, so a host's coordinate is the same no matter which send (or
+  // which thread) first asks for it; the lock only serializes the fill.
+  std::lock_guard<std::mutex> lock(coord_mu_);
   while (coords_.size() <= h) {
     coords_.push_back(
         Coord{coord_rng_.NextDouble(), coord_rng_.NextDouble()});
@@ -60,10 +82,32 @@ void NetworkMetrics::Reset() {
   refused_sends = 0;
 }
 
-Network::Network(Simulator* simulator, std::unique_ptr<LatencyModel> model,
+void NetworkMetrics::Absorb(NetworkMetrics* other) {
+  total.messages += other->total.messages;
+  total.bytes += other->total.bytes;
+  for (const auto& [tag, c] : other->by_tag) {
+    auto& mine = by_tag[tag];
+    mine.messages += c.messages;
+    mine.bytes += c.bytes;
+  }
+  dropped_messages += other->dropped_messages;
+  refused_sends += other->refused_sends;
+  other->Reset();
+}
+
+Network::Network(Executor* executor, std::unique_ptr<LatencyModel> model,
                  uint64_t seed)
-    : simulator_(simulator), latency_(std::move(model)), rng_(seed) {
-  assert(simulator != nullptr);
+    : executor_(executor), latency_(std::move(model)), seed_(seed) {
+  assert(executor != nullptr);
+  metric_slabs_.resize(executor_->shard_count() + 1);
+  // On a sharded backend, exact (quantum 0) load reads would observe
+  // whatever a concurrent shard last charged — nondeterministic. Default
+  // to epoch-published probes on the lookahead grid so any harness that
+  // lands on a sharded executor is deterministic without opting in;
+  // serial backends keep the exact legacy reads.
+  if (executor_->shard_count() > 1) {
+    load_probe_quantum_ = latency_->MinLatency();
+  }
 }
 
 HostId Network::AddHost(Host* host) {
@@ -71,7 +115,8 @@ HostId Network::AddHost(Host* host) {
   hosts_.push_back(host);
   up_.push_back(true);
   processing_delay_.push_back(0);
-  loads_.push_back(DestinationLoad{});
+  send_seq_.push_back(0);
+  loads_.push_back(std::make_unique<LoadSlot>());
   return static_cast<HostId>(hosts_.size() - 1);
 }
 
@@ -80,13 +125,33 @@ void Network::SetProcessingDelay(HostId id, SimTime delay) {
   processing_delay_[id] = delay;
 }
 
+void Network::TouchSlot(LoadSlot* slot, SimTime now) const {
+  if (load_probe_quantum_ == 0) return;
+  uint64_t epoch = now / load_probe_quantum_;
+  if (epoch != slot->epoch) {
+    // First touch past a quantum boundary: publish the live state as of
+    // the boundary. Every pre-boundary mutation is barrier-ordered before
+    // this touch and no post-boundary mutation has been applied yet (each
+    // one publishes-then-applies under mu), so the snapshot is identical
+    // on serial and sharded backends.
+    slot->published = slot->live;
+    slot->epoch = epoch;
+  }
+}
+
 DestinationLoad Network::LoadOf(HostId id) const {
   if (id >= loads_.size()) return DestinationLoad{};
-  DestinationLoad l = loads_[id];
+  LoadSlot* slot = loads_[id].get();
+  SimTime now = executor_->now();
+  DestinationLoad l;
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    TouchSlot(slot, now);
+    l = load_probe_quantum_ == 0 ? slot->live : slot->published;
+  }
   // Idle decay applied on read; the returned copy is stamped as-of-now so
   // a holder re-decaying it later cannot double-count the pre-read idle
   // interval.
-  sim::SimTime now = simulator_->now();
   l.smoothed_latency = DecayedLatency(
       l.smoothed_latency, now - l.latency_updated_at, load_decay_half_life_);
   l.latency_updated_at = now;
@@ -94,13 +159,18 @@ DestinationLoad Network::LoadOf(HostId id) const {
 }
 
 void Network::ResetLoadWatermarks() {
-  for (DestinationLoad& l : loads_) {
-    l.peak_in_flight_bytes = l.in_flight_bytes;
+  for (auto& slot : loads_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->live.peak_in_flight_bytes = slot->live.in_flight_bytes;
+    slot->published.peak_in_flight_bytes = slot->published.in_flight_bytes;
   }
 }
 
 void Network::ChargeInFlight(HostId to, size_t bytes) {
-  DestinationLoad& l = loads_[to];
+  LoadSlot* slot = loads_[to].get();
+  std::lock_guard<std::mutex> lock(slot->mu);
+  TouchSlot(slot, executor_->now());
+  DestinationLoad& l = slot->live;
   l.in_flight_messages += 1;
   l.in_flight_bytes += bytes;
   if (l.in_flight_bytes > l.peak_in_flight_bytes) {
@@ -110,13 +180,16 @@ void Network::ChargeInFlight(HostId to, size_t bytes) {
 
 void Network::SettleInFlight(HostId to, size_t bytes,
                              SimTime observed_delay) {
-  DestinationLoad& l = loads_[to];
+  LoadSlot* slot = loads_[to].get();
+  std::lock_guard<std::mutex> lock(slot->mu);
+  SimTime now = executor_->now();
+  TouchSlot(slot, now);
+  DestinationLoad& l = slot->live;
   assert(l.in_flight_messages > 0 && l.in_flight_bytes >= bytes);
   l.in_flight_messages -= 1;
   l.in_flight_bytes -= bytes;
   // Decay the stored history to now first, then fold in the observation:
   // EWMA with 1/8 gain, seeded by the first (or post-idle) observation.
-  SimTime now = simulator_->now();
   SimTime history = DecayedLatency(l.smoothed_latency,
                                    now - l.latency_updated_at,
                                    load_decay_half_life_);
@@ -140,36 +213,60 @@ bool Network::IsHostUp(HostId id) const {
   return id < hosts_.size() && hosts_[id] != nullptr && up_[id];
 }
 
+NetworkMetrics& Network::Slab() {
+  return metric_slabs_[executor_->CurrentSlab()];
+}
+
+NetworkMetrics& Network::metrics() {
+  for (NetworkMetrics& slab : metric_slabs_) metrics_.Absorb(&slab);
+  return metrics_;
+}
+
+const NetworkMetrics& Network::metrics() const {
+  for (NetworkMetrics& slab : metric_slabs_) metrics_.Absorb(&slab);
+  return metrics_;
+}
+
 bool Network::Send(HostId from, HostId to, Message msg) {
   if (!IsHostUp(to)) {
-    ++metrics_.dropped_messages;
-    ++metrics_.refused_sends;
+    NetworkMetrics& m = Slab();
+    ++m.dropped_messages;
+    ++m.refused_sends;
     return false;
   }
-  metrics_.Record(msg.tag, msg.wire_bytes);
+  Slab().Record(msg.tag, msg.wire_bytes);
+  // This send's private draw stream: the per-sender sequence number only
+  // ever advances from the sender's own execution context, so the key —
+  // hence every latency/fault draw — is backend-independent.
+  assert(from < send_seq_.size());
+  uint64_t seq = send_seq_[from]++;
   // Injected faults (sim/fault.h): the message left the sender (charged to
   // traffic above, success returned below), but a loss or a partition edge
-  // silently discards it before the destination's queue ever sees it.
-  if (faults_ != nullptr && faults_->ShouldDrop(from, to)) {
-    ++metrics_.dropped_messages;
+  // silently discards it before the destination's queue ever sees it. The
+  // plan derives its decisions from its own seed and this send's key, so
+  // fault injection still never perturbs the latency stream.
+  if (faults_ != nullptr && faults_->ShouldDrop(from, to, seq)) {
+    ++Slab().dropped_messages;
     return true;
   }
   SimTime delay = 0;
   if (latency_ && from != to) {
-    delay = latency_->Latency(from, to, msg.wire_bytes, &rng_);
+    Rng rng(SendStreamKey(seed_, from, to, seq));
+    delay = latency_->Latency(from, to, msg.wire_bytes, &rng);
   }
-  if (faults_ != nullptr) delay += faults_->ExtraLatency(from, to);
+  if (faults_ != nullptr) delay += faults_->ExtraLatency(from, to, seq);
   delay += processing_delay_[to];
   ChargeInFlight(to, msg.wire_bytes);
-  simulator_->ScheduleAfter(
-      delay, [this, from, to, delay, m = std::move(msg)]() {
+  executor_->ScheduleAt(
+      to, executor_->now() + delay,
+      [this, from, to, delay, m = std::move(msg)]() {
         // The message leaves the destination's queue whether or not the
         // host survived to receive it.
         SettleInFlight(to, m.wire_bytes, delay);
         // Re-check liveness at delivery time: the host may have left while
         // the message was in flight.
         if (!IsHostUp(to)) {
-          ++metrics_.dropped_messages;
+          ++Slab().dropped_messages;
           return;
         }
         hosts_[to]->HandleMessage(from, m);

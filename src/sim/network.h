@@ -6,12 +6,22 @@
 // (Figures 8, 10, 13–15; Section 7) are derived from one place — and so
 // senders can probe a destination's queue occupancy (DestinationLoad) to
 // adapt batching and pacing to observed load.
+//
+// The network schedules against the Executor seam (sim/executor.h), so the
+// same Send path runs on the legacy serial Simulator and on the sharded
+// multi-threaded backend. Determinism across backends is preserved by
+// giving every send its own hash-derived RNG stream keyed on
+// (seed, from, to, per-sender sequence) instead of one shared sequential
+// generator: each sender's sends happen in canonical order on every
+// backend, so the latency/fault draws are identical no matter how sends
+// from *different* hosts interleave in wall-clock time.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,7 +32,7 @@
 
 namespace pierstack::sim {
 
-/// Dense id of a host attached to the network (declared in sim/fault.h).
+/// Dense id of a host attached to the network (declared in sim/executor.h).
 constexpr HostId kInvalidHost = UINT32_MAX;
 
 /// An application-level message. The payload is an app-defined struct kept
@@ -61,11 +71,15 @@ class Host {
   virtual void HandleMessage(HostId from, const Message& msg) = 0;
 };
 
-/// Latency model interface: delay for one message.
+/// Latency model interface: delay for one message. `Latency` must be
+/// callable concurrently (the per-send `rng` carries all draw state).
 class LatencyModel {
  public:
   virtual ~LatencyModel() = default;
   virtual SimTime Latency(HostId from, HostId to, size_t bytes, Rng* rng) = 0;
+  /// Lower bound on any cross-host latency — the sharded backend's
+  /// lookahead (no cross-shard message can arrive sooner than this).
+  virtual SimTime MinLatency() const = 0;
 };
 
 /// Fixed one-way delay.
@@ -73,6 +87,7 @@ class ConstantLatency : public LatencyModel {
  public:
   explicit ConstantLatency(SimTime delay) : delay_(delay) {}
   SimTime Latency(HostId, HostId, size_t, Rng*) override { return delay_; }
+  SimTime MinLatency() const override { return delay_; }
 
  private:
   SimTime delay_;
@@ -83,6 +98,7 @@ class UniformLatency : public LatencyModel {
  public:
   UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {}
   SimTime Latency(HostId, HostId, size_t, Rng* rng) override;
+  SimTime MinLatency() const override { return lo_; }
 
  private:
   SimTime lo_, hi_;
@@ -101,6 +117,7 @@ class CoordinateLatency : public LatencyModel {
   };
   CoordinateLatency(Options opts, uint64_t seed);
   SimTime Latency(HostId from, HostId to, size_t bytes, Rng* rng) override;
+  SimTime MinLatency() const override { return opts_.base; }
 
  private:
   struct Coord {
@@ -108,6 +125,7 @@ class CoordinateLatency : public LatencyModel {
   };
   Coord CoordOf(HostId h);
   Options opts_;
+  std::mutex coord_mu_;  ///< Guards the lazy fill (values stay index-determined).
   Rng coord_rng_;
   std::vector<Coord> coords_;
 };
@@ -123,7 +141,7 @@ struct TrafficCounter {
 /// handed to the receiver (the simulated send/receive queue occupancy);
 /// `smoothed_latency` is an EWMA of observed delivery delays, including any
 /// receiver processing delay. Senders probe this to adapt batch sizes and
-/// pacing to destination load instead of compile-time constants.
+/// pacing to observed load instead of compile-time constants.
 ///
 /// The latency EWMA is time-decayed on read: while a destination sits idle
 /// the signal halves every `Network` decay half-life, so one historical
@@ -159,13 +177,23 @@ struct NetworkMetrics {
 
   void Record(const char* tag, size_t bytes);
   void Reset();
+  /// Adds `other` into this and zeroes it (the slab fold).
+  void Absorb(NetworkMetrics* other);
 };
 
 /// The simulated network: host registry + latency + delivery + metrics.
+///
+/// Thread-safety contract for parallel backends (sim/shard.h): Send /
+/// LoadOf / metric recording may be called concurrently from worker
+/// shards; topology mutations (AddHost, RemoveHost, SetHostUp,
+/// SetProcessingDelay) and metric exports (metrics(), Reset,
+/// ResetLoadWatermarks) are exclusive-context only — setup code, driver
+/// events at epoch barriers, or between runs.
 class Network {
  public:
-  /// `model` may be null, which means zero latency (pure dataflow tests).
-  Network(Simulator* simulator, std::unique_ptr<LatencyModel> model,
+  /// `model` may be null, which means zero latency (pure dataflow tests —
+  /// zero lookahead, so such networks only run on serial backends).
+  Network(Executor* executor, std::unique_ptr<LatencyModel> model,
           uint64_t seed);
 
   /// Attaches a host; returns its id. The pointer must outlive the network
@@ -197,6 +225,18 @@ class Network {
   }
   SimTime load_decay_half_life() const { return load_decay_half_life_; }
 
+  /// Quantizes LoadOf: probes read a snapshot published when a
+  /// destination's signal first crosses a `quantum` boundary, not the live
+  /// value. 0 (the default) keeps probes exact/continuous — the serial
+  /// behavior. Parallel backends REQUIRE a quantum that is a multiple of
+  /// the executor's lookahead so the snapshot every prober sees is the
+  /// deterministic end-of-previous-epoch state; serial runs being
+  /// fingerprint-compared against sharded runs must set the same quantum.
+  void set_load_probe_quantum(SimTime quantum) {
+    load_probe_quantum_ = quantum;
+  }
+  SimTime load_probe_quantum() const { return load_probe_quantum_; }
+
   /// Resets every destination's peak_in_flight_bytes watermark to its
   /// current in-flight level (benches bracket a measured phase with this).
   void ResetLoadWatermarks();
@@ -218,26 +258,57 @@ class Network {
   FaultPlan* fault_plan() { return faults_; }
   const FaultPlan* fault_plan() const { return faults_; }
 
-  Simulator* simulator() { return simulator_; }
-  NetworkMetrics& metrics() { return metrics_; }
-  const NetworkMetrics& metrics() const { return metrics_; }
+  /// The event-loop seam everything network-attached schedules against.
+  Executor* executor() { return executor_; }
+  const Executor* executor() const { return executor_; }
+
+  /// Lower bound on any cross-host delivery delay — what a sharded
+  /// backend's lookahead must not exceed. 0 when the model is null.
+  SimTime MinSendLatency() const {
+    return latency_ ? latency_->MinLatency() : 0;
+  }
+
+  /// Folds the per-shard metric slabs and returns the totals. Exclusive
+  /// context only (driver events, barriers, or between runs).
+  NetworkMetrics& metrics();
+  const NetworkMetrics& metrics() const;
   size_t host_count() const { return hosts_.size(); }
 
  private:
+  /// One destination's pressure state. `live` absorbs every charge/settle
+  /// under `mu`; `published` is the snapshot probes read when quantized
+  /// (the live value as of the last quantum boundary — deterministic on
+  /// every backend because all earlier-epoch mutations are barrier-ordered
+  /// before any later-epoch touch).
+  struct LoadSlot {
+    mutable std::mutex mu;
+    uint64_t epoch = 0;
+    DestinationLoad live;
+    DestinationLoad published;
+  };
+
+  /// Publishes `slot` if `now` crossed into a new quantum. Caller holds mu.
+  void TouchSlot(LoadSlot* slot, SimTime now) const;
   /// Charges an accepted message against the destination's pressure
   /// signals; the returned delivery path settles it.
   void ChargeInFlight(HostId to, size_t bytes);
   void SettleInFlight(HostId to, size_t bytes, SimTime observed_delay);
+  NetworkMetrics& Slab();
 
-  Simulator* simulator_;
+  Executor* executor_;
   std::unique_ptr<LatencyModel> latency_;
-  Rng rng_;
+  const uint64_t seed_;  ///< Root of the per-send latency streams.
   std::vector<Host*> hosts_;    // index = HostId; null = removed
   std::vector<bool> up_;
   std::vector<SimTime> processing_delay_;  // index = HostId
-  std::vector<DestinationLoad> loads_;     // index = HostId
+  std::vector<uint64_t> send_seq_;         // index = sender; its stream clock
+  std::vector<std::unique_ptr<LoadSlot>> loads_;  // index = HostId
   SimTime load_decay_half_life_ = 5 * kSecond;
-  NetworkMetrics metrics_;
+  SimTime load_probe_quantum_ = 0;
+  /// One slab per worker shard plus one for driver context; folded into
+  /// metrics_ on export.
+  mutable std::vector<NetworkMetrics> metric_slabs_;
+  mutable NetworkMetrics metrics_;
   FaultPlan* faults_ = nullptr;  ///< Non-owning; null = no fault injection.
 };
 

@@ -7,7 +7,7 @@ namespace pierstack::sim {
 EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
   assert(t >= now_);
   EventId id = next_id_++;
-  heap_.push(Event{t, id, std::move(fn)});
+  heap_.push(Event{t, next_seq_++, id, std::move(fn)});
   pending_ids_.insert(id);
   return id;
 }
@@ -63,7 +63,5 @@ size_t Simulator::RunUntil(SimTime t) {
   if (now_ < t) now_ = t;
   return n;
 }
-
-size_t Simulator::RunFor(SimTime duration) { return RunUntil(now_ + duration); }
 
 }  // namespace pierstack::sim

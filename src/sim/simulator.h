@@ -1,11 +1,18 @@
-// Deterministic discrete-event simulation kernel.
+// Deterministic discrete-event simulation kernel — the legacy
+// single-threaded Executor backend (see sim/executor.h for the seam and
+// the parallel backends).
 //
 // Every protocol in this repository (Gnutella flooding, DHT routing, PIER
 // dataflow) runs as event handlers over this kernel, replacing the paper's
 // PlanetLab deployment with a reproducible in-process network.
 //
-// Events with equal timestamps fire in scheduling order (FIFO tiebreak), so
-// a run is a pure function of the seed and the event handlers.
+// Events with equal timestamps fire in scheduling order: each event
+// carries a monotonic sequence number and the heap comparator breaks
+// timestamp ties FIFO on it, so determinism is a property of the queue
+// rather than an accident of heap layout. A run is a pure function of the
+// seed and the event handlers. (This global-FIFO tie order is what all
+// pre-seam tests were recorded against; the canonical per-origin order of
+// SerialExecutor/ShardedExecutor exists for cross-backend equality.)
 #pragma once
 
 #include <cstdint>
@@ -14,29 +21,19 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/executor.h"
+
 namespace pierstack::sim {
 
-/// Simulated time in microseconds since simulation start.
-using SimTime = uint64_t;
-
-constexpr SimTime kMicrosecond = 1;
-constexpr SimTime kMillisecond = 1000;
-constexpr SimTime kSecond = 1000 * kMillisecond;
-constexpr SimTime kMinute = 60 * kSecond;
-
-/// Identifies a scheduled event so it can be cancelled (e.g. timeouts).
-using EventId = uint64_t;
-constexpr EventId kInvalidEventId = 0;
-
 /// Priority-queue driven event loop with cancellation.
-class Simulator {
+class Simulator : public Executor {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= now). Returns a cancellable id.
   EventId ScheduleAt(SimTime t, std::function<void()> fn);
@@ -44,43 +41,51 @@ class Simulator {
   /// Schedules `fn` `delay` after now.
   EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
 
+  /// Executor seam: the owner only matters to parallel backends; here
+  /// every event runs on the one loop in global FIFO tie order.
+  EventId ScheduleAt(HostId owner, SimTime t,
+                     std::function<void()> fn) override {
+    (void)owner;
+    return ScheduleAt(t, std::move(fn));
+  }
+  using Executor::ScheduleAfter;
+
   /// Cancels a pending event. Returns false if it already ran, was
   /// cancelled before, or never existed.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
 
   /// Runs the earliest pending event. Returns false if the queue is empty.
   bool Step();
 
   /// Runs events until the queue empties or `limit` events ran.
   /// Returns the number of events executed.
-  size_t Run(size_t limit = SIZE_MAX);
+  size_t Run(size_t limit = SIZE_MAX) override;
 
   /// Runs all events with time <= t, then advances the clock to exactly t.
-  size_t RunUntil(SimTime t);
-
-  /// RunUntil(now + duration).
-  size_t RunFor(SimTime duration);
+  size_t RunUntil(SimTime t) override;
 
   /// Number of pending (non-cancelled) events.
-  size_t pending() const { return pending_ids_.size(); }
+  size_t pending() const override { return pending_ids_.size(); }
 
   /// Total events executed since construction.
-  uint64_t events_executed() const { return executed_; }
+  uint64_t events_executed() const override { return executed_; }
 
  private:
   struct Event {
     SimTime time;
-    EventId id;  // also the FIFO tiebreak (monotonically increasing)
+    uint64_t seq;  ///< Monotonic schedule order; the FIFO tiebreak.
+    EventId id;    ///< Cancellation handle.
     std::function<void()> fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
   SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;

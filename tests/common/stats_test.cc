@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace pierstack {
 namespace {
 
@@ -130,6 +133,71 @@ TEST(CounterSetTest, SetIncrementAndLookup) {
   ASSERT_EQ(counters.entries().size(), 2u);
   // entries() is name-sorted: stable iteration for reports.
   EXPECT_EQ(counters.entries().begin()->first, "dht.replica_peels");
+}
+
+TEST(CounterSetTest, ConcurrentIncrementsAreExactAfterJoin) {
+  CounterSet counters;
+  counters.Set("seeded", 5);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counters] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counters.Increment("shared");
+        counters.Increment("seeded", 2);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counters.Value("shared"), kThreads * kPerThread);
+  EXPECT_EQ(counters.Value("seeded"), 5 + 2 * kThreads * kPerThread);
+  // entries() folds the slabs too.
+  EXPECT_EQ(counters.entries().at("shared"), kThreads * kPerThread);
+}
+
+TEST(CounterSetTest, SlabsAreInstanceScoped) {
+  // Two live sets incremented from the same thread must not share slabs.
+  CounterSet a;
+  CounterSet b;
+  std::thread([&] {
+    a.Increment("x", 1);
+    b.Increment("x", 10);
+  }).join();
+  EXPECT_EQ(a.Value("x"), 1u);
+  EXPECT_EQ(b.Value("x"), 10u);
+}
+
+TEST(RelaxedCounterTest, ConcurrentBumpsAndUintCompat) {
+  RelaxedCounter c;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) ++c;
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), 40000u);
+  c += 2;
+  uint64_t as_int = c;  // implicit conversion keeps old readers working
+  EXPECT_EQ(as_int, 40002u);
+  RelaxedCounter copy = c;
+  EXPECT_EQ(copy.value(), 40002u);
+}
+
+TEST(RelaxedMaxTest, ConcurrentUpdatesKeepMax) {
+  RelaxedMax m;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&m, t] {
+      for (uint64_t i = 0; i < 5000; ++i) m.Update(i * 4 + t);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(m.value(), 4999u * 4 + 3);
+  m.Update(7);  // lower value never regresses the max
+  EXPECT_EQ(m.value(), 4999u * 4 + 3);
 }
 
 }  // namespace

@@ -24,7 +24,12 @@ namespace {
 constexpr char kNs[] = "churn";
 
 struct Harness {
-  sim::Simulator simulator;
+  // Env-selected backend (sim/executor.h): serial by default, the sharded
+  // event loop under PIERSTACK_SHARDS>1 (the CI shards-4 leg). 2ms is the
+  // constant latency below, i.e. the sharded backend's lookahead.
+  std::unique_ptr<sim::Executor> exec =
+      sim::MakeEnvExecutor(2 * sim::kMillisecond);
+  sim::Executor& simulator = *exec;
   std::unique_ptr<sim::Network> network;
   sim::FaultPlan plan;
   std::unique_ptr<DhtDeployment> dht;
@@ -33,7 +38,7 @@ struct Harness {
   Harness(size_t n, size_t replication, uint64_t churn_seed)
       : plan(churn_seed ^ 0xF00Dull) {
     network = std::make_unique<sim::Network>(
-        &simulator, std::make_unique<sim::ConstantLatency>(2 * sim::kMillisecond),
+        exec.get(), std::make_unique<sim::ConstantLatency>(2 * sim::kMillisecond),
         42);
     network->set_fault_plan(&plan);
     DhtOptions opts;

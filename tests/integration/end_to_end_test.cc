@@ -18,7 +18,11 @@ namespace pierstack {
 namespace {
 
 struct Deployment {
-  sim::Simulator simulator;
+  // Env-selected backend: serial by default, sharded under
+  // PIERSTACK_SHARDS>1 (lookahead = the 15ms constant latency below).
+  std::unique_ptr<sim::Executor> exec =
+      sim::MakeEnvExecutor(15 * sim::kMillisecond);
+  sim::Executor& simulator = *exec;
   std::unique_ptr<sim::Network> network;
   std::unique_ptr<gnutella::GnutellaNetwork> gnutella;
   std::unique_ptr<dht::DhtDeployment> dht;
@@ -38,7 +42,7 @@ struct Deployment {
     trace = workload::GenerateTrace(wc);
 
     network = std::make_unique<sim::Network>(
-        &simulator,
+        exec.get(),
         std::make_unique<sim::ConstantLatency>(15 * sim::kMillisecond), 71);
 
     gnutella::TopologyConfig tc;

@@ -1,0 +1,202 @@
+// Backend equivalence: the same seeded scenario — the PR-6 churn harness
+// and a warm owner-coalesced FetchMany workload — must produce
+// fingerprint-identical counters and identical answer sets on the serial
+// canonical backend and on sharded backends with 2 and 8 workers. This is
+// the determinism contract the shard-parallel runtime is allowed to
+// parallelize under (see sim/shard.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dht/builder.h"
+#include "dht/churn.h"
+#include "pier/node.h"
+#include "sim/executor.h"
+#include "sim/fault.h"
+#include "sim/network.h"
+#include "sim/shard.h"
+
+namespace pierstack {
+namespace {
+
+enum class Backend { kSerial, kSharded2, kSharded8 };
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kSerial: return "serial";
+    case Backend::kSharded2: return "sharded-2";
+    default: return "sharded-8";
+  }
+}
+
+std::unique_ptr<sim::Executor> MakeBackend(Backend b, sim::SimTime lookahead) {
+  switch (b) {
+    case Backend::kSerial:
+      return std::make_unique<sim::SerialExecutor>();
+    case Backend::kSharded2:
+      return std::make_unique<sim::ShardedExecutor>(
+          sim::ShardedExecutor::Options{2, lookahead});
+    default:
+      return std::make_unique<sim::ShardedExecutor>(
+          sim::ShardedExecutor::Options{8, lookahead});
+  }
+}
+
+/// Everything the churn run can deterministically disagree on — the same
+/// tuple the PR-6 fixed-seed fingerprint test locks in, now compared
+/// *across backends* instead of across repeats.
+using ChurnFingerprint =
+    std::tuple<uint64_t,            // events executed
+               uint64_t,            // sim clock
+               uint64_t, uint64_t,  // net messages, bytes
+               uint64_t, uint64_t,  // dropped, refused
+               uint64_t,            // injected faults
+               uint64_t, uint64_t, uint64_t,  // churn crashes/joins/skipped
+               uint64_t, uint64_t,  // epoch bumps, detector evictions
+               uint64_t, uint64_t>; // resync rounds, entries
+
+ChurnFingerprint RunChurnScenario(Backend backend) {
+  // ConstantLatency(2ms) bounds every cross-host delivery, so 2ms is the
+  // sharded backend's lookahead; quantize load probes to the same grid on
+  // EVERY backend so congestion reads observe identical snapshots.
+  constexpr sim::SimTime kLatency = 2 * sim::kMillisecond;
+  auto exec = MakeBackend(backend, kLatency);
+  sim::FaultPlan plan(1001ull ^ 0xF00Dull);
+  auto network = std::make_unique<sim::Network>(
+      exec.get(), std::make_unique<sim::ConstantLatency>(kLatency), 42);
+  network->set_load_probe_quantum(kLatency);
+  network->set_fault_plan(&plan);
+  dht::DhtOptions opts;
+  opts.overlay = dht::OverlayKind::kChord;
+  opts.replication = 3;
+  opts.maintenance = true;
+  auto deployment =
+      std::make_unique<dht::DhtDeployment>(network.get(), 16, opts, 777);
+  dht::ChurnDriver driver(deployment.get(), 1001, &plan);
+
+  for (size_t i = 0; i < 24; ++i) {
+    deployment->node(0)->Put("equiv", (i + 1) * 0x9E3779B97F4A7C15ull,
+                             {uint8_t(i), 1, 2}, 0, nullptr);
+  }
+  exec->RunFor(5 * sim::kSecond);
+
+  auto timeline =
+      sim::FaultPlan::SustainedChurn(exec->now(), sim::kMinute, 8.0, 1002);
+  driver.Schedule(timeline);
+  plan.set_message_loss(0.02);
+  plan.set_latency_spike(0.05, 20 * sim::kMillisecond);
+  exec->RunFor(2 * sim::kMinute);
+
+  const sim::NetworkMetrics& net = network->metrics();
+  const sim::FaultCounters& f = plan.counters();
+  const dht::DhtMetrics& m = deployment->metrics();
+  const dht::ChurnStats& churn = driver.stats();
+  return ChurnFingerprint{exec->events_executed(),
+                          exec->now(),
+                          net.total.messages,
+                          net.total.bytes,
+                          net.dropped_messages,
+                          net.refused_sends,
+                          f.Total(),
+                          churn.crashes,
+                          churn.joins,
+                          churn.skipped,
+                          m.epoch_bumps,
+                          m.detector_evictions,
+                          m.resync_rounds,
+                          m.resync_entries};
+}
+
+TEST(ShardEquivalenceTest, ChurnScenarioFingerprintsMatchAcrossBackends) {
+  ChurnFingerprint want = RunChurnScenario(Backend::kSerial);
+  // The scenario is not vacuous: churn actually executed under faults.
+  EXPECT_GT(std::get<7>(want) + std::get<8>(want), 0u);
+  EXPECT_GT(std::get<4>(want), 0u);
+  for (Backend b : {Backend::kSharded2, Backend::kSharded8}) {
+    EXPECT_EQ(RunChurnScenario(b), want) << BackendName(b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+const pier::Schema& ItemLikeSchema() {
+  static const pier::Schema* s = new pier::Schema(
+      "items",
+      {{"fileID", pier::ValueType::kUint64},
+       {"name", pier::ValueType::kString}},
+      0);
+  return *s;
+}
+
+using FetchFingerprint =
+    std::tuple<uint64_t, uint64_t,            // events executed, sim clock
+               uint64_t, uint64_t,            // net messages, bytes
+               std::vector<uint64_t>,         // cold-round answers (sorted)
+               std::vector<uint64_t>>;        // warm-round answers (sorted)
+
+FetchFingerprint RunFetchScenario(Backend backend) {
+  constexpr sim::SimTime kLatency = 5 * sim::kMillisecond;
+  auto exec = MakeBackend(backend, kLatency);
+  auto network = std::make_unique<sim::Network>(
+      exec.get(), std::make_unique<sim::ConstantLatency>(kLatency), 17);
+  network->set_load_probe_quantum(kLatency);
+  auto dht = std::make_unique<dht::DhtDeployment>(network.get(), 16,
+                                                  dht::DhtOptions{}, 555);
+  pier::PierMetrics metrics;
+  std::vector<std::unique_ptr<pier::PierNode>> piers;
+  piers.reserve(16);
+  for (size_t i = 0; i < 16; ++i) {
+    piers.push_back(std::make_unique<pier::PierNode>(dht->node(i), &metrics));
+  }
+
+  for (uint64_t id = 1; id <= 40; ++id) {
+    piers[0]->Publish(
+        ItemLikeSchema(),
+        pier::Tuple({pier::Value(id),
+                     pier::Value("item " + std::to_string(id))}));
+  }
+  exec->Run();
+
+  auto fetch_round = [&] {
+    std::vector<pier::Value> keys;
+    for (uint64_t id = 1; id <= 40; ++id) keys.emplace_back(pier::Value(id));
+    std::vector<uint64_t> got;
+    bool done = false;
+    piers[3]->FetchMany(ItemLikeSchema(), std::move(keys),
+                        [&](Status s, std::vector<pier::Tuple> tuples) {
+                          done = true;
+                          EXPECT_TRUE(s.ok()) << s.ToString();
+                          for (const pier::Tuple& t : tuples) {
+                            got.push_back(t.at(0).AsUint64());
+                          }
+                        });
+    exec->Run();
+    EXPECT_TRUE(done);
+    std::sort(got.begin(), got.end());
+    return got;
+  };
+  std::vector<uint64_t> cold = fetch_round();
+  // Second round runs warm: owner caches primed, one-hop fast paths live.
+  std::vector<uint64_t> warm = fetch_round();
+
+  const sim::NetworkMetrics& net = network->metrics();
+  return FetchFingerprint{exec->events_executed(), exec->now(),
+                          net.total.messages,     net.total.bytes,
+                          std::move(cold),        std::move(warm)};
+}
+
+TEST(ShardEquivalenceTest, WarmFetchManyAnswersMatchAcrossBackends) {
+  FetchFingerprint want = RunFetchScenario(Backend::kSerial);
+  EXPECT_EQ(std::get<4>(want).size(), 40u);  // every key answered, cold
+  EXPECT_EQ(std::get<5>(want).size(), 40u);  // ... and warm
+  for (Backend b : {Backend::kSharded2, Backend::kSharded8}) {
+    EXPECT_EQ(RunFetchScenario(b), want) << BackendName(b);
+  }
+}
+
+}  // namespace
+}  // namespace pierstack

@@ -28,6 +28,39 @@ TEST(SimulatorTest, FifoTiebreakAtEqualTime) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(SimulatorTest, FifoTiebreakSurvivesInterleavedCancels) {
+  // The tie-break rides a monotonic per-schedule sequence number, not the
+  // cancellable id — cancelling events between schedules must not perturb
+  // the FIFO order of the survivors.
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(5, [&] { order.push_back(1); });
+  EventId a = s.ScheduleAt(5, [&] { order.push_back(-1); });
+  s.ScheduleAt(5, [&] { order.push_back(2); });
+  s.Cancel(a);
+  EventId b = s.ScheduleAt(5, [&] { order.push_back(-2); });
+  s.ScheduleAt(5, [&] { order.push_back(3); });
+  s.Cancel(b);
+  s.ScheduleAt(5, [&] { order.push_back(4); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedEqualTimeSchedulesRunInScheduleOrder) {
+  // Legacy global-FIFO semantics: an equal-time event scheduled from
+  // inside a handler runs after everything scheduled before it —
+  // distinct from SerialExecutor's canonical per-origin ordering.
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(5, [&] {
+    order.push_back(1);
+    s.ScheduleAt(5, [&] { order.push_back(3); });
+  });
+  s.ScheduleAt(5, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
   Simulator s;
   SimTime seen = 0;
