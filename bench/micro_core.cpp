@@ -1299,6 +1299,312 @@ static void BM_Churn_MassLeaveRepair(benchmark::State& state) {
 }
 BENCHMARK(BM_Churn_MassLeaveRepair)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Fault-tolerant query plane (query_robustness gates in run_bench.sh
+// --check): stage failover must recover a crashed owner's answers within
+// the deadline, hedged fetches must cut worst-round latency under a
+// fail-slow owner at identical answers, and overload admission must shed
+// as a bounded, labeled refusal with exact partial accounting. All
+// quantities are counted or read off the sim clock under fixed seeds.
+
+namespace robust {
+
+constexpr size_t kNodes = 16;
+
+/// Maintained replication-3 cluster with a fault plan — the query-plane
+/// robustness features only engage against a ring that can fail over.
+struct RobustCluster {
+  sim::Simulator simulator;
+  sim::FaultPlan faults{99};
+  sim::Network network;
+  dht::DhtDeployment dht;
+  pier::PierMetrics metrics;
+  std::vector<std::unique_ptr<pier::PierNode>> piers;
+
+  explicit RobustCluster(const pier::BatchOptions& bopts)
+      : network(&simulator,
+                std::make_unique<sim::ConstantLatency>(5 * sim::kMillisecond),
+                31),
+        dht(&network, kNodes, Opts(), 777) {
+    network.set_fault_plan(&faults);
+    for (size_t i = 0; i < dht.size(); ++i) {
+      piers.push_back(std::make_unique<pier::PierNode>(dht.node(i), &metrics));
+      piers.back()->set_batch_options(bopts);
+    }
+  }
+
+  static dht::DhtOptions Opts() {
+    dht::DhtOptions dopts;
+    dopts.replication = 3;
+    dopts.maintenance = true;
+    return dopts;
+  }
+
+  dht::DhtNode* OwnerOf(const std::string& ns, const pier::Value& key) {
+    return dht.ExpectedOwner(HashCombine(Fnv1a64(ns), key.Hash()));
+  }
+
+  void PublishPostings(const std::string& kw, uint64_t count) {
+    std::vector<pier::Tuple> tuples;
+    for (uint64_t f = 0; f < count; ++f) {
+      tuples.push_back(pier::Tuple({pier::Value(kw), pier::Value(f)}));
+    }
+    piers[0]->PublishBatch(piersearch::InvertedSchema(), std::move(tuples));
+    piers[0]->FlushPublishQueues();
+    simulator.RunFor(10 * sim::kSecond);
+  }
+
+  size_t SurvivorIndex(dht::DhtNode* excluded) {
+    for (size_t i = 0; i < dht.size(); ++i) {
+      if (dht.node(i) != excluded && dht.node(i)->joined()) return i;
+    }
+    return 0;
+  }
+};
+
+}  // namespace robust
+
+// Crash-failover recall: four keywords with pairwise-distinct stage-0
+// owners, each owner crashed while its query's dispatch is on the wire.
+// The no-progress watchdog must re-dispatch to the replica-holding
+// successor and recover the answers within the per-query deadline.
+// Gates: recall_permille >= 950, failovers >= 1, deadline_met == 1.
+static void BM_Robust_CrashFailoverRecall(benchmark::State& state) {
+  const uint64_t kPostings = 100;
+  const sim::SimTime kDeadline = 20 * sim::kSecond;
+  uint64_t asked = 0, answered = 0, failovers = 0, missed_deadline = 0;
+  for (auto _ : state) {
+    pier::BatchOptions bopts;  // default failover budget
+    robust::RobustCluster c(bopts);
+    // Keywords with pairwise-distinct owners so each round kills a fresh
+    // node (candidates hashed against this ring's fixed seed).
+    std::vector<std::string> kws;
+    std::vector<dht::DhtNode*> owners;
+    for (const char* kw : {"alpha", "beta", "gamma", "delta", "epsilon",
+                           "zeta", "theta", "kappa"}) {
+      dht::DhtNode* o = c.OwnerOf("inverted", pier::Value(kw));
+      if (o == nullptr || o == c.dht.node(0)) continue;
+      bool fresh = true;
+      for (dht::DhtNode* seen : owners) fresh = fresh && seen != o;
+      if (!fresh) continue;
+      kws.push_back(kw);
+      owners.push_back(o);
+      if (kws.size() == 4) break;
+    }
+    for (const std::string& kw : kws) c.PublishPostings(kw, kPostings);
+    for (const std::string& kw : kws) {
+      // The ring has shifted under previous crashes: re-resolve the owner.
+      dht::DhtNode* owner = c.OwnerOf("inverted", pier::Value(kw));
+      if (owner == nullptr) continue;
+      pier::DistributedJoin join;
+      pier::JoinStage stage;
+      stage.ns = "inverted";
+      stage.key = pier::Value(kw);
+      join.stages.push_back(std::move(stage));
+      size_t got = 0;
+      bool fired = false;
+      asked += kPostings;
+      c.piers[c.SurvivorIndex(owner)]->ExecuteJoin(
+          std::move(join),
+          [&](Status s, std::vector<pier::JoinResultEntry> entries,
+              const pier::Completeness&) {
+            (void)s;
+            fired = true;
+            got = entries.size();
+          },
+          kDeadline);
+      c.simulator.ScheduleAfter(2 * sim::kMillisecond,
+                                [owner] { owner->Crash(); });
+      c.simulator.RunFor(kDeadline + 5 * sim::kSecond);
+      answered += got;
+      if (!fired) ++missed_deadline;
+    }
+    failovers += c.metrics.stage_failovers;
+  }
+  state.SetItemsProcessed(int64_t(asked));
+  state.counters["recall_permille"] =
+      asked == 0 ? 0.0 : 1000.0 * static_cast<double>(answered) /
+                             static_cast<double>(asked);
+  state.counters["failovers"] =
+      static_cast<double>(failovers) / static_cast<double>(state.iterations());
+  state.counters["deadline_met"] = missed_deadline == 0 ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Robust_CrashFailoverRecall)->Unit(benchmark::kMillisecond);
+
+// Hedged-fetch latency under a fail-slow owner: every fetched key lives on
+// the straggler (+2s per delivery), so the unhedged primary eats the
+// straggle each round while the hedge's backup MultiGet diverts to a
+// replica at the ring predecessor. Worst-round latency stands in for p99
+// (the sim is deterministic; the worst round IS the tail). Gated ratio:
+// unhedged p99 >= 1.5x hedged, identical fetched counts.
+static void RobustHedgeRun(benchmark::State& state, bool hedged) {
+  const size_t kRounds = 8;
+  uint64_t fetched = 0, hedges_won = 0;
+  double worst_ms = 0.0;
+  for (auto _ : state) {
+    pier::BatchOptions bopts;
+    bopts.hedged_fetches = hedged;
+    robust::RobustCluster c(bopts);
+    std::vector<pier::Tuple> items;
+    for (uint64_t f = 1; f <= 120; ++f) {
+      items.push_back(
+          pier::Tuple({pier::Value(f), pier::Value("file " + std::to_string(f))}));
+    }
+    c.piers[0]->PublishBatch(piersearch::ItemSchema(), std::move(items));
+    c.piers[0]->FlushPublishQueues();
+    c.simulator.RunFor(10 * sim::kSecond);
+
+    sim::HostId slow = c.OwnerOf("item", pier::Value(uint64_t{1}))->host();
+    std::vector<uint64_t> slow_keys;
+    for (uint64_t f = 1; f <= 120; ++f) {
+      if (c.OwnerOf("item", pier::Value(f))->host() == slow) {
+        slow_keys.push_back(f);
+      }
+    }
+    size_t origin = 0;
+    while (c.dht.node(origin)->host() == slow) ++origin;
+
+    auto fetch = [&](bool measured) {
+      std::vector<pier::Value> keys;
+      for (uint64_t f : slow_keys) keys.emplace_back(pier::Value(f));
+      sim::SimTime issued = c.simulator.now();
+      sim::SimTime answered_at = issued;
+      c.piers[origin]->FetchMany(
+          piersearch::ItemSchema(), std::move(keys),
+          pier::PierNode::FetchCallback(
+              [&](Status s, std::vector<pier::Tuple> tuples,
+                  const pier::Completeness&) {
+                (void)s;
+                answered_at = c.simulator.now();
+                if (measured) fetched += tuples.size();
+              }));
+      c.simulator.RunFor(20 * sim::kSecond);
+      return static_cast<double>(answered_at - issued) /
+             static_cast<double>(sim::kMillisecond);
+    };
+    // Warm round: the latency EWMA toward the mild straggler must read the
+    // degradation before the hedge policy can arm.
+    c.network.SetProcessingDelay(slow, 100 * sim::kMillisecond);
+    fetch(/*measured=*/false);
+    c.faults.AddFailSlow(slow, c.simulator.now(), 30 * sim::kMinute,
+                         2 * sim::kSecond);
+    for (size_t r = 0; r < kRounds; ++r) {
+      worst_ms = std::max(worst_ms, fetch(/*measured=*/true));
+    }
+    hedges_won += c.metrics.hedges_won;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kRounds));
+  state.counters["p99_fetch_ms"] = worst_ms;
+  state.counters["fetched"] =
+      static_cast<double>(fetched) / static_cast<double>(state.iterations());
+  state.counters["hedges_won"] =
+      static_cast<double>(hedges_won) / static_cast<double>(state.iterations());
+}
+
+static void BM_Robust_FetchFailSlowUnhedged(benchmark::State& state) {
+  RobustHedgeRun(state, /*hedged=*/false);
+}
+BENCHMARK(BM_Robust_FetchFailSlowUnhedged)->Unit(benchmark::kMillisecond);
+
+static void BM_Robust_FetchFailSlowHedged(benchmark::State& state) {
+  RobustHedgeRun(state, /*hedged=*/true);
+}
+BENCHMARK(BM_Robust_FetchFailSlowHedged)->Unit(benchmark::kMillisecond);
+
+// Overload admission: an idle stage-0 owner admits a plan whose posting
+// list dwarfs the pressure budget; the same owner under a standing message
+// storm refuses it, the origin defers per the retry-after hint until the
+// defer budget runs out, and the final shed is a labeled partial counted
+// exactly once. Gates: idle_admitted, shed_labeled, shed_bounded, and
+// partials_match all == 1.
+static void BM_Robust_AdmissionOverload(benchmark::State& state) {
+  uint64_t shed_total = 0, deferred_total = 0;
+  bool idle_admitted = true, shed_labeled = true, shed_bounded = true;
+  bool partials_match = true;
+  for (auto _ : state) {
+    pier::BatchOptions bopts;
+    bopts.admission_base_entries = 64;
+    bopts.admission_min_entries = 8;
+    bopts.admission_inflight_floor = 2;
+    bopts.admission_retry_after = 100 * sim::kMillisecond;
+    robust::RobustCluster c(bopts);
+    c.PublishPostings("alpha", 100);
+    dht::DhtNode* owner = c.OwnerOf("inverted", pier::Value("alpha"));
+    size_t origin = c.SurvivorIndex(owner);
+    auto one_stage = [] {
+      pier::DistributedJoin join;
+      pier::JoinStage stage;
+      stage.ns = "inverted";
+      stage.key = pier::Value("alpha");
+      join.stages.push_back(std::move(stage));
+      return join;
+    };
+
+    size_t idle_ids = 0;
+    c.piers[origin]->ExecuteJoin(
+        one_stage(),
+        [&](Status s, std::vector<pier::JoinResultEntry> entries,
+            const pier::Completeness&) {
+          if (s.ok()) idle_ids = entries.size();
+        },
+        20 * sim::kSecond);
+    c.simulator.RunFor(25 * sim::kSecond);
+    idle_admitted = idle_admitted && idle_ids == 100 &&
+                    c.metrics.plans_shed == 0;
+
+    // Standing pressure: a put storm against a slowed owner so every
+    // admission probe sees dozens of in-flight messages.
+    c.network.SetProcessingDelay(owner->host(), 300 * sim::kMillisecond);
+    dht::Key pressure_key =
+        HashCombine(Fnv1a64("inverted"), pier::Value("alpha").Hash());
+    for (size_t i = 0; i < 4000; ++i) {
+      c.simulator.ScheduleAfter(
+          i * 10 * sim::kMillisecond, [&c, origin, pressure_key] {
+            c.dht.node(origin)->Put("pressure", pressure_key, {0xA, 0xB}, 0,
+                                    nullptr);
+          });
+    }
+    c.simulator.RunFor(2 * sim::kSecond);
+
+    bool fired = false;
+    pier::Completeness shed_comp;
+    Status shed_status = Status::OK();
+    c.piers[origin]->ExecuteJoin(
+        one_stage(),
+        [&](Status s, std::vector<pier::JoinResultEntry> entries,
+            const pier::Completeness& comp) {
+          (void)entries;
+          fired = true;
+          shed_status = std::move(s);
+          shed_comp = comp;
+        },
+        30 * sim::kSecond);
+    c.simulator.RunFor(40 * sim::kSecond);
+
+    shed_labeled = shed_labeled && fired && !shed_status.ok() &&
+                   shed_comp.shed && !shed_comp.exact &&
+                   shed_comp.retry_after > 0;
+    shed_bounded = shed_bounded &&
+                   c.metrics.plans_shed == bopts.admission_defer_budget + 1 &&
+                   c.metrics.plans_deferred == bopts.admission_defer_budget;
+    // One observed partial (the shed), counted exactly once.
+    partials_match = partials_match && c.metrics.partial_results == 1;
+    shed_total += c.metrics.plans_shed;
+    deferred_total += c.metrics.plans_deferred;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["plans_shed"] = per_iter(shed_total);
+  state.counters["plans_deferred"] = per_iter(deferred_total);
+  state.counters["idle_admitted"] = idle_admitted ? 1.0 : 0.0;
+  state.counters["shed_labeled"] = shed_labeled ? 1.0 : 0.0;
+  state.counters["shed_bounded"] = shed_bounded ? 1.0 : 0.0;
+  state.counters["partials_match"] = partials_match ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Robust_AdmissionOverload)->Unit(benchmark::kMillisecond);
+
 static void BM_KeywordIndexMatch(benchmark::State& state) {
   gnutella::KeywordIndex index;
   Rng rng(6);

@@ -14,7 +14,10 @@
 #         answer set, or when a churn scenario misses its robustness floor
 #         (sustained-churn recall < 980 permille, or a flash-crowd /
 #         mass-leave run that fails to restore surviving key ranges to
-#         full replication), or when a BM_ShardScale_* sharded run's
+#         full replication), or when a query-robustness floor breaks
+#         (crash-failover recall < 950 permille or past deadline, hedged
+#         fail-slow p99 improvement < 1.5x or changed answers, unbounded
+#         or unlabeled overload shedding), or when a BM_ShardScale_* sharded run's
 #         fingerprint diverges from serial (always) or misses its speedup
 #         floor (>= 2x at 4 shards, >= 2.5x at 8 — only on machines with
 #         that many cores) — the CI bench-regression gate.
@@ -186,6 +189,33 @@ churn = {
         "BM_Churn_MassLeaveRepair", "lost_keys"),
 }
 
+# Fault-tolerant query plane (PR 8): counted/sim-clock robustness of the
+# query path itself — crash-failover recall within the deadline, hedged
+# fetch tail latency under a fail-slow owner at identical answers, and
+# bounded labeled shedding with exact partial accounting. Gated below.
+robustness = {
+    "crash_recall_permille": counter(
+        "BM_Robust_CrashFailoverRecall", "recall_permille"),
+    "crash_failovers": counter("BM_Robust_CrashFailoverRecall", "failovers"),
+    "crash_deadline_met": counter(
+        "BM_Robust_CrashFailoverRecall", "deadline_met"),
+    "hedge_p99_latency": counter_ratio(
+        "BM_Robust_FetchFailSlowUnhedged", "BM_Robust_FetchFailSlowHedged",
+        "p99_fetch_ms"),
+    "hedge_identical_results": (
+        counter("BM_Robust_FetchFailSlowUnhedged", "fetched") ==
+        counter("BM_Robust_FetchFailSlowHedged", "fetched")),
+    "hedges_won": counter("BM_Robust_FetchFailSlowHedged", "hedges_won"),
+    "admission_idle_admitted": counter(
+        "BM_Robust_AdmissionOverload", "idle_admitted"),
+    "admission_shed_labeled": counter(
+        "BM_Robust_AdmissionOverload", "shed_labeled"),
+    "admission_shed_bounded": counter(
+        "BM_Robust_AdmissionOverload", "shed_bounded"),
+    "admission_partials_match": counter(
+        "BM_Robust_AdmissionOverload", "partials_match"),
+}
+
 # Shard-parallel runtime (PR 7): wall-clock scaling of the sharded event
 # loop over a big static deployment. The fingerprint (events, clock,
 # messages, bytes, delivered routes, hops — folded to 50 bits so it rides
@@ -240,6 +270,7 @@ out = {
     "routing": routing,
     "plan_exec": plan_exec,
     "churn": churn,
+    "query_robustness": robustness,
     "shard_scale": shard_scale,
     "join_chain": chain,
     "fetch_coalescing": fetch,
@@ -257,6 +288,7 @@ print("  plan-exec parity:", {k: plan_exec[k] for k in
                               ("plan_chain_message_parity",
                                "plan_chain_identical_results")})
 print("  churn scenarios:", churn)
+print("  query robustness:", robustness)
 print("  shard scale:", shard_scale)
 for label, s in (("join chain", chain), ("fetch coalescing", fetch),
                  ("rehash queues", publish)):
@@ -368,6 +400,40 @@ if not churn.get("mass_leave_surviving_keys"):
     failed.append("mass_leave_surviving_keys: correlated crash wiped every "
                   "key (scenario invalid)")
 
+# Query-robustness gates (fault-tolerant query plane): crash-failover
+# recall >= 95% within the deadline with at least one failover exercised;
+# hedging must cut the fail-slow p99 by >= 1.5x at identical answers; and
+# overload shedding must be bounded, labeled, and counted exactly once in
+# pier.partial_results. Counted / sim-clock quantities under fixed seeds
+# (observed: recall 1000 permille, hedge ratio ~4.6x).
+robust = bench.get("query_robustness", {})
+
+recall = robust.get("crash_recall_permille")
+if recall is None:
+    failed.append("crash_recall_permille: missing (bench did not run?)")
+elif recall < 950:
+    failed.append("crash_recall_permille: %d < 950" % recall)
+if not robust.get("crash_failovers"):
+    failed.append("crash_failovers: no stage failover exercised")
+if robust.get("crash_deadline_met") != 1:
+    failed.append("crash_deadline_met: a crash-failover query missed its "
+                  "deadline")
+
+hedge = robust.get("hedge_p99_latency")
+if hedge is None:
+    failed.append("hedge_p99_latency: missing (bench did not run?)")
+elif hedge < 1.5:
+    failed.append("hedge_p99_latency: %.2fx < 1.5x" % hedge)
+if robust.get("hedge_identical_results") is not True:
+    failed.append("hedge_identical_results: hedging changed the answer set")
+if not robust.get("hedges_won"):
+    failed.append("hedges_won: no hedge beat the fail-slow primary")
+
+for name in ("admission_idle_admitted", "admission_shed_labeled",
+             "admission_shed_bounded", "admission_partials_match"):
+    if robust.get(name) != 1:
+        failed.append("%s: admission-control contract violated" % name)
+
 # Shard-parallel scaling gates: fingerprint identity is unconditional —
 # a sharded backend may only be FASTER than serial, never different. The
 # wall-clock floors (>= 2x at 4 shards, >= 2.5x at 8) only apply when the
@@ -403,8 +469,9 @@ if failed:
     sys.exit(1)
 print("bench-regression gate passed: speedups >= 2x, transport and "
       "routing ratios at floor, plan-exec parity >= 0.9x, identical "
-      "answer sets, churn recall/repair floors held, shard-scale "
-      "fingerprints identical%s" %
+      "answer sets, churn recall/repair floors held, query-robustness "
+      "floors held (crash recall, hedge p99, bounded labeled shedding), "
+      "shard-scale fingerprints identical%s" %
       ("" if num_cpus >= 4 else " (speedup floors skipped: %d cpus)"
        % num_cpus))
 EOF

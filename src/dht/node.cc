@@ -239,11 +239,18 @@ void DhtNode::ForwardOrDeliver(RouteMsg msg) {
       return;
     }
   }
+  // A replica-preferring MultiGet must travel the ring so the target's
+  // predecessor can divert it to the owner's successor — a cached one-hop
+  // send would land it straight on the (presumed slow) owner it is trying
+  // to avoid.
+  bool hedge_routed =
+      msg.app_type == kAppGetMulti &&
+      msg.body<MultiGetBody>().prefer_replica;
   // Origin-side owner cache: a learned arc covering the target turns the
   // whole ring walk into one direct hop (ring routing stays the fallback
   // on miss, stale entry, or refused send). Maintenance lookups keep the
   // real ring path — they exist to exercise and repair it.
-  if (msg.hops == 0 && !routing_->IsOwner(msg.target) &&
+  if (msg.hops == 0 && !hedge_routed && !routing_->IsOwner(msg.target) &&
       msg.app_type != kAppJoinLookup && msg.app_type != kAppFingerLookup &&
       OwnerCacheEnabled() && joined_) {
     if (TryCacheFastPath(msg)) return;
@@ -261,6 +268,15 @@ void DhtNode::ForwardOrDeliver(RouteMsg msg) {
       NodeInfo succ = c->successor();
       if (succ.valid() && succ.host != host() &&
           InOpenClosed(id(), succ.id, msg.target)) {
+        // This node is the target key's predecessor — the hop that decides
+        // the final delivery. A replica-preferring MultiGet is diverted
+        // here to the owner's successor (which replicates the owner's arc)
+        // instead of the owner itself; normal owner delivery is the
+        // fallback when no live backup qualifies.
+        if (hedge_routed) {
+          const auto& get = msg.body<MultiGetBody>();
+          if (!get.arc_valid && DivertMultiGetToReplica(msg, get)) return;
+        }
         next = succ;
         final_hop = true;
       }
@@ -595,6 +611,12 @@ void DhtNode::OnMultiGetAttemptTimeout(uint64_t req_id) {
 
 void DhtNode::MultiGet(const std::string& ns, std::vector<Key> keys,
                        MultiGetCallback callback) {
+  MultiGet(ns, std::move(keys), std::move(callback), MultiGetOptions{});
+}
+
+void DhtNode::MultiGet(const std::string& ns, std::vector<Key> keys,
+                       MultiGetCallback callback,
+                       const MultiGetOptions& options) {
   assert(callback != nullptr);
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
@@ -617,10 +639,12 @@ void DhtNode::MultiGet(const std::string& ns, std::vector<Key> keys,
   // of a K-segment ring walk. Keys in uncached arcs (and every key under
   // the classic policy) ride one chained scatter exactly as before; a
   // stale group simply forwards from the mispredicted node, shrinking
-  // back to the chained walk.
+  // back to the chained walk. A replica-preferring scatter skips the
+  // split entirely: it must travel the ring so the predecessors can
+  // divert it away from the owners.
   std::map<sim::HostId, std::vector<Key>> by_owner;
   std::vector<Key> uncached;
-  if (OwnerCacheEnabled() && joined_) {
+  if (OwnerCacheEnabled() && joined_ && !options.prefer_replica) {
     for (Key k : keys) {
       NodeInfo owner = route_cache_.Lookup(k);
       if (owner.valid() && owner.host != host()) {
@@ -637,7 +661,8 @@ void DhtNode::MultiGet(const std::string& ns, std::vector<Key> keys,
     size_t bytes = ns.size() + 10 + 8 * group.size();
     Key first = group.front();
     auto body = std::make_shared<const MultiGetBody>(
-        MultiGetBody{ns, std::move(group)});
+        MultiGetBody{ns, std::move(group), /*arc_valid=*/false,
+                     /*arc_start=*/0, options.prefer_replica});
     Route(first, kAppGetMulti, body, bytes, req_id);
   };
   for (auto& [owner_host, group] : by_owner) send_scatter(std::move(group));
@@ -821,12 +846,15 @@ void DhtNode::HandleGetMultiUpcall(const RouteMsg& msg) {
   if (rest.empty()) return;
   if (ForwardMultiGetViaReplica(msg, get.ns, rest)) return;
   // Forward the unanswered keys as one message to the next key's owner,
-  // preserving the original requester as the reply target.
+  // preserving the original requester as the reply target (and the
+  // replica-preferring steering, so every leg of a hedged scatter keeps
+  // avoiding its primary owner).
   ++metrics_->multi_gets;
   size_t bytes = get.ns.size() + 10 + 8 * rest.size();
   Key next = rest.front();
   auto body = std::make_shared<const MultiGetBody>(
-      MultiGetBody{get.ns, std::move(rest)});
+      MultiGetBody{get.ns, std::move(rest), /*arc_valid=*/false,
+                   /*arc_start=*/0, get.prefer_replica});
   RouteAs(msg.origin, next, kAppGetMulti, body, bytes, msg.req_id);
 }
 
@@ -864,7 +892,8 @@ bool DhtNode::ForwardMultiGetViaReplica(const RouteMsg& msg,
     handoff.final_hop = true;  // the arc makes delivery authoritative
     handoff.app_bytes = ns.size() + 19 + 8 * rest.size();
     handoff.app_body = std::make_shared<const MultiGetBody>(
-        MultiGetBody{ns, rest, /*arc_valid=*/true, /*arc_start=*/id()});
+        MultiGetBody{ns, rest, /*arc_valid=*/true, /*arc_start=*/id(),
+                     msg.body<MultiGetBody>().prefer_replica});
     size_t bytes = RouteHeaderBytes() + handoff.app_bytes;
     if (SendDirect(target.host,
                    sim::Message::Make<RouteMsg>(kRouteStep, "dht.route",
@@ -878,6 +907,47 @@ bool DhtNode::ForwardMultiGetViaReplica(const RouteMsg& msg,
     }
     // Connection refused: the successor is down. Drop it and try the next
     // shorter arc with the repaired list.
+    DropPeer(target.host);
+  }
+  return false;
+}
+
+bool DhtNode::DivertMultiGetToReplica(const RouteMsg& msg,
+                                      const MultiGetBody& get) {
+  if (options_.replication <= 1) return false;
+  ChordRouting* c = chord();
+  if (c == nullptr) return false;
+  // This node is the target key's predecessor: succs[0] is the key's owner
+  // (the hop the hedge wants to avoid) and succs[1..replication-1] hold the
+  // owner's arc in their replica sets. Hand the request to the nearest live
+  // backup as an authoritative arc handoff — the same (self, backup] arc
+  // contract ForwardMultiGetViaReplica uses, so the backup answers every
+  // key it holds (the target's included) and forwards the rest.
+  std::vector<NodeInfo> succs = c->successor_list();
+  size_t max_j = std::min(succs.size(), options_.replication);
+  for (size_t j = 2; j <= max_j; ++j) {
+    const NodeInfo& target = succs[j - 1];
+    if (!target.valid() || target.host == host()) continue;
+    if (!InOpenClosed(id(), target.id, msg.target)) continue;
+    RouteMsg handoff;
+    handoff.target = msg.target;
+    handoff.origin = msg.origin;
+    handoff.hops = msg.hops + 1;
+    handoff.app_type = kAppGetMulti;
+    handoff.req_id = msg.req_id;
+    handoff.final_hop = true;  // the arc makes delivery authoritative
+    handoff.app_bytes = get.ns.size() + 19 + 8 * get.keys.size();
+    handoff.app_body = std::make_shared<const MultiGetBody>(
+        MultiGetBody{get.ns, get.keys, /*arc_valid=*/true,
+                     /*arc_start=*/id(), get.prefer_replica});
+    size_t bytes = RouteHeaderBytes() + handoff.app_bytes;
+    if (SendDirect(target.host,
+                   sim::Message::Make<RouteMsg>(kRouteStep, "dht.route",
+                                                bytes, std::move(handoff)))) {
+      ++metrics_->hedge_redirects;
+      return true;
+    }
+    // The backup is down; try the next one out.
     DropPeer(target.host);
   }
   return false;
@@ -1386,6 +1456,7 @@ void ExportTransportCounters(const DhtMetrics& m, CounterSet* out) {
   out->Set("dht.multi_get_keys", m.multi_get_keys);
   out->Set("dht.replica_peels", m.replica_peels);
   out->Set("dht.replica_skips", m.replica_skips);
+  out->Set("dht.hedge_redirects", m.hedge_redirects);
   out->Set("dht.route_cache_hits", m.route_cache_hits);
   out->Set("dht.route_cache_misses", m.route_cache_misses);
   out->Set("dht.route_cache_stale", m.route_cache_stale);

@@ -92,6 +92,9 @@ struct DhtMetrics {
   /// One-hop replica handoffs taken by the MultiGet scatter in place of an
   /// owner-by-owner walk.
   RelaxedCounter replica_skips;
+  /// Replica-preferring MultiGets diverted from the primary owner to its
+  /// successor at the final hop (the hedged-fetch backup path).
+  RelaxedCounter hedge_redirects;
   /// Routes whose origin short-circuited the first hop to a cached owner
   /// (the one-hop fast path; ring routing remains the fallback).
   RelaxedCounter route_cache_hits;
@@ -296,6 +299,22 @@ class DhtNode : public sim::Host {
   void MultiGet(const std::string& ns, std::vector<Key> keys,
                 MultiGetCallback callback);
 
+  /// Caller knobs for one MultiGet call.
+  struct MultiGetOptions {
+    /// Steer the scatter AWAY from each key's primary owner: the key's
+    /// predecessor hands the request to the owner's successor (which holds
+    /// the keys in its replica set) instead of the owner itself, and the
+    /// origin skips its owner cache so the request travels the ring. This
+    /// is the hedged-fetch backup path — a second opinion that avoids the
+    /// (presumed slow) primary. Falls back to normal owner delivery when
+    /// no live successor qualifies.
+    bool prefer_replica = false;
+  };
+
+  /// MultiGet with explicit options (the 3-argument form uses defaults).
+  void MultiGet(const std::string& ns, std::vector<Key> keys,
+                MultiGetCallback callback, const MultiGetOptions& options);
+
   /// Resolves the current owner of `target`.
   void Lookup(Key target, LookupCallback callback);
 
@@ -450,6 +469,10 @@ class DhtNode : public sim::Host {
     /// authoritatively (empty included) even though it does not own them.
     bool arc_valid = false;
     Key arc_start = 0;
+    /// Hedged-fetch steering (MultiGetOptions::prefer_replica): divert the
+    /// final hop to the owner's successor instead of the owner. Cleared on
+    /// the replica handoff itself (the diversion happens once per owner).
+    bool prefer_replica = false;
   };
   struct MultiGetReplyBody {
     uint64_t req_id;
@@ -502,6 +525,12 @@ class DhtNode : public sim::Host {
   /// remainder to the next key's owner.
   bool ForwardMultiGetViaReplica(const RouteMsg& msg, const std::string& ns,
                                  const std::vector<Key>& rest);
+  /// Hedge diversion at the final hop: a replica-preferring MultiGet about
+  /// to be delivered to the target key's owner is handed to the owner's
+  /// successor instead (which answers the owner's arc from its replica
+  /// set). Returns false when no live qualifying successor exists — the
+  /// caller falls through to normal owner delivery.
+  bool DivertMultiGetToReplica(const RouteMsg& msg, const MultiGetBody& get);
   void HandleJoinLookupUpcall(const RouteMsg& msg);
   void HandleFingerLookupUpcall(const RouteMsg& msg);
   void HandleLookupUpcall(const RouteMsg& msg);

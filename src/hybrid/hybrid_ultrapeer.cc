@@ -100,9 +100,15 @@ void HybridUltrapeer::Query(const std::string& text, HitCallback on_hit,
         engine_.Search(
             text, search,
             [this, state, on_hit, done, simulator](
-                Status s, std::vector<piersearch::SearchHit> hits) {
+                Status s, std::vector<piersearch::SearchHit> hits,
+                const pier::Completeness& completeness) {
               state->finished = true;
-              if (s.ok() && !hits.empty()) ++stats_.dht_answered;
+              // A timed-out or shed reissue can still carry hits; count
+              // them as answered and track the inexact settle instead of
+              // treating any non-OK status as a total miss.
+              (void)s;
+              if (!hits.empty()) ++stats_.dht_answered;
+              if (!completeness.exact) ++stats_.dht_partial;
               for (const auto& r : hits) {
                 HybridHit h;
                 h.file_id = r.file_id;

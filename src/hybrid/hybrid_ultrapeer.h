@@ -43,6 +43,7 @@ struct HybridStats {
   uint64_t gnutella_answered = 0;    ///< Answered by flooding in time.
   uint64_t dht_reissued = 0;         ///< Fell back to PIERSearch.
   uint64_t dht_answered = 0;         ///< PIERSearch returned >= 1 result.
+  uint64_t dht_partial = 0;          ///< Reissues that settled inexact.
   uint64_t rare_results_published = 0;  ///< QRS-published result records.
 };
 

@@ -129,6 +129,23 @@ void PierNode::OnMembershipEpoch() {
     it->second.credits += 1;
     PumpStream(it);
   }
+  // Pending staged queries: the epoch may announce the death of the very
+  // stage owner a query is waiting on. Probe each one's progress now
+  // instead of sitting out the rest of its watchdog slice — with a grace
+  // window so a burst of bumps right after dispatch cannot burn the
+  // failover budget before the first chunks could possibly have arrived.
+  std::vector<uint64_t> waiting;
+  waiting.reserve(pending_joins_.size());
+  for (const auto& [qid, p] : pending_joins_) waiting.push_back(qid);
+  sim::SimTime now = dht_->network()->executor()->now();
+  for (uint64_t qid : waiting) {
+    auto jt = pending_joins_.find(qid);
+    if (jt == pending_joins_.end()) continue;  // resolved by an earlier probe
+    const PendingJoin& p = jt->second;
+    if (p.watchdog == sim::kInvalidEventId) continue;  // off or budget spent
+    if (now - p.dispatched_at < p.watchdog_interval) continue;
+    CheckJoinProgress(qid);
+  }
   fencing_ = false;
 }
 
@@ -328,7 +345,12 @@ void PierNode::Fetch(const Schema& schema, const Value& key,
       [metrics = metrics_, callback = std::move(callback), key, index_field](
           Status s, dht::BatchImage image) {
         if (!s.ok()) {
-          callback(s, {});
+          // Labeled non-answer: the key's owner never reported.
+          Completeness c;
+          c.exact = false;
+          c.coverage_fraction = 0.0;
+          ++metrics->partial_results;
+          callback(s, {}, c);
           return;
         }
         size_t dropped = 0;
@@ -341,21 +363,46 @@ void PierNode::Fetch(const Schema& schema, const Value& key,
           if (!(t.at(index_field) == key)) continue;
           tuples.push_back(std::move(t));
         }
-        callback(Status::OK(), std::move(tuples));
+        callback(Status::OK(), std::move(tuples), Completeness{});
       });
 }
 
 void PierNode::FetchMany(const Schema& schema, std::vector<Value> keys,
                          FetchCallback callback) {
-  FetchManyByField(schema.table_name(), schema.index_field(),
-                   std::move(keys), std::move(callback));
+  FetchManyInternal(schema.table_name(), schema.index_field(),
+                    std::move(keys), std::move(callback), /*top_level=*/true);
 }
 
 void PierNode::FetchManyByField(const std::string& ns, size_t index_field,
                                 std::vector<Value> keys,
                                 FetchCallback callback) {
+  FetchManyInternal(ns, index_field, std::move(keys), std::move(callback),
+                    /*top_level=*/true);
+}
+
+namespace {
+
+/// Shared race state between a FetchMany primary scatter and its optional
+/// hedge: the first COMPLETE answer wins and the loser is suppressed;
+/// incomplete answers are stashed until every issued leg reported, then the
+/// best one ships as a labeled partial.
+struct HedgedFetch {
+  bool done = false;
+  bool hedge_sent = false;
+  size_t outstanding = 0;
+  sim::EventId hedge_timer = sim::kInvalidEventId;
+  bool have_best = false;
+  Status best_status;
+  std::vector<dht::DhtNode::MultiGetItem> best_items;
+};
+
+}  // namespace
+
+void PierNode::FetchManyInternal(const std::string& ns, size_t index_field,
+                                 std::vector<Value> keys,
+                                 FetchCallback callback, bool top_level) {
   if (keys.empty()) {
-    callback(Status::OK(), {});
+    callback(Status::OK(), {}, Completeness{});
     return;
   }
   ++metrics_->multi_fetches;
@@ -371,33 +418,120 @@ void PierNode::FetchManyByField(const std::string& ns, size_t index_field,
     if (fresh) dht_keys.push_back(k);
     it->second.push_back(std::move(v));
   }
-  dht_->MultiGet(
-      ns, std::move(dht_keys),
-      [metrics = metrics_, callback = std::move(callback), wanted,
-       index_field](Status s, std::vector<dht::DhtNode::MultiGetItem> items) {
-        std::vector<Tuple> tuples;
-        for (const auto& item : items) {
-          if (!item.batch) continue;
-          size_t dropped = 0;
-          TupleBatch batch = TupleBatch::DeserializeLossy(*item.batch,
-                                                          &dropped);
-          metrics->tuples_dropped_deserialize += dropped;
-          auto want = wanted->find(item.key);
-          if (want == wanted->end()) continue;
-          for (Tuple& t : batch.TakeTuples()) {
-            if (t.arity() <= index_field) continue;
-            const Value& got = t.at(index_field);
-            bool requested = false;
-            for (const Value& v : want->second) {
-              if (got == v) {
-                requested = true;
-                break;
-              }
-            }
-            if (requested) tuples.push_back(std::move(t));
+  size_t requested = dht_keys.size();
+  sim::Executor* exec = dht_->network()->executor();
+  auto race = std::make_shared<HedgedFetch>();
+
+  // The resolution path captures the metrics sink and executor rather than
+  // `this` (the deployment-owned objects outlive any one node), matching
+  // the single-key Fetch precedent.
+  auto finish = [metrics = metrics_, exec, race, wanted, index_field,
+                 requested, top_level, callback = std::move(callback)](
+                    Status s,
+                    std::vector<dht::DhtNode::MultiGetItem> items,
+                    bool from_hedge) {
+    if (race->done) return;
+    --race->outstanding;
+    bool complete = s.ok();
+    if (!complete && race->outstanding > 0) {
+      // Keep the better incomplete answer; the other leg may still win.
+      if (!race->have_best || items.size() > race->best_items.size()) {
+        race->have_best = true;
+        race->best_status = s;
+        race->best_items = std::move(items);
+      }
+      return;
+    }
+    if (!complete && race->have_best &&
+        race->best_items.size() > items.size()) {
+      s = race->best_status;
+      items = std::move(race->best_items);
+    }
+    race->done = true;
+    if (race->hedge_timer != sim::kInvalidEventId) {
+      exec->Cancel(race->hedge_timer);
+      race->hedge_timer = sim::kInvalidEventId;
+    }
+    Completeness c;
+    if (from_hedge && complete) {
+      ++metrics->hedges_won;
+      c.hedges_won = 1;
+    }
+    // The MultiGet contract delivers one item per answered key (timeouts
+    // deliver whatever was gathered), so the item count IS the coverage.
+    c.exact = s.ok();
+    c.coverage_fraction = std::min(
+        1.0, static_cast<double>(items.size()) /
+                 static_cast<double>(requested));
+    if (!c.exact && top_level) ++metrics->partial_results;
+    std::vector<Tuple> tuples;
+    for (const auto& item : items) {
+      if (!item.batch) continue;
+      size_t dropped = 0;
+      TupleBatch batch = TupleBatch::DeserializeLossy(*item.batch, &dropped);
+      metrics->tuples_dropped_deserialize += dropped;
+      auto want = wanted->find(item.key);
+      if (want == wanted->end()) continue;
+      for (Tuple& t : batch.TakeTuples()) {
+        if (t.arity() <= index_field) continue;
+        const Value& got = t.at(index_field);
+        bool requested_value = false;
+        for (const Value& v : want->second) {
+          if (got == v) {
+            requested_value = true;
+            break;
           }
         }
-        callback(s, std::move(tuples));
+        if (requested_value) tuples.push_back(std::move(t));
+      }
+    }
+    callback(std::move(s), std::move(tuples), c);
+  };
+
+  // Hedge policy: probe the smoothed next-hop latency toward each owner
+  // (bounded probe count) and, when the worst path looks slow, arm a
+  // backup replica-preferring scatter after a quantile-style delay — it
+  // fires only if the primary is still unanswered by then, and the
+  // duplicate answer is suppressed by the shared race above.
+  if (batch_options_.hedged_fetches) {
+    sim::SimTime worst = 0;
+    size_t probes = std::min<size_t>(dht_keys.size(), 16);
+    for (size_t i = 0; i < probes; ++i) {
+      worst =
+          std::max(worst, dht_->NextHopLoad(dht_keys[i]).smoothed_latency);
+    }
+    if (worst > batch_options_.hedge_latency_threshold) {
+      sim::SimTime delay =
+          std::min(std::max(batch_options_.hedge_min_delay,
+                            batch_options_.hedge_delay_factor * worst),
+                   batch_options_.hedge_max_delay);
+      race->hedge_timer = exec->ScheduleAfter(
+          dht_->host(), delay,
+          [this, race, finish, ns, hedge_keys = dht_keys]() {
+            race->hedge_timer = sim::kInvalidEventId;
+            if (race->done) return;
+            race->hedge_sent = true;
+            ++race->outstanding;
+            ++metrics_->hedges_sent;
+            dht::DhtNode::MultiGetOptions opts;
+            opts.prefer_replica = true;
+            dht_->MultiGet(
+                ns, hedge_keys,
+                [finish](Status s,
+                         std::vector<dht::DhtNode::MultiGetItem> items) {
+                  finish(std::move(s), std::move(items),
+                         /*from_hedge=*/true);
+                },
+                opts);
+          });
+    }
+  }
+
+  race->outstanding = 1;
+  dht_->MultiGet(
+      ns, std::move(dht_keys),
+      [finish](Status s, std::vector<dht::DhtNode::MultiGetItem> items) {
+        finish(std::move(s), std::move(items), /*from_hedge=*/false);
       });
 }
 
@@ -453,34 +587,57 @@ void PierNode::ExecuteJoin(DistributedJoin join, JoinCallback callback,
 }
 
 void PierNode::ExecuteStaged(std::shared_ptr<const StagedQuery> query,
-                             JoinCallback callback, sim::SimTime timeout) {
+                             JoinCallback callback, sim::SimTime timeout,
+                             bool top_level) {
   assert(!query->stages.empty());
   ++metrics_->joins_executed;
   uint64_t qid = NextQid();
+  sim::Executor* exec = dht_->network()->executor();
   PendingJoin pending;
   pending.callback = std::move(callback);
   pending.limit = query->cap_results ? query->limit : SIZE_MAX;
-  pending.timeout =
-      dht_->network()->executor()->ScheduleAfter(dht_->host(), timeout, [this, qid]() {
-        auto it = pending_joins_.find(qid);
-        if (it == pending_joins_.end()) return;
-        JoinCallback cb = std::move(it->second.callback);
-        // Hand over the chunk replies that did arrive — with chunked
-        // streaming a timeout usually means one lost chunk, not nothing.
-        // (OnDirect caps the accumulator at the limit.)
-        std::vector<JoinResultEntry> partial = std::move(it->second.entries);
-        pending_joins_.erase(it);
-        cb(Status::TimedOut("distributed join"), std::move(partial));
-      });
+  pending.query = std::move(query);
+  pending.top_level = top_level;
+  pending.deadline = exec->now() + timeout;
+  pending.failovers_left = batch_options_.stage_failover_budget;
+  pending.defers_left = batch_options_.admission_defer_budget;
+  // Progress checks slice the deadline geometrically (the AttemptTimeout
+  // pattern): with budget B the first check fires after timeout/(2^(B+1)-1)
+  // and each re-dispatch doubles the next wait, so every failover still
+  // fits inside the original deadline.
+  if (pending.failovers_left > 0) {
+    sim::SimTime slices =
+        (sim::SimTime{1} << (pending.failovers_left + 1)) - 1;
+    pending.watchdog_interval = timeout / slices;
+  }
+  pending.timeout = exec->ScheduleAfter(dht_->host(), timeout, [this, qid]() {
+    auto it = pending_joins_.find(qid);
+    if (it == pending_joins_.end()) return;
+    it->second.timeout = sim::kInvalidEventId;
+    // Hand over the chunk replies that did arrive — with chunked
+    // streaming a timeout usually means one lost chunk, not nothing.
+    // (OnDirect caps the accumulator at the limit.)
+    ResolveJoin(qid, Status::TimedOut("distributed join"));
+  });
   pending_joins_[qid] = std::move(pending);
+  DispatchStage0(qid);
+}
+
+void PierNode::DispatchStage0(uint64_t qid) {
+  auto it = pending_joins_.find(qid);
+  if (it == pending_joins_.end()) return;
+  PendingJoin& pending = it->second;
+  pending.dispatched_at = dht_->network()->executor()->now();
+  pending.watchdog_weight = pending.weight_received;
 
   JoinStageMsg msg;
   msg.qid = qid;
-  msg.query = std::move(query);
+  msg.query = pending.query;
   msg.stage_idx = 0;
   msg.entries_image = EncodeJoinEntries({});
   msg.weight = kFullJoinWeight;
   msg.origin = dht_->info();
+  msg.generation = pending.generation;
   const ExecStage& first = msg.query->stages[0];
   dht::Key target = DhtKeyFor(first.ns, first.key);
   ++metrics_->join_stage_messages;
@@ -488,6 +645,152 @@ void PierNode::ExecuteStaged(std::shared_ptr<const StagedQuery> query,
   dht_->Route(target, kAppJoinStage,
               std::make_shared<const JoinStageMsg>(std::move(msg)), bytes,
               qid);
+  ArmJoinWatchdog(qid);
+}
+
+void PierNode::ArmJoinWatchdog(uint64_t qid) {
+  auto it = pending_joins_.find(qid);
+  if (it == pending_joins_.end()) return;
+  PendingJoin& pending = it->second;
+  sim::Executor* exec = dht_->network()->executor();
+  if (pending.watchdog != sim::kInvalidEventId) {
+    exec->Cancel(pending.watchdog);
+    pending.watchdog = sim::kInvalidEventId;
+  }
+  if (pending.watchdog_interval == 0) return;
+  // A check landing at or past the deadline is pointless: the deadline
+  // timer already delivers the labeled partial.
+  if (exec->now() + pending.watchdog_interval >= pending.deadline) return;
+  pending.watchdog =
+      exec->ScheduleAfter(dht_->host(), pending.watchdog_interval,
+                          [this, qid]() {
+                            auto pit = pending_joins_.find(qid);
+                            if (pit == pending_joins_.end()) return;
+                            pit->second.watchdog = sim::kInvalidEventId;
+                            CheckJoinProgress(qid);
+                          });
+}
+
+void PierNode::CheckJoinProgress(uint64_t qid) {
+  auto it = pending_joins_.find(qid);
+  if (it == pending_joins_.end()) return;
+  PendingJoin& pending = it->second;
+  if (pending.weight_received > pending.watchdog_weight) {
+    // Reply weight advanced since the last check: chunks are flowing.
+    pending.watchdog_weight = pending.weight_received;
+    ArmJoinWatchdog(qid);
+    return;
+  }
+  if (pending.failovers_left == 0) return;  // deadline delivers the partial
+  // Stalled: the dispatched chain lost its weight somewhere — a crashed
+  // stage owner, a dropped chunk, an expired credit stream. Re-dispatch
+  // stage 0 under a new generation: routing re-resolves against the
+  // current ring, landing on the replica-holding successor when the owner
+  // died. The accumulated entries are discarded along with the old
+  // generation's weight so the retry cannot duplicate them; stale replies
+  // from the superseded dispatch are fenced by the generation stamp.
+  --pending.failovers_left;
+  ++pending.generation;
+  ++metrics_->stage_failovers;
+  pending.completeness.failovers += 1;
+  pending.entries.clear();
+  pending.weight_received = 0;
+  pending.watchdog_weight = 0;
+  pending.watchdog_interval *= 2;
+  DispatchStage0(qid);
+}
+
+void PierNode::ResolveJoin(uint64_t qid, Status s) {
+  auto it = pending_joins_.find(qid);
+  if (it == pending_joins_.end()) return;
+  PendingJoin& pending = it->second;
+  sim::Executor* exec = dht_->network()->executor();
+  if (pending.timeout != sim::kInvalidEventId) exec->Cancel(pending.timeout);
+  if (pending.watchdog != sim::kInvalidEventId) {
+    exec->Cancel(pending.watchdog);
+  }
+  Completeness c = pending.completeness;
+  if (pending.weight_received < kFullJoinWeight) {
+    c.exact = false;
+    c.coverage_fraction *= static_cast<double>(pending.weight_received) /
+                           static_cast<double>(kFullJoinWeight);
+    // A shed query never started a stage; anything else short of full
+    // weight means at least one stage's answers never came back.
+    if (!c.shed) c.stages_failed += 1;
+  }
+  if (!c.exact && pending.top_level) ++metrics_->partial_results;
+  JoinCallback cb = std::move(pending.callback);
+  std::vector<JoinResultEntry> results = std::move(pending.entries);
+  pending_joins_.erase(it);
+  cb(std::move(s), std::move(results), c);
+}
+
+bool PierNode::AdmitStage0(const JoinStageMsg& m) {
+  if (!batch_options_.admission_control) return true;
+  sim::DestinationLoad load = dht_->network()->LoadOf(dht_->host());
+  if (load.in_flight_messages <= batch_options_.admission_inflight_floor) {
+    return true;  // an idle node admits everything, whatever the list size
+  }
+  const ExecStage& stage = m.query->stages[0];
+  size_t posting =
+      dht_->store()
+          .Get(stage.ns, DhtKeyFor(stage.ns, stage.key),
+               dht_->network()->executor()->now())
+          .size();
+  uint32_t level = std::min<uint32_t>(
+      static_cast<uint32_t>(load.in_flight_messages -
+                            batch_options_.admission_inflight_floor),
+      16);
+  size_t budget = std::max(batch_options_.admission_min_entries,
+                           batch_options_.admission_base_entries >> level);
+  if (posting <= budget) return true;
+  // Refuse: the plan would scan and ship more entries than this node's
+  // pressure budget allows. The hint scales with the pressure level so a
+  // hotter node pushes retries further out.
+  ++metrics_->plans_shed;
+  DirectEnvelope env;
+  env.subtype = kPlanRefused;
+  env.qid = m.qid;
+  env.generation = m.generation;
+  env.retry_after = batch_options_.admission_retry_after * (1 + level);
+  dht_->SendDirect(m.origin.host,
+                   sim::Message::Make<DirectEnvelope>(
+                       dht::DhtNode::kDirectApp, "pier.refuse", 29,
+                       std::move(env)));
+  return false;
+}
+
+void PierNode::OnPlanRefused(const DirectEnvelope& env) {
+  auto it = pending_joins_.find(env.qid);
+  if (it == pending_joins_.end()) return;
+  PendingJoin& pending = it->second;
+  if (env.generation != pending.generation) return;  // superseded dispatch
+  sim::Executor* exec = dht_->network()->executor();
+  sim::SimTime retry = std::max<sim::SimTime>(env.retry_after, 1);
+  if (pending.defers_left > 0 && exec->now() + retry < pending.deadline) {
+    --pending.defers_left;
+    ++metrics_->plans_deferred;
+    pending.completeness.deferrals += 1;
+    if (pending.watchdog != sim::kInvalidEventId) {
+      exec->Cancel(pending.watchdog);
+      pending.watchdog = sim::kInvalidEventId;
+    }
+    // The refused dispatch is dead at the owner, so the generation can
+    // stay: at most one dispatch is ever live per generation.
+    exec->ScheduleAfter(dht_->host(), retry,
+                        [this, qid = env.qid, gen = pending.generation]() {
+                          auto pit = pending_joins_.find(qid);
+                          if (pit == pending_joins_.end()) return;
+                          if (pit->second.generation != gen) return;
+                          DispatchStage0(qid);
+                        });
+    return;
+  }
+  // No defer budget (or no time left to wait): an explicit labeled shed.
+  pending.completeness.shed = true;
+  pending.completeness.retry_after = retry;
+  pending.entries.clear();
+  ResolveJoin(env.qid, Status::Unavailable("plan shed by admission control"));
 }
 
 size_t PierNode::StageMsgWireSize(const JoinStageMsg& m) {
@@ -524,13 +827,14 @@ std::vector<JoinResultEntry> PierNode::LocalStageEntries(
 
 void PierNode::SendJoinReply(const dht::NodeInfo& origin, uint64_t qid,
                              const std::vector<JoinResultEntry>& entries,
-                             uint64_t weight) {
+                             uint64_t weight, uint32_t generation) {
   // Stream the answer directly to the query node (bypasses the overlay).
   DirectEnvelope env;
   env.subtype = kJoinReply;
   env.qid = qid;
   env.entries_image = EncodeJoinEntries(entries);
   env.weight = weight;
+  env.generation = generation;
   size_t bytes = 24 + env.entries_image.size();
   dht_->SendDirect(origin.host,
                    sim::Message::Make<DirectEnvelope>(
@@ -568,6 +872,7 @@ void PierNode::ForwardToStage(const JoinStageMsg& prev,
   stream.stage_idx = next_idx;
   stream.origin = prev.origin;
   stream.target = target;
+  stream.generation = prev.generation;
   stream.chunks.reserve(chunks);
   stream.weights.reserve(chunks);
   for (size_t c = 0; c < chunks; ++c) {
@@ -625,6 +930,7 @@ void PierNode::SendChunk(ChunkStream* stream, size_t idx,
   next.entries_image = EncodeJoinEntries(stream->chunks[idx]);
   next.weight = stream->weights[idx];
   next.origin = stream->origin;
+  next.generation = stream->generation;
   if (stream_id != 0) {
     // Paced chunks carry the stream handle so the stage owner's ack can
     // find its way back and release the next send.
@@ -675,6 +981,11 @@ void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
   const StagedQuery& query = *stage_msg.query;
   const ExecStage& stage = query.stages[stage_msg.stage_idx];
 
+  // Overload shedding happens at the chain's entry point only: once a plan
+  // is admitted its downstream stages carry already-spent work, and
+  // dropping it there would waste more than it saves.
+  if (stage_msg.stage_idx == 0 && !AdmitStage0(stage_msg)) return;
+
   std::vector<JoinResultEntry> local = LocalStageEntries(stage);
 
   std::vector<JoinResultEntry> surviving;
@@ -716,7 +1027,7 @@ void PierNode::OnJoinStage(const dht::RouteMsg& msg) {
   }
   if (last || surviving.empty()) {
     SendJoinReply(stage_msg.origin, stage_msg.qid, surviving,
-                  stage_msg.weight);
+                  stage_msg.weight, stage_msg.generation);
   } else {
     ForwardToStage(stage_msg, std::move(surviving));
   }
@@ -763,6 +1074,9 @@ void PierNode::OnDirect(sim::HostId /*from*/, const sim::Message& msg) {
     auto it = pending_joins_.find(env.qid);
     if (it == pending_joins_.end()) return;
     PendingJoin& pending = it->second;
+    // A reply from a superseded dispatch (pre-failover) must not count its
+    // weight toward the current generation's termination — drop it.
+    if (env.generation != pending.generation) return;
     size_t dropped = 0;
     std::vector<JoinResultEntry> entries =
         DecodeJoinEntries(env.entries_image, &dropped);
@@ -777,11 +1091,9 @@ void PierNode::OnDirect(sim::HostId /*from*/, const sim::Message& msg) {
     }
     pending.weight_received += env.weight;
     if (pending.weight_received < kFullJoinWeight) return;
-    dht_->network()->executor()->Cancel(pending.timeout);
-    JoinCallback cb = std::move(pending.callback);
-    std::vector<JoinResultEntry> results = std::move(pending.entries);
-    pending_joins_.erase(it);
-    cb(Status::OK(), std::move(results));
+    ResolveJoin(env.qid, Status::OK());
+  } else if (env.subtype == kPlanRefused) {
+    OnPlanRefused(env);
   } else if (env.subtype == kProbeReply) {
     auto it = pending_probes_.find(env.qid);
     if (it == pending_probes_.end()) return;
@@ -803,6 +1115,12 @@ void ExportTransportCounters(const PierMetrics& m, CounterSet* out) {
   out->Set("pier.plans_executed", m.plans_executed);
   out->Set("pier.epoch_fences", m.epoch_fences);
   out->Set("pier.epoch_stream_kicks", m.epoch_stream_kicks);
+  out->Set("pier.stage_failovers", m.stage_failovers);
+  out->Set("pier.hedges_sent", m.hedges_sent);
+  out->Set("pier.hedges_won", m.hedges_won);
+  out->Set("pier.plans_shed", m.plans_shed);
+  out->Set("pier.plans_deferred", m.plans_deferred);
+  out->Set("pier.partial_results", m.partial_results);
 }
 
 }  // namespace pierstack::pier

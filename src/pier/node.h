@@ -25,10 +25,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "dht/node.h"
+#include "pier/completeness.h"
 #include "pier/ops.h"
 #include "pier/plan.h"
 #include "pier/plan_exec.h"
@@ -78,6 +80,24 @@ struct PierMetrics {
   /// may have died, so the stream advances one chunk against the new ring
   /// instead of sitting out the stall timeout.
   RelaxedCounter epoch_stream_kicks;
+  /// Staged queries re-dispatched under a new generation because the
+  /// progress watchdog (or an epoch fence) saw no reply weight advancing —
+  /// the stage owner's key arc re-resolves to its replica-holding
+  /// successor instead of the query sitting out its deadline.
+  RelaxedCounter stage_failovers;
+  /// Backup replica-preferring MultiGet scatters issued for fetch legs
+  /// whose next-hop latency EWMA crossed the hedge threshold.
+  RelaxedCounter hedges_sent;
+  /// Hedged fetches where the backup answered first (primary suppressed).
+  RelaxedCounter hedges_won;
+  /// Stage-0 plans refused by admission control at the stage owner.
+  RelaxedCounter plans_shed;
+  /// Refused plans the origin re-dispatched after the retry-after hint.
+  RelaxedCounter plans_deferred;
+  /// Top-level query results delivered with a non-exact Completeness
+  /// record. The robustness gate holds this equal to the partials callers
+  /// observe — a partial answer is never silent.
+  RelaxedCounter partial_results;
 };
 
 /// Rehash-queue and join-stage flush/pacing policy.
@@ -126,6 +146,48 @@ struct BatchOptions {
   /// (downstream owner presumed dead); the join's own timeout then returns
   /// partial results, exactly as for any lost chunk.
   sim::SimTime credit_stall_timeout = 10 * sim::kSecond;
+
+  // --- Fault-tolerant query plane ----------------------------------------
+
+  /// Stage re-dispatches one staged query may spend when its progress
+  /// watchdog sees no reply weight advancing (a crashed or partitioned
+  /// stage owner). Each failover bumps the query generation — stale
+  /// replies are fenced — and re-routes stage 0 against the current ring,
+  /// landing on the replica-holding successor. 0 disables failover (the
+  /// legacy sit-out-the-deadline behavior).
+  size_t stage_failover_budget = 2;
+  /// Hedge FetchMany legs whose probed next-hop smoothed latency exceeds
+  /// the threshold: a backup replica-preferring scatter races the primary
+  /// after a delay; the first complete answer wins and the duplicate is
+  /// suppressed by the shared fetch state.
+  bool hedged_fetches = true;
+  sim::SimTime hedge_latency_threshold = 60 * sim::kMillisecond;
+  /// Backup delay = max(hedge_min_delay, hedge_delay_factor × observed
+  /// latency), capped at hedge_max_delay — a quantile-style wait so hedges
+  /// fire only when the primary is genuinely late, not on every probe
+  /// blip. The cap matters once a leg has already degraded: without it the
+  /// inflated EWMA pushes the backup past the primary's own retry schedule
+  /// and the hedge can never win again.
+  sim::SimTime hedge_min_delay = 50 * sim::kMillisecond;
+  unsigned hedge_delay_factor = 3;
+  sim::SimTime hedge_max_delay = 500 * sim::kMillisecond;
+  /// Stage-0 admission control at the stage owner: refuse plans whose
+  /// posting list (the entry volume the plan would scan and ship) exceeds
+  /// a pressure-scaled budget. Refusals carry a retry-after hint; the
+  /// origin defers and retries within its deadline or resolves the query
+  /// as an explicit labeled shed.
+  bool admission_control = true;
+  /// In-flight messages at the owner below which every plan is admitted
+  /// (an idle node never sheds).
+  uint32_t admission_inflight_floor = 4;
+  /// Entry budget at the first pressure level; halves per level above the
+  /// floor, never below admission_min_entries.
+  size_t admission_base_entries = 4096;
+  size_t admission_min_entries = 64;
+  /// Base back-off hint attached to refusals (scaled by pressure level).
+  sim::SimTime admission_retry_after = 200 * sim::kMillisecond;
+  /// Deferrals one query absorbs before a refusal becomes a shed.
+  size_t admission_defer_budget = 2;
 };
 
 /// One stage of a distributed join chain (one keyword, in PIERSearch).
@@ -172,10 +234,16 @@ struct PublishAck;
 
 class PierNode {
  public:
-  using JoinCallback =
-      std::function<void(Status, std::vector<JoinResultEntry>)>;
-  using PlanCallback = std::function<void(Status, std::vector<Tuple>)>;
-  using FetchCallback = std::function<void(Status, std::vector<Tuple>)>;
+  /// Query-plane callbacks carry a Completeness record (see
+  /// pier/completeness.h): partial answers are labeled, never silent.
+  /// Legacy two-argument callables keep working through the template
+  /// adapters below, which drop the record at the call boundary.
+  using JoinCallback = std::function<void(Status, std::vector<JoinResultEntry>,
+                                          const Completeness&)>;
+  using PlanCallback =
+      std::function<void(Status, std::vector<Tuple>, const Completeness&)>;
+  using FetchCallback =
+      std::function<void(Status, std::vector<Tuple>, const Completeness&)>;
   using ProbeCallback = std::function<void(Status, size_t posting_size)>;
 
   /// Attaches PIER to a DHT node. Claims the DHT node's upcall slots for
@@ -221,6 +289,22 @@ class PierNode {
   /// Fetches all tuples of `schema` keyed by `key` from the owner node.
   void Fetch(const Schema& schema, const Value& key, FetchCallback callback);
 
+  /// Legacy two-argument adapter: a callable not expecting the
+  /// Completeness record compiles unchanged (the record is dropped here;
+  /// the result is still counted and labeled internally). SFINAE keeps the
+  /// three-argument std::function overloads the exact-match winners.
+  template <typename F,
+            std::enable_if_t<
+                std::is_invocable_v<F&, Status, std::vector<Tuple>>, int> = 0>
+  void Fetch(const Schema& schema, const Value& key, F callback) {
+    Fetch(schema, key,
+          FetchCallback([cb = std::move(callback)](
+                            Status s, std::vector<Tuple> rows,
+                            const Completeness&) mutable {
+            cb(std::move(s), std::move(rows));
+          }));
+  }
+
   /// Owner-coalesced multi-key fetch: all tuples of `schema` keyed by any
   /// of `keys`, grouped by resolved owner so a K-owner key set costs K
   /// routed get messages with one TupleBatch reply per owner (see
@@ -228,11 +312,36 @@ class PierNode {
   void FetchMany(const Schema& schema, std::vector<Value> keys,
                  FetchCallback callback);
 
+  template <typename F,
+            std::enable_if_t<
+                std::is_invocable_v<F&, Status, std::vector<Tuple>>, int> = 0>
+  void FetchMany(const Schema& schema, std::vector<Value> keys, F callback) {
+    FetchMany(schema, std::move(keys),
+              FetchCallback([cb = std::move(callback)](
+                                Status s, std::vector<Tuple> rows,
+                                const Completeness&) mutable {
+                cb(std::move(s), std::move(rows));
+              }));
+  }
+
   /// FetchMany without a Schema object: all tuples of namespace `ns` whose
   /// column `index_field` equals one of `keys` — what serialized plans
   /// carry (a FetchJoin node names the table, not a C++ Schema).
   void FetchManyByField(const std::string& ns, size_t index_field,
                         std::vector<Value> keys, FetchCallback callback);
+
+  template <typename F,
+            std::enable_if_t<
+                std::is_invocable_v<F&, Status, std::vector<Tuple>>, int> = 0>
+  void FetchManyByField(const std::string& ns, size_t index_field,
+                        std::vector<Value> keys, F callback) {
+    FetchManyByField(ns, index_field, std::move(keys),
+                     FetchCallback([cb = std::move(callback)](
+                                       Status s, std::vector<Tuple> rows,
+                                       const Completeness&) mutable {
+                       cb(std::move(s), std::move(rows));
+                     }));
+  }
 
   /// Asks the owner of (ns, key) for its posting-list size — the optimizer
   /// probe behind the "smaller posting lists first" ordering.
@@ -250,12 +359,41 @@ class PierNode {
   void ExecutePlan(QueryPlan plan, PlanCallback callback,
                    sim::SimTime timeout = 30 * sim::kSecond);
 
+  template <typename F,
+            std::enable_if_t<
+                std::is_invocable_v<F&, Status, std::vector<Tuple>>, int> = 0>
+  void ExecutePlan(QueryPlan plan, F callback,
+                   sim::SimTime timeout = 30 * sim::kSecond) {
+    ExecutePlan(std::move(plan),
+                PlanCallback([cb = std::move(callback)](
+                                 Status s, std::vector<Tuple> rows,
+                                 const Completeness&) mutable {
+                  cb(std::move(s), std::move(rows));
+                }),
+                timeout);
+  }
+
   /// Runs a distributed join chain; the callback fires with the surviving
   /// entries (or a timeout error). Thin adapter over the plan engine: the
   /// stages are lowered to ExecStages and executed exactly as a compiled
   /// plan chain would be.
   void ExecuteJoin(DistributedJoin join, JoinCallback callback,
                    sim::SimTime timeout = 30 * sim::kSecond);
+
+  template <typename F,
+            std::enable_if_t<std::is_invocable_v<F&, Status,
+                                                 std::vector<JoinResultEntry>>,
+                             int> = 0>
+  void ExecuteJoin(DistributedJoin join, F callback,
+                   sim::SimTime timeout = 30 * sim::kSecond) {
+    ExecuteJoin(std::move(join),
+                JoinCallback([cb = std::move(callback)](
+                                 Status s, std::vector<JoinResultEntry> rows,
+                                 const Completeness&) mutable {
+                  cb(std::move(s), std::move(rows));
+                }),
+                timeout);
+  }
 
  private:
   // Routed app types (offsets from dht::kAppUserBase).
@@ -265,6 +403,9 @@ class PierNode {
   static constexpr int kJoinReply = 1;
   static constexpr int kProbeReply = 2;
   static constexpr int kChunkCredit = 3;
+  /// Admission-control refusal: the stage-0 owner declined the plan; the
+  /// envelope carries a retry-after hint back to the query origin.
+  static constexpr int kPlanRefused = 4;
   /// Termination weight of a whole join (Mattern weight-throwing): the
   /// initial stage message carries it all; every chunk split divides it;
   /// every reply returns its share. The query node is done when the
@@ -285,6 +426,9 @@ class PierNode {
     /// direct message to `producer`, granting the next send.
     uint64_t stream_id = 0;
     dht::NodeInfo producer;
+    /// Failover fence: bumped per stage-0 re-dispatch; replies echo it so
+    /// the query node ignores answers from a superseded dispatch.
+    uint32_t generation = 0;
   };
   struct SizeProbeMsg {
     uint64_t qid;
@@ -299,6 +443,8 @@ class PierNode {
     size_t posting_size = 0;             // kProbeReply
     uint64_t stream_id = 0;              // kChunkCredit
     uint32_t credits = 0;                // kChunkCredit
+    uint32_t generation = 0;             // kJoinReply / kPlanRefused
+    sim::SimTime retry_after = 0;        // kPlanRefused back-off hint
   };
 
   /// One standing rehash queue: the pending PutBatch frame buffer for one
@@ -330,12 +476,46 @@ class PierNode {
     size_t next = 0;                ///< First unsent chunk index.
     size_t credits = 0;
     sim::EventId stall_timer = sim::kInvalidEventId;
+    uint32_t generation = 0;  ///< Stamped onto every forwarded chunk.
   };
 
   /// The shared distributed engine behind ExecutePlan and ExecuteJoin:
   /// runs the staged chain, accumulating chunked replies at this node.
+  /// `top_level` queries count their own non-exact results into
+  /// partial_results; composed callers (ExecutePlan) pass false and count
+  /// once at their own final resolution.
   void ExecuteStaged(std::shared_ptr<const StagedQuery> query,
-                     JoinCallback callback, sim::SimTime timeout);
+                     JoinCallback callback, sim::SimTime timeout,
+                     bool top_level = true);
+
+  /// FetchManyByField body with the partial-result accounting flag (plan
+  /// fetch legs pass top_level=false; their plan counts the partial once).
+  void FetchManyInternal(const std::string& ns, size_t index_field,
+                         std::vector<Value> keys, FetchCallback callback,
+                         bool top_level);
+
+  /// (Re-)routes the staged query's stage-0 message under the pending
+  /// join's current generation and re-arms its progress watchdog.
+  void DispatchStage0(uint64_t qid);
+  /// Arms the pending join's no-progress watchdog (geometric slices of the
+  /// overall timeout, the AttemptTimeout pattern).
+  void ArmJoinWatchdog(uint64_t qid);
+  /// Watchdog/epoch probe: reply weight advanced since the last check →
+  /// keep watching; stalled with failover budget left → re-dispatch under
+  /// a new generation; stalled and spent → leave the deadline to deliver
+  /// the labeled partial.
+  void CheckJoinProgress(uint64_t qid);
+  /// Resolves a pending join: folds the returned weight fraction into its
+  /// Completeness, counts a labeled partial when non-exact, fires the
+  /// callback, and erases the entry.
+  void ResolveJoin(uint64_t qid, Status s);
+  /// Stage-0 admission decision at the stage owner. Refusals count
+  /// plans_shed and send a kPlanRefused envelope (with a pressure-scaled
+  /// retry-after hint) back to the origin; returns false when refused.
+  bool AdmitStage0(const JoinStageMsg& m);
+  /// Origin side of a refusal: defer and re-dispatch within the deadline,
+  /// or resolve the query as an explicit labeled shed.
+  void OnPlanRefused(const DirectEnvelope& env);
 
   void OnJoinStage(const dht::RouteMsg& msg);
   void OnSizeProbe(const dht::RouteMsg& msg);
@@ -377,7 +557,7 @@ class PierNode {
   void PumpStream(std::map<uint64_t, ChunkStream>::iterator it);
   void SendJoinReply(const dht::NodeInfo& origin, uint64_t qid,
                      const std::vector<JoinResultEntry>& entries,
-                     uint64_t weight);
+                     uint64_t weight, uint32_t generation);
 
   /// Tuples of (ns, key) passing the stage's filter, as JoinResultEntries.
   std::vector<JoinResultEntry> LocalStageEntries(const ExecStage& stage);
@@ -406,6 +586,22 @@ class PierNode {
     std::vector<JoinResultEntry> entries;  ///< Accumulated chunk replies.
     uint64_t weight_received = 0;
     size_t limit = SIZE_MAX;
+    /// Failover fence: replies stamped with an older generation belong to
+    /// a superseded dispatch and are ignored.
+    uint32_t generation = 0;
+    std::shared_ptr<const StagedQuery> query;  ///< Kept for re-dispatch.
+    sim::SimTime deadline = 0;       ///< Absolute overall deadline.
+    sim::SimTime dispatched_at = 0;  ///< Last (re-)dispatch time.
+    size_t failovers_left = 0;
+    size_t defers_left = 0;
+    /// Current no-progress check interval (doubles per failover; 0 = off).
+    sim::SimTime watchdog_interval = 0;
+    uint64_t watchdog_weight = 0;  ///< weight_received at the last check.
+    sim::EventId watchdog = sim::kInvalidEventId;
+    /// True for ExecuteJoin/direct callers: a non-exact resolution counts
+    /// into partial_results here (plan-composed queries count at the plan).
+    bool top_level = true;
+    Completeness completeness;
   };
   std::map<uint64_t, PendingJoin> pending_joins_;
   struct PendingProbe {

@@ -272,7 +272,7 @@ void PierNode::ExecutePlan(QueryPlan plan, PlanCallback callback,
                            sim::SimTime timeout) {
   auto compiled = CompilePlan(plan);
   if (!compiled.ok()) {
-    callback(compiled.status(), {});
+    callback(compiled.status(), {}, Completeness{});
     return;
   }
   ++metrics_->plans_executed;
@@ -280,16 +280,18 @@ void PierNode::ExecutePlan(QueryPlan plan, PlanCallback callback,
   auto staged = std::make_shared<const StagedQuery>(cp->staged);
   sim::Executor* simulator = dht_->network()->executor();
   sim::SimTime deadline = simulator->now() + timeout;
+  // The staged leg runs with top_level=false: the plan is the top-level
+  // query here, and counts its own (merged) completeness exactly once at
+  // whichever resolution path fires below.
   ExecuteStaged(
       std::move(staged),
       [this, cp, callback = std::move(callback), deadline](
-          Status s, std::vector<JoinResultEntry> entries) mutable {
-        if (!s.ok()) {
-          callback(s, {});
-          return;
-        }
-        // Materialize entries as [join_key, payload...] rows and run the
-        // entry-side finishers.
+          Status s, std::vector<JoinResultEntry> entries,
+          const Completeness& stage_c) mutable {
+        Completeness plan_c = stage_c;
+        // A failed staged leg still carries whatever entries arrived — the
+        // completeness record labels the gap instead of the old behavior
+        // of zeroing out the partial answer on TimedOut.
         std::vector<Tuple> rows;
         rows.reserve(entries.size());
         for (JoinResultEntry& e : entries) {
@@ -299,7 +301,8 @@ void PierNode::ExecutePlan(QueryPlan plan, PlanCallback callback,
         rows = ApplyLocalOps(std::move(rows), cp->entry_ops);
         if (!cp->fetch) {
           if (rows.size() > cp->limit) rows.resize(cp->limit);
-          callback(Status::OK(), std::move(rows));
+          if (!plan_c.exact) ++metrics_->partial_results;
+          callback(std::move(s), std::move(rows), plan_c);
           return;
         }
         // Fetch leg: resolve the surviving join keys (column 0) through
@@ -328,7 +331,8 @@ void PierNode::ExecutePlan(QueryPlan plan, PlanCallback callback,
           keys.resize(cp->limit);
         }
         if (keys.empty()) {
-          callback(Status::OK(), {});
+          if (!plan_c.exact) ++metrics_->partial_results;
+          callback(std::move(s), {}, plan_c);
           return;
         }
         sim::Executor* simulator = dht_->network()->executor();
@@ -338,27 +342,40 @@ void PierNode::ExecutePlan(QueryPlan plan, PlanCallback callback,
         sim::SimTime remaining =
             deadline > simulator->now() ? deadline - simulator->now() : 1;
         sim::EventId watchdog = simulator->ScheduleAfter(
-            dht_->host(), remaining, [done, callback]() {
+            dht_->host(), remaining,
+            [metrics = metrics_, done, callback, plan_c]() mutable {
               if (*done) return;
               *done = true;
-              callback(Status::TimedOut("plan item fetch"), {});
+              // The fetch leg never reported: the whole leg is missing.
+              plan_c.exact = false;
+              plan_c.coverage_fraction = 0.0;
+              ++metrics->partial_results;
+              callback(Status::TimedOut("plan item fetch"), {}, plan_c);
             });
-        FetchManyByField(
+        FetchManyInternal(
             cp->fetch_ns, cp->fetch_key_col, std::move(keys),
-            [this, cp, callback, done, watchdog](
-                Status fs, std::vector<Tuple> tuples) {
+            [this, cp, callback, done, watchdog, plan_c,
+             staged_status = std::move(s)](
+                Status fs, std::vector<Tuple> tuples,
+                const Completeness& fetch_c) mutable {
               if (*done) return;  // watchdog already resolved the query
               *done = true;
               dht_->network()->executor()->Cancel(watchdog);
               // Best-effort, like the per-id loop this generalizes: a dead
-              // owner must not zero out what the others delivered.
+              // owner must not zero out what the others delivered — the
+              // merged completeness record carries the fetch leg's gap.
               (void)fs;
+              plan_c.Merge(fetch_c);
               tuples = ApplyLocalOps(std::move(tuples), cp->tuple_ops);
               if (tuples.size() > cp->limit) tuples.resize(cp->limit);
-              callback(Status::OK(), std::move(tuples));
-            });
+              if (!plan_c.exact) ++metrics_->partial_results;
+              callback(staged_status.ok() ? Status::OK()
+                                          : std::move(staged_status),
+                       std::move(tuples), plan_c);
+            },
+            /*top_level=*/false);
       },
-      timeout);
+      timeout, /*top_level=*/false);
 }
 
 }  // namespace pierstack::pier

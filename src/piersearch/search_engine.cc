@@ -71,7 +71,8 @@ void SearchEngine::Search(const std::string& query_text,
                           SearchCallback callback) {
   std::vector<std::string> terms = ExtractUniqueKeywords(query_text);
   if (terms.empty()) {
-    callback(Status::InvalidArgument("no indexable terms in query"), {});
+    callback(Status::InvalidArgument("no indexable terms in query"), {},
+             pier::Completeness{});
     return;
   }
   ++searches_started_;
@@ -122,11 +123,11 @@ void SearchEngine::RunPlan(QueryPlan plan, const SearchOptions& options,
   pier_->ExecutePlan(
       std::move(plan),
       [fetched, callback = std::move(callback)](
-          Status s, std::vector<Tuple> rows) mutable {
-        if (!s.ok()) {
-          callback(s, {});
-          return;
-        }
+          Status s, std::vector<Tuple> rows,
+          const pier::Completeness& completeness) mutable {
+        // A timed-out or shed query still delivers whatever rows the plan
+        // materialized — the completeness record labels the shortfall, so
+        // no early-return that would zero out a partial answer.
         std::vector<SearchHit> hits;
         hits.reserve(rows.size());
         for (const Tuple& t : rows) {
@@ -153,7 +154,7 @@ void SearchEngine::RunPlan(QueryPlan plan, const SearchOptions& options,
           }
           hits.push_back(std::move(h));
         }
-        callback(Status::OK(), std::move(hits));
+        callback(std::move(s), std::move(hits), completeness);
       },
       options.timeout);
 }
@@ -173,7 +174,7 @@ void SearchEngine::FetchItems(std::vector<uint64_t> file_ids,
     unique.resize(options.max_results);
   }
   if (unique.empty()) {
-    callback(Status::OK(), {});
+    callback(Status::OK(), {}, pier::Completeness{});
     return;
   }
   std::vector<Value> keys;
@@ -190,18 +191,23 @@ void SearchEngine::FetchItems(std::vector<uint64_t> file_ids,
       pier_->dht()->host(), options.timeout, [done, shared_cb]() {
         if (*done) return;
         *done = true;
-        (*shared_cb)(Status::TimedOut("item fetch"), {});
+        pier::Completeness c;
+        c.exact = false;
+        c.coverage_fraction = 0.0;
+        (*shared_cb)(Status::TimedOut("item fetch"), {}, c);
       });
   pier_->FetchMany(
       ItemSchema(), std::move(keys),
-      [simulator, done, shared_cb, watchdog](Status s,
-                                             std::vector<Tuple> tuples) {
+      [simulator, done, shared_cb, watchdog](
+          Status s, std::vector<Tuple> tuples,
+          const pier::Completeness& completeness) {
         if (*done) return;  // the watchdog already failed the query
         *done = true;
         simulator->Cancel(watchdog);
         // Best-effort like the per-id loop this replaced: a slow or dead
         // owner must not zero out the hits the other owners delivered —
-        // FetchMany hands over whatever arrived alongside the error.
+        // FetchMany hands over whatever arrived, and the completeness
+        // record labels the shortfall.
         (void)s;
         std::vector<SearchHit> hits;
         hits.reserve(tuples.size());
@@ -215,7 +221,7 @@ void SearchEngine::FetchItems(std::vector<uint64_t> file_ids,
           h.port = static_cast<uint16_t>(t.at(kItemPort).AsUint64());
           hits.push_back(std::move(h));
         }
-        (*shared_cb)(Status::OK(), std::move(hits));
+        (*shared_cb)(Status::OK(), std::move(hits), completeness);
       });
 }
 

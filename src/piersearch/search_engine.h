@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "pier/node.h"
@@ -68,8 +69,13 @@ pier::QueryPlan BuildSearchPlan(const std::vector<std::string>& terms,
 
 class SearchEngine {
  public:
-  using SearchCallback =
-      std::function<void(Status, std::vector<SearchHit>)>;
+  /// Search results carry the query's pier::Completeness record: a crash,
+  /// straggler, or shed plan mid-query yields a PARTIAL hit list, and the
+  /// record says so (and why) instead of the answer silently shrinking.
+  /// Legacy two-argument callables keep compiling through the template
+  /// adapters below.
+  using SearchCallback = std::function<void(
+      Status, std::vector<SearchHit>, const pier::Completeness&)>;
 
   explicit SearchEngine(pier::PierNode* pier) : pier_(pier) {}
 
@@ -79,6 +85,20 @@ class SearchEngine {
   void Search(const std::string& query_text, const SearchOptions& options,
               SearchCallback callback);
 
+  template <typename F,
+            std::enable_if_t<
+                std::is_invocable_v<F&, Status, std::vector<SearchHit>>,
+                int> = 0>
+  void Search(const std::string& query_text, const SearchOptions& options,
+              F callback) {
+    Search(query_text, options,
+           SearchCallback([cb = std::move(callback)](
+                              Status s, std::vector<SearchHit> hits,
+                              const pier::Completeness&) mutable {
+             cb(std::move(s), std::move(hits));
+           }));
+  }
+
   uint64_t searches_started() const { return searches_started_; }
 
   /// Runs an already-built plan with the engine's hit mapping — the
@@ -86,15 +106,44 @@ class SearchEngine {
   void RunPlan(pier::QueryPlan plan, const SearchOptions& options,
                SearchCallback callback);
 
+  template <typename F,
+            std::enable_if_t<
+                std::is_invocable_v<F&, Status, std::vector<SearchHit>>,
+                int> = 0>
+  void RunPlan(pier::QueryPlan plan, const SearchOptions& options,
+               F callback) {
+    RunPlan(std::move(plan), options,
+            SearchCallback([cb = std::move(callback)](
+                               Status s, std::vector<SearchHit> hits,
+                               const pier::Completeness&) mutable {
+              cb(std::move(s), std::move(hits));
+            }));
+  }
+
   /// Resolves fileIDs to full Item hits — the plans' final join. The ids
   /// are de-duplicated (duplicate join keys must not evict distinct
   /// results when truncating to max_results), capped, and fetched with one
   /// owner-coalesced FetchMany: K distinct Item owners cost K routed get
   /// messages instead of one round-trip per id. The fetch leg is bounded
-  /// by `options.timeout` — a dead Item owner fails the query with
-  /// TimedOut instead of hanging it past its deadline.
+  /// by `options.timeout` — a dead Item owner resolves the query with
+  /// whatever hits arrived, labeled partial, instead of hanging it past
+  /// its deadline.
   void FetchItems(std::vector<uint64_t> file_ids,
                   const SearchOptions& options, SearchCallback callback);
+
+  template <typename F,
+            std::enable_if_t<
+                std::is_invocable_v<F&, Status, std::vector<SearchHit>>,
+                int> = 0>
+  void FetchItems(std::vector<uint64_t> file_ids,
+                  const SearchOptions& options, F callback) {
+    FetchItems(std::move(file_ids), options,
+               SearchCallback([cb = std::move(callback)](
+                                  Status s, std::vector<SearchHit> hits,
+                                  const pier::Completeness&) mutable {
+                 cb(std::move(s), std::move(hits));
+               }));
+  }
 
  private:
   pier::PierNode* pier_;

@@ -68,6 +68,24 @@ SimTime FaultPlan::ExtraLatency(HostId from, HostId to, uint64_t send_seq) {
   return 0;
 }
 
+void FaultPlan::AddFailSlow(HostId host, SimTime start, SimTime duration,
+                            SimTime extra) {
+  if (duration == 0 || extra == 0) return;
+  fail_slow_[host].push_back(FailSlowWindow{start, start + duration, extra});
+}
+
+SimTime FaultPlan::ProcessingPenalty(HostId to, SimTime now) {
+  if (fail_slow_.empty()) return 0;
+  auto it = fail_slow_.find(to);
+  if (it == fail_slow_.end()) return 0;
+  SimTime penalty = 0;
+  for (const FailSlowWindow& w : it->second) {
+    if (now >= w.start && now < w.end) penalty += w.extra;
+  }
+  if (penalty > 0) ++counters_.slow_deliveries;
+  return penalty;
+}
+
 void FaultPlan::CountChurn(ChurnEvent::Kind kind) {
   if (kind == ChurnEvent::kCrash) {
     ++counters_.churn_crashes;

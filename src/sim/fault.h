@@ -16,7 +16,13 @@
 //  * scheduled crash/join churn: deterministic event schedules (flash-crowd
 //    join, correlated mass-leave, sustained events/min churn) built here
 //    and executed by an overlay-level driver (dht::ChurnDriver), which
-//    counts each executed event back into the plan.
+//    counts each executed event back into the plan,
+//  * fail-slow windows: a host's message processing degrades by a fixed
+//    extra delay for a scheduled interval — the straggler that still
+//    answers, just late (the gray failure crashes cannot model). Applied
+//    to every message addressed to the slow host whose SEND falls inside
+//    the window, so the decision depends only on the sender's own clock
+//    and is identical on every Executor backend.
 //
 // All randomness derives from the plan's own seed, so fault decisions
 // never perturb the network's latency stream: a run with a FaultPlan is a
@@ -55,10 +61,11 @@ struct FaultCounters {
   RelaxedCounter partition_drops;  ///< Messages dropped at a partition edge.
   RelaxedCounter churn_crashes;    ///< Executed scheduled crash events.
   RelaxedCounter churn_joins;      ///< Executed scheduled join events.
+  RelaxedCounter slow_deliveries;  ///< Messages delayed by a fail-slow window.
 
   uint64_t Total() const {
     return loss_drops + latency_spikes + partition_drops + churn_crashes +
-           churn_joins;
+           churn_joins + slow_deliveries;
   }
 };
 
@@ -84,6 +91,14 @@ class FaultPlan {
   void Heal() { partition_.clear(); }
   bool partitioned() const { return !partition_.empty(); }
 
+  /// Schedules a fail-slow window: every message addressed to `host` that
+  /// is SENT during [start, start + duration) is delayed by an extra
+  /// `extra` past the latency model — a straggling receiver, not a dead
+  /// one. Windows are additive when they overlap. Setup/driver context
+  /// only (like AssignPartition): mutate before the run or at barriers.
+  void AddFailSlow(HostId host, SimTime start, SimTime duration,
+                   SimTime extra);
+
   // --- Hooks consumed by Network::Send (self-sends are never faulted) ----
   // `send_seq` is the network's per-sender sequence number for this send —
   // the stream key making each decision order-independent.
@@ -94,6 +109,11 @@ class FaultPlan {
 
   /// Extra delivery delay for this send (0 when no spike fires). Counts.
   SimTime ExtraLatency(HostId from, HostId to, uint64_t send_seq);
+
+  /// Extra processing delay for a message addressed to `to` sent at `now`
+  /// (0 outside every fail-slow window). Deterministic — keyed purely on
+  /// the send time, no RNG draw. Counts each slowed delivery.
+  SimTime ProcessingPenalty(HostId to, SimTime now);
 
   /// The overlay churn driver reports each executed scheduled event.
   void CountChurn(ChurnEvent::Kind kind);
@@ -124,6 +144,13 @@ class FaultPlan {
   double spike_probability_ = 0.0;
   SimTime spike_delay_ = 0;
   std::map<HostId, uint32_t> partition_;  ///< host → group; absent = 0.
+  /// One scheduled degradation interval for a fail-slow host.
+  struct FailSlowWindow {
+    SimTime start = 0;
+    SimTime end = 0;
+    SimTime extra = 0;
+  };
+  std::map<HostId, std::vector<FailSlowWindow>> fail_slow_;
   FaultCounters counters_;
 };
 

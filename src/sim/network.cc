@@ -256,6 +256,11 @@ bool Network::Send(HostId from, HostId to, Message msg) {
   }
   if (faults_ != nullptr) delay += faults_->ExtraLatency(from, to, seq);
   delay += processing_delay_[to];
+  // Fail-slow windows (sim/fault.h): keyed on the send time — the sender's
+  // own clock — so the penalty decision is backend-independent too.
+  if (faults_ != nullptr) {
+    delay += faults_->ProcessingPenalty(to, executor_->now());
+  }
   ChargeInFlight(to, msg.wire_bytes);
   executor_->ScheduleAt(
       to, executor_->now() + delay,
@@ -287,6 +292,7 @@ void ExportNetworkCounters(const Network& net, CounterSet* out) {
     out->Set("net.fault_partition_drops", f.partition_drops);
     out->Set("net.fault_churn_crashes", f.churn_crashes);
     out->Set("net.fault_churn_joins", f.churn_joins);
+    out->Set("net.fault_slow_deliveries", f.slow_deliveries);
     out->Set("net.fault_injected_total", f.Total());
   }
 }

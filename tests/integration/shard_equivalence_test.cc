@@ -12,6 +12,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/hashing.h"
 #include "dht/builder.h"
 #include "dht/churn.h"
 #include "pier/node.h"
@@ -196,6 +197,160 @@ TEST(ShardEquivalenceTest, WarmFetchManyAnswersMatchAcrossBackends) {
   for (Backend b : {Backend::kSharded2, Backend::kSharded8}) {
     EXPECT_EQ(RunFetchScenario(b), want) << BackendName(b);
   }
+}
+
+// ---------------------------------------------------------------------------
+
+const pier::Schema& PostingSchema() {
+  static const pier::Schema* s = new pier::Schema(
+      "inverted",
+      {{"keyword", pier::ValueType::kString},
+       {"fileID", pier::ValueType::kUint64}},
+      0);
+  return *s;
+}
+
+/// Everything the fault-tolerant query plane decides under faults: failover
+/// re-dispatches, hedge arming and wins, partial accounting — plus the
+/// answers themselves. A mid-query owner crash and a fail-slow straggler
+/// must drive IDENTICAL decisions on the serial backend and on 4 shards.
+using RobustFingerprint =
+    std::tuple<uint64_t, uint64_t,            // events executed, sim clock
+               uint64_t, uint64_t,            // net messages, bytes
+               uint64_t, uint64_t,            // stage failovers, partials
+               uint64_t, uint64_t, uint64_t,  // hedges sent/won, plans shed
+               std::vector<uint64_t>,         // join answers (sorted)
+               std::vector<uint64_t>>;        // hedged fetch answers (sorted)
+
+RobustFingerprint RunRobustQueryScenario(size_t shards) {
+  constexpr sim::SimTime kLatency = 2 * sim::kMillisecond;
+  std::unique_ptr<sim::Executor> exec;
+  if (shards <= 1) {
+    exec = std::make_unique<sim::SerialExecutor>();
+  } else {
+    exec = std::make_unique<sim::ShardedExecutor>(sim::ShardedExecutor::Options{
+        static_cast<uint32_t>(shards), kLatency});
+  }
+  sim::FaultPlan plan(4242);
+  auto network = std::make_unique<sim::Network>(
+      exec.get(), std::make_unique<sim::ConstantLatency>(kLatency), 42);
+  network->set_load_probe_quantum(kLatency);
+  network->set_fault_plan(&plan);
+  dht::DhtOptions opts;
+  opts.replication = 3;
+  opts.maintenance = true;
+  auto dht = std::make_unique<dht::DhtDeployment>(network.get(), 16, opts,
+                                                  777);
+  pier::PierMetrics metrics;
+  std::vector<std::unique_ptr<pier::PierNode>> piers;
+  piers.reserve(16);
+  for (size_t i = 0; i < 16; ++i) {
+    piers.push_back(std::make_unique<pier::PierNode>(dht->node(i), &metrics));
+  }
+
+  std::vector<pier::Tuple> postings, items;
+  for (uint64_t f = 0; f < 60; ++f) {
+    postings.push_back(
+        pier::Tuple({pier::Value("alpha"), pier::Value(f)}));
+  }
+  for (uint64_t f = 1; f <= 24; ++f) {
+    items.push_back(pier::Tuple(
+        {pier::Value(f), pier::Value("item " + std::to_string(f))}));
+  }
+  piers[0]->PublishBatch(PostingSchema(), std::move(postings));
+  piers[0]->PublishBatch(ItemLikeSchema(), std::move(items));
+  piers[0]->FlushPublishQueues();
+  exec->RunFor(10 * sim::kSecond);
+
+  // Fail-slow leg: the first item key's owner straggles mildly; one warm
+  // fetch round teaches the latency EWMA, then the straggle hardens past
+  // the hedge delay so the backup-replica race decides the second round.
+  dht::Key item_key =
+      HashCombine(Fnv1a64("items"), pier::Value(uint64_t{1}).Hash());
+  sim::HostId slow = dht->ExpectedOwner(item_key)->host();
+  size_t origin_idx = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    if (dht->node(i)->host() != slow) {
+      origin_idx = i;
+      break;
+    }
+  }
+  auto fetch_round = [&](std::vector<uint64_t>* out) {
+    std::vector<pier::Value> keys;
+    for (uint64_t f = 1; f <= 24; ++f) keys.emplace_back(pier::Value(f));
+    piers[origin_idx]->FetchMany(
+        ItemLikeSchema(), std::move(keys),
+        [out](Status, std::vector<pier::Tuple> tuples) {
+          if (out == nullptr) return;
+          for (const pier::Tuple& t : tuples) {
+            out->push_back(t.at(0).AsUint64());
+          }
+        });
+    exec->RunFor(15 * sim::kSecond);
+  };
+  plan.AddFailSlow(slow, exec->now(), 10 * sim::kMinute,
+                   100 * sim::kMillisecond);
+  fetch_round(nullptr);  // warm the EWMA toward the straggler
+  plan.AddFailSlow(slow, exec->now(), 10 * sim::kMinute, 2 * sim::kSecond);
+  std::vector<uint64_t> fetched;
+  fetch_round(&fetched);
+  std::sort(fetched.begin(), fetched.end());
+
+  // Failover leg: crash the posting owner while the stage-0 message is on
+  // the wire; the no-progress watchdog must re-dispatch onto the replica.
+  dht::Key posting_key =
+      HashCombine(Fnv1a64("inverted"), pier::Value("alpha").Hash());
+  dht::DhtNode* owner = dht->ExpectedOwner(posting_key);
+  size_t join_idx = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    if (dht->node(i) != owner && dht->node(i)->host() != slow) {
+      join_idx = i;
+      break;
+    }
+  }
+  pier::DistributedJoin join;
+  pier::JoinStage stage;
+  stage.ns = "inverted";
+  stage.key = pier::Value("alpha");
+  join.stages.push_back(std::move(stage));
+  std::vector<uint64_t> answered;
+  piers[join_idx]->ExecuteJoin(
+      std::move(join),
+      [&answered](Status, std::vector<pier::JoinResultEntry> entries) {
+        for (const auto& e : entries) {
+          answered.push_back(e.join_key.AsUint64());
+        }
+      },
+      /*timeout=*/20 * sim::kSecond);
+  exec->ScheduleAfter(owner->host(), sim::kMillisecond,
+                      [owner]() { owner->Crash(); });
+  exec->RunFor(30 * sim::kSecond);
+  std::sort(answered.begin(), answered.end());
+
+  const sim::NetworkMetrics& net = network->metrics();
+  return RobustFingerprint{exec->events_executed(),
+                           exec->now(),
+                           net.total.messages,
+                           net.total.bytes,
+                           metrics.stage_failovers,
+                           metrics.partial_results,
+                           metrics.hedges_sent,
+                           metrics.hedges_won,
+                           metrics.plans_shed,
+                           std::move(answered),
+                           std::move(fetched)};
+}
+
+TEST(ShardEquivalenceTest, FailoverAndHedgeDecisionsMatchAcrossBackends) {
+  RobustFingerprint want = RunRobustQueryScenario(1);
+  // The scenario is not vacuous: the crash forced a failover, the
+  // straggler forced a hedge, and both legs still answered in full.
+  EXPECT_GE(std::get<4>(want), 1u);               // stage failovers
+  EXPECT_GE(std::get<6>(want), 1u);               // hedges sent
+  EXPECT_GE(std::get<7>(want), 1u);               // hedges won
+  EXPECT_EQ(std::get<9>(want).size(), 60u);       // join answers
+  EXPECT_EQ(std::get<10>(want).size(), 24u);      // fetch answers
+  EXPECT_EQ(RunRobustQueryScenario(4), want) << "sharded-4";
 }
 
 }  // namespace

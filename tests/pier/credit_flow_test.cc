@@ -235,6 +235,9 @@ TEST(CreditFlowTest, AdaptiveWindowHoldsFloorTowardSlowOwner) {
 TEST(CreditFlowTest, StarvedStreamExpiresAndJoinTimesOutWithPartial) {
   BatchOptions opts = ChunkyOptions(2);
   opts.credit_stall_timeout = 2 * sim::kSecond;
+  // Pin the single-dispatch contract: with failover on, the no-progress
+  // watchdog re-dispatches stage 0 and each retry expires its own stream.
+  opts.stage_failover_budget = 0;
   Cluster c(16, opts);
   c.PublishPostings("alpha", 0, 200);
   c.PublishPostings("beta", 0, 200);

@@ -167,6 +167,59 @@ TEST_F(FaultTest, FaultRandomnessDoesNotPerturbLatencyStream) {
   EXPECT_EQ(deliveries(false), deliveries(true));
 }
 
+TEST_F(FaultTest, FailSlowWindowDelaysOnlyInWindowSends) {
+  Network net(&sim, std::make_unique<ConstantLatency>(10 * kMillisecond), 1);
+  FaultPlan plan(7);
+  net.set_fault_plan(&plan);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  // b straggles for one second starting at t=100ms: +80ms per message.
+  plan.AddFailSlow(hb, 100 * kMillisecond, kSecond, 80 * kMillisecond);
+
+  std::vector<SimTime> arrivals;
+  // Sent before the window opens: normal 10ms delivery.
+  net.Send(ha, hb, Msg("early"));
+  // Sent inside the window: slowed, even though it ARRIVES after the
+  // window would close for sends (decision keys on send time only).
+  sim.ScheduleAt(kSecond, [&] { net.Send(ha, hb, Msg("slowed")); });
+  // Sent after the window: normal again.
+  sim.ScheduleAt(2 * kSecond, [&] { net.Send(ha, hb, Msg("late")); });
+  while (sim.Step()) {
+    if (arrivals.size() < b.received.size()) arrivals.push_back(sim.now());
+  }
+
+  ASSERT_EQ(b.received.size(), 3u);
+  EXPECT_EQ(arrivals[0], 10 * kMillisecond);
+  EXPECT_EQ(arrivals[1], kSecond + 90 * kMillisecond);
+  EXPECT_EQ(arrivals[2], 2 * kSecond + 10 * kMillisecond);
+  EXPECT_EQ(plan.counters().slow_deliveries, 1u);
+
+  CounterSet out;
+  ExportNetworkCounters(net, &out);
+  EXPECT_EQ(out.Value("net.fault_slow_deliveries"), 1u);
+}
+
+TEST_F(FaultTest, OverlappingFailSlowWindowsAreAdditive) {
+  Network net(&sim, std::make_unique<ConstantLatency>(10 * kMillisecond), 1);
+  FaultPlan plan(7);
+  net.set_fault_plan(&plan);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  plan.AddFailSlow(hb, 0, kSecond, 30 * kMillisecond);
+  plan.AddFailSlow(hb, 0, kSecond, 50 * kMillisecond);
+  // Other hosts are untouched by b's windows.
+  net.Send(ha, hb, Msg("doubly-slowed"));
+  net.Send(hb, ha, Msg("reverse-unslowed"));
+  sim.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(sim.now(), 90 * kMillisecond);  // 10ms wire + 30 + 50
+  // One slowed delivery counted per message, not per window.
+  EXPECT_EQ(plan.counters().slow_deliveries, 1u);
+}
+
 TEST_F(FaultTest, FlashCrowdJoinSpacesEvenlyInsideWindow) {
   auto events = FaultPlan::FlashCrowdJoin(10 * kSecond, 6, kMinute);
   ASSERT_EQ(events.size(), 6u);
