@@ -28,6 +28,7 @@
 #include "dht/builder.h"
 #include "dht/chord.h"
 #include "dht/churn.h"
+#include "dht/ring_oracle.h"
 #include "gnutella/index.h"
 #include "pier/node.h"
 #include "pier/ops.h"
@@ -1298,6 +1299,152 @@ static void BM_Churn_MassLeaveRepair(benchmark::State& state) {
                                  static_cast<double>(surviving);
 }
 BENCHMARK(BM_Churn_MassLeaveRepair)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Partition tolerance (partition_tolerance gates in run_bench.sh --check):
+// a scheduled split-brain window must heal back into ONE oracle-clean ring
+// with >= 98% recall of the pre-split answer set, and a durable restart
+// must re-ship at least 5x fewer re-sync bytes than an amnesiac restart of
+// the SAME node in the SAME scenario at identical final answers. All
+// quantities are counted under fixed seeds.
+
+// Half the ring is unreachable from the other half for one simulated
+// minute; both sides detect, evict, and repair into per-side rings. After
+// the heal, remembered-peer reconciliation probes must knit the rings back
+// together (merge rounds, epoch fencing, replica re-sync) with no data
+// loss the gate can see.
+static void BM_Partition_SplitBrainHeal(benchmark::State& state) {
+  const size_t kNodes = 32, kKeys = 100;
+  uint64_t asked = 0, answered = 0, clean_runs = 0;
+  uint64_t probes = 0, rounds = 0, heals = 0, drops = 0, stale = 0;
+  for (auto _ : state) {
+    ChurnBench c(kNodes, 2468);
+    c.Publish(kKeys);
+    dht::RingOracle oracle(&c.dht);
+    for (dht::Key k : c.keys) oracle.TrackKey(ChurnBench::kNs, k);
+
+    sim::FaultPlan::PartitionWindow w;
+    for (size_t i = kNodes / 2; i < kNodes; ++i) {
+      w.groups[c.dht.node(i)->host()] = 1;
+    }
+    w.start = c.simulator.now() + 5 * sim::kSecond;
+    w.heal_time = w.start + sim::kMinute;
+    c.plan.AddPartitionWindow(w);
+
+    // Through the split, past the heal, and enough quiet time for the
+    // low-cadence reconcile probes plus re-sync to converge.
+    c.simulator.RunFor(5 * sim::kMinute);
+
+    if (oracle.Check(c.simulator.now()).clean()) ++clean_runs;
+    for (dht::Key k : c.keys) {
+      ++asked;
+      // Probe from the minority side: its view is the one the merge had
+      // to repair.
+      c.dht.node(kNodes - 1)->Get(ChurnBench::kNs, k,
+                                  [&answered](Status s, auto values) {
+                                    if (s.ok() && !values.empty()) ++answered;
+                                  });
+    }
+    c.simulator.RunFor(15 * sim::kSecond);
+
+    probes += c.dht.metrics().merge_probes;
+    rounds += c.dht.metrics().merge_rounds;
+    heals += c.dht.metrics().partition_heals;
+    stale += c.dht.metrics().route_cache_stale;
+    drops += c.plan.counters().partition_drops;
+  }
+  state.SetItemsProcessed(int64_t(asked));
+  state.counters["recall_permille"] =
+      asked == 0 ? 0.0 : 1000.0 * static_cast<double>(answered) /
+                             static_cast<double>(asked);
+  state.counters["oracle_clean"] =
+      clean_runs == static_cast<uint64_t>(state.iterations()) ? 1.0 : 0.0;
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["merge_probes"] = per_iter(probes);
+  state.counters["merge_rounds"] = per_iter(rounds);
+  state.counters["partition_heals"] = per_iter(heals);
+  state.counters["partition_drops"] = per_iter(drops);
+  state.counters["route_cache_stale"] = per_iter(stale);
+}
+BENCHMARK(BM_Partition_SplitBrainHeal)->Unit(benchmark::kMillisecond);
+
+/// One crash-then-restart pass over a fixed scenario; the durable flag is
+/// the ONLY difference between the recovery bench and its amnesia
+/// baseline, so their byte counters are directly comparable.
+struct RestartOutcome {
+  uint64_t resync_bytes = 0;
+  uint64_t answered = 0;
+};
+
+static RestartOutcome RunRestartScenario(bool durable) {
+  const size_t kNodes = 24, kKeys = 150;
+  ChurnBench c(kNodes, 1357);
+  c.Publish(kKeys);
+  c.simulator.RunFor(20 * sim::kSecond);
+
+  dht::DhtNode* victim = c.dht.node(5);
+  victim->Crash();
+  c.simulator.RunFor(sim::kMinute);  // ring repairs; floor is restored
+
+  uint64_t bytes_before = c.dht.metrics().resync_bytes;
+  victim->Restart(c.dht.node(0)->host(), durable);
+  c.simulator.RunFor(2 * sim::kMinute);
+
+  RestartOutcome out;
+  out.resync_bytes = c.dht.metrics().resync_bytes - bytes_before;
+  for (dht::Key k : c.keys) {
+    c.dht.node(1)->Get(ChurnBench::kNs, k,
+                       [&out](Status s, auto values) {
+                         if (s.ok() && !values.empty()) ++out.answered;
+                       });
+  }
+  c.simulator.RunFor(15 * sim::kSecond);
+  return out;
+}
+
+// Durable restart: the node reboots with its crash-time store, so the
+// digest-driven handover finds almost nothing diverged and re-ships only
+// the writes it missed while down.
+static void BM_Partition_RestartRecovery(benchmark::State& state) {
+  const size_t kKeys = 150;
+  uint64_t bytes = 0, answered = 0;
+  for (auto _ : state) {
+    RestartOutcome out = RunRestartScenario(/*durable=*/true);
+    bytes += out.resync_bytes;
+    answered += out.answered;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kKeys));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["resync_bytes"] = per_iter(bytes);
+  state.counters["recall_permille"] =
+      1000.0 * per_iter(answered) / static_cast<double>(kKeys);
+}
+BENCHMARK(BM_Partition_RestartRecovery)->Unit(benchmark::kMillisecond);
+
+// Amnesia baseline: same node, same crash, same rejoin — but the disk was
+// lost, so the whole arc must be re-pulled. The --check gate holds the
+// durable run to at least 5x fewer re-sync bytes at identical recall.
+static void BM_Partition_AmnesiaBaseline(benchmark::State& state) {
+  const size_t kKeys = 150;
+  uint64_t bytes = 0, answered = 0;
+  for (auto _ : state) {
+    RestartOutcome out = RunRestartScenario(/*durable=*/false);
+    bytes += out.resync_bytes;
+    answered += out.answered;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kKeys));
+  auto per_iter = [&](uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(state.iterations());
+  };
+  state.counters["resync_bytes"] = per_iter(bytes);
+  state.counters["recall_permille"] =
+      1000.0 * per_iter(answered) / static_cast<double>(kKeys);
+}
+BENCHMARK(BM_Partition_AmnesiaBaseline)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Fault-tolerant query plane (query_robustness gates in run_bench.sh

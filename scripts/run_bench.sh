@@ -14,7 +14,11 @@
 #         answer set, or when a churn scenario misses its robustness floor
 #         (sustained-churn recall < 980 permille, or a flash-crowd /
 #         mass-leave run that fails to restore surviving key ranges to
-#         full replication), or when a query-robustness floor breaks
+#         full replication), or when a partition-tolerance floor breaks
+#         (split-brain recall < 980 permille, an oracle-dirty healed ring,
+#         merge machinery that never engaged, or a durable restart that
+#         fails to re-ship >= 5x fewer re-sync bytes than the amnesia
+#         baseline at identical answers), or when a query-robustness floor breaks
 #         (crash-failover recall < 950 permille or past deadline, hedged
 #         fail-slow p99 improvement < 1.5x or changed answers, unbounded
 #         or unlabeled overload shedding), or when a BM_ShardScale_* sharded run's
@@ -189,6 +193,41 @@ churn = {
         "BM_Churn_MassLeaveRepair", "lost_keys"),
 }
 
+# Partition tolerance (PR 10): split-brain heal recall and oracle verdict,
+# plus the durable-vs-amnesia restart byte ratio — counted quantities under
+# fixed seeds, gated below.
+def restart_ratio():
+    durable = counter("BM_Partition_RestartRecovery", "resync_bytes")
+    amnesia = counter("BM_Partition_AmnesiaBaseline", "resync_bytes")
+    if amnesia is None or durable is None:
+        return None
+    if durable == 0:
+        return float("inf") if amnesia > 0 else None
+    return round(amnesia / durable, 2)
+
+partition = {
+    "split_brain_recall_permille": counter(
+        "BM_Partition_SplitBrainHeal", "recall_permille"),
+    "split_brain_oracle_clean": counter(
+        "BM_Partition_SplitBrainHeal", "oracle_clean"),
+    "split_brain_merge_probes": counter(
+        "BM_Partition_SplitBrainHeal", "merge_probes"),
+    "split_brain_merge_rounds": counter(
+        "BM_Partition_SplitBrainHeal", "merge_rounds"),
+    "split_brain_partition_heals": counter(
+        "BM_Partition_SplitBrainHeal", "partition_heals"),
+    "restart_resync_byte_ratio": restart_ratio(),
+    "restart_durable_resync_bytes": counter(
+        "BM_Partition_RestartRecovery", "resync_bytes"),
+    "restart_amnesia_resync_bytes": counter(
+        "BM_Partition_AmnesiaBaseline", "resync_bytes"),
+    "restart_identical_answers": (
+        counter("BM_Partition_RestartRecovery", "recall_permille") ==
+        counter("BM_Partition_AmnesiaBaseline", "recall_permille")),
+    "restart_recall_permille": counter(
+        "BM_Partition_RestartRecovery", "recall_permille"),
+}
+
 # Fault-tolerant query plane (PR 8): counted/sim-clock robustness of the
 # query path itself — crash-failover recall within the deadline, hedged
 # fetch tail latency under a fail-slow owner at identical answers, and
@@ -270,6 +309,7 @@ out = {
     "routing": routing,
     "plan_exec": plan_exec,
     "churn": churn,
+    "partition_tolerance": partition,
     "query_robustness": robustness,
     "shard_scale": shard_scale,
     "join_chain": chain,
@@ -288,6 +328,7 @@ print("  plan-exec parity:", {k: plan_exec[k] for k in
                               ("plan_chain_message_parity",
                                "plan_chain_identical_results")})
 print("  churn scenarios:", churn)
+print("  partition tolerance:", partition)
 print("  query robustness:", robustness)
 print("  shard scale:", shard_scale)
 for label, s in (("join chain", chain), ("fetch coalescing", fetch),
@@ -400,6 +441,42 @@ if not churn.get("mass_leave_surviving_keys"):
     failed.append("mass_leave_surviving_keys: correlated crash wiped every "
                   "key (scenario invalid)")
 
+# Partition-tolerance gates: a healed split brain must answer >= 98% of
+# the pre-split key set from the minority side AND leave a RingOracle-clean
+# ring with the merge machinery demonstrably engaged (probes, rounds,
+# heals all nonzero); a durable restart must re-ship >= 5x fewer re-sync
+# bytes than the amnesia baseline of the identical scenario, at identical
+# final answers. Counted quantities under fixed seeds.
+partition = bench.get("partition_tolerance", {})
+
+recall = partition.get("split_brain_recall_permille")
+if recall is None:
+    failed.append("split_brain_recall_permille: missing (bench did not "
+                  "run?)")
+elif recall < 980:
+    failed.append("split_brain_recall_permille: %d < 980" % recall)
+if partition.get("split_brain_oracle_clean") != 1:
+    failed.append("split_brain_oracle_clean: the healed ring violated a "
+                  "RingOracle invariant")
+for name in ("split_brain_merge_probes", "split_brain_merge_rounds",
+             "split_brain_partition_heals"):
+    if not partition.get(name):
+        failed.append("%s: the ring merge machinery never engaged" % name)
+
+ratio = partition.get("restart_resync_byte_ratio")
+if ratio is None:
+    failed.append("restart_resync_byte_ratio: missing (bench did not run?)")
+elif ratio < 5.0:
+    failed.append("restart_resync_byte_ratio: %.2fx < 5x (durable restart "
+                  "re-shipped too many bytes)" % ratio)
+if partition.get("restart_identical_answers") is not True:
+    failed.append("restart_identical_answers: durable and amnesia restarts "
+                  "answered differently")
+recall = partition.get("restart_recall_permille")
+if recall is None or recall < 1000:
+    failed.append("restart_recall_permille: %s < 1000 (restart lost data)"
+                  % recall)
+
 # Query-robustness gates (fault-tolerant query plane): crash-failover
 # recall >= 95% within the deadline with at least one failover exercised;
 # hedging must cut the fail-slow p99 by >= 1.5x at identical answers; and
@@ -469,7 +546,9 @@ if failed:
     sys.exit(1)
 print("bench-regression gate passed: speedups >= 2x, transport and "
       "routing ratios at floor, plan-exec parity >= 0.9x, identical "
-      "answer sets, churn recall/repair floors held, query-robustness "
+      "answer sets, churn recall/repair floors held, partition-tolerance "
+      "floors held (split-brain recall + oracle-clean merge, durable "
+      "restart >= 5x fewer resync bytes), query-robustness "
       "floors held (crash recall, hedge p99, bounded labeled shedding), "
       "shard-scale fingerprints identical%s" %
       ("" if num_cpus >= 4 else " (speedup floors skipped: %d cpus)"

@@ -34,6 +34,7 @@ void BambooRouting::BuildStatic(const std::vector<NodeInfo>& sorted) {
   }
   assert(my_pos < n && "self must be a member");
 
+  for (const auto& m : sorted) ForgetRememberedPeer(m.host);
   leaves_cw_.clear();
   leaves_ccw_.clear();
   for (size_t i = 1; i <= leaf_set_half_ && i < n; ++i) {
@@ -149,6 +150,14 @@ std::vector<NodeInfo> BambooRouting::ReplicaTargets(size_t k) const {
 }
 
 void BambooRouting::RemovePeer(sim::HostId host) {
+  // Capture the evicted peer before dropping it — it may be partitioned,
+  // not dead, and the remembered set is the reconnection thread.
+  auto capture = [&](const NodeInfo& n) {
+    if (n.valid() && n.host == host) Remember(n);
+  };
+  for (const auto& p : leaves_cw_) capture(p);
+  for (const auto& p : leaves_ccw_) capture(p);
+  for (const auto& e : table_) capture(e);
   auto drop = [&](std::vector<NodeInfo>* v) {
     v->erase(std::remove_if(v->begin(), v->end(),
                             [&](const NodeInfo& n) { return n.host == host; }),

@@ -43,6 +43,7 @@ void ChordRouting::BuildStatic(const std::vector<NodeInfo>& sorted) {
   }
   assert(my_pos < n && "self must be a member");
 
+  for (const auto& m : sorted) ForgetRememberedPeer(m.host);
   predecessor_ = sorted[(my_pos + n - 1) % n];
   successors_.clear();
   for (size_t i = 1; i <= successor_list_size_ && i < n + 1; ++i) {
@@ -67,6 +68,7 @@ void ChordRouting::BuildStatic(const std::vector<NodeInfo>& sorted) {
 
 void ChordRouting::SetPredecessor(NodeInfo p) {
   MembershipSnapshot before = TakeSnapshot();
+  if (p.valid()) ForgetRememberedPeer(p.host);
   predecessor_ = p;
   NotifyIfChanged(before);
 }
@@ -131,8 +133,24 @@ std::vector<NodeInfo> ChordRouting::ReplicaTargets(size_t k) const {
 
 void ChordRouting::RemovePeer(sim::HostId host) {
   MembershipSnapshot before = TakeSnapshot();
+  // Capture the evicted peer's identity before clearing it: it may be on
+  // the far side of a partition, and the remembered set is the only thread
+  // back to it once every table slot is gone.
   if (predecessor_.valid() && predecessor_.host == host) {
+    Remember(predecessor_);
     predecessor_ = NodeInfo{};
+  }
+  for (const auto& s : successors_) {
+    if (s.host == host) {
+      Remember(s);
+      break;
+    }
+  }
+  for (const auto& f : fingers_) {
+    if (f.valid() && f.host == host) {
+      Remember(f);
+      break;
+    }
   }
   successors_.erase(
       std::remove_if(successors_.begin(), successors_.end(),
@@ -161,6 +179,7 @@ std::vector<NodeInfo> ChordRouting::KnownPeers() const {
 
 bool ChordRouting::OfferSuccessor(NodeInfo candidate) {
   if (!candidate.valid() || candidate.host == self_.host) return false;
+  ForgetRememberedPeer(candidate.host);
   MembershipSnapshot before = TakeSnapshot();
   if (successors_.empty()) {
     successors_.push_back(candidate);
@@ -186,6 +205,7 @@ void ChordRouting::SetSuccessorList(std::vector<NodeInfo> list) {
              list.end());
   if (list.size() > successor_list_size_) list.resize(successor_list_size_);
   if (list.empty()) return;
+  for (const auto& n : list) ForgetRememberedPeer(n.host);
   MembershipSnapshot before = TakeSnapshot();
   successors_ = std::move(list);
   NotifyIfChanged(before);
@@ -201,6 +221,7 @@ bool ChordRouting::DropPrimarySuccessor() {
 
 void ChordRouting::SetFinger(size_t i, NodeInfo n) {
   assert(i < kNumFingers);
+  if (n.valid()) ForgetRememberedPeer(n.host);
   fingers_[i] = n;
 }
 

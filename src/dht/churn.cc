@@ -1,5 +1,7 @@
 #include "dht/churn.h"
 
+#include <cstddef>
+
 namespace pierstack::dht {
 
 ChurnDriver::ChurnDriver(DhtDeployment* deployment, uint64_t seed,
@@ -24,6 +26,23 @@ void ChurnDriver::Execute(sim::ChurnEvent::Kind kind) {
     if (plan_ != nullptr) plan_->CountChurn(sim::ChurnEvent::kJoin);
     return;
   }
+  if (kind == sim::ChurnEvent::kRestart) {
+    // Revive a node this driver previously crashed, under its original
+    // identity. The RNG pick mirrors the crash path so a fixed seed yields
+    // the same victim sequence in durable and amnesia runs alike.
+    if (crashed_.empty()) {
+      ++stats_.skipped;
+      return;
+    }
+    size_t slot = rng_.NextBelow(crashed_.size());
+    size_t pick = crashed_[slot];
+    crashed_.erase(crashed_.begin() + static_cast<ptrdiff_t>(slot));
+    deployment_->node(pick)->Restart(deployment_->node(0)->host(),
+                                     restart_durable_);
+    ++stats_.restarts;
+    if (plan_ != nullptr) plan_->CountChurn(sim::ChurnEvent::kRestart);
+    return;
+  }
   // Crash a random live node. Node 0 is spared: it is the join bootstrap,
   // and killing it would turn every later kJoin into a no-op rather than
   // modeling churn.
@@ -37,6 +56,7 @@ void ChurnDriver::Execute(sim::ChurnEvent::Kind kind) {
   }
   size_t pick = live[rng_.NextBelow(live.size())];
   deployment_->node(pick)->Crash();
+  crashed_.push_back(pick);
   ++stats_.crashes;
   if (plan_ != nullptr) plan_->CountChurn(sim::ChurnEvent::kCrash);
 }

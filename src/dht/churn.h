@@ -2,12 +2,15 @@
 // DhtDeployment.
 //
 // A FaultPlan (sim/fault.h) describes WHEN membership changes happen
-// (flash-crowd joins, correlated mass-leaves, sustained background churn);
-// this driver binds those events to a deployment — each kCrash picks a
-// random live non-bootstrap node and crashes it, each kJoin spins up a
-// fresh node through the dynamic join protocol. Selection is driven by the
-// driver's own forked RNG, so a fixed seed reproduces the identical
-// membership history event-for-event.
+// (flash-crowd joins, correlated mass-leaves, restarts, sustained
+// background churn); this driver binds those events to a deployment — each
+// kCrash picks a random live non-bootstrap node and crashes it, each kJoin
+// spins up a fresh node through the dynamic join protocol, and each
+// kRestart revives a previously crashed node under its ORIGINAL identity
+// (same HostId, same NodeId) through DhtNode::Restart. Selection is driven
+// by the driver's own forked RNG, so a fixed seed reproduces the identical
+// membership history event-for-event — including which node restarts —
+// regardless of whether restarts run durable or amnesiac.
 #pragma once
 
 #include <cstdint>
@@ -23,8 +26,10 @@ namespace pierstack::dht {
 struct ChurnStats {
   uint64_t crashes = 0;
   uint64_t joins = 0;
+  uint64_t restarts = 0;
   /// Crash events skipped because no crashable node remained (everything
-  /// but the bootstrap node already dead).
+  /// but the bootstrap node already dead), plus restart events skipped
+  /// because no crashed node was available to revive.
   uint64_t skipped = 0;
 };
 
@@ -40,6 +45,11 @@ class ChurnDriver {
   /// The caller then runs the simulator; events fire at their times.
   void Schedule(const std::vector<sim::ChurnEvent>& timeline);
 
+  /// Whether kRestart events recover the durable image (store + identity +
+  /// remembered peers) or come back amnesiac (identity only, empty store).
+  /// Flip BEFORE running the simulator; defaults to durable.
+  void set_restart_durable(bool durable) { restart_durable_ = durable; }
+
   const ChurnStats& stats() const { return stats_; }
 
  private:
@@ -49,6 +59,12 @@ class ChurnDriver {
   Rng rng_;
   sim::FaultPlan* plan_;
   ChurnStats stats_;
+  bool restart_durable_ = true;
+  /// Deployment indices of nodes this driver crashed and has not yet
+  /// restarted — the symmetric bookkeeping that lets kRestart revive a
+  /// real victim instead of guessing. FIFO order is immaterial; the pick
+  /// is RNG-driven for reproducibility.
+  std::vector<size_t> crashed_;
 };
 
 }  // namespace pierstack::dht

@@ -52,11 +52,27 @@ struct LeaveBody {
 struct ResyncDigestBody {
   std::string ns;
   std::vector<std::pair<Key, LocalStore::KeyDigest>> digests;
+  /// The digested arc (arc_start, arc_end]. When set, the receiver also
+  /// pushes back its own diverged entries INSIDE the arc — keys the sender
+  /// has never heard of (written on the other side of a partition) carry
+  /// no digest to mismatch, so without the arc bounds they would never
+  /// flow back.
+  bool arc_valid = false;
+  Key arc_start = 0;
+  Key arc_end = 0;
 };
 
 struct ResyncPullBody {
   std::string ns;
   std::vector<Key> keys;
+};
+
+/// Ring-merge probe/reply payload: the sender's identity and successor
+/// view. Each side offers the other's successors to its own list; loopy
+/// stabilization does the rest.
+struct MergeBody {
+  NodeInfo sender;
+  std::vector<NodeInfo> successors;
 };
 
 DhtNode::DhtNode(sim::Network* network, Key id, const DhtOptions& options,
@@ -153,6 +169,23 @@ void DhtNode::LeaveGracefully() {
 }
 
 void DhtNode::Crash() {
+  // Snapshot the durable image before going dark: the local store, plus
+  // the peer list (known + remembered) — what a real node's disk carries
+  // across a power cycle. Restart(durable=true) consumes it; an amnesia
+  // restart ignores it.
+  durable_image_.valid = true;
+  durable_image_.store = store_;
+  durable_image_.peers = routing_->KnownPeers();
+  for (const NodeInfo& r : routing_->RememberedPeers()) {
+    bool seen = false;
+    for (const NodeInfo& p : durable_image_.peers) {
+      if (p.host == r.host) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) durable_image_.peers.push_back(r);
+  }
   crashed_ = true;
   joined_ = false;
   // A dead host must never fire another event: cancel every maintenance
@@ -166,6 +199,43 @@ void DhtNode::Crash() {
   network_->SetHostUp(host(), false);
 }
 
+void DhtNode::Restart(sim::HostId bootstrap, bool durable) {
+  if (!crashed_) return;
+  NodeInfo self = info();  // the ORIGINAL identity: same ring key, same host
+  crashed_ = false;
+  joined_ = false;
+  // Routing state is rebuilt from scratch: pointers frozen at crash time
+  // are stale-dangerous after arbitrary downtime, and the ring has long
+  // since repaired around this node. Identity is what persists.
+  routing_ = MakeRouting(options_.overlay, self);
+  if (ChordRouting* c = chord()) {
+    c->set_replica_watch(
+        options_.replication > 1 ? options_.replication - 1 : 0);
+    c->set_membership_listener([this](bool ownership, bool replicas) {
+      OnMembershipChange(ownership, replicas);
+    });
+  }
+  route_cache_.Clear();
+  resync_dirty_ = false;
+  next_finger_ = 0;
+  detector_finger_ = 0;
+  reconcile_cursor_ = 0;
+  if (durable && durable_image_.valid) {
+    // Recover the disk: the store comes back as of the crash, so post-join
+    // anti-entropy digests mostly match and only diverged entries cross
+    // the wire. The crash-time peer list seeds the remembered set — the
+    // reconnection threads a rebooted node starts from.
+    store_ = durable_image_.store;
+    for (const NodeInfo& p : durable_image_.peers) {
+      if (p.host != self.host) routing_->RememberPeer(p);
+    }
+  } else {
+    store_ = LocalStore{};
+  }
+  network_->SetHostUp(self.host, true);
+  JoinViaBootstrap(bootstrap);
+}
+
 void DhtNode::CancelMaintenanceTimers() {
   sim::Executor* s = network_->executor();
   s->Cancel(stabilize_timer_);
@@ -176,6 +246,8 @@ void DhtNode::CancelMaintenanceTimers() {
   detector_timer_ = sim::kInvalidEventId;
   s->Cancel(resync_timer_);
   resync_timer_ = sim::kInvalidEventId;
+  s->Cancel(reconcile_timer_);
+  reconcile_timer_ = sim::kInvalidEventId;
   s->Cancel(stabilize_timeout_);
   stabilize_timeout_ = sim::kInvalidEventId;
 }
@@ -995,8 +1067,12 @@ void DhtNode::StartMaintenanceTimers() {
         options_.ping_interval + offset, [this]() { DoFailureDetector(); });
   }
   if (options_.replication > 1) {
-    resync_timer_ = network_->executor()->ScheduleAfter(host(), 
+    resync_timer_ = network_->executor()->ScheduleAfter(host(),
         options_.resync_interval + offset, [this]() { DoResync(); });
+  }
+  if (options_.reconcile_interval > 0) {
+    reconcile_timer_ = network_->executor()->ScheduleAfter(host(),
+        options_.reconcile_interval + offset, [this]() { DoReconcile(); });
   }
 }
 
@@ -1125,20 +1201,28 @@ void DhtNode::DoResync() {
   resync_dirty_ = false;
   if (targets.empty()) return;  // singleton ring: nothing to repair
   ++metrics_->resync_rounds;
+  for (const auto& t : targets) {
+    SendArcDigests(t.host, pred.id, id());
+  }
+}
+
+void DhtNode::SendArcDigests(sim::HostId to, Key arc_start, Key arc_end) {
   sim::SimTime now = network_->executor()->now();
   for (const auto& ns : store_.Namespaces()) {
-    auto digests = store_.DigestRange(ns, pred.id, id(), now);
+    auto digests = store_.DigestRange(ns, arc_start, arc_end, now);
     if (digests.empty()) continue;
     ResyncDigestBody body;
     body.ns = ns;
     body.digests.assign(digests.begin(), digests.end());
-    size_t bytes = ns.size() + 8 + 20 * body.digests.size();
-    for (const auto& t : targets) {
-      if (!SendDirect(t.host,
-                      sim::Message::Make<ResyncDigestBody>(
-                          kResyncDigest, "dht.resync", bytes, body))) {
-        DropPeer(t.host);
-      }
+    body.arc_valid = true;
+    body.arc_start = arc_start;
+    body.arc_end = arc_end;
+    size_t bytes = ns.size() + 24 + 20 * body.digests.size();
+    if (!SendDirect(to, sim::Message::Make<ResyncDigestBody>(
+                            kResyncDigest, "dht.resync", bytes,
+                            std::move(body)))) {
+      DropPeer(to);
+      return;
     }
   }
 }
@@ -1146,7 +1230,7 @@ void DhtNode::DoResync() {
 void DhtNode::HandleResyncDigest(sim::HostId from, const sim::Message& msg) {
   const auto& d = msg.as<ResyncDigestBody>();
   sim::SimTime now = network_->executor()->now();
-  // Pull every key whose local digest diverges from the owner's — missing
+  // Pull every key whose local digest diverges from the sender's — missing
   // keys and stale value sets alike (Put dedupes, so over-pulling is
   // bytes, never corruption).
   ResyncPullBody pull;
@@ -1154,11 +1238,39 @@ void DhtNode::HandleResyncDigest(sim::HostId from, const sim::Message& msg) {
   for (const auto& [key, digest] : d.digests) {
     if (store_.DigestKey(d.ns, key, now) != digest) pull.keys.push_back(key);
   }
-  if (pull.keys.empty()) return;
-  SendDirect(from, sim::Message::Make<ResyncPullBody>(
-                       kResyncPull, "dht.resync",
-                       d.ns.size() + 8 + 8 * pull.keys.size(),
-                       std::move(pull)));
+  if (!pull.keys.empty()) {
+    SendDirect(from, sim::Message::Make<ResyncPullBody>(
+                         kResyncPull, "dht.resync",
+                         d.ns.size() + 8 + 8 * pull.keys.size(),
+                         std::move(pull)));
+  }
+  // Reverse push: ship back our own arc entries the sender's digest set
+  // lacks or disagrees with. Entries written on THIS side of a since-healed
+  // split exist here but carry no digest in `d` to mismatch — without this
+  // push they would never reach the (re-established) owner. The receiving
+  // side stores the union (Put dedupes) and its next re-sync round
+  // propagates it onward, so both sides of a split-brain converge to the
+  // same value sets.
+  if (!d.arc_valid) return;
+  std::map<Key, LocalStore::KeyDigest> theirs(d.digests.begin(),
+                                              d.digests.end());
+  KeyTransferBody back;
+  size_t bytes = 16;
+  for (const auto& [key, mine] :
+       store_.DigestRange(d.ns, d.arc_start, d.arc_end, now)) {
+    auto it = theirs.find(key);
+    if (it != theirs.end() && it->second == mine) continue;
+    for (const StoredValue* v : store_.Get(d.ns, key, now)) {
+      bytes += d.ns.size() + v->value.size() + 17;
+      ++metrics_->resync_entries;
+      metrics_->resync_bytes += v->value.size();
+      back.entries.push_back({d.ns, *v});
+    }
+  }
+  if (back.entries.empty()) return;
+  SendDirect(from, sim::Message::Make<KeyTransferBody>(
+                       kResyncEntries, "dht.resync", bytes,
+                       std::move(back)));
 }
 
 void DhtNode::HandleResyncPull(sim::HostId from, const sim::Message& msg) {
@@ -1180,6 +1292,118 @@ void DhtNode::HandleResyncPull(sim::HostId from, const sim::Message& msg) {
                        std::move(transfer)));
 }
 
+void DhtNode::DoReconcile() {
+  if (crashed_ || !joined_) return;
+  reconcile_timer_ = network_->executor()->ScheduleAfter(host(),
+      options_.reconcile_interval, [this]() { DoReconcile(); });
+  const auto& remembered = routing_->RememberedPeers();
+  if (remembered.empty()) return;  // nobody evicted: the round is free
+  reconcile_cursor_ %= remembered.size();
+  NodeInfo peer = remembered[reconcile_cursor_];
+  ++reconcile_cursor_;
+  ++metrics_->merge_probes;
+  MergeBody probe{info(), chord() ? chord()->successor_list()
+                                  : std::vector<NodeInfo>{}};
+  size_t bytes = kNodeInfoBytes * (1 + probe.successors.size());
+  if (!SendDirect(peer.host,
+                  sim::Message::Make<MergeBody>(kMergeProbe, "dht.maint",
+                                                bytes, std::move(probe)))) {
+    // Connection refused: the peer really is down (a partitioned peer's
+    // messages are silently dropped, not refused). Confirmed dead — stop
+    // probing it. If it ever restarts, its own rejoin re-announces it.
+    routing_->ForgetRememberedPeer(peer.host);
+  }
+}
+
+void DhtNode::HandleMergeProbe(sim::HostId from, const sim::Message& msg) {
+  const auto& probe = msg.as<MergeBody>();
+  // Contact from a host absent from our tables is cross-ring contact — the
+  // prober healed around us (or we around it) during a split.
+  bool known = false;
+  for (const NodeInfo& p : routing_->KnownPeers()) {
+    if (p.host == from) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) ++metrics_->merge_contacts;
+  IntegrateForeignView(probe.sender, probe.successors);
+  MergeBody reply{info(), chord() ? chord()->successor_list()
+                                  : std::vector<NodeInfo>{}};
+  size_t bytes = kNodeInfoBytes * (1 + reply.successors.size());
+  SendDirect(from, sim::Message::Make<MergeBody>(kMergeReply, "dht.maint",
+                                                 bytes, std::move(reply)));
+}
+
+void DhtNode::HandleMergeReply(sim::HostId, const sim::Message& msg) {
+  const auto& reply = msg.as<MergeBody>();
+  ++metrics_->merge_rounds;
+  IntegrateForeignView(reply.sender, reply.successors);
+}
+
+void DhtNode::IntegrateForeignView(const NodeInfo& sender,
+                                   const std::vector<NodeInfo>& successors) {
+  if (!sender.valid() || sender.host == host()) return;
+  // A remembered peer answering is a detected partition heal: it was never
+  // dead, just unreachable. Count before the integration forgets it.
+  for (const NodeInfo& r : routing_->RememberedPeers()) {
+    if (r.host == sender.host) {
+      ++metrics_->partition_heals;
+      break;
+    }
+  }
+  routing_->ForgetRememberedPeer(sender.host);
+  ChordRouting* c = chord();
+  if (c == nullptr) return;  // Bamboo deployments here are static-only
+  // Adopt-better-successor: the sender and its successors enter our list
+  // wherever they tighten it; stabilize/notify then walks the usual loopy
+  // convergence until the two rings are knit into one. Ownership flips
+  // along the way bump epochs and arm re-sync through the membership
+  // listener — the same machinery as any other membership change.
+  c->OfferSuccessor(sender);
+  for (const NodeInfo& s : successors) {
+    if (s.valid() && s.host != host()) c->OfferSuccessor(s);
+  }
+  ConsiderPredecessor(sender);
+}
+
+void DhtNode::ConsiderPredecessor(const NodeInfo& cand) {
+  ChordRouting* c = chord();
+  if (c == nullptr || !cand.valid() || cand.host == host()) return;
+  NodeInfo old_pred = c->predecessor();
+  bool adopt = !old_pred.valid() || InOpenOpen(old_pred.id, id(), cand.id);
+  if (!adopt) return;
+  c->SetPredecessor(cand);
+  // Hand over the keys that now belong to the new predecessor: everything
+  // outside (cand, self]. With replication > 1 the handover is DIGEST-
+  // driven: we keep holding the range as replica state (we are the new
+  // predecessor's first successor — extracting would strip the replica set
+  // below the floor) and send per-key digests instead of the data; the
+  // new owner pulls only what it lacks and pushes back what we lack. A
+  // durable-restarted predecessor whose disk survived therefore re-ships
+  // almost nothing, and divergent split-brain writes flow both ways.
+  // Without replication the range is MOVED outright, as before.
+  Key from_key = old_pred.valid() ? old_pred.id : id();
+  if (ClockwiseDistance(from_key, cand.id) == 0) return;
+  if (options_.replication > 1) {
+    SendArcDigests(cand.host, from_key, cand.id);
+    return;
+  }
+  KeyTransferBody transfer;
+  size_t bytes = 16;
+  for (const auto& ns : store_.Namespaces()) {
+    for (auto& v : store_.ExtractRange(ns, from_key, cand.id)) {
+      bytes += ns.size() + v.value.size() + 17;
+      transfer.entries.push_back({ns, std::move(v)});
+    }
+  }
+  if (!transfer.entries.empty()) {
+    SendDirect(cand.host, sim::Message::Make<KeyTransferBody>(
+                              kKeyTransfer, "dht.transfer", bytes,
+                              std::move(transfer)));
+  }
+}
+
 void DhtNode::OnMembershipChange(bool ownership_changed,
                                  bool replica_set_changed) {
   if (ownership_changed) BumpEpoch();
@@ -1192,9 +1416,11 @@ void DhtNode::OnMembershipChange(bool ownership_changed,
 void DhtNode::BumpEpoch() {
   ++membership_epoch_;
   ++metrics_->epoch_bumps;
-  // Fence, don't clear: stale arcs stop matching and the fast path falls
-  // back to ring routing until replies re-teach under the new epoch.
-  route_cache_.FenceEpoch();
+  // Fence AND purge: arcs taught under the old epoch (possibly across a
+  // since-healed partition) are counted as stale and dropped so they can't
+  // capacity-starve fresh arcs; the fast path falls back to ring routing
+  // until replies re-teach under the new epoch.
+  metrics_->route_cache_stale += route_cache_.FenceEpoch();
   for (const auto& listener : epoch_listeners_) listener();
 }
 
@@ -1352,37 +1578,8 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
       const auto& notify = msg.as<NotifyBody>();
       NodeInfo cand = notify.candidate;
       if (!cand.valid() || cand.host == host()) return;
-      NodeInfo old_pred = c->predecessor();
-      bool adopt = !old_pred.valid() ||
-                   InOpenOpen(old_pred.id, id(), cand.id);
       c->OfferSuccessor(cand);  // first join on a singleton ring
-      if (!adopt) return;
-      c->SetPredecessor(cand);
-      // Hand over the keys that now belong to the new predecessor:
-      // everything outside (cand, self]. With replication > 1 the handover
-      // COPIES instead of extracting — the shipped range is exactly what
-      // this node (the new predecessor's first successor) must keep holding
-      // as replica state; extracting it would strip the replica set below
-      // the floor with nothing left to re-sync it from. Extra copies beyond
-      // the replica arcs are soft state and age out via expiry.
-      Key from_key = old_pred.valid() ? old_pred.id : id();
-      if (ClockwiseDistance(from_key, cand.id) == 0) return;
-      KeyTransferBody transfer;
-      size_t bytes = 16;
-      for (const auto& ns : store_.Namespaces()) {
-        auto range = options_.replication > 1
-                         ? store_.CollectRange(ns, from_key, cand.id)
-                         : store_.ExtractRange(ns, from_key, cand.id);
-        for (auto& v : range) {
-          bytes += ns.size() + v.value.size() + 17;
-          transfer.entries.push_back({ns, std::move(v)});
-        }
-      }
-      if (!transfer.entries.empty()) {
-        SendDirect(cand.host, sim::Message::Make<KeyTransferBody>(
-                                  kKeyTransfer, "dht.transfer", bytes,
-                                  std::move(transfer)));
-      }
+      ConsiderPredecessor(cand);
       return;
     }
     case kFingerReply: {
@@ -1397,9 +1594,24 @@ void DhtNode::HandleMessage(sim::HostId from, const sim::Message& msg) {
     case kKeyTransfer:
     case kResyncEntries: {
       const auto& transfer = msg.as<KeyTransferBody>();
+      bool created = false;
       for (const auto& e : transfer.entries) {
-        store_.Put(e.ns, e.value.key, e.value.value, e.value.expiry);
+        created |= store_.Put(e.ns, e.value.key, e.value.value,
+                              e.value.expiry);
       }
+      // Fresh entries (split-brain divergence flowing back in) must ripple
+      // onward to the rest of the replica set, not stop here — arm the next
+      // resync round so the union propagates node-by-node until digests
+      // match everywhere and the rounds quiesce.
+      if (created && options_.replication > 1) resync_dirty_ = true;
+      return;
+    }
+    case kMergeProbe: {
+      HandleMergeProbe(from, msg);
+      return;
+    }
+    case kMergeReply: {
+      HandleMergeReply(from, msg);
       return;
     }
     case kResyncDigest: {
@@ -1469,6 +1681,10 @@ void ExportTransportCounters(const DhtMetrics& m, CounterSet* out) {
   out->Set("dht.resync_entries", m.resync_entries);
   out->Set("dht.resync_bytes", m.resync_bytes);
   out->Set("dht.get_retries", m.get_retries);
+  out->Set("dht.merge_probes", m.merge_probes);
+  out->Set("dht.merge_contacts", m.merge_contacts);
+  out->Set("dht.merge_rounds", m.merge_rounds);
+  out->Set("dht.partition_heals", m.partition_heals);
 }
 
 }  // namespace pierstack::dht

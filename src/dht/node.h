@@ -102,8 +102,10 @@ struct DhtMetrics {
   /// the target.
   RelaxedCounter route_cache_misses;
   /// Cache entries proven wrong: refused fast-path sends, mispredicted
-  /// fast paths delivered past hop 1 (stale-but-alive old owners), and
-  /// hints that replaced a different remembered owner for the same arc.
+  /// fast paths delivered past hop 1 (stale-but-alive old owners), hints
+  /// that replaced a different remembered owner for the same arc, and
+  /// old-epoch arcs purged when a membership epoch bump fences the cache
+  /// (e.g. OwnerHints learned across a since-healed partition).
   RelaxedCounter route_cache_stale;
   /// Ring hops provably avoided by cache hits. Conservative lower bound:
   /// counts 1 per CORRECTLY predicted fast path (delivered at hop 1)
@@ -131,6 +133,18 @@ struct DhtMetrics {
   /// Get/GetBatch/MultiGet attempt re-sends after an attempt timeout (the
   /// in-flight-owner-crash recovery path).
   RelaxedCounter get_retries;
+  /// Reconciliation probes sent to remembered (evicted) peers by the
+  /// low-cadence ring-merge timer.
+  RelaxedCounter merge_probes;
+  /// Merge probes received from a host absent from the receiver's routing
+  /// table — contact across a ring boundary (foreign or healed ring).
+  RelaxedCounter merge_contacts;
+  /// Merge replies integrated by the probing side — one completed
+  /// probe/reply reconciliation round.
+  RelaxedCounter merge_rounds;
+  /// Remembered (previously evicted) peers re-contacted alive — each one is
+  /// a detected partition heal: the peer was never dead, just unreachable.
+  RelaxedCounter partition_heals;
 
   double MeanHops() const {
     return routes_delivered == 0
@@ -195,6 +209,15 @@ struct DhtOptions {
   /// changed anti-entropy-syncs its owned arc (digests out, missing
   /// entries pulled back) once per interval until clean.
   sim::SimTime resync_interval = 1 * sim::kSecond;
+  /// Ring-merge reconciliation cadence: a node holding remembered
+  /// (detector-evicted) peers probes one of them per interval. A live
+  /// answer means the peer was partitioned, not dead — the probe/reply
+  /// exchange cross-pollinates successor views and loopy stabilization
+  /// knits the two rings back together (Bamboo-lineage reintegration;
+  /// reactive-only recovery never re-merges a split brain). Low cadence on
+  /// purpose: the steady-state cost is one tiny probe per interval per
+  /// node that has evicted anyone, and zero otherwise. 0 disables.
+  sim::SimTime reconcile_interval = 2 * sim::kSecond;
   /// Re-send attempts for Get/GetBatch/MultiGet after an attempt timeout.
   /// Attempt deadlines back off geometrically and sum to `get_timeout`,
   /// so the caller-visible total deadline is unchanged; 0 restores the
@@ -255,9 +278,22 @@ class DhtNode : public sim::Host {
   void LeaveGracefully();
 
   /// Simulates a crash: the host goes silent; peers repair around it.
+  /// Before going dark the node snapshots a DurableImage — its local store,
+  /// ring id, and peer list — the state a real node's disk survives a power
+  /// cycle with. Restart() consumes it.
   void Crash();
 
+  /// Reboots a crashed node under its ORIGINAL identity (same HostId, same
+  /// ring key) and rejoins through `bootstrap`. With `durable` (the normal
+  /// reboot) the node recovers its store and remembered peers from the
+  /// crash-time DurableImage, so post-join anti-entropy re-ships only the
+  /// entries that diverged while it was down; with durable=false (amnesia —
+  /// the disk was lost) it comes back empty and every entry must be
+  /// re-shipped. No-op unless the node is currently crashed.
+  void Restart(sim::HostId bootstrap, bool durable = true);
+
   bool joined() const { return joined_; }
+  bool crashed() const { return crashed_; }
 
   // --- Core API (paper's put/get/route interface) ------------------------
 
@@ -404,6 +440,14 @@ class DhtNode : public sim::Host {
     kResyncPull = 22,
     /// Owner → replica: the pulled entries (KeyTransferBody payload).
     kResyncEntries = 23,
+    /// Ring-merge reconciliation probe to a remembered (evicted) peer:
+    /// carries the prober's identity + successor view. A live receiver
+    /// integrates it and answers with kMergeReply.
+    kMergeProbe = 24,
+    /// The receiver's identity + successor view back to the prober; both
+    /// sides now hold cross-ring successors and stabilization knits the
+    /// rings.
+    kMergeReply = 25,
   };
 
  private:
@@ -555,6 +599,28 @@ class DhtNode : public sim::Host {
   void DoResync();
   void HandleResyncDigest(sim::HostId from, const sim::Message& msg);
   void HandleResyncPull(sim::HostId from, const sim::Message& msg);
+  /// Sends per-key digests of `(arc_start, arc_end]` (every namespace) to
+  /// `to` — the anti-entropy opener used by both the periodic re-sync round
+  /// and the predecessor-adoption handover. The receiver pulls what it
+  /// lacks and pushes back what the sender lacks, so only diverged entries
+  /// cross the wire in either direction.
+  void SendArcDigests(sim::HostId to, Key arc_start, Key arc_end);
+  /// One ring-merge reconciliation round: probe the next remembered peer
+  /// (if any), then re-arm the timer.
+  void DoReconcile();
+  void HandleMergeProbe(sim::HostId from, const sim::Message& msg);
+  void HandleMergeReply(sim::HostId from, const sim::Message& msg);
+  /// Folds a merge probe/reply's view into local routing state: offers the
+  /// sender and its successors to our successor list, considers the sender
+  /// as predecessor, and counts a partition heal when the sender was a
+  /// remembered (presumed-dead) peer.
+  void IntegrateForeignView(const NodeInfo& sender,
+                            const std::vector<NodeInfo>& successors);
+  /// The kNotify adopt rule factored out so merge integration shares it:
+  /// adopts `cand` as predecessor when it tightens the arc, and hands the
+  /// keys of the ceded range over (digest-driven with replication, moved
+  /// outright without).
+  void ConsiderPredecessor(const NodeInfo& cand);
   /// ChordRouting membership-listener sink: bumps the epoch on ownership
   /// change, marks the re-sync flag when replication needs repair.
   void OnMembershipChange(bool ownership_changed, bool replica_set_changed);
@@ -654,6 +720,20 @@ class DhtNode : public sim::Host {
   /// Set by membership changes; cleared when a re-sync round runs with a
   /// known predecessor (the arc is well-defined).
   bool resync_dirty_ = false;
+
+  // Ring-merge reconciliation.
+  sim::EventId reconcile_timer_ = sim::kInvalidEventId;
+  size_t reconcile_cursor_ = 0;  ///< Rotates over the remembered peers.
+
+  /// What a real node's disk carries across a power cycle: taken by
+  /// Crash(), consumed by Restart(durable=true), ignored by amnesia
+  /// restarts.
+  struct DurableImage {
+    bool valid = false;
+    LocalStore store;
+    std::vector<NodeInfo> peers;  ///< Known + remembered peers at crash.
+  };
+  DurableImage durable_image_;
 
   // Membership epoch.
   uint64_t membership_epoch_ = 0;

@@ -1,0 +1,134 @@
+#include "dht/ring_oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "dht/chord.h"
+
+namespace pierstack::dht {
+
+namespace {
+
+std::string HostStr(sim::HostId h) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "host %u", h);
+  return std::string(buf);
+}
+
+}  // namespace
+
+RingOracleReport RingOracle::Check(sim::SimTime now) const {
+  RingOracleReport report;
+  auto fail = [&](bool* flag, const std::string& what) {
+    *flag = false;
+    if (report.detail.empty()) report.detail = what;
+  };
+
+  // Live membership, ground truth: the deployment knows who is up.
+  std::vector<DhtNode*> live;
+  std::map<sim::HostId, DhtNode*> by_host;
+  for (size_t i = 0; i < deployment_->size(); ++i) {
+    DhtNode* n = deployment_->node(i);
+    if (!n->joined()) continue;
+    live.push_back(n);
+    by_host[n->host()] = n;
+  }
+  if (live.empty()) return report;  // nothing to assert against
+
+  // --- connectivity: successor-graph walk visits every live node.
+  // --- ordering: the walked cycle wraps the id space exactly once.
+  auto* first_chord = dynamic_cast<ChordRouting*>(&live[0]->routing());
+  if (first_chord != nullptr && live.size() > 1) {
+    std::set<sim::HostId> visited;
+    DhtNode* cur = live[0];
+    size_t wraps = 0;
+    size_t steps = 0;
+    bool walk_ok = true;
+    while (steps <= live.size()) {
+      visited.insert(cur->host());
+      auto* c = dynamic_cast<ChordRouting*>(&cur->routing());
+      NodeInfo succ = c->successor();
+      if (!succ.valid()) {
+        fail(&report.connectivity,
+             HostStr(cur->host()) + " has no successor");
+        walk_ok = false;
+        break;
+      }
+      auto it = by_host.find(succ.host);
+      if (it == by_host.end()) {
+        fail(&report.connectivity, HostStr(cur->host()) +
+                                       " successor names dead " +
+                                       HostStr(succ.host));
+        walk_ok = false;
+        break;
+      }
+      if (succ.id < cur->id()) ++wraps;  // clockwise wrap past 0
+      cur = it->second;
+      ++steps;
+      if (cur == live[0]) break;
+    }
+    if (walk_ok) {
+      if (cur != live[0]) {
+        fail(&report.connectivity, "successor walk never closed a cycle");
+      } else if (visited.size() != live.size()) {
+        fail(&report.connectivity,
+             "successor cycle covers " + std::to_string(visited.size()) +
+                 " of " + std::to_string(live.size()) + " live nodes");
+      }
+      // A well-ordered cycle of distinct ids passes 0 exactly once. More
+      // wraps means the pointers double back — mis-ordered even when every
+      // node was visited. (Self-loops broke out above via connectivity.)
+      if (wraps != 1) {
+        fail(&report.ordering,
+             "successor cycle wraps the id space " + std::to_string(wraps) +
+                 " times (want 1)");
+      }
+    }
+  }
+
+  // --- predecessors_valid: no live node points its predecessor at a dead
+  // host. (A predecessor id mismatch alone is legal mid-stabilization; a
+  // dead HOST is the dangling pointer eviction should have cleared.)
+  for (DhtNode* n : live) {
+    auto* c = dynamic_cast<ChordRouting*>(&n->routing());
+    if (c == nullptr) continue;
+    NodeInfo pred = c->predecessor();
+    if (pred.valid() && by_host.find(pred.host) == by_host.end()) {
+      fail(&report.predecessors_valid,
+           HostStr(n->host()) + " predecessor names dead " +
+               HostStr(pred.host));
+    }
+  }
+
+  // --- data invariants over the tracked keys.
+  size_t floor =
+      std::min(static_cast<size_t>(deployment_->options().replication),
+               live.size());
+  for (const Tracked& t : tracked_) {
+    DhtNode* owner = deployment_->ExpectedOwner(t.key);
+    if (owner != nullptr && !owner->routing().IsOwner(t.key)) {
+      fail(&report.ownership_cover,
+           HostStr(owner->host()) + " disclaims tracked key it owns");
+    }
+    size_t copies = 0;
+    for (DhtNode* n : live) {
+      if (n->store().Has(t.ns, t.key, now)) ++copies;
+    }
+    if (copies == 0) {
+      fail(&report.no_orphans, "tracked key in ns '" + t.ns +
+                                   "' has no live copy anywhere");
+    }
+    if (copies < floor) {
+      fail(&report.replication_floor,
+           "tracked key in ns '" + t.ns + "' has " +
+               std::to_string(copies) + " copies (floor " +
+               std::to_string(floor) + ")");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace pierstack::dht

@@ -1,0 +1,94 @@
+// RingOracle: a continuously-assertable ground-truth checker for a
+// simulated DHT ring.
+//
+// Robustness scenarios (churn, partitions, restarts) end with "and the ring
+// healed" — this oracle turns that claim into independent invariants a
+// harness can assert at any quiesced point (between churn waves, at shard
+// epoch barriers, after a heal window):
+//
+//   connectivity        the successor graph reaches every live node from
+//                       any live node (one ring, not two).
+//   ordering            the successor cycle is monotone clockwise — ids
+//                       advance with exactly one wrap, so the cycle covers
+//                       the ring exactly once. Each half of a split ring
+//                       passes this (it is internally well-ordered); the
+//                       split itself is connectivity's job to catch.
+//   ownership_cover     the globally expected owner of every tracked key
+//                       CLAIMS ownership (IsOwner). Cover, not exclusivity:
+//                       during splits arcs only widen, so each side still
+//                       answers for its keys — exclusivity would make the
+//                       oracle unusable mid-scenario.
+//   predecessors_valid  no live node's predecessor names a dead host (the
+//                       dangling pointer a missed eviction leaves behind).
+//   replication_floor   every tracked key has at least
+//                       min(replication, live nodes) live copies.
+//   no_orphans          every tracked key has at least one live copy —
+//                       the data-loss alarm, separate from the weaker
+//                       floor so partial and total loss are distinguished.
+//
+// The invariants are deliberately independent: known-bad rings trip exactly
+// the one that names their defect (see tests/dht/ring_oracle_test.cc).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dht/builder.h"
+
+namespace pierstack::dht {
+
+/// One oracle pass: per-invariant verdicts plus the first violation seen.
+struct RingOracleReport {
+  bool connectivity = true;
+  bool ordering = true;
+  bool ownership_cover = true;
+  bool predecessors_valid = true;
+  bool replication_floor = true;
+  bool no_orphans = true;
+  /// Human-readable description of the FIRST violation (empty when clean).
+  std::string detail;
+
+  bool clean() const {
+    return connectivity && ordering && ownership_cover &&
+           predecessors_valid && replication_floor && no_orphans;
+  }
+  int violations() const {
+    return static_cast<int>(!connectivity) + static_cast<int>(!ordering) +
+           static_cast<int>(!ownership_cover) +
+           static_cast<int>(!predecessors_valid) +
+           static_cast<int>(!replication_floor) +
+           static_cast<int>(!no_orphans);
+  }
+};
+
+class RingOracle {
+ public:
+  /// The deployment must outlive the oracle. Structural invariants apply to
+  /// Chord overlays; on Bamboo (static-only) they pass vacuously and the
+  /// data invariants still bite.
+  explicit RingOracle(DhtDeployment* deployment) : deployment_(deployment) {}
+
+  /// Registers a key whose data invariants (ownership_cover,
+  /// replication_floor, no_orphans) every Check() asserts. Track the keys
+  /// the scenario published; untracked data is invisible to the oracle.
+  void TrackKey(std::string ns, Key key) {
+    tracked_.push_back(Tracked{std::move(ns), key});
+  }
+
+  size_t tracked_keys() const { return tracked_.size(); }
+
+  /// Runs every invariant against current deployment state. `now` gates
+  /// soft-state liveness (expired entries don't count as copies).
+  RingOracleReport Check(sim::SimTime now) const;
+
+ private:
+  struct Tracked {
+    std::string ns;
+    Key key;
+  };
+
+  DhtDeployment* deployment_;
+  std::vector<Tracked> tracked_;
+};
+
+}  // namespace pierstack::dht

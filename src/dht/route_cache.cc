@@ -44,6 +44,20 @@ bool RouteCache::Teach(const OwnerHint& hint) {
   return replaced_other_owner;
 }
 
+size_t RouteCache::FenceEpoch() {
+  ++epoch_;
+  size_t purged = 0;
+  for (auto it = arcs_.begin(); it != arcs_.end();) {
+    if (it->second.epoch != epoch_) {
+      it = arcs_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
 void RouteCache::ForgetHost(sim::HostId host) {
   for (auto it = arcs_.begin(); it != arcs_.end();) {
     if (it->second.owner.host == host) {

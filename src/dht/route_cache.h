@@ -52,12 +52,15 @@ class RouteCache {
   /// Drops everything (membership epoch change).
   void Clear() { arcs_.clear(); }
 
-  /// Fences every current entry behind the new membership epoch: entries
-  /// taught before the fence stop matching in Lookup (the fast path falls
-  /// back to ring routing until replies re-teach the arc under the new
-  /// epoch). Cheaper than Clear for the caller's intent — stale entries
-  /// stay in place as tombstones and are overwritten or size-evicted.
-  void FenceEpoch() { ++epoch_; }
+  /// Fences the cache behind a new membership epoch and PURGES every entry
+  /// taught under an older one, returning how many were dropped. An
+  /// ownership flip (detector eviction, ring merge after a partition heal)
+  /// invalidates arcs wholesale — hints learned across a since-healed split
+  /// must not linger as tombstones that capacity-starve fresh arcs; the
+  /// caller counts the purge into dht.route_cache_stale. The fast path
+  /// falls back to ring routing until replies re-teach arcs under the new
+  /// epoch.
+  size_t FenceEpoch();
   uint64_t epoch() const { return epoch_; }
 
   size_t size() const { return arcs_.size(); }

@@ -89,11 +89,55 @@ class RoutingTable {
   /// in the overlay's own metric), excluding self. May return fewer than k.
   virtual std::vector<NodeInfo> ReplicaTargets(size_t k) const = 0;
 
-  /// Drops a failed peer from all routing state.
+  /// Drops a failed peer from all routing state. Implementations record the
+  /// evicted peer in the remembered-peers set (see RememberedPeers) before
+  /// forgetting it.
   virtual void RemovePeer(sim::HostId host) = 0;
 
   /// All distinct peers currently known (for diagnostics/tests).
   virtual std::vector<NodeInfo> KnownPeers() const = 0;
+
+  /// Peers evicted from this table (detector timeouts, refused sends) that
+  /// may merely be on the far side of a partition rather than dead. The
+  /// ring-merge reconciliation timer (dht/node.cc) periodically probes one
+  /// of these; contact with a live remembered peer is how two rings that
+  /// healed around each other during a split find each other again. Bounded
+  /// FIFO (oldest evicted first out), deduped by host, and an entry is
+  /// dropped as soon as the peer is re-learned through any table mutation.
+  const std::vector<NodeInfo>& RememberedPeers() const { return remembered_; }
+
+  /// Seeds a remembered peer directly — used by durable node restart to
+  /// carry the pre-crash peer list across the reboot.
+  void RememberPeer(const NodeInfo& peer) { Remember(peer); }
+
+  /// Drops `host` from the remembered set (peer re-learned or confirmed
+  /// dead by a failed reconciliation probe).
+  void ForgetRememberedPeer(sim::HostId host) {
+    for (auto it = remembered_.begin(); it != remembered_.end(); ++it) {
+      if (it->host == host) {
+        remembered_.erase(it);
+        return;
+      }
+    }
+  }
+
+ protected:
+  /// Bound chosen to comfortably cover one side of a bisection of the
+  /// deployments the harnesses run (tens of nodes) without letting a
+  /// long-running churny node accumulate unbounded dead peers.
+  static constexpr size_t kRememberedPeerLimit = 16;
+
+  void Remember(const NodeInfo& peer) {
+    if (!peer.valid()) return;
+    ForgetRememberedPeer(peer.host);
+    if (remembered_.size() >= kRememberedPeerLimit) {
+      remembered_.erase(remembered_.begin());
+    }
+    remembered_.push_back(peer);
+  }
+
+ private:
+  std::vector<NodeInfo> remembered_;
 };
 
 /// Pressure probe a policy scores candidates with; wired to

@@ -34,7 +34,34 @@ void FaultPlan::AssignPartition(HostId host, uint32_t group) {
   }
 }
 
-bool FaultPlan::ShouldDrop(HostId from, HostId to, uint64_t send_seq) {
+void FaultPlan::Heal(uint32_t group) {
+  if (group == 0) return;
+  for (auto it = partition_.begin(); it != partition_.end();) {
+    if (it->second == group) {
+      it = partition_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultPlan::AddPartitionWindow(PartitionWindow window) {
+  if (window.heal_time <= window.start || window.groups.empty()) return;
+  windows_.push_back(std::move(window));
+}
+
+bool FaultPlan::CrossesSplit(const PartitionWindow& w, uint32_t from,
+                             uint32_t to) {
+  if (from == to) return false;
+  if (w.one_way.empty()) return true;
+  for (const auto& [src, dst] : w.one_way) {
+    if (src == from && dst == to) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::ShouldDrop(HostId from, HostId to, uint64_t send_seq,
+                           SimTime now) {
   if (from == to) return false;
   if (!partition_.empty()) {
     auto g = [&](HostId h) {
@@ -42,6 +69,20 @@ bool FaultPlan::ShouldDrop(HostId from, HostId to, uint64_t send_seq) {
       return it == partition_.end() ? uint32_t{0} : it->second;
     };
     if (g(from) != g(to)) {
+      ++counters_.partition_drops;
+      return true;
+    }
+  }
+  // Timed splits: active purely by the sender's clock, so a window both
+  // activates and heals without any driver event and the decision is
+  // identical on every Executor backend.
+  for (const PartitionWindow& w : windows_) {
+    if (now < w.start || now >= w.heal_time) continue;
+    auto g = [&](HostId h) {
+      auto it = w.groups.find(h);
+      return it == w.groups.end() ? uint32_t{0} : it->second;
+    };
+    if (CrossesSplit(w, g(from), g(to))) {
       ++counters_.partition_drops;
       return true;
     }
@@ -87,10 +128,16 @@ SimTime FaultPlan::ProcessingPenalty(HostId to, SimTime now) {
 }
 
 void FaultPlan::CountChurn(ChurnEvent::Kind kind) {
-  if (kind == ChurnEvent::kCrash) {
-    ++counters_.churn_crashes;
-  } else {
-    ++counters_.churn_joins;
+  switch (kind) {
+    case ChurnEvent::kCrash:
+      ++counters_.churn_crashes;
+      break;
+    case ChurnEvent::kJoin:
+      ++counters_.churn_joins;
+      break;
+    case ChurnEvent::kRestart:
+      ++counters_.churn_restarts;
+      break;
   }
 }
 
@@ -113,6 +160,20 @@ std::vector<ChurnEvent> FaultPlan::MassLeave(SimTime at, size_t crashes) {
   out.reserve(crashes);
   for (size_t i = 0; i < crashes; ++i) {
     out.push_back(ChurnEvent{at, ChurnEvent::kCrash});
+  }
+  return out;
+}
+
+std::vector<ChurnEvent> FaultPlan::CrashRestart(SimTime crash_at,
+                                                SimTime restart_at,
+                                                size_t count) {
+  std::vector<ChurnEvent> out;
+  out.reserve(2 * count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ChurnEvent{crash_at, ChurnEvent::kCrash});
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ChurnEvent{restart_at, ChurnEvent::kRestart});
   }
   return out;
 }

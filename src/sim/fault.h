@@ -12,11 +12,20 @@
 //  * partitions: hosts are assigned to groups; messages crossing a group
 //    boundary are silently dropped until Heal() — a network split, during
 //    which refused-send failure detection is blind and only proactive
-//    liveness probing notices the missing peers,
-//  * scheduled crash/join churn: deterministic event schedules (flash-crowd
-//    join, correlated mass-leave, sustained events/min churn) built here
-//    and executed by an overlay-level driver (dht::ChurnDriver), which
-//    counts each executed event back into the plan,
+//    liveness probing notices the missing peers. Partitions are scriptable
+//    two ways: the imperative AssignPartition/Heal(group)/Heal() calls
+//    (driver/barrier context), and declarative PartitionWindows — timed
+//    splits that activate and heal purely by comparing each send's
+//    timestamp against the window, so a scheduled split needs no driver
+//    event at all and is identical on every Executor backend. A window may
+//    also be asymmetric (one-way): only the listed (from-group, to-group)
+//    directions drop, modeling a link that fails in one direction,
+//  * scheduled crash/join/restart churn: deterministic event schedules
+//    (flash-crowd join, correlated mass-leave, sustained events/min churn,
+//    crash-then-restart) built here and executed by an overlay-level
+//    driver (dht::ChurnDriver), which counts each executed event back into
+//    the plan. A restart re-animates a previously crashed node under its
+//    original identity (dht::DhtNode::Restart),
 //  * fail-slow windows: a host's message processing degrades by a fixed
 //    extra delay for a scheduled interval — the straggler that still
 //    answers, just late (the gray failure crashes cannot model). Applied
@@ -30,12 +39,15 @@
 // loss/spike decision is drawn from a stream keyed on (plan seed, sender,
 // destination, the network's per-sender send sequence) — stateless, so the
 // decision is the same on every Executor backend no matter how sends from
-// different hosts interleave (see sim/network.h). Counters are
-// exported via common/stats (ExportNetworkCounters in sim/network.h).
+// different hosts interleave (see sim/network.h). Partition-window
+// membership is keyed purely on the sender's clock, the same contract as
+// fail-slow windows. Counters are exported via common/stats
+// (ExportNetworkCounters in sim/network.h).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -47,7 +59,14 @@ namespace pierstack::sim {
 /// One scheduled membership change. The sim layer only fixes WHEN and WHAT
 /// KIND; the overlay driver picks the victim/joiner deterministically.
 struct ChurnEvent {
-  enum Kind { kCrash, kJoin };
+  enum Kind {
+    kCrash,
+    kJoin,
+    /// Re-animate a previously crashed node under its ORIGINAL identity
+    /// (same HostId, same ring key) — the reboot the crash/join pair
+    /// cannot model. The driver decides durable vs amnesia recovery.
+    kRestart,
+  };
   SimTime time = 0;
   Kind kind = kCrash;
 };
@@ -61,11 +80,12 @@ struct FaultCounters {
   RelaxedCounter partition_drops;  ///< Messages dropped at a partition edge.
   RelaxedCounter churn_crashes;    ///< Executed scheduled crash events.
   RelaxedCounter churn_joins;      ///< Executed scheduled join events.
+  RelaxedCounter churn_restarts;   ///< Executed scheduled restart events.
   RelaxedCounter slow_deliveries;  ///< Messages delayed by a fail-slow window.
 
   uint64_t Total() const {
     return loss_drops + latency_spikes + partition_drops + churn_crashes +
-           churn_joins + slow_deliveries;
+           churn_joins + churn_restarts + slow_deliveries;
   }
 };
 
@@ -89,7 +109,32 @@ class FaultPlan {
 
   /// Ends the partition: every host rejoins group 0.
   void Heal() { partition_.clear(); }
+
+  /// Heals ONE side of a split: every host of `group` rejoins group 0,
+  /// other groups stay partitioned. Heal(0) is a no-op (group 0 is the
+  /// mainland).
+  void Heal(uint32_t group);
+
   bool partitioned() const { return !partition_.empty(); }
+
+  /// A scheduled network split: `groups` takes effect for sends whose
+  /// timestamp falls in [start, heal_time) and heals by itself — no driver
+  /// event needed, and the decision depends only on the sender's clock
+  /// (backend-independent, like fail-slow windows). Hosts absent from
+  /// `groups` are group 0. With `one_way` empty the split is symmetric
+  /// (any group mismatch drops); otherwise ONLY the listed
+  /// (from-group, to-group) directions drop — an asymmetric split where
+  /// e.g. the island can still hear the mainland but not answer it.
+  struct PartitionWindow {
+    std::map<HostId, uint32_t> groups;
+    SimTime start = 0;
+    SimTime heal_time = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> one_way;
+  };
+
+  /// Schedules a partition window. Setup/driver context only (like
+  /// AssignPartition): mutate before the run or at barriers.
+  void AddPartitionWindow(PartitionWindow window);
 
   /// Schedules a fail-slow window: every message addressed to `host` that
   /// is SENT during [start, start + duration) is delayed by an extra
@@ -101,11 +146,13 @@ class FaultPlan {
 
   // --- Hooks consumed by Network::Send (self-sends are never faulted) ----
   // `send_seq` is the network's per-sender sequence number for this send —
-  // the stream key making each decision order-independent.
+  // the stream key making each decision order-independent. `now` is the
+  // SENDER's clock at the send, the key partition/fail-slow windows are
+  // evaluated against.
 
   /// True when this send must be lost in flight (loss or partition edge).
   /// Counts the injected fault.
-  bool ShouldDrop(HostId from, HostId to, uint64_t send_seq);
+  bool ShouldDrop(HostId from, HostId to, uint64_t send_seq, SimTime now);
 
   /// Extra delivery delay for this send (0 when no spike fires). Counts.
   SimTime ExtraLatency(HostId from, HostId to, uint64_t send_seq);
@@ -130,6 +177,13 @@ class FaultPlan {
   /// `crashes` simultaneous failures at `at` — correlated mass-leave.
   static std::vector<ChurnEvent> MassLeave(SimTime at, size_t crashes);
 
+  /// `count` simultaneous crashes at `crash_at`, each rebooted at
+  /// `restart_at` — the correlated power-cycle (crash preserving durable
+  /// state, restart under the original identity).
+  static std::vector<ChurnEvent> CrashRestart(SimTime crash_at,
+                                              SimTime restart_at,
+                                              size_t count);
+
   /// Alternating join/crash events (population-preserving) at
   /// `events_per_minute`, exponentially spaced from `seed`, covering
   /// [start, start + duration).
@@ -139,11 +193,17 @@ class FaultPlan {
                                                 uint64_t seed);
 
  private:
+  /// Whether a send from group `from` to group `to` crosses this window's
+  /// split (direction-aware for one-way windows).
+  static bool CrossesSplit(const PartitionWindow& w, uint32_t from,
+                           uint32_t to);
+
   const uint64_t seed_;  ///< Root of the per-send decision streams.
   double message_loss_ = 0.0;
   double spike_probability_ = 0.0;
   SimTime spike_delay_ = 0;
   std::map<HostId, uint32_t> partition_;  ///< host → group; absent = 0.
+  std::vector<PartitionWindow> windows_;  ///< Scheduled timed splits.
   /// One scheduled degradation interval for a fail-slow host.
   struct FailSlowWindow {
     SimTime start = 0;

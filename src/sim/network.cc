@@ -245,7 +245,8 @@ bool Network::Send(HostId from, HostId to, Message msg) {
   // silently discards it before the destination's queue ever sees it. The
   // plan derives its decisions from its own seed and this send's key, so
   // fault injection still never perturbs the latency stream.
-  if (faults_ != nullptr && faults_->ShouldDrop(from, to, seq)) {
+  if (faults_ != nullptr &&
+      faults_->ShouldDrop(from, to, seq, executor_->now())) {
     ++Slab().dropped_messages;
     return true;
   }
@@ -292,6 +293,7 @@ void ExportNetworkCounters(const Network& net, CounterSet* out) {
     out->Set("net.fault_partition_drops", f.partition_drops);
     out->Set("net.fault_churn_crashes", f.churn_crashes);
     out->Set("net.fault_churn_joins", f.churn_joins);
+    out->Set("net.fault_churn_restarts", f.churn_restarts);
     out->Set("net.fault_slow_deliveries", f.slow_deliveries);
     out->Set("net.fault_injected_total", f.Total());
   }

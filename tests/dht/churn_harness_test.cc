@@ -14,6 +14,7 @@
 #include "common/stats.h"
 #include "dht/builder.h"
 #include "dht/churn.h"
+#include "dht/ring_oracle.h"
 #include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -63,9 +64,11 @@ using Fingerprint = std::tuple<uint64_t,  // events executed
                                uint64_t, uint64_t,  // net messages, bytes
                                uint64_t, uint64_t,  // dropped, refused
                                uint64_t,            // injected faults
-                               uint64_t, uint64_t, uint64_t,  // churn c/j/s
+                               uint64_t, uint64_t,  // churn crashes, joins
+                               uint64_t, uint64_t,  // churn restarts, skipped
                                uint64_t, uint64_t,  // epoch bumps, evictions
-                               uint64_t, uint64_t>; // resync rounds, entries
+                               uint64_t, uint64_t,  // resync rounds, entries
+                               uint64_t, uint64_t>; // merge probes, heals
 
 Fingerprint RunScenario(uint64_t churn_seed) {
   Harness h(16, 3, churn_seed);
@@ -75,6 +78,20 @@ Fingerprint RunScenario(uint64_t churn_seed) {
   auto timeline = sim::FaultPlan::SustainedChurn(
       h.simulator.now(), sim::kMinute, 8.0, churn_seed + 1);
   h.driver->Schedule(timeline);
+  // Crash-then-restart pair after the churn wave: the restart path (same
+  // identity, durable store recovery) is part of the locked fingerprint.
+  h.driver->Schedule(sim::FaultPlan::CrashRestart(
+      80 * sim::kSecond, 95 * sim::kSecond, 2));
+  // A scheduled split across half the initial hosts, healed mid-run: the
+  // remembered-peer probes and ring-merge rounds must land identically on
+  // every backend (window decisions key on send time alone).
+  sim::FaultPlan::PartitionWindow w;
+  for (size_t i = 8; i < 16; ++i) {
+    w.groups[h.dht->node(i)->host()] = 1;
+  }
+  w.start = 20 * sim::kSecond;
+  w.heal_time = 50 * sim::kSecond;
+  h.plan.AddPartitionWindow(w);
   h.plan.set_message_loss(0.02);
   h.plan.set_latency_spike(0.05, 20 * sim::kMillisecond);
   h.simulator.RunFor(2 * sim::kMinute);
@@ -92,11 +109,14 @@ Fingerprint RunScenario(uint64_t churn_seed) {
                      f.Total(),
                      churn.crashes,
                      churn.joins,
+                     churn.restarts,
                      churn.skipped,
                      m.epoch_bumps,
                      m.detector_evictions,
                      m.resync_rounds,
-                     m.resync_entries};
+                     m.resync_entries,
+                     m.merge_probes,
+                     m.partition_heals};
 }
 
 TEST(ChurnHarnessTest, FixedSeedRunsAreFingerprintIdentical) {
@@ -109,6 +129,28 @@ TEST(ChurnHarnessTest, FixedSeedRunsAreFingerprintIdentical) {
 
 TEST(ChurnHarnessTest, DifferentSeedsDiverge) {
   EXPECT_NE(RunScenario(1001), RunScenario(2002));
+}
+
+TEST(ChurnHarnessTest, QuiescedPostChurnRingSatisfiesOracle) {
+  Harness h(16, 3, 4242);
+  h.PublishKeys(24);
+  h.simulator.RunFor(5 * sim::kSecond);
+
+  auto timeline = sim::FaultPlan::SustainedChurn(
+      h.simulator.now(), sim::kMinute, 6.0, 17);
+  h.driver->Schedule(timeline);
+  h.driver->Schedule(sim::FaultPlan::CrashRestart(
+      75 * sim::kSecond, 90 * sim::kSecond, 1));
+  h.simulator.RunFor(2 * sim::kMinute);
+  // Churn over; give maintenance two quiet minutes to converge.
+  h.simulator.RunFor(2 * sim::kMinute);
+
+  RingOracle oracle(h.dht.get());
+  for (size_t i = 0; i < 24; ++i) {
+    oracle.TrackKey(kNs, (i + 1) * 0x9E3779B97F4A7C15ull);
+  }
+  RingOracleReport report = oracle.Check(h.simulator.now());
+  EXPECT_TRUE(report.clean()) << report.detail;
 }
 
 TEST(ChurnHarnessTest, CrashCancelsPendingNodeEvents) {

@@ -1,5 +1,8 @@
 // Model-checking style test: random put/get sequences against an
-// in-memory reference oracle, across overlays and network sizes.
+// in-memory reference oracle, across overlays and network sizes — plus
+// a structural RingOracle pass over the final ring, so the same run
+// that proves data consistency also proves the overlay the data lives
+// on satisfies every ring invariant.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -8,6 +11,7 @@
 #include <string>
 
 #include "dht/builder.h"
+#include "dht/ring_oracle.h"
 
 namespace pierstack::dht {
 namespace {
@@ -72,6 +76,13 @@ TEST_P(DhtOracleTest, RandomOpsMatchReference) {
     }
   }
   EXPECT_GT(checks, 50u);
+
+  // The ring the workload ran on must itself be structurally sound, and
+  // every key the reference oracle knows must live where the ring says.
+  RingOracle ring_oracle(&dht);
+  for (const auto& [ns, k] : known_keys) ring_oracle.TrackKey(ns, k);
+  RingOracleReport report = ring_oracle.Check(simulator.now());
+  EXPECT_TRUE(report.clean()) << report.detail;
 }
 
 INSTANTIATE_TEST_SUITE_P(

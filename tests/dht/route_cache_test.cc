@@ -85,6 +85,28 @@ TEST(RouteCacheTest, CapacityEvictsOldestTaughtArc) {
   EXPECT_TRUE(cache.Lookup(525).valid());    // newest survives
 }
 
+TEST(RouteCacheTest, FenceEpochPurgesOldEntriesAndReportsCount) {
+  RouteCache cache;
+  NodeInfo a{100, 1}, b{200, 2};
+  cache.Teach(Hint(50, 100, a));
+  cache.Teach(Hint(100, 200, b));
+  ASSERT_EQ(cache.size(), 2u);
+
+  // The fence drops every arc taught under the old epoch and says how
+  // many — the caller's dht.route_cache_stale increment.
+  EXPECT_EQ(cache.FenceEpoch(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(80).valid());
+  EXPECT_FALSE(cache.Lookup(150).valid());
+
+  // An arc re-taught under the new epoch serves lookups again, and is in
+  // turn purged (and counted) when the epoch moves once more.
+  cache.Teach(Hint(50, 100, a));
+  EXPECT_EQ(cache.Lookup(80).host, a.host);
+  EXPECT_EQ(cache.FenceEpoch(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(RouteCacheTest, StaleExactKeyEntryDoesNotMaskWiderArc) {
   RouteCache cache;
   NodeInfo owner{1000, 1}, stale{77, 9};

@@ -306,6 +306,107 @@ TEST_F(FaultTest, ExportNetworkCountersSurfacesFaultCounters) {
   EXPECT_EQ(out.Value("net.refused_sends"), 0u);
 }
 
+TEST_F(FaultTest, PartitionWindowDropsOnlyInsideItsSchedule) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  FaultPlan plan(7);
+  net.set_fault_plan(&plan);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  FaultPlan::PartitionWindow w;
+  w.groups[hb] = 1;  // a stays in group 0
+  w.start = 100 * kMillisecond;
+  w.heal_time = kSecond;
+  plan.AddPartitionWindow(w);
+
+  // Before the window opens, inside it, and at/after the heal time —
+  // keyed purely on SEND time, so the schedule is backend-deterministic.
+  net.Send(ha, hb, Msg("before"));
+  sim.ScheduleAt(500 * kMillisecond, [&] { net.Send(ha, hb, Msg("split")); });
+  sim.ScheduleAt(kSecond, [&] { net.Send(ha, hb, Msg("healed")); });
+  sim.Run();
+
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].second, "before");
+  EXPECT_EQ(b.received[1].second, "healed");
+  EXPECT_EQ(plan.counters().partition_drops, 1u);
+  // Scheduled windows never flip the static partitioned() flag.
+  EXPECT_FALSE(plan.partitioned());
+}
+
+TEST_F(FaultTest, PerGroupHealReleasesOnlyThatGroup) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  FaultPlan plan(7);
+  net.set_fault_plan(&plan);
+  Recorder a, b, c;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  HostId hc = net.AddHost(&c);
+  plan.AssignPartition(hb, 1);
+  plan.AssignPartition(hc, 2);
+
+  plan.Heal(1);  // b rejoins the majority; c stays cut off
+  EXPECT_TRUE(plan.partitioned());
+  net.Send(ha, hb, Msg("rejoined"));
+  net.Send(ha, hc, Msg("still-cut"));
+  sim.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(c.received.empty());
+
+  plan.Heal();  // heal-all still works
+  EXPECT_FALSE(plan.partitioned());
+  net.Send(ha, hc, Msg("all-healed"));
+  sim.Run();
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST_F(FaultTest, OneWayPartitionWindowIsAsymmetric) {
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  FaultPlan plan(7);
+  net.set_fault_plan(&plan);
+  Recorder a, b;
+  HostId ha = net.AddHost(&a);
+  HostId hb = net.AddHost(&b);
+  FaultPlan::PartitionWindow w;
+  w.groups[hb] = 1;
+  w.start = 0;
+  w.heal_time = kSecond;
+  w.one_way.push_back({0, 1});  // group 0 → group 1 drops; reverse flows
+  plan.AddPartitionWindow(w);
+
+  net.Send(ha, hb, Msg("swallowed"));
+  net.Send(hb, ha, Msg("heard"));
+  sim.Run();
+  EXPECT_TRUE(b.received.empty());
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(plan.counters().partition_drops, 1u);
+}
+
+TEST_F(FaultTest, CrashRestartBuilderPairsEventsAndCountsRestarts) {
+  auto events = FaultPlan::CrashRestart(2 * kSecond, 10 * kSecond, 3);
+  ASSERT_EQ(events.size(), 6u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].kind, ChurnEvent::kCrash);
+    EXPECT_EQ(events[i].time, 2 * kSecond);
+  }
+  for (size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(events[i].kind, ChurnEvent::kRestart);
+    EXPECT_EQ(events[i].time, 10 * kSecond);
+  }
+
+  FaultPlan plan(7);
+  for (const auto& e : events) plan.CountChurn(e.kind);
+  EXPECT_EQ(plan.counters().churn_crashes, 3u);
+  EXPECT_EQ(plan.counters().churn_restarts, 3u);
+  EXPECT_EQ(plan.counters().Total(), 6u);
+
+  Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
+  net.set_fault_plan(&plan);
+  CounterSet out;
+  ExportNetworkCounters(net, &out);
+  EXPECT_EQ(out.Value("net.fault_churn_restarts"), 3u);
+}
+
 TEST_F(FaultTest, RefusedSendIsAnAdditiveSliceOfDrops) {
   Network net(&sim, std::make_unique<ConstantLatency>(kMillisecond), 1);
   FaultPlan plan(7);
